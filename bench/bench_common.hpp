@@ -1,0 +1,43 @@
+/// \file bench_common.hpp
+/// \brief Shared workload helpers for the experiment benches.
+///
+/// Every bench reproduces one table or figure of the paper on the NSRDB-like
+/// synthetic dataset. Workload size follows the paper's simulation unit
+/// (20,000-sample recordings, §6.1) and can be overridden via environment
+/// variables for quick runs:
+///   XBS_BENCH_RECORDS  number of records (default varies per bench)
+///   XBS_BENCH_SAMPLES  samples per record (default 20000)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "xbs/ecg/dataset.hpp"
+
+namespace xbs::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+/// Workload records for a bench (seeded, deterministic).
+inline std::vector<ecg::DigitizedRecord> workload(int default_records,
+                                                  std::size_t default_samples = 20000) {
+  const int n = env_int("XBS_BENCH_RECORDS", default_records);
+  const auto samples =
+      static_cast<std::size_t>(env_int("XBS_BENCH_SAMPLES", static_cast<int>(default_samples)));
+  return ecg::nsrdb_like_dataset(n, samples);
+}
+
+inline std::vector<double> to_double(const std::vector<i32>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace xbs::bench

@@ -1,0 +1,57 @@
+// Fig. 8(a)-(d) — Error resilience analysis of the remaining Pan-Tompkins
+// stages: High Pass Filter, Differentiator, Squarer, Moving Window
+// Integration.
+//
+// Paper shapes to reproduce:
+//  (a) HPF: large absolute energy (31 adders + 32 multipliers), accuracy
+//      flat at 100% through deep approximation; SSIM decays early.
+//  (b) DER: "applying approximations in this stage is ineffective and leads
+//      to limited energy reductions" (coefficients 2 and 1 fold to wiring).
+//  (c) SQR: low approximation potential (full variable x variable product).
+//  (d) MWI: extremely error-resilient, tolerating up to 16 LSBs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "xbs/core/resilience.hpp"
+#include "xbs/explore/design.hpp"
+#include "xbs/report/table.hpp"
+
+int main() {
+  using namespace xbs;
+  using pantompkins::Stage;
+  using report::fmt;
+  using report::fmt_factor;
+
+  const auto records = bench::workload(2);
+  const explore::StageEnergyModel energy;
+
+  const struct {
+    Stage stage;
+    const char* panel;
+    const char* paper_note;
+  } panels[] = {
+      {Stage::Hpf, "(a) High Pass Filter", "paper: ~60x energy @8 LSBs, SSIM collapses past 2"},
+      {Stage::Der, "(b) Differentiator", "paper: ineffective, limited reductions"},
+      {Stage::Sqr, "(c) Squarer", "paper: low approximation potential"},
+      {Stage::Mwi, "(d) Moving Window Integration", "paper: tolerates 16 LSBs, ~12x energy"},
+  };
+
+  std::cout << "=== Fig. 8: Error resilience of the remaining application stages ===\n";
+  for (const auto& panel : panels) {
+    const auto prof = core::analyze_stage_resilience(
+        panel.stage, records, explore::default_lsb_list(panel.stage), energy);
+    std::cout << "\n--- " << panel.panel << "  [" << panel.paper_note << "] ---\n";
+    report::AsciiTable t({"LSBs", "Area red.", "Latency red.", "Power red.", "Energy red.",
+                          "Stage SSIM", "Peak det. accuracy"});
+    for (const auto& p : prof.points) {
+      t.add_row({std::to_string(p.lsbs), fmt_factor(p.optimized.area),
+                 fmt_factor(p.optimized.delay), fmt_factor(p.optimized.power),
+                 fmt_factor(p.optimized.energy), fmt(p.stage_ssim, 4),
+                 report::fmt_pct(p.accuracy_pct, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "Error-resilience threshold: " << prof.threshold_lsbs
+              << " LSBs; max energy savings " << fmt_factor(prof.max_energy_savings) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 12 — Energy-quality evaluation of the approximate designs proposed
+// for the Pan-Tompkins algorithm: configurations A1 (software on a
+// Raspberry-Pi-class core), A2 (accurate ASIC datapath) and B1..B14 (the
+// paper's table of per-stage LSB assignments).
+//
+// Paper headlines to reproduce: A1 sits ~7 orders of magnitude above A2;
+// B9 reduces energy ~19.7x with 100% peak detection; B10 ~22x with < 1%
+// loss; all B-configs clear the 95% quality threshold.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "xbs/core/paper_configs.hpp"
+#include "xbs/explore/energy_model.hpp"
+#include "xbs/hwmodel/software_energy.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+#include "xbs/report/table.hpp"
+
+int main() {
+  using namespace xbs;
+  using report::fmt;
+  using report::fmt_factor;
+  using report::fmt_pct;
+  using report::fmt_sci;
+
+  std::cout << "=== Fig. 12: Energy-quality evaluation of the approximate designs ===\n\n";
+
+  const auto records = bench::workload(6, 10000);
+  const explore::StageEnergyModel energy;
+  const explore::StageEnergyModel energy_pd(explore::StageEnergyModel::Mode::PowerDelay);
+  const double e_accurate = energy.accurate_energy_fj();
+  const hwmodel::SoftwareEnergyModel sw;
+
+  report::AsciiTable t({"Config", "LSBs {LPF,HPF,DER,SQR,MWI}", "Energy [fJ/sample]",
+                        "Energy red.", "Energy red. (P*D)", "Peak det. accuracy", ">=95%?"});
+  t.add_row({"A1 (Raspberry Pi class, ARMv8)", "software", fmt_sci(sw.energy_per_sample_fj(), 2),
+             fmt_sci(e_accurate / sw.energy_per_sample_fj(), 1) + "x", "-", fmt_pct(100.0, 1),
+             "yes"});
+  t.add_row({"A2 (accurate ASIC)", "{0,0,0,0,0}", fmt(e_accurate, 1), "1.00x", "1.00x",
+             fmt_pct(100.0, 1), "yes"});
+
+  double best_100 = 0.0, best_99 = 0.0;
+  std::string best_100_name = "-", best_99_name = "-";
+  for (const auto& cfg : core::fig12_b_configs()) {
+    const auto design = core::to_design(cfg);
+    const pantompkins::PanTompkinsPipeline pipe(explore::to_pipeline_config(design));
+    int fn = 0, fp = 0, truth = 0;
+    for (const auto& rec : records) {
+      const auto res = pipe.run(rec.adu);
+      const auto m = metrics::match_peaks(rec.r_peaks, res.detection.peaks,
+                                          metrics::default_tolerance_samples(rec.fs_hz));
+      fn += m.false_negatives;
+      fp += m.false_positives;
+      truth += m.truth_count();
+    }
+    const double acc =
+        truth > 0 ? 100.0 * std::max(0.0, 1.0 - static_cast<double>(fn + fp) / truth) : 0.0;
+    const double red = energy.energy_reduction(design);
+    std::string lsbs = "{";
+    for (int s = 0; s < pantompkins::kNumStages; ++s) {
+      lsbs += std::to_string(cfg.lsbs[static_cast<std::size_t>(s)]);
+      lsbs += (s + 1 < pantompkins::kNumStages) ? "," : "}";
+    }
+    const double red_pd = energy_pd.energy_reduction(design);
+    t.add_row({std::string(cfg.name), lsbs, fmt(energy.design_energy_fj(design), 1),
+               fmt_factor(red), fmt_factor(red_pd), fmt_pct(acc, 2), acc >= 95.0 ? "yes" : "no"});
+    if (acc >= 100.0 && red_pd > best_100) {
+      best_100 = red_pd;
+      best_100_name = cfg.name;
+    }
+    if (acc >= 99.0 && red_pd > best_99) {
+      best_99 = red_pd;
+      best_99_name = cfg.name;
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nBest design with 0% quality loss:  " << best_100_name << " at "
+            << fmt_factor(best_100) << "   [paper: B9 at ~19.7x]\n"
+            << "Best design with <=1% quality loss: " << best_99_name << " at "
+            << fmt_factor(best_99) << "   [paper: B10 at ~22x]\n"
+            << "Software/ASIC gap (A1/A2): "
+            << fmt_sci(sw.energy_per_sample_fj() / e_accurate, 1)
+            << "   [paper: ~7 orders of magnitude]\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Module error catalog — the characterization designers consult when
+// choosing approximation parameters (complements Table 1's cost side):
+// error rate / mean / RMS / worst-case error of composed 32-bit adders and
+// 16x16 multipliers across the elementary library and LSB depths.
+#include <iostream>
+
+#include "xbs/arith/error_stats.hpp"
+#include "xbs/report/table.hpp"
+
+int main() {
+  using namespace xbs;
+  using report::fmt;
+  using report::fmt_pct;
+
+  std::cout << "=== Error characterization: 32-bit approximate adders ===\n"
+            << "(Monte-Carlo, 200k seeded samples; full result incl. carry-out)\n\n";
+  {
+    report::AsciiTable t({"Adder", "k", "Error rate", "Mean |err|", "RMS err", "Max |err|"});
+    for (const AdderKind kind :
+         {AdderKind::Approx1, AdderKind::Approx2, AdderKind::Approx5}) {
+      for (const int k : {4, 8, 16}) {
+        const auto s = arith::characterize_adder(arith::AdderConfig{32, k, kind, 0});
+        t.add_row({std::string(to_string(kind)), std::to_string(k),
+                   fmt_pct(100.0 * s.error_rate, 1), fmt(s.mean_abs_error, 1),
+                   fmt(s.rms_error, 1), std::to_string(s.max_abs_error)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== Error characterization: 16x16 recursive multipliers ===\n\n";
+  {
+    report::AsciiTable t(
+        {"Multiplier", "k", "Error rate", "Mean |err|", "Mean rel. err", "Max |err|"});
+    for (const MultKind kind : {MultKind::V1, MultKind::V2}) {
+      for (const int k : {4, 8, 16}) {
+        const arith::MultiplierConfig cfg{16, k, AdderKind::Approx5, kind,
+                                          ApproxPolicy::Moderate};
+        const auto s = arith::characterize_multiplier(cfg);
+        t.add_row({std::string(to_string(kind)), std::to_string(k),
+                   fmt_pct(100.0 * s.error_rate, 1), fmt(s.mean_abs_error, 1),
+                   fmt(100.0 * s.mean_rel_error, 3) + "%", std::to_string(s.max_abs_error)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nReading: at the paper's design points (k in [8,16]) the error stays\n"
+               "confined near bit k (max |err| ~ 2^(k+3)), which is exactly why the\n"
+               "filter stages — whose signals live in the upper bits — tolerate it.\n";
+  return 0;
+}

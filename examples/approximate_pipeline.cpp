@@ -1,0 +1,75 @@
+// Approximate pipeline — configure the paper's headline design (Fig. 12 B9:
+// {LPF 10, HPF 12, DER 2, SQR 8, MWI 16} LSBs with ApproxAdd5 + AppMultV1),
+// run it bit-accurately next to the exact datapath, and compare detection
+// quality, intermediate signal quality and hardware cost.
+//
+// Build & run:  ./examples/approximate_pipeline
+#include <cstdio>
+#include <vector>
+
+#include "xbs/core/paper_configs.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/explore/energy_model.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/metrics/signal_quality.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+int main() {
+  using namespace xbs;
+
+  // The B9 configuration, straight from the paper's Fig. 12 table.
+  const auto& b9 = core::fig12_b_configs()[8];
+  std::printf("Configuration %s: LSBs {LPF %d, HPF %d, DER %d, SQR %d, MWI %d}, "
+              "ApproxAdd5 + AppMultV1\n\n",
+              std::string(b9.name).c_str(), b9.lsbs[0], b9.lsbs[1], b9.lsbs[2], b9.lsbs[3],
+              b9.lsbs[4]);
+
+  const pantompkins::PanTompkinsPipeline exact;
+  const pantompkins::PanTompkinsPipeline approx(pantompkins::PipelineConfig::from_lsbs(b9.lsbs));
+
+  int tp = 0, fp = 0, fn = 0;
+  double psnr_sum = 0.0, ssim_sum = 0.0;
+  const auto records = ecg::nsrdb_like_dataset(4, 10000);
+  for (const auto& rec : records) {
+    const auto r_exact = exact.run(rec.adu);
+    const auto r_approx = approx.run(rec.adu);
+
+    // Final quality stage: peak detection accuracy vs ground truth.
+    const auto m = metrics::match_peaks(rec.r_peaks, r_approx.detection.peaks,
+                                        metrics::default_tolerance_samples(rec.fs_hz));
+    tp += m.true_positives;
+    fp += m.false_positives;
+    fn += m.false_negatives;
+
+    // Pre-processing quality stage: PSNR/SSIM of the HPF output — the signal
+    // a physician would review (the paper's intermediate constraint).
+    const std::vector<double> ref(r_exact.hpf.begin(), r_exact.hpf.end());
+    const std::vector<double> test(r_approx.hpf.begin(), r_approx.hpf.end());
+    psnr_sum += metrics::psnr_db(ref, test);
+    ssim_sum += metrics::ssim(ref, test);
+  }
+  const double n = static_cast<double>(records.size());
+  std::printf("Peak detection: TP=%d FP=%d FN=%d -> accuracy %.2f%%\n", tp, fp, fn,
+              100.0 * (1.0 - static_cast<double>(fp + fn) / (tp + fn)));
+  std::printf("Intermediate signal: mean PSNR %.1f dB, mean SSIM %.4f\n\n", psnr_sum / n,
+              ssim_sum / n);
+
+  // Hardware cost of the configured processor vs the accurate one.
+  const explore::StageEnergyModel energy;
+  const explore::StageEnergyModel energy_pd(explore::StageEnergyModel::Mode::PowerDelay);
+  const auto design = core::to_design(b9);
+  std::printf("Energy: %.1f fJ/sample vs %.1f accurate -> %.2fx reduction "
+              "(%.2fx under P*D accounting)\n",
+              energy.design_energy_fj(design), energy.accurate_energy_fj(),
+              energy.energy_reduction(design), energy_pd.energy_reduction(design));
+  std::printf("Per-stage cost of the approximate processor:\n");
+  for (const auto s : pantompkins::kAllStages) {
+    const auto sd = explore::find_stage(design, s);
+    const arith::StageArithConfig cfg = sd ? sd->arith_config() : arith::StageArithConfig{};
+    const auto cost = energy.stage_cost(s, cfg);
+    std::printf("  %s: area %7.1f um^2, power %6.1f uW, energy %6.1f fJ, path %5.2f ns\n",
+                std::string(to_string(s)).c_str(), cost.area_um2, cost.power_uw, cost.energy_fj,
+                cost.delay_ns);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Arrhythmia monitor — the paper's future-work direction ("extend to
+// ECG-based arrhythmia detection"): run the approximate pipeline on a
+// recording containing PVC-like ectopic beats and flag rhythm anomalies from
+// the detected RR series (premature beats, compensatory pauses, brady-/
+// tachycardia), demonstrating that rhythm analysis survives the approximate
+// datapath.
+//
+// Build & run:  ./examples/arrhythmia_monitor
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xbs/ecg/adc.hpp"
+#include "xbs/ecg/noise.hpp"
+#include "xbs/ecg/template_gen.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace {
+
+struct RhythmFlag {
+  std::size_t beat_index;
+  double t_s;
+  std::string kind;
+};
+
+/// Simple RR-series rhythm classifier: flags premature beats (RR < 80% of
+/// the running mean), compensatory pauses (> 120%), and sustained brady-/
+/// tachycardia.
+std::vector<RhythmFlag> classify_rhythm(const std::vector<std::size_t>& peaks, double fs) {
+  std::vector<RhythmFlag> flags;
+  double rr_mean = 0.0;
+  int rr_count = 0;
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    const double rr = static_cast<double>(peaks[i] - peaks[i - 1]) / fs;
+    if (rr_count >= 4) {
+      const double t = static_cast<double>(peaks[i]) / fs;
+      if (rr < 0.80 * rr_mean) {
+        flags.push_back({i, t, "premature beat (PVC-like)"});
+      } else if (rr > 1.20 * rr_mean) {
+        flags.push_back({i, t, "pause / dropped conduction"});
+      }
+      const double hr = 60.0 / rr;
+      if (hr < 50.0) flags.push_back({i, t, "bradycardia episode"});
+      if (hr > 110.0) flags.push_back({i, t, "tachycardia episode"});
+    }
+    // Robust running mean: ignore flagged outliers.
+    if (rr_count == 0 || (rr > 0.7 * rr_mean && rr < 1.3 * rr_mean) || rr_count < 4) {
+      rr_mean = (rr_mean * rr_count + rr) / (rr_count + 1);
+      ++rr_count;
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xbs;
+
+  // Two minutes of sinus rhythm with ~6% PVC-like ectopic beats.
+  ecg::TemplateEcgParams params;
+  params.hr_bpm = 68.0;
+  params.ectopic_probability = 0.06;
+  ecg::EcgRecord analog = ecg::generate_template_ecg(params, 24000, /*seed=*/99);
+  Rng noise_rng(3);
+  ecg::add_standard_noise(analog, noise_rng);
+  const ecg::DigitizedRecord rec = ecg::AdcFrontEnd{}.digitize(analog);
+
+  // Approximate processor: the paper's B9 configuration.
+  const pantompkins::PanTompkinsPipeline pipeline(
+      pantompkins::PipelineConfig::from_lsbs({10, 12, 2, 8, 16}));
+  const auto result = pipeline.run(rec.adu);
+
+  const auto m = metrics::match_peaks(rec.r_peaks, result.detection.peaks,
+                                      metrics::default_tolerance_samples(rec.fs_hz));
+  std::printf("Beats: %zu annotated, %zu detected (sensitivity %.2f%%, PPV %.2f%%) on the "
+              "approximate datapath\n\n",
+              rec.r_peaks.size(), result.detection.peaks.size(), m.sensitivity_pct(),
+              m.ppv_pct());
+
+  const auto flags = classify_rhythm(result.detection.peaks, rec.fs_hz);
+  std::printf("Rhythm analysis over detected RR series:\n");
+  if (flags.empty()) std::printf("  (no anomalies flagged)\n");
+  for (const auto& f : flags) {
+    std::printf("  t=%6.2f s  beat %3zu: %s\n", f.t_s, f.beat_index, f.kind.c_str());
+  }
+  std::printf("\n%zu rhythm events flagged; the approximate datapath preserves the RR\n"
+              "series the classifier needs (the paper's future-work use case).\n",
+              flags.size());
+  return 0;
+}

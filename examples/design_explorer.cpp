@@ -1,0 +1,50 @@
+// Design explorer — run the full XBioSiP methodology (Fig. 4) on a workload:
+// per-stage error-resilience analysis, the three-phase design generation on
+// the pre-processing section (PSNR constraint) and on the signal-processing
+// section (accuracy constraint), and the final characterization.
+//
+// Usage:  ./examples/design_explorer [preproc_psnr_db] [final_accuracy_pct]
+// e.g.    ./examples/design_explorer 30 99
+#include <cstdio>
+#include <cstdlib>
+
+#include "xbs/core/methodology.hpp"
+#include "xbs/ecg/dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xbs;
+
+  core::MethodologyConfig cfg;
+  if (argc > 1) cfg.constraints.preproc_psnr_db = std::atof(argv[1]);
+  if (argc > 2) cfg.constraints.final_accuracy_pct = std::atof(argv[2]);
+  std::printf("XBioSiP methodology: PSNR >= %.1f dB (pre-processing), accuracy >= %.1f%% "
+              "(final)\n\n",
+              cfg.constraints.preproc_psnr_db, cfg.constraints.final_accuracy_pct);
+
+  const auto records = ecg::nsrdb_like_dataset(2, 10000);
+  const core::MethodologyResult result = core::run_methodology(cfg, records);
+
+  std::printf("Step 2 - error resilience (threshold = largest LSB count at 100%% accuracy):\n");
+  for (const auto& prof : result.resilience) {
+    std::printf("  %s: threshold %2d LSBs, max energy savings %.2fx\n",
+                std::string(to_string(prof.stage)).c_str(), prof.threshold_lsbs,
+                prof.max_energy_savings);
+  }
+
+  std::printf("\nStep 3 - pre-processing design generation: %d evaluations\n",
+              result.preproc.evaluations);
+  std::printf("  chosen: %s (quality %.2f dB)\n", to_string(result.preproc.best).c_str(),
+              result.preproc.best_quality);
+  std::printf("Step 4 - signal-processing design generation: %d evaluations\n",
+              result.sigproc.evaluations);
+  std::printf("  chosen: %s (accuracy %.2f%%)\n", to_string(result.sigproc.best).c_str(),
+              result.sigproc.best_quality);
+
+  std::printf("\nFinal approximate bio-signal processor: %s\n",
+              to_string(result.final_design).c_str());
+  std::printf("  accuracy %.2f%%, PSNR %.1f dB, energy reduction %.2fx, %d total "
+              "behavioural evaluations\n",
+              result.final_accuracy_pct, result.preproc_psnr_db, result.energy_reduction,
+              result.total_evaluations);
+  return 0;
+}

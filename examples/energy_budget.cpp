@@ -1,0 +1,41 @@
+// Energy budget — connect the datapath-level savings back to the paper's
+// motivation (Fig. 1): what an approximate Pan-Tompkins processor buys in
+// sensor-node battery life, across the five wearable node types.
+//
+// Build & run:  ./examples/energy_budget
+#include <cstdio>
+
+#include "xbs/core/paper_configs.hpp"
+#include "xbs/explore/energy_model.hpp"
+#include "xbs/hwmodel/sensor_node.hpp"
+#include "xbs/hwmodel/software_energy.hpp"
+
+int main() {
+  using namespace xbs;
+
+  const explore::StageEnergyModel energy;
+  const auto& b9 = core::fig12_b_configs()[8];
+  const auto design = core::to_design(b9);
+  const double reduction = energy.energy_reduction(design);
+
+  std::printf("Design %s: %.2fx processing-energy reduction at 0%% quality loss\n\n",
+              std::string(b9.name).c_str(), reduction);
+
+  std::printf("%-12s %14s %18s %18s\n", "Node", "Total [J/day]", "Total w/ B9 [J/day]",
+              "Lifetime x");
+  for (const auto& node : hwmodel::standard_nodes()) {
+    std::printf("%-12s %14.1f %18.1f %18.2f\n", std::string(node.name).c_str(),
+                node.total_j_per_day, node.total_after_processing_reduction(reduction),
+                node.lifetime_extension(reduction));
+  }
+
+  // And the bigger lever the paper quantifies with configuration A1: moving
+  // from software on an application processor to the (approximate) ASIC.
+  const hwmodel::SoftwareEnergyModel sw;
+  const double asic_fj = energy.design_energy_fj(design);
+  std::printf("\nSoftware execution (Raspberry-Pi-class): %.2e fJ/sample\n",
+              sw.energy_per_sample_fj());
+  std::printf("Approximate ASIC datapath (%s):          %.2e fJ/sample (%.1e x less)\n",
+              std::string(b9.name).c_str(), asic_fj, sw.energy_per_sample_fj() / asic_fj);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Export RTL — regenerate the paper's released artifact: structural Verilog
+// for the approximate arithmetic blocks and the Pan-Tompkins stage datapaths,
+// ready for a real ASIC flow.
+//
+// Usage:  ./examples/export_rtl [output_dir]   (default: ./rtl)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "xbs/netlist/builders.hpp"
+#include "xbs/netlist/optimizer.hpp"
+#include "xbs/netlist/synth_report.hpp"
+#include "xbs/netlist/verilog.hpp"
+
+namespace {
+
+using namespace xbs;
+
+void dump(const std::filesystem::path& dir, const std::string& name, netlist::Netlist nl,
+          bool optimize_first) {
+  if (optimize_first) netlist::optimize(nl);
+  const auto rep = netlist::report(nl);
+  const std::filesystem::path path = dir / (name + ".v");
+  std::ofstream os(path);
+  netlist::write_verilog(os, nl, {name, true});
+  std::printf("  %-28s %5d live modules, %8.1f um^2, %6.1f fJ  -> %s\n", name.c_str(),
+              rep.live_modules, rep.cost.area_um2, rep.cost.energy_fj, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "rtl";
+  std::filesystem::create_directories(dir);
+  std::printf("Exporting structural Verilog to %s/\n\n", dir.c_str());
+
+  // The approximate adder library as 32-bit blocks (k = 16, each variant).
+  for (const AdderKind kind : kAllAdderKinds) {
+    netlist::Netlist nl;
+    const arith::AdderConfig cfg{32, 16, kind, 0};
+    const auto a = nl.new_input_bus(32);
+    const auto b = nl.new_input_bus(32);
+    const auto out = netlist::build_rca(nl, cfg, a, b);
+    for (const auto n : out.sum) nl.mark_output(n);
+    nl.mark_output(out.carry_out);
+    dump(dir, "rca32_k16_" + std::string(to_string(kind)), std::move(nl), false);
+  }
+
+  // 16x16 recursive multipliers (accurate, V1, V2 at k = 8).
+  for (const MultKind kind : kAllMultKinds) {
+    netlist::Netlist nl;
+    const arith::MultiplierConfig cfg{16, 8, AdderKind::Approx5, kind,
+                                      ApproxPolicy::Moderate};
+    const auto a = nl.new_input_bus(16);
+    const auto b = nl.new_input_bus(16);
+    const auto p = netlist::build_multiplier(nl, cfg, a, b);
+    for (const auto n : p) nl.mark_output(n);
+    dump(dir, "mult16_k8_" + std::string(to_string(kind)), std::move(nl), false);
+  }
+
+  // The B9 pre-processing stages, synthesis-optimized (coefficients folded).
+  std::printf("\nPan-Tompkins stage datapaths (B9 configuration, optimized):\n");
+  {
+    const std::vector<u32> lpf_taps = {1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1};
+    dump(dir, "pt_lpf_b9",
+         netlist::build_fir_stage({lpf_taps, arith::StageArithConfig::uniform(10)}), true);
+    std::vector<u32> hpf_taps(32, 1);
+    hpf_taps[16] = 31;
+    dump(dir, "pt_hpf_b9",
+         netlist::build_fir_stage({hpf_taps, arith::StageArithConfig::uniform(12)}), true);
+    dump(dir, "pt_sqr_b9",
+         netlist::build_squarer_stage(arith::StageArithConfig::uniform(8).mult), true);
+    dump(dir, "pt_mwi_b9",
+         netlist::build_mwi_stage(30, arith::StageArithConfig::uniform(16).adder, 28), true);
+  }
+  std::printf("\nEach file is self-contained (truth-table-exact primitive bodies included).\n");
+  return 0;
+}

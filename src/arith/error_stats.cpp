@@ -1,0 +1,103 @@
+#include "xbs/arith/error_stats.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "xbs/common/bitops.hpp"
+#include "xbs/common/rng.hpp"
+
+namespace xbs::arith {
+namespace {
+
+class Accumulator {
+ public:
+  void add(u64 exact, u64 approx) {
+    const i64 err = std::llabs(static_cast<i64>(approx) - static_cast<i64>(exact));
+    errors_ += (err != 0) ? 1 : 0;
+    sum_abs_ += static_cast<double>(err);
+    sum_sq_ += static_cast<double>(err) * static_cast<double>(err);
+    sum_rel_ += static_cast<double>(err) /
+                std::max<double>(1.0, static_cast<double>(exact));
+    max_ = std::max(max_, err);
+    ++n_;
+  }
+
+  [[nodiscard]] ErrorStats finish() const {
+    ErrorStats s;
+    s.samples = n_;
+    if (n_ == 0) return s;
+    const double n = static_cast<double>(n_);
+    s.error_rate = static_cast<double>(errors_) / n;
+    s.mean_abs_error = sum_abs_ / n;
+    s.mean_rel_error = sum_rel_ / n;
+    s.rms_error = std::sqrt(sum_sq_ / n);
+    s.max_abs_error = max_;
+    return s;
+  }
+
+ private:
+  u64 n_ = 0;
+  u64 errors_ = 0;
+  double sum_abs_ = 0.0;
+  double sum_sq_ = 0.0;
+  double sum_rel_ = 0.0;
+  i64 max_ = 0;
+};
+
+}  // namespace
+
+ErrorStats characterize_adder(const AdderConfig& cfg, u64 exhaustive_limit, u64 mc_samples,
+                              u64 seed) {
+  const RippleCarryAdder adder(cfg);
+  Accumulator acc;
+  const u64 space = (cfg.width >= 32) ? ~u64{0} : (u64{1} << (2 * cfg.width));
+  const u64 mask = low_mask(cfg.width);
+  // Compare the full (width+1)-bit result including carry-out, so modular
+  // wrap does not masquerade as a near-full-scale error.
+  const auto approx_full = [&](u64 a, u64 b) {
+    const AddResult r = adder.add_u(a, b);
+    return r.sum | (static_cast<u64>(r.carry_out) << cfg.width);
+  };
+  if (cfg.width < 32 && space <= exhaustive_limit) {
+    const u64 n = u64{1} << cfg.width;
+    for (u64 a = 0; a < n; ++a) {
+      for (u64 b = 0; b < n; ++b) {
+        acc.add(a + b, approx_full(a, b));
+      }
+    }
+  } else {
+    Rng rng(seed);
+    for (u64 t = 0; t < mc_samples; ++t) {
+      const u64 a = rng.next_u64() & mask;
+      const u64 b = rng.next_u64() & mask;
+      acc.add(a + b, approx_full(a, b));
+    }
+  }
+  return acc.finish();
+}
+
+ErrorStats characterize_multiplier(const MultiplierConfig& cfg, u64 exhaustive_limit,
+                                   u64 mc_samples, u64 seed) {
+  const RecursiveMultiplier mult(cfg);
+  Accumulator acc;
+  const u64 space = u64{1} << (2 * cfg.width);
+  const u64 mask = low_mask(cfg.width);
+  if (space <= exhaustive_limit) {
+    const u64 n = u64{1} << cfg.width;
+    for (u64 a = 0; a < n; ++a) {
+      for (u64 b = 0; b < n; ++b) {
+        acc.add(a * b, mult.multiply_u(a, b));
+      }
+    }
+  } else {
+    Rng rng(seed);
+    for (u64 t = 0; t < mc_samples; ++t) {
+      const u64 a = rng.next_u64() & mask;
+      const u64 b = rng.next_u64() & mask;
+      acc.add(a * b, mult.multiply_u(a, b));
+    }
+  }
+  return acc.finish();
+}
+
+}  // namespace xbs::arith

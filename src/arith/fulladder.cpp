@@ -1,0 +1,89 @@
+#include "xbs/arith/fulladder.hpp"
+
+namespace xbs::arith {
+namespace {
+
+constexpr bool maj(bool a, bool b, bool c) noexcept { return (a && b) || (b && c) || (a && c); }
+
+constexpr FaTable make_accurate() noexcept {
+  FaTable t{};
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
+    t[static_cast<std::size_t>(i)] = FaOut{a ^ b ^ c, maj(a, b, c)};
+  }
+  return t;
+}
+
+constexpr FaTable make_ama1() noexcept {
+  FaTable t = make_accurate();
+  // Transistor-reduced mirror adder: two Sum errors, carry chain untouched.
+  t[0b100].sum = false;  // exact 1
+  t[0b110].sum = true;   // exact 0
+  return t;
+}
+
+constexpr FaTable make_ama2() noexcept {
+  FaTable t{};
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
+    const bool co = maj(a, b, c);
+    t[static_cast<std::size_t>(i)] = FaOut{!co, co};  // Sum tied to inverted carry
+  }
+  return t;
+}
+
+constexpr FaTable make_ama3() noexcept {
+  FaTable t{};
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
+    const bool co = a || (b && c);  // simplified carry (error at A=1,B=0,Cin=0)
+    t[static_cast<std::size_t>(i)] = FaOut{!co, co};
+  }
+  return t;
+}
+
+constexpr FaTable make_ama4() noexcept {
+  FaTable t{};
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0;
+    t[static_cast<std::size_t>(i)] = FaOut{!a, a};  // Cout = A, Sum = inverter on A
+  }
+  return t;
+}
+
+constexpr FaTable make_ama5() noexcept {
+  FaTable t{};
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0;
+    t[static_cast<std::size_t>(i)] = FaOut{b, a};  // pure wiring: Sum = B, Cout = A
+  }
+  return t;
+}
+
+constexpr std::array<FaTable, 6> kTables = {
+    make_accurate(), make_ama1(), make_ama2(), make_ama3(), make_ama4(), make_ama5(),
+};
+
+}  // namespace
+
+const FaTable& fa_table(AdderKind kind) noexcept {
+  return kTables[static_cast<std::size_t>(kind)];
+}
+
+int fa_sum_error_count(AdderKind kind) noexcept {
+  const FaTable& acc = fa_table(AdderKind::Accurate);
+  const FaTable& t = fa_table(kind);
+  int n = 0;
+  for (std::size_t i = 0; i < 8; ++i) n += (t[i].sum != acc[i].sum) ? 1 : 0;
+  return n;
+}
+
+int fa_cout_error_count(AdderKind kind) noexcept {
+  const FaTable& acc = fa_table(AdderKind::Accurate);
+  const FaTable& t = fa_table(kind);
+  int n = 0;
+  for (std::size_t i = 0; i < 8; ++i) n += (t[i].cout != acc[i].cout) ? 1 : 0;
+  return n;
+}
+
+}  // namespace xbs::arith

@@ -1,0 +1,39 @@
+/// \file error_stats.hpp
+/// \brief Error characterization of approximate arithmetic configurations.
+///
+/// Standard approximate-computing error metrics (error rate, mean error
+/// distance, mean relative error distance, worst case) for any adder or
+/// multiplier configuration — the numbers designers quote when choosing a
+/// module from the library, computed exhaustively for narrow operands and by
+/// seeded Monte-Carlo sampling for wide ones.
+#pragma once
+
+#include "xbs/arith/multiplier.hpp"
+#include "xbs/arith/rca.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// Aggregate error statistics of an approximate operator vs its exact result.
+struct ErrorStats {
+  double error_rate = 0.0;      ///< fraction of inputs with any error
+  double mean_abs_error = 0.0;  ///< mean |approx - exact| (error distance)
+  double mean_rel_error = 0.0;  ///< mean |approx - exact| / max(1, |exact|)
+  i64 max_abs_error = 0;        ///< worst-case error distance
+  double rms_error = 0.0;       ///< root-mean-square error distance
+  u64 samples = 0;              ///< number of evaluated input pairs
+};
+
+/// Characterize an adder configuration. Exhaustive when the input space
+/// (2^(2*width)) does not exceed \p exhaustive_limit; otherwise Monte-Carlo
+/// with \p mc_samples seeded draws.
+[[nodiscard]] ErrorStats characterize_adder(const AdderConfig& cfg,
+                                            u64 exhaustive_limit = 1u << 20,
+                                            u64 mc_samples = 200000, u64 seed = 1);
+
+/// Characterize a multiplier configuration (same sampling rules).
+[[nodiscard]] ErrorStats characterize_multiplier(const MultiplierConfig& cfg,
+                                                 u64 exhaustive_limit = 1u << 20,
+                                                 u64 mc_samples = 200000, u64 seed = 1);
+
+}  // namespace xbs::arith

@@ -1,0 +1,59 @@
+/// \file fulladder.hpp
+/// \brief Bit-accurate behavioural models of the elementary 1-bit full adders.
+///
+/// The six variants are the paper's adder library (Fig. 5): the accurate
+/// mirror adder plus the five approximate mirror adders (AMA1..AMA5) of
+/// Gupta et al., "IMPACT: imprecise adders for low-power approximate
+/// computing" (ISLPED'11) and "Low-power digital signal processing using
+/// approximate adders" (TCAD'13). Each variant is a total function of
+/// (A, B, Cin) encoded as an 8-entry truth table, which is exactly how the
+/// netlist simulator and the fast behavioural simulator both evaluate it —
+/// keeping the two bit-identical by construction.
+#pragma once
+
+#include <array>
+
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// Output of a 1-bit full adder.
+struct FaOut {
+  bool sum;
+  bool cout;
+
+  friend constexpr bool operator==(FaOut, FaOut) = default;
+};
+
+/// Truth table of one full-adder variant, indexed by (A<<2)|(B<<1)|Cin.
+using FaTable = std::array<FaOut, 8>;
+
+/// Truth table for the given adder kind.
+///
+/// Variant definitions (see DESIGN.md §4.1):
+///  - Accurate: Sum = A^B^Cin, Cout = majority(A,B,Cin)
+///  - Approx1 (AMA1): Sum errors at (1,0,0)->0 and (1,1,0)->1; Cout exact
+///  - Approx2 (AMA2): Sum = !Cout; Cout exact (errors at 000 and 111)
+///  - Approx3 (AMA3): Cout = A | (B&Cin); Sum = !Cout
+///  - Approx4 (AMA4): Cout = A; Sum = !A (one inverter)
+///  - Approx5 (AMA5): Sum = B; Cout = A (zero transistors — wiring only)
+[[nodiscard]] const FaTable& fa_table(AdderKind kind) noexcept;
+
+/// Evaluate one full adder.
+[[nodiscard]] inline FaOut full_add(AdderKind kind, bool a, bool b, bool cin) noexcept {
+  const std::size_t idx =
+      (static_cast<std::size_t>(a) << 2) | (static_cast<std::size_t>(b) << 1) |
+      static_cast<std::size_t>(cin);
+  return fa_table(kind)[idx];
+}
+
+/// Number of input combinations (out of 8) where the variant's Sum differs
+/// from the accurate adder.
+[[nodiscard]] int fa_sum_error_count(AdderKind kind) noexcept;
+
+/// Number of input combinations (out of 8) where the variant's Cout differs
+/// from the accurate adder.
+[[nodiscard]] int fa_cout_error_count(AdderKind kind) noexcept;
+
+}  // namespace xbs::arith

@@ -1,0 +1,38 @@
+/// \file mult2x2.hpp
+/// \brief Bit-accurate behavioural models of the elementary 2x2 multipliers.
+///
+/// The three variants are the paper's multiplier library (Fig. 5): the
+/// accurate 2x2 multiplier, the under-designed multiplier of Kulkarni et al.
+/// (VLSI Design'11) which returns 7 instead of 9 for 3x3 (all other 15 input
+/// combinations exact, and the 4th output bit is removed entirely), and a
+/// Rehman-style (ICCAD'16) further-simplified variant that additionally gates
+/// the O2 product term, returning 3 for 3x3 at lower area/power (see Table 1
+/// ordering and DESIGN.md §4.1).
+#pragma once
+
+#include <array>
+
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// Truth table of one 2x2 multiplier variant, indexed by (A<<2)|B where A and
+/// B are the 2-bit operands. Values are the 4-bit products.
+using Mult2Table = std::array<u8, 16>;
+
+/// Truth table for the given elementary multiplier kind.
+[[nodiscard]] const Mult2Table& mult2_table(MultKind kind) noexcept;
+
+/// Evaluate one elementary 2x2 multiplication (operands masked to 2 bits).
+[[nodiscard]] inline u32 mult2(MultKind kind, u32 a, u32 b) noexcept {
+  return mult2_table(kind)[((a & 3u) << 2) | (b & 3u)];
+}
+
+/// Maximum absolute error of the variant over all 16 input combinations.
+[[nodiscard]] int mult2_max_error(MultKind kind) noexcept;
+
+/// Number of erroneous input combinations (out of 16).
+[[nodiscard]] int mult2_error_count(MultKind kind) noexcept;
+
+}  // namespace xbs::arith

@@ -1,0 +1,86 @@
+/// \file multiplier.hpp
+/// \brief Bit-accurate recursive approximate multiplier (paper Fig. 7).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "xbs/arith/rca.hpp"
+#include "xbs/arith/structure.hpp"
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// Configuration of a width x width recursive multiplier with k approximated
+/// LSBs. The k LSB rule selects both which elementary 2x2 modules use the
+/// approximate \p mult_kind (per \p policy) and which full adders of the
+/// partial-product accumulation tree use the approximate \p adder_kind
+/// (absolute output weight < k).
+struct MultiplierConfig {
+  int width = 16;                          ///< operand width (power of two, 2..32)
+  int approx_lsbs = 0;                     ///< k: approximated output LSBs
+  AdderKind adder_kind = AdderKind::Accurate;
+  MultKind mult_kind = MultKind::Accurate;
+  ApproxPolicy policy = ApproxPolicy::Moderate;
+
+  friend constexpr bool operator==(const MultiplierConfig&, const MultiplierConfig&) = default;
+};
+
+/// Behavioural model of the recursive array multiplier.
+///
+/// Evaluation is bit-identical to simulating the module-level netlist
+/// (cross-validated in tests) but memoizes the 4x4 and 8x8 sub-multiplier
+/// functions in lookup tables, making a 16x16 multiply a handful of table
+/// lookups plus three 32-bit ripple-carry adds.
+class RecursiveMultiplier {
+ public:
+  explicit RecursiveMultiplier(const MultiplierConfig& cfg);
+
+  [[nodiscard]] const MultiplierConfig& config() const noexcept { return cfg_; }
+
+  /// Unsigned multiply of the low `width` bits of a and b; result is the
+  /// 2*width-bit product of the (approximate) array.
+  [[nodiscard]] u64 multiply_u(u64 a, u64 b) const noexcept;
+
+  /// Signed multiply via the sign-magnitude wrapper the paper's RTL uses
+  /// around the unsigned array (operands truncated to `width`-bit signed).
+  [[nodiscard]] i64 multiply_signed(i64 a, i64 b) const noexcept;
+
+  /// Reference exact product (for error measurements).
+  [[nodiscard]] u64 exact_u(u64 a, u64 b) const noexcept;
+
+ private:
+  /// Simulate a sub-multiplier of size n whose operand slices sit at bit
+  /// offsets (off_a, off_b). Returns the raw 2n-bit (approximate) product.
+  [[nodiscard]] u64 simulate(int n, u64 a, u64 b, int off_a, int off_b) const noexcept;
+
+  /// Combine four sub-products with three 2n-bit adders at weight offset
+  /// off_a + off_b (P = LL + ((HL + LH) << h) + (HH << n)).
+  [[nodiscard]] u64 combine(int n, u64 ll, u64 hl, u64 lh, u64 hh, int base) const noexcept;
+
+  MultiplierConfig cfg_;
+  // Memoized sub-multiplier functions keyed by base weight offset
+  // (off_a + off_b); behaviour depends on offsets only through the base.
+  struct Lut4 {
+    int base = -1;
+    std::vector<u8> table;  // 256 entries
+  };
+  struct Lut8 {
+    int base = -1;
+    std::vector<u16> table;  // 65536 entries
+  };
+  std::vector<Lut4> lut4_;
+  std::vector<Lut8> lut8_;
+  [[nodiscard]] const Lut4* find_lut4(int base) const noexcept;
+  [[nodiscard]] const Lut8* find_lut8(int base) const noexcept;
+};
+
+/// Process-wide cache of multiplier behavioural models: exploration sweeps
+/// re-use configurations heavily, and each model owns non-trivial lookup
+/// tables. Thread-compatible (not thread-safe): the explorers are
+/// single-threaded by design for determinism.
+[[nodiscard]] std::shared_ptr<const RecursiveMultiplier> get_multiplier(
+    const MultiplierConfig& cfg);
+
+}  // namespace xbs::arith

@@ -1,0 +1,73 @@
+/// \file structure.hpp
+/// \brief Structural decomposition of the recursive multiplier (paper Fig. 7).
+///
+/// A width-N multiplier (N a power of two) is recursively partitioned into
+/// four width-N/2 sub-multipliers whose partial products are accumulated by
+/// three 2N-bit ripple-carry adders per level:
+///
+///     P = LL + ((HL + LH) << N/2) + (HH << N)
+///
+/// For 16x16 this yields exactly the paper's structure: four 8x8 blocks
+/// combined by three 32-bit adders; each 8x8 is four 4x4 blocks + three
+/// 16-bit adders; each 4x4 is four elementary 2x2 multipliers + three 8-bit
+/// adders. The decomposition below is the single source of truth shared by
+/// the behavioural simulator (`RecursiveMultiplier`), the netlist builders
+/// and the hardware cost model, so approximation decisions and module counts
+/// can never diverge.
+#pragma once
+
+#include <vector>
+
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// One elementary 2x2 multiplier instance inside a recursive multiplier.
+struct ElemMultSlot {
+  int off_a = 0;       ///< bit offset of the 2-bit slice of operand A
+  int off_b = 0;       ///< bit offset of the 2-bit slice of operand B
+  int out_offset = 0;  ///< absolute weight of the product's LSB (= off_a + off_b)
+};
+
+/// One partial-product accumulation adder inside a recursive multiplier.
+struct AdderBlockSlot {
+  int width = 0;       ///< adder width in bits (2N at a level of size N)
+  int out_offset = 0;  ///< absolute weight of the adder's LSB
+  int level = 0;       ///< sub-multiplier size N whose products it combines
+};
+
+/// Full structural inventory of a width-N recursive multiplier.
+struct MultStructure {
+  int width = 0;
+  std::vector<ElemMultSlot> elems;
+  std::vector<AdderBlockSlot> adders;
+
+  /// Total number of 1-bit full-adder slots across all accumulation adders.
+  [[nodiscard]] int total_fa_slots() const noexcept;
+};
+
+/// Enumerate the structure of a width-N multiplier. \p width must be a power
+/// of two in [2, 32]. Throws std::invalid_argument otherwise.
+[[nodiscard]] MultStructure compute_mult_structure(int width);
+
+/// Whether a full adder whose output has absolute weight \p weight falls in
+/// the approximated region of k LSBs (Fig. 6 rule: bit i approximate iff
+/// i < k).
+[[nodiscard]] constexpr bool fa_is_approx(int weight, int approx_lsbs) noexcept {
+  return weight < approx_lsbs;
+}
+
+/// Whether an elementary 2x2 multiplier whose 4-bit output starts at absolute
+/// weight \p out_offset counts as approximated under \p policy for k LSBs.
+[[nodiscard]] constexpr bool elem_is_approx(ApproxPolicy policy, int out_offset,
+                                            int approx_lsbs) noexcept {
+  switch (policy) {
+    case ApproxPolicy::Conservative: return out_offset + 3 < approx_lsbs;
+    case ApproxPolicy::Moderate: return out_offset + 1 < approx_lsbs;
+    case ApproxPolicy::Aggressive: return out_offset < approx_lsbs;
+  }
+  return false;
+}
+
+}  // namespace xbs::arith

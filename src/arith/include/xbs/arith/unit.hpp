@@ -1,0 +1,96 @@
+/// \file unit.hpp
+/// \brief Pluggable arithmetic datapath used by the bio-signal pipeline.
+///
+/// Every add/sub/multiply the Pan-Tompkins stages perform goes through an
+/// ArithmeticUnit, so a stage can be re-targeted from exact native arithmetic
+/// to any (k LSBs, adder kind, multiplier kind) configuration without
+/// touching the signal-processing code — the software analogue of swapping
+/// RTL arithmetic blocks.
+#pragma once
+
+#include <memory>
+
+#include "xbs/arith/multiplier.hpp"
+#include "xbs/arith/rca.hpp"
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// Datapath operation counters (per unit; reset between runs to attribute
+/// operations to stages).
+struct OpCounts {
+  u64 adds = 0;
+  u64 mults = 0;
+
+  friend constexpr bool operator==(OpCounts, OpCounts) = default;
+};
+
+/// Arithmetic configuration of one application stage: a 32-bit adder block
+/// and a 16x16 multiplier block sharing the same number of approximated LSBs,
+/// mirroring how the paper configures each stage with a single (LSB, Add,
+/// Mult) triple.
+struct StageArithConfig {
+  AdderConfig adder{32, 0, AdderKind::Accurate, 0};
+  MultiplierConfig mult{16, 0, AdderKind::Accurate, MultKind::Accurate,
+                        ApproxPolicy::Moderate};
+
+  /// Uniform configuration: k LSBs approximated in both blocks.
+  [[nodiscard]] static StageArithConfig uniform(
+      int approx_lsbs, AdderKind add_kind = AdderKind::Approx5,
+      MultKind mult_kind = MultKind::V1,
+      ApproxPolicy policy = ApproxPolicy::Moderate) noexcept {
+    StageArithConfig c;
+    c.adder = AdderConfig{32, approx_lsbs, add_kind, 0};
+    c.mult = MultiplierConfig{16, approx_lsbs, add_kind, mult_kind, policy};
+    return c;
+  }
+
+  friend constexpr bool operator==(const StageArithConfig&, const StageArithConfig&) = default;
+};
+
+/// Abstract datapath: all stage arithmetic funnels through here.
+class ArithmeticUnit {
+ public:
+  virtual ~ArithmeticUnit() = default;
+
+  /// 32-bit adder block.
+  [[nodiscard]] virtual i64 add(i64 a, i64 b) = 0;
+  /// 32-bit adder-subtractor block.
+  [[nodiscard]] virtual i64 sub(i64 a, i64 b) = 0;
+  /// 16x16 signed multiplier block (32-bit product).
+  [[nodiscard]] virtual i64 mul(i64 a, i64 b) = 0;
+
+  [[nodiscard]] const OpCounts& counts() const noexcept { return counts_; }
+  void reset_counts() noexcept { counts_ = OpCounts{}; }
+
+ protected:
+  OpCounts counts_;
+};
+
+/// Exact native arithmetic (the golden reference datapath).
+class ExactUnit final : public ArithmeticUnit {
+ public:
+  [[nodiscard]] i64 add(i64 a, i64 b) override;
+  [[nodiscard]] i64 sub(i64 a, i64 b) override;
+  [[nodiscard]] i64 mul(i64 a, i64 b) override;
+};
+
+/// Bit-accurate approximate datapath for one stage configuration.
+class ApproxUnit final : public ArithmeticUnit {
+ public:
+  explicit ApproxUnit(const StageArithConfig& cfg);
+
+  [[nodiscard]] const StageArithConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] i64 add(i64 a, i64 b) override;
+  [[nodiscard]] i64 sub(i64 a, i64 b) override;
+  [[nodiscard]] i64 mul(i64 a, i64 b) override;
+
+ private:
+  StageArithConfig cfg_;
+  RippleCarryAdder adder_;
+  std::shared_ptr<const RecursiveMultiplier> mult_;
+};
+
+}  // namespace xbs::arith

@@ -1,0 +1,57 @@
+#include "xbs/arith/mult2x2.hpp"
+
+#include <cstdlib>
+
+namespace xbs::arith {
+namespace {
+
+constexpr Mult2Table make_accurate() noexcept {
+  Mult2Table t{};
+  for (u32 a = 0; a < 4; ++a)
+    for (u32 b = 0; b < 4; ++b) t[(a << 2) | b] = static_cast<u8>(a * b);
+  return t;
+}
+
+// Kulkarni et al.: O3 removed; O1 computed with an OR instead of the
+// half-adder, which only mis-evaluates 3x3 (9 -> 0b0111 = 7).
+constexpr Mult2Table make_v1() noexcept {
+  Mult2Table t = make_accurate();
+  t[(3u << 2) | 3u] = 7;
+  return t;
+}
+
+// Rehman-style elementary module: additionally gates the O2 term with
+// !(A0&B0), collapsing 3x3 to 0b0011 = 3. Larger error magnitude, smaller
+// area/power (Table 1: 9.72 um^2 / 0.137 fJ vs V1's 11.52 / 0.167).
+constexpr Mult2Table make_v2() noexcept {
+  Mult2Table t = make_accurate();
+  t[(3u << 2) | 3u] = 3;
+  return t;
+}
+
+constexpr std::array<Mult2Table, 3> kTables = {make_accurate(), make_v1(), make_v2()};
+
+}  // namespace
+
+const Mult2Table& mult2_table(MultKind kind) noexcept {
+  return kTables[static_cast<std::size_t>(kind)];
+}
+
+int mult2_max_error(MultKind kind) noexcept {
+  const Mult2Table& acc = mult2_table(MultKind::Accurate);
+  const Mult2Table& t = mult2_table(kind);
+  int worst = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    worst = std::max(worst, std::abs(static_cast<int>(t[i]) - static_cast<int>(acc[i])));
+  return worst;
+}
+
+int mult2_error_count(MultKind kind) noexcept {
+  const Mult2Table& acc = mult2_table(MultKind::Accurate);
+  const Mult2Table& t = mult2_table(kind);
+  int n = 0;
+  for (std::size_t i = 0; i < 16; ++i) n += (t[i] != acc[i]) ? 1 : 0;
+  return n;
+}
+
+}  // namespace xbs::arith

@@ -1,0 +1,161 @@
+#include "xbs/arith/multiplier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "xbs/arith/mult2x2.hpp"
+#include "xbs/common/bitops.hpp"
+
+namespace xbs::arith {
+namespace {
+
+/// Distinct base offsets (off_a + off_b) at which sub-multipliers of size
+/// \p sub occur inside a width-\p width recursive multiplier.
+std::set<int> sub_bases(int width, int sub) {
+  std::set<int> bases;
+  const MultStructure s = compute_mult_structure(width);
+  if (sub == 2) {
+    for (const auto& e : s.elems) bases.insert(e.out_offset);
+  } else {
+    // Sub-multipliers of size `sub` start at offsets that are multiples of
+    // `sub` in each operand; their base offsets are the sums.
+    for (int oa = 0; oa < width; oa += sub)
+      for (int ob = 0; ob < width; ob += sub) bases.insert(oa + ob);
+  }
+  return bases;
+}
+
+}  // namespace
+
+RecursiveMultiplier::RecursiveMultiplier(const MultiplierConfig& cfg) : cfg_(cfg) {
+  if (cfg.width < 2 || cfg.width > 32 ||
+      !std::has_single_bit(static_cast<unsigned>(cfg.width))) {
+    throw std::invalid_argument("multiplier width must be a power of two in [2, 32]");
+  }
+  if (cfg.approx_lsbs < 0 || cfg.approx_lsbs > 2 * cfg.width) {
+    throw std::invalid_argument("approx_lsbs must be in [0, 2*width]");
+  }
+  // Memoize 4x4 sub-multipliers (and, for width >= 16, 8x8) keyed by base
+  // weight offset. Tables are built through the plain recursive simulation so
+  // they are bit-identical to the unmemoized path.
+  if (cfg.width >= 4) {
+    for (const int base : sub_bases(cfg.width, 4)) {
+      Lut4 l;
+      l.base = base;
+      l.table.resize(256);
+      for (u32 a = 0; a < 16; ++a)
+        for (u32 b = 0; b < 16; ++b)
+          l.table[(a << 4) | b] = static_cast<u8>(simulate(4, a, b, base, 0));
+      lut4_.push_back(std::move(l));
+    }
+  }
+  if (cfg.width >= 16) {
+    for (const int base : sub_bases(cfg.width, 8)) {
+      Lut8 l;
+      l.base = base;
+      l.table.resize(65536);
+      for (u32 a = 0; a < 256; ++a)
+        for (u32 b = 0; b < 256; ++b)
+          l.table[(a << 8) | b] = static_cast<u16>(simulate(8, a, b, base, 0));
+      lut8_.push_back(std::move(l));
+    }
+  }
+}
+
+const RecursiveMultiplier::Lut4* RecursiveMultiplier::find_lut4(int base) const noexcept {
+  for (const auto& l : lut4_)
+    if (l.base == base) return &l;
+  return nullptr;
+}
+
+const RecursiveMultiplier::Lut8* RecursiveMultiplier::find_lut8(int base) const noexcept {
+  for (const auto& l : lut8_)
+    if (l.base == base) return &l;
+  return nullptr;
+}
+
+u64 RecursiveMultiplier::combine(int n, u64 ll, u64 hl, u64 lh, u64 hh,
+                                 int base) const noexcept {
+  const int h = n / 2;
+  const AdderConfig acfg{2 * n, cfg_.approx_lsbs, cfg_.adder_kind, base};
+  const RippleCarryAdder adder(acfg);
+  // Operand-port convention: where one operand is structurally zero (the
+  // shifted partial products), it is wired to the A port. The zero-cost
+  // wiring adder (ApproxAdd5: Sum = B, Cout = A) then passes the live data
+  // through and keeps the carry lane constant — the port assignment any RTL
+  // designer would pick, and the one the netlist builders mirror.
+  const u64 s1 = adder.add_u(hl << h, lh << h).sum;
+  const u64 s2 = adder.add_u(s1, ll).sum;
+  const u64 s3 = adder.add_u(hh << n, s2).sum;
+  return s3;
+}
+
+u64 RecursiveMultiplier::simulate(int n, u64 a, u64 b, int off_a, int off_b) const noexcept {
+  a &= low_mask(n);
+  b &= low_mask(n);
+  const int base = off_a + off_b;
+  if (n == 2) {
+    const MultKind kind =
+        elem_is_approx(cfg_.policy, base, cfg_.approx_lsbs) ? cfg_.mult_kind : MultKind::Accurate;
+    return mult2(kind, static_cast<u32>(a), static_cast<u32>(b));
+  }
+  if (n == 8) {
+    if (const Lut8* l = find_lut8(base)) {
+      return l->table[(static_cast<std::size_t>(a) << 8) | b];
+    }
+  }
+  if (n == 4) {
+    if (const Lut4* l = find_lut4(base)) {
+      return l->table[(static_cast<std::size_t>(a) << 4) | b];
+    }
+  }
+  const int h = n / 2;
+  const u64 al = a & low_mask(h), ah = a >> h;
+  const u64 bl = b & low_mask(h), bh = b >> h;
+  const u64 ll = simulate(h, al, bl, off_a, off_b);
+  const u64 hl = simulate(h, ah, bl, off_a + h, off_b);
+  const u64 lh = simulate(h, al, bh, off_a, off_b + h);
+  const u64 hh = simulate(h, ah, bh, off_a + h, off_b + h);
+  return combine(n, ll, hl, lh, hh, base);
+}
+
+u64 RecursiveMultiplier::multiply_u(u64 a, u64 b) const noexcept {
+  return simulate(cfg_.width, a & low_mask(cfg_.width), b & low_mask(cfg_.width), 0, 0);
+}
+
+i64 RecursiveMultiplier::multiply_signed(i64 a, i64 b) const noexcept {
+  const i64 sa = sign_extend(to_unsigned_bits(a, cfg_.width), cfg_.width);
+  const i64 sb = sign_extend(to_unsigned_bits(b, cfg_.width), cfg_.width);
+  const bool neg = (sa < 0) != (sb < 0);
+  const u64 ma = static_cast<u64>(sa < 0 ? -sa : sa);
+  const u64 mb = static_cast<u64>(sb < 0 ? -sb : sb);
+  const u64 p = multiply_u(ma, mb);
+  return neg ? -static_cast<i64>(p) : static_cast<i64>(p);
+}
+
+u64 RecursiveMultiplier::exact_u(u64 a, u64 b) const noexcept {
+  return (a & low_mask(cfg_.width)) * (b & low_mask(cfg_.width));
+}
+
+namespace {
+
+struct MultCacheEntry {
+  MultiplierConfig cfg;
+  std::shared_ptr<const RecursiveMultiplier> model;
+};
+
+}  // namespace
+
+std::shared_ptr<const RecursiveMultiplier> get_multiplier(const MultiplierConfig& cfg) {
+  static std::vector<MultCacheEntry> cache;
+  for (const auto& e : cache)
+    if (e.cfg == cfg) return e.model;
+  auto model = std::make_shared<const RecursiveMultiplier>(cfg);
+  cache.push_back(MultCacheEntry{cfg, model});
+  return model;
+}
+
+}  // namespace xbs::arith

@@ -1,0 +1,58 @@
+#include "xbs/arith/rca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xbs::arith {
+
+RippleCarryAdder::RippleCarryAdder(const AdderConfig& cfg) : cfg_(cfg) {
+  if (cfg.width < 2 || cfg.width > 63) {
+    throw std::invalid_argument("adder width must be in [2, 63]");
+  }
+  if (cfg.approx_lsbs < 0) throw std::invalid_argument("approx_lsbs must be >= 0");
+  // Bit i of this adder has absolute weight weight_offset + i; it is
+  // approximate iff that weight is below k (Fig. 6).
+  approx_in_range_ = std::clamp(cfg.approx_lsbs - cfg.weight_offset, 0, cfg.width);
+}
+
+AddResult RippleCarryAdder::add_u(u64 a, u64 b, bool carry_in) const noexcept {
+  const u64 mask = low_mask(cfg_.width);
+  a &= mask;
+  b &= mask;
+  u64 sum = 0;
+  bool carry = carry_in;
+  const FaTable& t = fa_table(cfg_.kind);
+  for (int i = 0; i < approx_in_range_; ++i) {
+    const std::size_t idx = (static_cast<std::size_t>(bit_of(a, i)) << 2) |
+                            (static_cast<std::size_t>(bit_of(b, i)) << 1) |
+                            static_cast<std::size_t>(carry);
+    const FaOut o = t[idx];
+    sum = with_bit(sum, i, o.sum);
+    carry = o.cout;
+  }
+  // Accurate high region: a single native add is bit-identical to the
+  // remaining chain of exact full adders.
+  const int hi_bits = cfg_.width - approx_in_range_;
+  if (hi_bits > 0) {
+    const u64 ah = a >> approx_in_range_;
+    const u64 bh = b >> approx_in_range_;
+    const u64 s = ah + bh + (carry ? 1u : 0u);
+    sum |= (s & low_mask(hi_bits)) << approx_in_range_;
+    carry = bit_of(s, hi_bits);
+  }
+  return AddResult{sum & mask, carry};
+}
+
+i64 RippleCarryAdder::add_signed(i64 a, i64 b) const noexcept {
+  const u64 ua = to_unsigned_bits(a, cfg_.width);
+  const u64 ub = to_unsigned_bits(b, cfg_.width);
+  return sign_extend(add_u(ua, ub).sum, cfg_.width);
+}
+
+i64 RippleCarryAdder::sub_signed(i64 a, i64 b) const noexcept {
+  const u64 ua = to_unsigned_bits(a, cfg_.width);
+  const u64 ub = (~to_unsigned_bits(b, cfg_.width)) & low_mask(cfg_.width);
+  return sign_extend(add_u(ua, ub, /*carry_in=*/true).sum, cfg_.width);
+}
+
+}  // namespace xbs::arith

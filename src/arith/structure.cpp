@@ -1,0 +1,41 @@
+#include "xbs/arith/structure.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace xbs::arith {
+namespace {
+
+void enumerate(int n, int off_a, int off_b, MultStructure& out) {
+  if (n == 2) {
+    out.elems.push_back(ElemMultSlot{off_a, off_b, off_a + off_b});
+    return;
+  }
+  const int h = n / 2;
+  enumerate(h, off_a, off_b, out);          // LL
+  enumerate(h, off_a + h, off_b, out);      // HL
+  enumerate(h, off_a, off_b + h, out);      // LH
+  enumerate(h, off_a + h, off_b + h, out);  // HH
+  const int base = off_a + off_b;
+  for (int i = 0; i < 3; ++i) out.adders.push_back(AdderBlockSlot{2 * n, base, n});
+}
+
+}  // namespace
+
+int MultStructure::total_fa_slots() const noexcept {
+  int n = 0;
+  for (const auto& a : adders) n += a.width;
+  return n;
+}
+
+MultStructure compute_mult_structure(int width) {
+  if (width < 2 || width > 32 || !std::has_single_bit(static_cast<unsigned>(width))) {
+    throw std::invalid_argument("multiplier width must be a power of two in [2, 32]");
+  }
+  MultStructure s;
+  s.width = width;
+  enumerate(width, 0, 0, s);
+  return s;
+}
+
+}  // namespace xbs::arith

@@ -1,0 +1,19 @@
+#include "xbs/common/fixed.hpp"
+
+namespace xbs {
+
+std::vector<i32> quantize_signal(std::span<const double> signal, const QFormat& q) {
+  std::vector<i32> out;
+  out.reserve(signal.size());
+  for (const double v : signal) out.push_back(static_cast<i32>(quantize(v, q)));
+  return out;
+}
+
+std::vector<double> dequantize_signal(std::span<const i32> signal, const QFormat& q) {
+  std::vector<double> out;
+  out.reserve(signal.size());
+  for (const i32 v : signal) out.push_back(dequantize(v, q));
+  return out;
+}
+
+}  // namespace xbs

@@ -1,0 +1,87 @@
+/// \file fixed.hpp
+/// \brief Fixed-point (Qm.n) helpers and saturating conversions.
+///
+/// The Pan-Tompkins datapath in the paper is an integer/fixed-point ASIC
+/// pipeline fed by a 16-bit ADC. These helpers centralize quantization,
+/// saturation and rescaling so every stage states its numeric contract
+/// explicitly.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs {
+
+/// Saturate a 64-bit value into the signed range of \p bits bits.
+[[nodiscard]] constexpr i64 saturate_to_bits(i64 v, int bits) noexcept {
+  assert(bits >= 2 && bits <= 64);
+  if (bits == 64) return v;
+  const i64 hi = (i64{1} << (bits - 1)) - 1;
+  const i64 lo = -(i64{1} << (bits - 1));
+  return std::clamp(v, lo, hi);
+}
+
+/// Saturate to the canonical 16-bit ADC range.
+[[nodiscard]] constexpr i32 saturate_i16(i64 v) noexcept {
+  return static_cast<i32>(saturate_to_bits(v, 16));
+}
+
+/// Saturate to 32-bit.
+[[nodiscard]] constexpr i32 saturate_i32(i64 v) noexcept {
+  return static_cast<i32>(
+      std::clamp<i64>(v, std::numeric_limits<i32>::min(), std::numeric_limits<i32>::max()));
+}
+
+/// Arithmetic shift right with rounding-to-nearest (ties away from zero).
+[[nodiscard]] constexpr i64 shift_round(i64 v, int shift) noexcept {
+  if (shift <= 0) return v << -shift;
+  const i64 bias = i64{1} << (shift - 1);
+  return (v >= 0) ? ((v + bias) >> shift) : -((-v + bias) >> shift);
+}
+
+/// Description of a Qm.n fixed-point format (m integer bits incl. sign, n
+/// fractional bits).
+struct QFormat {
+  int integer_bits = 16;   ///< including the sign bit
+  int fraction_bits = 0;   ///< number of fractional bits
+
+  [[nodiscard]] constexpr int total_bits() const noexcept {
+    return integer_bits + fraction_bits;
+  }
+  [[nodiscard]] constexpr double scale() const noexcept {
+    return static_cast<double>(u64{1} << fraction_bits);
+  }
+  [[nodiscard]] constexpr double max_value() const noexcept {
+    return (std::pow(2.0, total_bits() - 1) - 1.0) / scale();
+  }
+  [[nodiscard]] constexpr double min_value() const noexcept {
+    return -std::pow(2.0, total_bits() - 1) / scale();
+  }
+};
+
+/// Quantize a real value into a Qm.n integer with saturation.
+[[nodiscard]] inline i64 quantize(double v, const QFormat& q) noexcept {
+  const double scaled = std::nearbyint(v * q.scale());
+  const double hi = std::pow(2.0, q.total_bits() - 1) - 1.0;
+  const double lo = -std::pow(2.0, q.total_bits() - 1);
+  return static_cast<i64>(std::clamp(scaled, lo, hi));
+}
+
+/// Convert a Qm.n integer back to a real value.
+[[nodiscard]] constexpr double dequantize(i64 v, const QFormat& q) noexcept {
+  return static_cast<double>(v) / q.scale();
+}
+
+/// Quantize a whole real-valued signal into fixed point (saturating).
+[[nodiscard]] std::vector<i32> quantize_signal(std::span<const double> signal, const QFormat& q);
+
+/// Convert a fixed-point signal back to doubles.
+[[nodiscard]] std::vector<double> dequantize_signal(std::span<const i32> signal, const QFormat& q);
+
+}  // namespace xbs

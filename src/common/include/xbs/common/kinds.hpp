@@ -1,0 +1,83 @@
+/// \file kinds.hpp
+/// \brief Elementary approximate-module kinds shared across the library.
+///
+/// These enumerate the paper's elementary module library (Fig. 5 / Table 1):
+/// the accurate 1-bit full adder plus the five approximate mirror adders of
+/// Gupta et al. [8][9], and the accurate 2x2 multiplier plus the approximate
+/// elementary multipliers of Kulkarni et al. [12] and Rehman et al. [19].
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace xbs {
+
+/// 1-bit full-adder variants (paper Fig. 5, left column).
+enum class AdderKind {
+  Accurate,     ///< exact full adder
+  Approx1,      ///< AMA1: two Sum errors, exact carry
+  Approx2,      ///< AMA2: Sum = NOT Cout, exact carry
+  Approx3,      ///< AMA3: Cout = A | (B & Cin), Sum = NOT Cout
+  Approx4,      ///< AMA4: Cout = A, Sum = NOT A (single inverter)
+  Approx5,      ///< AMA5: Sum = B, Cout = A (pure wiring, zero transistors)
+};
+
+/// Elementary 2x2 multiplier variants (paper Fig. 5, right column).
+enum class MultKind {
+  Accurate,  ///< exact 2x2 multiplier
+  V1,        ///< Kulkarni et al.: 3x3 -> 7, all other inputs exact
+  V2,        ///< Rehman-style further simplification: 3x3 -> 3, cheaper logic
+};
+
+/// Which elementary 2x2 sub-multipliers of a recursive multiplier count as
+/// "inside the k approximated LSBs". The paper does not pin this down; the
+/// library implements three policies (see DESIGN.md §4.2) and defaults to
+/// Moderate.
+enum class ApproxPolicy {
+  Conservative,  ///< approximate iff the whole 4-bit output lies below bit k
+  Moderate,      ///< approximate iff the low half of the output lies below bit k
+  Aggressive,    ///< approximate iff any output bit lies below bit k
+};
+
+/// All adder kinds in descending order of per-bit energy (Table 1), i.e. the
+/// order AddList is traversed by the design-generation methodology.
+inline constexpr std::array<AdderKind, 6> kAllAdderKinds = {
+    AdderKind::Accurate, AdderKind::Approx1, AdderKind::Approx2,
+    AdderKind::Approx3,  AdderKind::Approx4, AdderKind::Approx5,
+};
+
+/// All multiplier kinds in descending order of energy (Table 1).
+inline constexpr std::array<MultKind, 3> kAllMultKinds = {
+    MultKind::Accurate, MultKind::V1, MultKind::V2};
+
+[[nodiscard]] constexpr std::string_view to_string(AdderKind k) noexcept {
+  switch (k) {
+    case AdderKind::Accurate: return "Accurate";
+    case AdderKind::Approx1: return "ApproxAdd1";
+    case AdderKind::Approx2: return "ApproxAdd2";
+    case AdderKind::Approx3: return "ApproxAdd3";
+    case AdderKind::Approx4: return "ApproxAdd4";
+    case AdderKind::Approx5: return "ApproxAdd5";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(MultKind k) noexcept {
+  switch (k) {
+    case MultKind::Accurate: return "AccMult";
+    case MultKind::V1: return "AppMultV1";
+    case MultKind::V2: return "AppMultV2";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(ApproxPolicy p) noexcept {
+  switch (p) {
+    case ApproxPolicy::Conservative: return "Conservative";
+    case ApproxPolicy::Moderate: return "Moderate";
+    case ApproxPolicy::Aggressive: return "Aggressive";
+  }
+  return "?";
+}
+
+}  // namespace xbs

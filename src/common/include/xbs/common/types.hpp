@@ -1,0 +1,30 @@
+/// \file types.hpp
+/// \brief Fundamental integer aliases and sample types used across XBioSiP.
+#pragma once
+
+#include <cstdint>
+
+namespace xbs {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// A digitized bio-signal sample. The paper's front-end is a 16-bit ADC, but
+/// intermediate datapath values (filter accumulators) are wider, so the
+/// canonical in-library sample type is a signed 32-bit integer.
+using Sample = i32;
+
+/// Sampling frequency used throughout the paper's case study (Pan-Tompkins
+/// assumes 200 Hz).
+inline constexpr double kSampleRateHz = 200.0;
+
+/// ADC resolution of the paper's acquisition front-end.
+inline constexpr int kAdcBits = 16;
+
+}  // namespace xbs

@@ -1,0 +1,67 @@
+#include "xbs/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xbs {
+namespace {
+
+constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+constexpr u64 splitmix64(u64& s) noexcept {
+  s += 0x9E3779B97F4A7C15ull;
+  u64 z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(u64 seed) noexcept {
+  u64 s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+u64 Rng::next_u64() noexcept {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53-bit mantissa -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+i64 Rng::uniform_int(i64 lo, i64 hi) noexcept {
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(next_u64() % span);
+}
+
+double Rng::gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) noexcept { return mean + stddev * gaussian(); }
+
+}  // namespace xbs

@@ -1,0 +1,27 @@
+/// \file paper_configs.hpp
+/// \brief The named hardware configurations of the paper's evaluation
+/// (Fig. 12's table: A1, A2, B1..B14).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "xbs/explore/design.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::core {
+
+/// One row of Fig. 12's configuration table: per-stage approximated LSBs
+/// {LPF, HPF, DER, SQR, MWI} with ApproxAdd5 + AppMultV1 modules.
+struct NamedConfig {
+  std::string_view name;
+  pantompkins::LsbVector lsbs{};
+};
+
+/// B1..B14 exactly as printed in the paper's Fig. 12 table.
+[[nodiscard]] const std::array<NamedConfig, 14>& fig12_b_configs() noexcept;
+
+/// Convert a named configuration to a design (stages with 0 LSBs omitted).
+[[nodiscard]] explore::Design to_design(const NamedConfig& cfg);
+
+}  // namespace xbs::core

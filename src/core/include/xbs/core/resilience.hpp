@@ -1,0 +1,56 @@
+/// \file resilience.hpp
+/// \brief Per-stage error-resilience analysis (paper §4.2, Figs. 2 and 8).
+///
+/// For every application stage, sweep the number of approximated LSBs with
+/// the least-energy elementary modules and record, per point: the hardware
+/// reductions (area/latency/power/energy, both synthesis-optimized and
+/// naive), the stage output's structural similarity to the accurate stage
+/// output, the PSNR of the pre-processing (HPF) signal, and the end-to-end
+/// peak-detection accuracy. The per-stage maximum energy savings feed the
+/// stage ordering of Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "xbs/ecg/record.hpp"
+#include "xbs/explore/design.hpp"
+#include "xbs/explore/energy_model.hpp"
+#include "xbs/hwmodel/block_cost.hpp"
+
+namespace xbs::core {
+
+/// One sweep point of the resilience analysis.
+struct ResiliencePoint {
+  int lsbs = 0;
+  hwmodel::Reductions optimized;  ///< reductions from the synthesis-optimized model
+  hwmodel::Reductions naive;      ///< reductions from the structural model
+  double stage_ssim = 1.0;        ///< SSIM of this stage's own output vs accurate
+  double hpf_psnr_db = 0.0;       ///< PSNR of the pre-processing output vs accurate
+  double hpf_ssim = 1.0;          ///< SSIM of the pre-processing output vs accurate
+  double accuracy_pct = 100.0;    ///< end-to-end peak-detection accuracy
+};
+
+/// Full resilience profile of one stage.
+struct StageResilience {
+  pantompkins::Stage stage = pantompkins::Stage::Lpf;
+  std::vector<ResiliencePoint> points;
+  /// Error-resilience threshold: the largest swept LSB count that keeps the
+  /// peak-detection accuracy at 100 % (paper: 14 for the LPF).
+  int threshold_lsbs = 0;
+  /// Maximum energy savings over the sweep (input to Algorithm 1's sort).
+  double max_energy_savings = 1.0;
+};
+
+/// Sweep one stage. \p records is the evaluation workload; \p lsb_list the
+/// ascending sweep (use explore::default_lsb_list for the paper's ranges).
+[[nodiscard]] StageResilience analyze_stage_resilience(
+    pantompkins::Stage stage, const std::vector<ecg::DigitizedRecord>& records,
+    const std::vector<int>& lsb_list, const explore::StageEnergyModel& energy,
+    AdderKind add_kind = AdderKind::Approx5, MultKind mult_kind = MultKind::V1);
+
+/// Sweep all five stages with their default LSB lists.
+[[nodiscard]] std::vector<StageResilience> analyze_all_stages(
+    const std::vector<ecg::DigitizedRecord>& records, const explore::StageEnergyModel& energy,
+    AdderKind add_kind = AdderKind::Approx5, MultKind mult_kind = MultKind::V1);
+
+}  // namespace xbs::core

@@ -1,0 +1,80 @@
+#include "xbs/core/methodology.hpp"
+
+#include "xbs/explore/evaluator.hpp"
+#include "xbs/metrics/signal_quality.hpp"
+
+namespace xbs::core {
+namespace {
+
+using pantompkins::Stage;
+
+explore::StageSpace make_space(Stage s, const std::vector<StageResilience>& resilience) {
+  explore::StageSpace sp;
+  sp.stage = s;
+  sp.lsb_list_ascending = explore::default_lsb_list(s);
+  for (const auto& r : resilience) {
+    if (r.stage == s) sp.max_energy_savings = r.max_energy_savings;
+  }
+  return sp;
+}
+
+}  // namespace
+
+MethodologyResult run_methodology(const MethodologyConfig& cfg,
+                                  const std::vector<ecg::DigitizedRecord>& records) {
+  MethodologyResult result;
+  const explore::StageEnergyModel energy(cfg.energy_mode);
+
+  // Step 2: error-resilience analysis (provides EnergySavings for the sort).
+  if (cfg.run_resilience_analysis) {
+    result.resilience = analyze_all_stages(records, energy, cfg.lists.adders.front(),
+                                           cfg.lists.mults.front());
+  } else {
+    // Fall back to energy-model-only savings estimates (no quality sweep).
+    for (const Stage s : pantompkins::kAllStages) {
+      StageResilience r;
+      r.stage = s;
+      const int max_k = explore::default_lsb_list(s).back();
+      const explore::StageDesign sd{s, max_k, cfg.lists.adders.front(),
+                                    cfg.lists.mults.front()};
+      r.max_energy_savings = energy.stage_energy_reduction(s, sd.arith_config());
+      result.resilience.push_back(r);
+    }
+  }
+
+  // Step 3: approximations in data pre-processing (LPF + HPF), PSNR constraint.
+  {
+    explore::PreprocPsnrEvaluator eval(records);
+    std::vector<explore::StageSpace> spaces{make_space(Stage::Lpf, result.resilience),
+                                            make_space(Stage::Hpf, result.resilience)};
+    result.preproc = explore::design_generation(std::move(spaces), cfg.lists, eval, energy,
+                                                cfg.constraints.preproc_psnr_db);
+    result.total_evaluations += result.preproc.evaluations;
+  }
+
+  // Step 4: approximations in signal processing (DER + SQR + MWI), accuracy
+  // constraint, pre-processing design fixed underneath.
+  {
+    explore::AccuracyEvaluator eval(records, result.preproc.best);
+    std::vector<explore::StageSpace> spaces{make_space(Stage::Der, result.resilience),
+                                            make_space(Stage::Sqr, result.resilience),
+                                            make_space(Stage::Mwi, result.resilience)};
+    result.sigproc = explore::design_generation(std::move(spaces), cfg.lists, eval, energy,
+                                                cfg.constraints.final_accuracy_pct);
+    result.total_evaluations += result.sigproc.evaluations;
+  }
+
+  // Step 5: characterize the approximate bio-signal processor.
+  result.final_design = explore::merge(result.preproc.best, result.sigproc.best);
+  result.energy_reduction = energy.energy_reduction(result.final_design);
+  {
+    explore::PreprocPsnrEvaluator psnr_eval(records);
+    result.preproc_psnr_db = psnr_eval.evaluate(result.final_design);
+    explore::AccuracyEvaluator acc_eval(records);
+    result.final_accuracy_pct = acc_eval.evaluate(result.final_design);
+    result.total_evaluations += 2;
+  }
+  return result;
+}
+
+}  // namespace xbs::core

@@ -1,0 +1,38 @@
+#include "xbs/core/paper_configs.hpp"
+
+namespace xbs::core {
+
+const std::array<NamedConfig, 14>& fig12_b_configs() noexcept {
+  // Paper Fig. 12, right-hand table: LSBs per {LPF, HPF, DER, SQR, MWI}.
+  static const std::array<NamedConfig, 14> configs = {{
+      {"B1", {10, 8, 0, 0, 0}},
+      {"B2", {10, 12, 0, 0, 0}},
+      {"B3", {12, 8, 0, 0, 0}},
+      {"B4", {12, 12, 0, 0, 0}},
+      {"B5", {0, 0, 2, 8, 16}},
+      {"B6", {0, 0, 4, 8, 16}},
+      {"B7", {10, 8, 2, 8, 16}},
+      {"B8", {10, 8, 4, 8, 16}},
+      {"B9", {10, 12, 2, 8, 16}},
+      {"B10", {10, 12, 4, 8, 16}},
+      {"B11", {12, 8, 2, 8, 16}},
+      {"B12", {12, 8, 4, 8, 16}},
+      {"B13", {12, 12, 2, 8, 16}},
+      {"B14", {12, 12, 4, 8, 16}},
+  }};
+  return configs;
+}
+
+explore::Design to_design(const NamedConfig& cfg) {
+  explore::Design d;
+  for (int s = 0; s < pantompkins::kNumStages; ++s) {
+    const int k = cfg.lsbs[static_cast<std::size_t>(s)];
+    if (k > 0) {
+      d.push_back(explore::StageDesign{static_cast<pantompkins::Stage>(s), k,
+                                       AdderKind::Approx5, MultKind::V1});
+    }
+  }
+  return d;
+}
+
+}  // namespace xbs::core

@@ -1,0 +1,104 @@
+#include "xbs/core/resilience.hpp"
+
+#include <algorithm>
+
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/metrics/signal_quality.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::core {
+namespace {
+
+using pantompkins::PanTompkinsPipeline;
+using pantompkins::Stage;
+
+std::vector<double> to_double(const std::vector<i32>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+StageResilience analyze_stage_resilience(Stage stage,
+                                         const std::vector<ecg::DigitizedRecord>& records,
+                                         const std::vector<int>& lsb_list,
+                                         const explore::StageEnergyModel& energy,
+                                         AdderKind add_kind, MultKind mult_kind) {
+  StageResilience out;
+  out.stage = stage;
+
+  // Accurate references per record.
+  const PanTompkinsPipeline accurate;
+  struct Ref {
+    std::vector<double> stage_sig;
+    std::vector<double> hpf;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(records.size());
+  for (const auto& rec : records) {
+    const auto res = accurate.run_filters(rec.adu);
+    refs.push_back(Ref{to_double(res.stage_signal(stage)), to_double(res.hpf)});
+  }
+
+  const explore::StageEnergyModel naive_model(explore::StageEnergyModel::Mode::Naive);
+  const arith::StageArithConfig acc_cfg{};
+  const hwmodel::Cost acc_cost_opt = energy.stage_cost(stage, acc_cfg);
+  const hwmodel::Cost acc_cost_naive = naive_model.stage_cost(stage, acc_cfg);
+
+  for (const int k : lsb_list) {
+    ResiliencePoint pt;
+    pt.lsbs = k;
+    const explore::StageDesign sd{stage, k, add_kind, mult_kind};
+    const arith::StageArithConfig cfg = sd.arith_config();
+    pt.optimized = hwmodel::reductions(acc_cost_opt, energy.stage_cost(stage, cfg));
+    pt.naive = hwmodel::reductions(acc_cost_naive, naive_model.stage_cost(stage, cfg));
+
+    const PanTompkinsPipeline pipe(explore::to_pipeline_config({sd}));
+    double ssim_stage = 0.0, ssim_hpf = 0.0, psnr_hpf = 0.0;
+    int tp = 0, fp = 0, fn = 0, truth = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto res = pipe.run(records[i].adu);
+      const auto stage_sig = to_double(res.stage_signal(stage));
+      ssim_stage += metrics::ssim(refs[i].stage_sig, stage_sig);
+      const auto hpf = to_double(res.hpf);
+      ssim_hpf += metrics::ssim(refs[i].hpf, hpf);
+      const double p = metrics::psnr_db(refs[i].hpf, hpf);
+      psnr_hpf += std::min(p, 120.0);  // cap +inf (identical signals) for averaging
+      const auto m = metrics::match_peaks(records[i].r_peaks, res.detection.peaks,
+                                          metrics::default_tolerance_samples(records[i].fs_hz));
+      tp += m.true_positives;
+      fp += m.false_positives;
+      fn += m.false_negatives;
+      truth += m.truth_count();
+    }
+    const double nrec = static_cast<double>(records.size());
+    pt.stage_ssim = ssim_stage / nrec;
+    pt.hpf_ssim = ssim_hpf / nrec;
+    pt.hpf_psnr_db = psnr_hpf / nrec;
+    pt.accuracy_pct =
+        truth > 0 ? 100.0 * std::max(0.0, 1.0 - static_cast<double>(fn + fp) / truth) : 100.0;
+    out.points.push_back(pt);
+  }
+
+  for (const auto& pt : out.points) {
+    if (pt.accuracy_pct >= 100.0) out.threshold_lsbs = std::max(out.threshold_lsbs, pt.lsbs);
+    if (pt.optimized.energy > out.max_energy_savings &&
+        pt.optimized.energy < 1e9) {  // ignore infinities from zero-cost stages
+      out.max_energy_savings = pt.optimized.energy;
+    }
+  }
+  return out;
+}
+
+std::vector<StageResilience> analyze_all_stages(const std::vector<ecg::DigitizedRecord>& records,
+                                                const explore::StageEnergyModel& energy,
+                                                AdderKind add_kind, MultKind mult_kind) {
+  std::vector<StageResilience> out;
+  out.reserve(pantompkins::kAllStages.size());
+  for (const Stage s : pantompkins::kAllStages) {
+    out.push_back(analyze_stage_resilience(s, records, explore::default_lsb_list(s), energy,
+                                           add_kind, mult_kind));
+  }
+  return out;
+}
+
+}  // namespace xbs::core

@@ -1,0 +1,51 @@
+#include "xbs/dsp/fir.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace xbs::dsp {
+
+FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: empty tap set");
+  delay_.assign(taps_.size(), 0.0);
+}
+
+double FirFilter::process(double x) {
+  delay_[head_] = x;
+  double acc = 0.0;
+  std::size_t idx = head_;
+  for (const double c : taps_) {
+    acc += c * delay_[idx];
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % delay_.size();
+  return acc;
+}
+
+std::vector<double> FirFilter::filter(std::span<const double> x) {
+  reset();
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (const double v : x) y.push_back(process(v));
+  return y;
+}
+
+void FirFilter::reset() {
+  delay_.assign(taps_.size(), 0.0);
+  head_ = 0;
+}
+
+std::complex<double> frequency_response(std::span<const double> taps, double f_hz, double fs_hz) {
+  const double w = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  std::complex<double> h{0.0, 0.0};
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    h += taps[i] * std::polar(1.0, -w * static_cast<double>(i));
+  }
+  return h;
+}
+
+double magnitude_response(std::span<const double> taps, double f_hz, double fs_hz) {
+  return std::abs(frequency_response(taps, f_hz, fs_hz));
+}
+
+}  // namespace xbs::dsp

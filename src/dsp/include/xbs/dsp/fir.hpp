@@ -1,0 +1,45 @@
+/// \file fir.hpp
+/// \brief Double-precision FIR filtering (golden reference engine).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace xbs::dsp {
+
+/// Direct-form FIR filter with a ring-buffer delay line.
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<double> taps);
+
+  /// Push one sample, get the filtered output y[n] = sum_i c_i x[n-i].
+  [[nodiscard]] double process(double x);
+
+  /// Filter a whole signal (state starts from zero; same length out).
+  [[nodiscard]] std::vector<double> filter(std::span<const double> x);
+
+  /// Reset the delay line to zeros.
+  void reset();
+
+  [[nodiscard]] const std::vector<double>& taps() const noexcept { return taps_; }
+
+  /// Group delay of a linear-phase (symmetric/antisymmetric) FIR in samples.
+  [[nodiscard]] double group_delay() const noexcept {
+    return (static_cast<double>(taps_.size()) - 1.0) / 2.0;
+  }
+
+ private:
+  std::vector<double> taps_;
+  std::vector<double> delay_;
+  std::size_t head_ = 0;
+};
+
+/// Complex frequency response H(e^{j 2 pi f / fs}) of a tap set.
+[[nodiscard]] std::complex<double> frequency_response(std::span<const double> taps, double f_hz,
+                                                      double fs_hz);
+
+/// Magnitude response |H| at the given frequency.
+[[nodiscard]] double magnitude_response(std::span<const double> taps, double f_hz, double fs_hz);
+
+}  // namespace xbs::dsp

@@ -1,0 +1,67 @@
+/// \file pt_coeffs.hpp
+/// \brief Canonical Pan-Tompkins stage coefficients (integer FIR forms).
+///
+/// The paper implements the five Pan-Tompkins stages as FIR filters (its §5:
+/// "the five stages (FIR filters)"), with the per-stage adder/multiplier
+/// counts of §2 and §4.2. These tap sets reproduce those counts exactly:
+///
+///  - **LPF** (fc = 12 Hz): H(z) = (1 - z^-6)^2 / (1 - z^-1)^2 expanded to
+///    its 11-tap triangular FIR [1,2,3,4,5,6,5,4,3,2,1] — a 10th-order,
+///    11-tap filter with 11 multipliers and 10 adders, matching the paper's
+///    "10 adders, 11 multipliers, and 10 registers". Gain 36, renormalized
+///    by >> 5.
+///  - **HPF** (fc = 5 Hz): all-pass minus moving average,
+///    y[n] = 32 x[n-16] - sum_{i=0..31} x[n-i], i.e. 32 non-zero taps
+///    (c_16 = +31, all others -1) — 32 multipliers and 31 adders, matching
+///    §4.2. Gain 32, renormalized by >> 5.
+///  - **Differentiator**: the classic 5-tap slope filter
+///    y[n] = (1/8)(2 x[n] + x[n-1] - x[n-3] - 2 x[n-4]); coefficient
+///    magnitudes 2 and 1, exactly as §4.2 notes.
+///  - **Squarer**: y[n] = x[n]^2 (one 16x16 multiplier).
+///  - **MWI**: 30-sample moving-window integral (150 ms at 200 Hz, the
+///    window Pan & Tompkins recommend), adder-only; the hardware divide is
+///    the shift-by-5 variant (gain 30/32).
+///
+/// Every consumer (double-precision reference, fixed-point pipeline, netlist
+/// stage builders, cost model) derives from these arrays, so stage structure
+/// can never diverge between the quality simulation and the energy model.
+#pragma once
+
+#include <array>
+
+namespace xbs::dsp::pt {
+
+inline constexpr std::array<int, 11> kLpfTaps = {1, 2, 3, 4, 5, 6, 5, 4, 3, 2, 1};
+inline constexpr int kLpfShift = 5;  ///< output >> 5 (gain 36/32)
+
+/// HPF taps: c_16 = +31, all other 32 taps are -1.
+[[nodiscard]] constexpr std::array<int, 32> hpf_taps() noexcept {
+  std::array<int, 32> taps{};
+  for (auto& t : taps) t = -1;
+  taps[16] = 31;
+  return taps;
+}
+inline constexpr std::array<int, 32> kHpfTaps = hpf_taps();
+inline constexpr int kHpfShift = 5;  ///< output >> 5 (gain 32/32)
+
+inline constexpr std::array<int, 5> kDerTaps = {2, 1, 0, -1, -2};
+inline constexpr int kDerShift = 3;  ///< output >> 3 (gain 8/8)
+
+/// Squarer output scaling: with near-full-scale 16-bit inputs the squared
+/// slope reaches 2^30; dropping two LSBs keeps the 30-term MWI sum inside the
+/// 32-bit adder datapath in the worst case.
+inline constexpr int kSqrShift = 2;
+
+inline constexpr int kMwiWindow = 30;  ///< 150 ms at 200 Hz
+inline constexpr int kMwiShift = 5;    ///< output >> 5 (gain 30/32)
+
+/// Group delays in samples (used to align detections with the raw signal).
+inline constexpr double kLpfDelay = 5.0;
+inline constexpr double kHpfDelay = 15.5;
+inline constexpr double kDerDelay = 2.0;
+inline constexpr double kMwiDelay = (kMwiWindow - 1) / 2.0;  // 14.5
+
+/// Total pipeline group delay (raw signal -> MWI output), in samples.
+inline constexpr double kPipelineDelay = kLpfDelay + kHpfDelay + kDerDelay + kMwiDelay;
+
+}  // namespace xbs::dsp::pt

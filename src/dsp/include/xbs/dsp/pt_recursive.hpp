@@ -1,0 +1,30 @@
+/// \file pt_recursive.hpp
+/// \brief The original recursive (IIR) Pan & Tompkins 1985 filter forms.
+///
+/// Pan & Tompkins published the LPF and HPF as integer recursive filters:
+///
+///   LPF:  y[n] = 2 y[n-1] - y[n-2] + x[n] - 2 x[n-6] + x[n-12]
+///         (H(z) = (1 - z^-6)^2 / (1 - z^-1)^2, gain 36, delay 5)
+///   HPF:  y[n] = y[n-1] - x[n]/32 + x[n-16] - x[n-17] + x[n-32]/32
+///         (all-pass minus moving average, gain 1 at the passband, delay 16)
+///
+/// The paper's hardware implements the mathematically equivalent FIR
+/// expansions (pt_coeffs.hpp); these recursive forms are provided as an
+/// independent reference — the equivalence of the two is asserted in the
+/// test suite, which pins the FIR tap derivation to the original
+/// publication.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace xbs::dsp {
+
+/// Recursive LPF, unnormalized integer gain 36 (like the FIR accumulator).
+[[nodiscard]] std::vector<double> pt_recursive_lpf(std::span<const double> x);
+
+/// Recursive HPF over the *normalized* LPF output, gain 32 (like the FIR
+/// accumulator before its >>5).
+[[nodiscard]] std::vector<double> pt_recursive_hpf(std::span<const double> x);
+
+}  // namespace xbs::dsp

@@ -1,0 +1,24 @@
+/// \file pt_reference.hpp
+/// \brief Double-precision reference implementation of the Pan-Tompkins
+/// filtering chain (validation golden model for the fixed-point pipeline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace xbs::dsp {
+
+/// Per-stage outputs of the reference chain (all same length as the input).
+struct PtReferenceOutput {
+  std::vector<double> lpf;
+  std::vector<double> hpf;
+  std::vector<double> der;
+  std::vector<double> sqr;
+  std::vector<double> mwi;
+};
+
+/// Run the double-precision Pan-Tompkins filter chain on a raw signal
+/// (normalized stage gains: LPF /36, HPF /32, DER /8, MWI /window).
+[[nodiscard]] PtReferenceOutput pt_reference_chain(std::span<const double> x);
+
+}  // namespace xbs::dsp

@@ -1,0 +1,37 @@
+#include "xbs/dsp/pt_recursive.hpp"
+
+namespace xbs::dsp {
+
+std::vector<double> pt_recursive_lpf(std::span<const double> x) {
+  std::vector<double> y(x.size(), 0.0);
+  auto at = [&](const std::vector<double>& v, std::ptrdiff_t i) -> double {
+    return i >= 0 ? v[static_cast<std::size_t>(i)] : 0.0;
+  };
+  auto xin = [&](std::ptrdiff_t i) -> double {
+    return i >= 0 ? x[static_cast<std::size_t>(i)] : 0.0;
+  };
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(x.size()); ++n) {
+    y[static_cast<std::size_t>(n)] = 2.0 * at(y, n - 1) - at(y, n - 2) + xin(n) -
+                                     2.0 * xin(n - 6) + xin(n - 12);
+  }
+  return y;
+}
+
+std::vector<double> pt_recursive_hpf(std::span<const double> x) {
+  // y[n] = y[n-1] - x[n] + 32 x[n-16] - 32 x[n-17] + x[n-32], gain 32
+  // (the integer form of allpass - moving average).
+  std::vector<double> y(x.size(), 0.0);
+  auto at = [&](const std::vector<double>& v, std::ptrdiff_t i) -> double {
+    return i >= 0 ? v[static_cast<std::size_t>(i)] : 0.0;
+  };
+  auto xin = [&](std::ptrdiff_t i) -> double {
+    return i >= 0 ? x[static_cast<std::size_t>(i)] : 0.0;
+  };
+  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(x.size()); ++n) {
+    y[static_cast<std::size_t>(n)] = at(y, n - 1) - xin(n) + 32.0 * xin(n - 16) -
+                                     32.0 * xin(n - 17) + xin(n - 32);
+  }
+  return y;
+}
+
+}  // namespace xbs::dsp

@@ -1,0 +1,40 @@
+#include "xbs/dsp/pt_reference.hpp"
+
+#include "xbs/dsp/fir.hpp"
+#include "xbs/dsp/pt_coeffs.hpp"
+
+namespace xbs::dsp {
+namespace {
+
+std::vector<double> normalized_taps(std::span<const int> taps, double gain) {
+  std::vector<double> out;
+  out.reserve(taps.size());
+  for (const int t : taps) out.push_back(static_cast<double>(t) / gain);
+  return out;
+}
+
+}  // namespace
+
+PtReferenceOutput pt_reference_chain(std::span<const double> x) {
+  PtReferenceOutput out;
+  FirFilter lpf(normalized_taps(pt::kLpfTaps, 36.0));
+  FirFilter hpf(normalized_taps(pt::kHpfTaps, 32.0));
+  FirFilter der(normalized_taps(pt::kDerTaps, 8.0));
+  out.lpf = lpf.filter(x);
+  out.hpf = hpf.filter(out.lpf);
+  out.der = der.filter(out.hpf);
+  out.sqr.reserve(x.size());
+  for (const double v : out.der) out.sqr.push_back(v * v);
+  out.mwi.assign(x.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.sqr.size(); ++i) {
+    acc += out.sqr[i];
+    if (i >= static_cast<std::size_t>(pt::kMwiWindow)) {
+      acc -= out.sqr[i - static_cast<std::size_t>(pt::kMwiWindow)];
+    }
+    out.mwi[i] = acc / pt::kMwiWindow;
+  }
+  return out;
+}
+
+}  // namespace xbs::dsp

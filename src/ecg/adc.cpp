@@ -1,0 +1,31 @@
+#include "xbs/ecg/adc.hpp"
+
+#include <cmath>
+
+#include "xbs/common/fixed.hpp"
+
+namespace xbs::ecg {
+
+DigitizedRecord AdcFrontEnd::digitize(const EcgRecord& rec) const {
+  DigitizedRecord out;
+  out.name = rec.name;
+  out.fs_hz = rec.fs_hz;
+  out.gain_adu_per_mv = gain_adu_per_mv;
+  out.r_peaks = rec.r_peaks;
+  out.adu.reserve(rec.mv.size());
+  for (const double v : rec.mv) {
+    const double scaled = std::nearbyint(v * gain_adu_per_mv);
+    out.adu.push_back(static_cast<i32>(saturate_to_bits(static_cast<i64>(scaled), bits)));
+  }
+  return out;
+}
+
+double EcgRecord::mean_hr_bpm() const noexcept {
+  if (r_peaks.size() < 2) return 0.0;
+  const double beats = static_cast<double>(r_peaks.size() - 1);
+  const double span_s =
+      static_cast<double>(r_peaks.back() - r_peaks.front()) / fs_hz;
+  return span_s > 0.0 ? 60.0 * beats / span_s : 0.0;
+}
+
+}  // namespace xbs::ecg

@@ -1,0 +1,46 @@
+#include "xbs/ecg/dataset.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/adc.hpp"
+#include "xbs/ecg/noise.hpp"
+#include "xbs/ecg/template_gen.hpp"
+
+namespace xbs::ecg {
+
+EcgRecord nsrdb_like_record(int index, std::size_t n_samples) {
+  if (index < 0 || index >= kNsrdbSubjects) {
+    throw std::invalid_argument("nsrdb_like_record: index must be in [0, 18)");
+  }
+  const u64 seed = 0xB105F00Dull + static_cast<u64>(index) * 7919u;
+  Rng param_rng(seed);
+  TemplateEcgParams p;
+  p.hr_bpm = param_rng.uniform(55.0, 88.0);
+  p.hrv_rel_sd = param_rng.uniform(0.02, 0.05);
+  p.rsa_rel = param_rng.uniform(0.015, 0.035);
+  p.amplitude_scale = param_rng.uniform(0.85, 1.2);
+  p.t.amplitude_mv = param_rng.uniform(0.22, 0.38);
+  p.p.amplitude_mv = param_rng.uniform(0.08, 0.16);
+
+  EcgRecord rec = generate_template_ecg(p, n_samples, seed ^ 0xECDA7A5Eull);
+  rec.name = "nsr" + std::to_string(16265 + index * 7);  // NSRDB-style record ids
+  Rng noise_rng(seed ^ 0x9015EEDull);
+  add_standard_noise(rec, noise_rng);
+  return rec;
+}
+
+DigitizedRecord nsrdb_like_digitized(int index, std::size_t n_samples) {
+  const AdcFrontEnd adc;
+  return adc.digitize(nsrdb_like_record(index, n_samples));
+}
+
+std::vector<DigitizedRecord> nsrdb_like_dataset(int n_records, std::size_t n_samples) {
+  std::vector<DigitizedRecord> out;
+  out.reserve(static_cast<std::size_t>(n_records));
+  for (int i = 0; i < n_records; ++i) out.push_back(nsrdb_like_digitized(i, n_samples));
+  return out;
+}
+
+}  // namespace xbs::ecg

@@ -1,0 +1,167 @@
+#include "xbs/ecg/ecgsyn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace xbs::ecg {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+struct State {
+  double x = 1.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+struct Deriv {
+  double dx = 0.0, dy = 0.0, dz = 0.0;
+};
+
+Deriv dynamics(const State& s, double omega, double z0, const EcgSynParams& p) {
+  const double alpha = 1.0 - std::sqrt(s.x * s.x + s.y * s.y);
+  Deriv d;
+  d.dx = alpha * s.x - omega * s.y;
+  d.dy = alpha * s.y + omega * s.x;
+  const double theta = std::atan2(s.y, s.x);
+  double dz = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    double dth = std::fmod(theta - p.theta[i], kTwoPi);
+    if (dth < -std::numbers::pi) dth += kTwoPi;
+    if (dth > std::numbers::pi) dth -= kTwoPi;
+    dz -= p.a[i] * dth * std::exp(-0.5 * (dth * dth) / (p.b[i] * p.b[i]));
+  }
+  d.dz = dz - (s.z - z0);
+  return d;
+}
+
+State rk4_step(const State& s, double dt, double omega, double z0, const EcgSynParams& p) {
+  const Deriv k1 = dynamics(s, omega, z0, p);
+  const State s2{s.x + 0.5 * dt * k1.dx, s.y + 0.5 * dt * k1.dy, s.z + 0.5 * dt * k1.dz};
+  const Deriv k2 = dynamics(s2, omega, z0, p);
+  const State s3{s.x + 0.5 * dt * k2.dx, s.y + 0.5 * dt * k2.dy, s.z + 0.5 * dt * k2.dz};
+  const Deriv k3 = dynamics(s3, omega, z0, p);
+  const State s4{s.x + dt * k3.dx, s.y + dt * k3.dy, s.z + dt * k3.dz};
+  const Deriv k4 = dynamics(s4, omega, z0, p);
+  return State{
+      s.x + dt / 6.0 * (k1.dx + 2.0 * k2.dx + 2.0 * k3.dx + k4.dx),
+      s.y + dt / 6.0 * (k1.dy + 2.0 * k2.dy + 2.0 * k3.dy + k4.dy),
+      s.z + dt / 6.0 * (k1.dz + 2.0 * k2.dz + 2.0 * k3.dz + k4.dz),
+  };
+}
+
+/// Spectrally synthesized RR-interval modulation rr(t) (zero-mean), using the
+/// bimodal LF/HF heart-rate-variability spectrum with random phases.
+class RrTachogram {
+ public:
+  RrTachogram(const EcgSynParams& p, double duration_s, Rng& rng) {
+    const double total_var = p.hrv_sd_s * p.hrv_sd_s;
+    const double lf_var = total_var * p.lf_hf_ratio / (1.0 + p.lf_hf_ratio);
+    const double hf_var = total_var - lf_var;
+    const double df = 1.0 / std::max(duration_s, 64.0);
+    const double c_lf = 0.01, c_hf = 0.01;
+    for (double f = df; f <= 0.45; f += df) {
+      const double s_lf =
+          lf_var / std::sqrt(kTwoPi * c_lf * c_lf) *
+          std::exp(-0.5 * (f - p.f_lf_hz) * (f - p.f_lf_hz) / (c_lf * c_lf));
+      const double s_hf =
+          hf_var / std::sqrt(kTwoPi * c_hf * c_hf) *
+          std::exp(-0.5 * (f - p.f_hf_hz) * (f - p.f_hf_hz) / (c_hf * c_hf));
+      const double s = s_lf + s_hf;
+      if (s < 1e-12) continue;
+      comps_.push_back(Component{f, std::sqrt(2.0 * s * df), rng.uniform(0.0, kTwoPi)});
+    }
+  }
+
+  [[nodiscard]] double modulation(double t) const noexcept {
+    double v = 0.0;
+    for (const auto& c : comps_) v += c.amp * std::cos(kTwoPi * c.f * t + c.phase);
+    return v;
+  }
+
+ private:
+  struct Component {
+    double f, amp, phase;
+  };
+  std::vector<Component> comps_;
+};
+
+}  // namespace
+
+EcgRecord generate_ecgsyn(const EcgSynParams& p, std::size_t n_samples, u64 seed) {
+  EcgRecord rec;
+  rec.fs_hz = p.fs_hz;
+  Rng rng(seed);
+
+  const double duration_s = static_cast<double>(n_samples) / p.fs_hz;
+  const RrTachogram tachogram(p, duration_s, rng);
+  const double rr_mean = 60.0 / p.hr_bpm;
+
+  const double dt = 1.0 / p.fs_internal_hz;
+  const auto decim = static_cast<std::size_t>(std::llround(p.fs_internal_hz / p.fs_hz));
+  const std::size_t n_steps = n_samples * decim;
+
+  State s;
+  std::vector<double> raw;
+  raw.reserve(n_samples);
+  std::vector<std::size_t> r_candidates;
+  double prev_theta = std::atan2(s.y, s.x);
+  // The published ECGSYN holds the RR interval constant within each beat
+  // (staircase tachogram): a continuously-modulated omega integrates the
+  // antisymmetric event kernels asymmetrically and injects a spurious
+  // respiratory-rate baseline oscillation.
+  double current_rr = std::max(0.3, rr_mean + tachogram.modulation(0.0));
+  // Discard one second of transient before recording.
+  const auto warmup = static_cast<std::size_t>(p.fs_internal_hz);
+  for (std::size_t step = 0; step < n_steps + warmup; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    const double omega = kTwoPi / current_rr;
+    const double z0 =
+        p.baseline_coupling_z * std::sin(kTwoPi * p.f_hf_hz * t);
+    s = rk4_step(s, dt, omega, z0, p);
+    const double theta = std::atan2(s.y, s.x);
+    // Phase wrap (+pi -> -pi): a new beat begins; resample its RR interval.
+    if (theta < prev_theta - std::numbers::pi) {
+      current_rr = std::max(0.3, rr_mean + tachogram.modulation(t));
+    }
+    if (step >= warmup) {
+      const std::size_t rec_step = step - warmup;
+      // Upward crossing of the R angle (theta_R = 0).
+      if (prev_theta < 0.0 && theta >= 0.0 && (theta - prev_theta) < std::numbers::pi) {
+        const std::size_t out_idx = rec_step / decim;
+        if (out_idx < n_samples) r_candidates.push_back(out_idx);
+      }
+      if (rec_step % decim == 0) raw.push_back(s.z);
+    }
+    prev_theta = theta;
+  }
+  raw.resize(n_samples, 0.0);
+
+  // Rescale so the R amplitude matches target_r_mv and the median sits at 0.
+  std::vector<double> sorted = raw;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                   sorted.end());
+  const double med = sorted[sorted.size() / 2];
+  double peak = 1e-9;
+  for (const double v : raw) peak = std::max(peak, v - med);
+  const double scale = p.target_r_mv / peak;
+  rec.mv.reserve(n_samples);
+  for (const double v : raw) rec.mv.push_back((v - med) * scale);
+
+  // Refine R annotations to the local maximum within +/- 40 ms.
+  const auto halfwin = static_cast<std::ptrdiff_t>(std::llround(0.04 * p.fs_hz));
+  for (const std::size_t c : r_candidates) {
+    std::ptrdiff_t best = static_cast<std::ptrdiff_t>(c);
+    for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(c) - halfwin;
+         i <= static_cast<std::ptrdiff_t>(c) + halfwin; ++i) {
+      if (i < 0 || i >= static_cast<std::ptrdiff_t>(n_samples)) continue;
+      if (rec.mv[static_cast<std::size_t>(i)] > rec.mv[static_cast<std::size_t>(best)]) best = i;
+    }
+    rec.r_peaks.push_back(static_cast<std::size_t>(best));
+  }
+  return rec;
+}
+
+}  // namespace xbs::ecg

@@ -1,0 +1,24 @@
+/// \file adc.hpp
+/// \brief 16-bit / 200 Hz acquisition front-end model (paper §3).
+#pragma once
+
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::ecg {
+
+/// ADC front-end: maps millivolts to signed counts with saturation.
+///
+/// The paper samples with a 16-bit converter (§3); the default gain maps a
+/// +/-1.8 mV analog window onto the full signed 16-bit range (a typical
+/// wearable analog front-end), so a ~1.1 mV R peak lands around 20k counts.
+/// Near-full-scale occupancy is what positions the approximation-vs-quality
+/// cliffs where the paper sees them: stages tolerate approximated LSBs
+/// precisely because the signal lives in the upper bits (see DESIGN.md §1).
+struct AdcFrontEnd {
+  double gain_adu_per_mv = 18000.0;
+  int bits = 16;
+
+  [[nodiscard]] DigitizedRecord digitize(const EcgRecord& rec) const;
+};
+
+}  // namespace xbs::ecg

@@ -1,0 +1,36 @@
+/// \file dataset.hpp
+/// \brief Deterministic NSRDB-like dataset (MIT-BIH NSRDB substitute).
+///
+/// The paper evaluates on recordings from the MIT-BIH Normal Sinus Rhythm
+/// Database (18 subjects, PhysioNet). This module generates a seeded
+/// stand-in: 18 synthetic normal-sinus-rhythm records with per-record heart
+/// rate, morphology and contamination variation, digitized by the 200 Hz /
+/// 16-bit front-end of §3. Ground-truth R annotations come from the
+/// generator. See DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <vector>
+
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::ecg {
+
+/// Number of subjects in the MIT-BIH NSRDB.
+inline constexpr int kNsrdbSubjects = 18;
+
+/// The paper's simulation unit: one recording of 20,000 samples (§6.1).
+inline constexpr std::size_t kPaperRecordSamples = 20000;
+
+/// Generate record \p index (0..17) of the NSRDB-like dataset in the analog
+/// (mV) domain. Deterministic in (index, n_samples).
+[[nodiscard]] EcgRecord nsrdb_like_record(int index, std::size_t n_samples = kPaperRecordSamples);
+
+/// Generate and digitize record \p index.
+[[nodiscard]] DigitizedRecord nsrdb_like_digitized(
+    int index, std::size_t n_samples = kPaperRecordSamples);
+
+/// Generate the first \p n_records digitized records.
+[[nodiscard]] std::vector<DigitizedRecord> nsrdb_like_dataset(
+    int n_records = kNsrdbSubjects, std::size_t n_samples = kPaperRecordSamples);
+
+}  // namespace xbs::ecg

@@ -1,0 +1,43 @@
+/// \file ecgsyn.hpp
+/// \brief Dynamical-model ECG generator (McSharry et al., IEEE TBME 2003).
+///
+/// Implements the ECGSYN coupled-ODE model: a trajectory circling the unit
+/// limit cycle in the (x, y) plane, with the z (voltage) equation pulled
+/// toward Gaussian event kernels at the P, Q, R, S and T angles. Angular
+/// velocity follows an RR-interval tachogram synthesized from the standard
+/// bimodal (Mayer-wave + respiratory) HRV spectrum. Integration is RK4 at an
+/// internal rate, decimated to the output rate. R peaks are annotated at the
+/// upward zero-crossings of the phase through the R event angle, refined to
+/// the local signal maximum.
+#pragma once
+
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::ecg {
+
+/// Parameters of the dynamical model (defaults follow the published model).
+struct EcgSynParams {
+  double fs_hz = 200.0;            ///< output sampling rate
+  double fs_internal_hz = 1000.0;  ///< integration rate
+  double hr_bpm = 65.0;            ///< mean heart rate
+  double hrv_sd_s = 0.035;         ///< RR standard deviation
+  double lf_hf_ratio = 0.5;        ///< Mayer-wave vs respiratory power ratio
+  double f_lf_hz = 0.1;            ///< low-frequency (Mayer) peak
+  double f_hf_hz = 0.25;           ///< high-frequency (respiratory) peak
+  /// Respiratory baseline coupling amplitude, in model z-units *before* the
+  /// output rescaling (the intrinsic R height in z-units is ~0.1, so 0.004
+  /// yields a ~4 % baseline oscillation relative to the R wave).
+  double baseline_coupling_z = 0.004;
+  // Event kernels: angles [rad], magnitudes, widths [rad].
+  double theta[5] = {-1.0471975512, -0.2617993878, 0.0, 0.2617993878, 1.5707963268};
+  double a[5] = {1.2, -5.0, 30.0, -7.5, 0.75};
+  double b[5] = {0.25, 0.1, 0.1, 0.1, 0.4};
+  double target_r_mv = 1.1;  ///< output is rescaled so the R peak ~ this value
+};
+
+/// Generate \p n_samples of dynamical-model ECG.
+[[nodiscard]] EcgRecord generate_ecgsyn(const EcgSynParams& params, std::size_t n_samples,
+                                        u64 seed);
+
+}  // namespace xbs::ecg

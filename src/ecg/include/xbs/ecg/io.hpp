@@ -1,0 +1,26 @@
+/// \file io.hpp
+/// \brief CSV persistence for digitized records and annotations, so
+/// workloads can be exported to / imported from other toolchains (e.g. to
+/// compare against a PhysioNet record converted offline).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::ecg {
+
+/// Write a digitized record as CSV: a header block (name, fs, gain) followed
+/// by one `index,adu,is_r_peak` row per sample.
+void write_csv(std::ostream& os, const DigitizedRecord& rec);
+
+/// Parse a record written by write_csv. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] DigitizedRecord read_csv(std::istream& is);
+
+/// File-path conveniences.
+void save_csv(const std::string& path, const DigitizedRecord& rec);
+[[nodiscard]] DigitizedRecord load_csv(const std::string& path);
+
+}  // namespace xbs::ecg

@@ -1,0 +1,30 @@
+/// \file noise.hpp
+/// \brief ECG contamination models: the in-band and out-of-band noise the
+/// Pan-Tompkins pre-processing stages exist to remove.
+#pragma once
+
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::ecg {
+
+/// Low-frequency baseline wander (respiration / electrode drift): a sum of
+/// slow sinusoids (0.05-0.4 Hz) plus a bounded random walk.
+void add_baseline_wander(EcgRecord& rec, double amplitude_mv, Rng& rng);
+
+/// Mains interference at \p mains_hz (50 or 60 Hz) with slow amplitude
+/// modulation.
+void add_powerline(EcgRecord& rec, double amplitude_mv, double mains_hz, Rng& rng);
+
+/// Muscle (EMG) noise: Gaussian noise smoothed with a 3-tap average, giving a
+/// broadband high-frequency floor.
+void add_emg_noise(EcgRecord& rec, double rms_mv, Rng& rng);
+
+/// Electrode-motion artifacts: sparse exponential-decay steps, the kind of
+/// transient that can fool a naive detector.
+void add_motion_artifacts(EcgRecord& rec, double amplitude_mv, double events_per_min, Rng& rng);
+
+/// Standard mild contamination used by the NSRDB-like dataset.
+void add_standard_noise(EcgRecord& rec, Rng& rng);
+
+}  // namespace xbs::ecg

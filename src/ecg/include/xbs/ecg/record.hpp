@@ -1,0 +1,35 @@
+/// \file record.hpp
+/// \brief ECG record types with exact R-peak ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::ecg {
+
+/// An analog-domain ECG recording (millivolts) with beat annotations.
+struct EcgRecord {
+  std::string name;
+  double fs_hz = 200.0;
+  std::vector<double> mv;            ///< signal in millivolts
+  std::vector<std::size_t> r_peaks;  ///< sample indices of true R peaks
+
+  [[nodiscard]] double duration_s() const noexcept {
+    return static_cast<double>(mv.size()) / fs_hz;
+  }
+  /// Mean heart rate over the record, in beats per minute.
+  [[nodiscard]] double mean_hr_bpm() const noexcept;
+};
+
+/// A digitized recording (ADC output counts) with the same annotations.
+struct DigitizedRecord {
+  std::string name;
+  double fs_hz = 200.0;
+  double gain_adu_per_mv = 18000.0;
+  std::vector<i32> adu;              ///< signed ADC counts
+  std::vector<std::size_t> r_peaks;  ///< sample indices of true R peaks
+};
+
+}  // namespace xbs::ecg

@@ -1,0 +1,46 @@
+/// \file template_gen.hpp
+/// \brief Template-based synthetic ECG generator (Gaussian PQRST kernels).
+///
+/// Beats are placed along an RR-interval series with physiological
+/// variability (autocorrelated heart-rate fluctuation plus respiratory sinus
+/// arrhythmia); each beat is a sum of five Gaussian waves (P, Q, R, S, T)
+/// with per-record morphology scaling. The generator is fast, fully
+/// deterministic under a seed, and yields exact R-peak annotations — the
+/// workload substrate for all paper experiments (DESIGN.md §1).
+#pragma once
+
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::ecg {
+
+/// One Gaussian wave component of the beat template.
+struct Wave {
+  double amplitude_mv = 0.0;  ///< signed peak amplitude
+  double center_s = 0.0;      ///< offset from the R peak
+  double width_s = 0.01;      ///< Gaussian sigma
+};
+
+/// Generator parameters (defaults give a normal-sinus-rhythm adult ECG).
+struct TemplateEcgParams {
+  double fs_hz = 200.0;
+  double hr_bpm = 70.0;          ///< mean heart rate
+  double hrv_rel_sd = 0.03;      ///< autocorrelated RR fluctuation (relative)
+  double rsa_rel = 0.025;        ///< respiratory sinus arrhythmia depth
+  double resp_rate_hz = 0.25;    ///< respiration frequency
+  double amplitude_scale = 1.0;  ///< global morphology scale
+  double ectopic_probability = 0.0;  ///< chance a beat is a PVC-like ectopic
+  Wave p{0.12, -0.18, 0.025};
+  Wave q{-0.14, -0.028, 0.010};
+  Wave r{1.10, 0.0, 0.011};
+  Wave s{-0.22, 0.030, 0.012};
+  Wave t{0.30, 0.24, 0.055};
+};
+
+/// Generate \p n_samples of synthetic ECG. Ectopic (PVC-like) beats, if
+/// enabled, are premature, wide, high-amplitude and P-wave-free; their R
+/// peaks are still annotated (they are true heartbeats).
+[[nodiscard]] EcgRecord generate_template_ecg(const TemplateEcgParams& params,
+                                              std::size_t n_samples, u64 seed);
+
+}  // namespace xbs::ecg

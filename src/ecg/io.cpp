@@ -1,0 +1,76 @@
+#include "xbs/ecg/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xbs::ecg {
+
+void write_csv(std::ostream& os, const DigitizedRecord& rec) {
+  os << "# name," << rec.name << "\n";
+  os << "# fs_hz," << rec.fs_hz << "\n";
+  os << "# gain_adu_per_mv," << rec.gain_adu_per_mv << "\n";
+  os << "index,adu,is_r_peak\n";
+  std::size_t next_peak = 0;
+  for (std::size_t i = 0; i < rec.adu.size(); ++i) {
+    bool is_peak = false;
+    if (next_peak < rec.r_peaks.size() && rec.r_peaks[next_peak] == i) {
+      is_peak = true;
+      ++next_peak;
+    }
+    os << i << "," << rec.adu[i] << "," << (is_peak ? 1 : 0) << "\n";
+  }
+}
+
+DigitizedRecord read_csv(std::istream& is) {
+  DigitizedRecord rec;
+  std::string line;
+  bool header_done = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto comma = line.find(',');
+      if (comma == std::string::npos) throw std::runtime_error("bad header line: " + line);
+      const std::string key = line.substr(2, comma - 2);
+      const std::string value = line.substr(comma + 1);
+      if (key == "name") {
+        rec.name = value;
+      } else if (key == "fs_hz") {
+        rec.fs_hz = std::stod(value);
+      } else if (key == "gain_adu_per_mv") {
+        rec.gain_adu_per_mv = std::stod(value);
+      }
+      continue;
+    }
+    if (!header_done) {  // the column-title row
+      header_done = true;
+      continue;
+    }
+    std::istringstream row(line);
+    std::string idx_s, adu_s, peak_s;
+    if (!std::getline(row, idx_s, ',') || !std::getline(row, adu_s, ',') ||
+        !std::getline(row, peak_s)) {
+      throw std::runtime_error("bad data row: " + line);
+    }
+    const auto idx = static_cast<std::size_t>(std::stoull(idx_s));
+    if (idx != rec.adu.size()) throw std::runtime_error("non-contiguous sample index");
+    rec.adu.push_back(std::stoi(adu_s));
+    if (std::stoi(peak_s) != 0) rec.r_peaks.push_back(idx);
+  }
+  if (rec.adu.empty()) throw std::runtime_error("empty record");
+  return rec;
+}
+
+void save_csv(const std::string& path, const DigitizedRecord& rec) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(os, rec);
+}
+
+DigitizedRecord load_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(is);
+}
+
+}  // namespace xbs::ecg

@@ -1,0 +1,67 @@
+#include "xbs/ecg/noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xbs::ecg {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+void add_baseline_wander(EcgRecord& rec, double amplitude_mv, Rng& rng) {
+  const double f1 = rng.uniform(0.05, 0.15);
+  const double f2 = rng.uniform(0.2, 0.35);
+  const double p1 = rng.uniform(0.0, kTwoPi);
+  const double p2 = rng.uniform(0.0, kTwoPi);
+  double walk = 0.0;
+  const double walk_sd = amplitude_mv * 0.02;
+  for (std::size_t i = 0; i < rec.mv.size(); ++i) {
+    const double t = static_cast<double>(i) / rec.fs_hz;
+    walk = 0.999 * walk + rng.gaussian(0.0, walk_sd);
+    rec.mv[i] += amplitude_mv * (0.7 * std::sin(kTwoPi * f1 * t + p1) +
+                                 0.3 * std::sin(kTwoPi * f2 * t + p2)) +
+                 walk;
+  }
+}
+
+void add_powerline(EcgRecord& rec, double amplitude_mv, double mains_hz, Rng& rng) {
+  const double phase = rng.uniform(0.0, kTwoPi);
+  const double mod_f = rng.uniform(0.05, 0.2);
+  const double mod_phase = rng.uniform(0.0, kTwoPi);
+  for (std::size_t i = 0; i < rec.mv.size(); ++i) {
+    const double t = static_cast<double>(i) / rec.fs_hz;
+    const double am = 1.0 + 0.2 * std::sin(kTwoPi * mod_f * t + mod_phase);
+    rec.mv[i] += amplitude_mv * am * std::sin(kTwoPi * mains_hz * t + phase);
+  }
+}
+
+void add_emg_noise(EcgRecord& rec, double rms_mv, Rng& rng) {
+  double w0 = 0.0, w1 = 0.0;
+  for (double& v : rec.mv) {
+    const double w = rng.gaussian(0.0, rms_mv * 1.7);  // ~unit rms after smoothing
+    v += (w + w0 + w1) / 3.0;
+    w1 = w0;
+    w0 = w;
+  }
+}
+
+void add_motion_artifacts(EcgRecord& rec, double amplitude_mv, double events_per_min, Rng& rng) {
+  const double p_event = events_per_min / (60.0 * rec.fs_hz);
+  double level = 0.0;
+  for (double& v : rec.mv) {
+    if (rng.uniform() < p_event) {
+      level += rng.uniform(-amplitude_mv, amplitude_mv);
+    }
+    level *= std::exp(-1.0 / (0.5 * rec.fs_hz));  // ~0.5 s decay
+    v += level;
+  }
+}
+
+void add_standard_noise(EcgRecord& rec, Rng& rng) {
+  add_baseline_wander(rec, 0.12, rng);
+  add_powerline(rec, 0.03, 50.0, rng);
+  add_emg_noise(rec, 0.015, rng);
+  add_motion_artifacts(rec, 0.25, 0.5, rng);
+}
+
+}  // namespace xbs::ecg

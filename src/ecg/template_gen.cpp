@@ -1,0 +1,83 @@
+#include "xbs/ecg/template_gen.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xbs::ecg {
+namespace {
+
+/// Add one Gaussian wave centred at time \p center_s into the signal.
+void add_wave(std::vector<double>& mv, double fs, double center_s, const Wave& w,
+              double scale) {
+  if (w.amplitude_mv == 0.0) return;
+  const double half_support = 4.0 * w.width_s;
+  const auto first =
+      static_cast<std::ptrdiff_t>(std::floor((center_s + w.center_s - half_support) * fs));
+  const auto last =
+      static_cast<std::ptrdiff_t>(std::ceil((center_s + w.center_s + half_support) * fs));
+  for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(first, 0);
+       i <= last && i < static_cast<std::ptrdiff_t>(mv.size()); ++i) {
+    const double t = static_cast<double>(i) / fs - (center_s + w.center_s);
+    mv[static_cast<std::size_t>(i)] +=
+        scale * w.amplitude_mv * std::exp(-0.5 * (t / w.width_s) * (t / w.width_s));
+  }
+}
+
+}  // namespace
+
+EcgRecord generate_template_ecg(const TemplateEcgParams& p, std::size_t n_samples, u64 seed) {
+  EcgRecord rec;
+  rec.fs_hz = p.fs_hz;
+  rec.mv.assign(n_samples, 0.0);
+  Rng rng(seed);
+
+  const double duration_s = static_cast<double>(n_samples) / p.fs_hz;
+  const double rr_mean = 60.0 / p.hr_bpm;
+
+  // RR series: AR(1) fluctuation + respiratory modulation.
+  double ar = 0.0;
+  const double rho = 0.9;
+  const double ar_sd = p.hrv_rel_sd * std::sqrt(1.0 - rho * rho);
+  // First beat after the filter warm-up transient (LPF+HPF startup spans
+  // ~43 samples); starting at 1 s keeps every annotated beat detectable.
+  double t_beat = 1.0;
+  // Stop placing beats 300 ms before the record ends: a QRS closer to the
+  // edge than the pipeline group delay is undetectable by construction (its
+  // filtered energy lies beyond the last sample), so it would only inject a
+  // boundary artifact into every accuracy measurement.
+  while (t_beat < duration_s - 0.3) {
+    ar = rho * ar + rng.gaussian(0.0, ar_sd);
+    const double rsa = p.rsa_rel * std::sin(2.0 * std::numbers::pi * p.resp_rate_hz * t_beat);
+    const bool ectopic = rng.uniform() < p.ectopic_probability;
+
+    const double r_center = t_beat;
+    const auto r_idx = static_cast<std::ptrdiff_t>(std::llround(r_center * p.fs_hz));
+    if (r_idx >= 0 && r_idx < static_cast<std::ptrdiff_t>(n_samples)) {
+      rec.r_peaks.push_back(static_cast<std::size_t>(r_idx));
+    }
+    if (!ectopic) {
+      const double s = p.amplitude_scale;
+      add_wave(rec.mv, p.fs_hz, r_center, p.p, s);
+      add_wave(rec.mv, p.fs_hz, r_center, p.q, s);
+      add_wave(rec.mv, p.fs_hz, r_center, p.r, s);
+      add_wave(rec.mv, p.fs_hz, r_center, p.s, s);
+      add_wave(rec.mv, p.fs_hz, r_center, p.t, s);
+    } else {
+      // PVC-like ectopic: premature, wide QRS, tall R, inverted T, no P.
+      const double s = p.amplitude_scale;
+      add_wave(rec.mv, p.fs_hz, r_center, Wave{1.45 * p.r.amplitude_mv, 0.0, 2.6 * p.r.width_s},
+               s);
+      add_wave(rec.mv, p.fs_hz, r_center,
+               Wave{-0.5 * p.s.amplitude_mv - 0.35, 0.07, 2.0 * p.s.width_s}, s);
+      add_wave(rec.mv, p.fs_hz, r_center, Wave{-0.8 * p.t.amplitude_mv, 0.30, p.t.width_s}, s);
+    }
+
+    double rr = rr_mean * (1.0 + ar + rsa);
+    if (ectopic) rr *= 0.72;  // premature coupling followed by pause
+    rr = std::max(rr, 0.3);
+    t_beat += rr;
+  }
+  return rec;
+}
+
+}  // namespace xbs::ecg

@@ -1,0 +1,190 @@
+#include "xbs/explore/algorithm1.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xbs::explore {
+namespace {
+
+/// Current committed configuration: one (possibly accurate) StageDesign per
+/// stage in stage-list order.
+Design committed_design(const std::vector<StageDesign>& per_stage) {
+  Design d;
+  for (const auto& sd : per_stage) {
+    if (sd.lsbs > 0) d.push_back(sd);
+  }
+  return d;
+}
+
+}  // namespace
+
+Algorithm1Result design_generation(std::vector<StageSpace> spaces, const ModuleLists& lists,
+                                   QualityEvaluator& evaluator, const StageEnergyModel& energy,
+                                   double quality_constraint) {
+  if (spaces.empty()) throw std::invalid_argument("design_generation: no stages");
+  if (lists.adders.empty() || lists.mults.empty()) {
+    throw std::invalid_argument("design_generation: empty module lists");
+  }
+  Algorithm1Result result;
+  evaluator.reset_evaluations();
+
+  // Line 3: AscendingSort(StageList, EnergySavings) — least-saving stage
+  // first.
+  std::stable_sort(spaces.begin(), spaces.end(), [](const StageSpace& a, const StageSpace& b) {
+    return a.max_energy_savings < b.max_energy_savings;
+  });
+
+  // Committed architecture per stage (starts accurate: 0 LSBs).
+  std::vector<StageDesign> arch;
+  arch.reserve(spaces.size());
+  for (const auto& sp : spaces) {
+    arch.push_back(StageDesign{sp.stage, 0, lists.adders.front(), lists.mults.front()});
+  }
+
+  auto evaluate_point = [&](int phase) -> double {
+    const Design d = committed_design(arch);
+    const double q = evaluator.evaluate(d);
+    result.log.push_back(ExploredPoint{d, q, q >= quality_constraint, phase});
+    return q;
+  };
+
+  // ---- Phase 1 (lines 4-16): first stage, aggressive end first, accept the
+  // first satisfying design.
+  {
+    const StageSpace& sp = spaces.front();
+    StageDesign& sd = arch.front();
+    std::vector<int> lsb_desc(sp.lsb_list_ascending.rbegin(), sp.lsb_list_ascending.rend());
+    bool found = false;
+    for (const int lsb : lsb_desc) {
+      for (const MultKind mult : lists.mults) {
+        for (const AdderKind add : lists.adders) {
+          sd = StageDesign{sp.stage, lsb, add, mult};
+          if (evaluate_point(1) >= quality_constraint) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (found) break;
+    }
+    if (!found) sd = StageDesign{sp.stage, 0, lists.adders.front(), lists.mults.front()};
+  }
+
+  // Satisfying designs of the previous stage (Stage1 array of the
+  // pseudo-code) and of the current stage (Stage2).
+  std::vector<StageDesign> stage1{arch.front()};
+  std::vector<StageDesign> stage2;
+
+  // ---- Lines 17-51: phases 2 and 3 for every remaining stage.
+  for (std::size_t i = 1; i < spaces.size(); ++i) {
+    const StageSpace& sp = spaces[i];
+    StageDesign& cur = arch[i];
+    StageDesign& prev = arch[i - 1];
+    stage2.clear();
+
+    // Phase 2 (lines 19-31): reversed lists — gentle end first; keep going
+    // while the constraint holds, stop at the first violation.
+    {
+      bool violated = false;
+      for (const int lsb : sp.lsb_list_ascending) {
+        if (lsb == 0) continue;  // zero approximation == the committed start
+        for (auto mult_it = lists.mults.rbegin(); mult_it != lists.mults.rend(); ++mult_it) {
+          for (auto add_it = lists.adders.rbegin(); add_it != lists.adders.rend(); ++add_it) {
+            cur = StageDesign{sp.stage, lsb, *add_it, *mult_it};
+            if (evaluate_point(2) < quality_constraint) {
+              violated = true;
+              break;
+            }
+            stage2.push_back(cur);
+          }
+          if (violated) break;
+        }
+        if (violated) break;
+      }
+      // Roll back to the last satisfying configuration of this stage.
+      cur = stage2.empty() ? StageDesign{sp.stage, 0, lists.adders.front(), lists.mults.front()}
+                           : stage2.back();
+    }
+
+    // Phase 3 (lines 32-46): diagonal +/-2 LSB trade between stage i-1 and i.
+    {
+      const StageDesign prev_before = prev;
+      const StageDesign cur_before = cur;
+      int lsb1 = prev.lsbs;
+      int lsb2 = cur.lsbs;
+      const int cur_max = sp.lsb_list_ascending.empty() ? 0 : sp.lsb_list_ascending.back();
+      while (lsb1 >= 2) {
+        lsb1 -= 2;
+        lsb2 = std::min(lsb2 + 2, cur_max);
+        for (const MultKind mult : lists.mults) {
+          for (const AdderKind add : lists.adders) {
+            prev = StageDesign{spaces[i - 1].stage, lsb1, add, mult};
+            cur = StageDesign{sp.stage, lsb2, add, mult};
+            if (evaluate_point(3) >= quality_constraint) {
+              stage1.push_back(prev);
+              stage2.push_back(cur);
+            }
+          }
+        }
+      }
+      prev = prev_before;
+      cur = cur_before;
+    }
+
+    // Lines 47-48: commit the maximum-energy-saving satisfying design of
+    // each stage (independently, per the pseudo-code).
+    auto best_of = [&](const std::vector<StageDesign>& cands,
+                       const StageDesign& fallback) -> StageDesign {
+      StageDesign best = fallback;
+      double best_red = energy.stage_energy_reduction(fallback.stage,
+                                                      fallback.arith_config());
+      for (const auto& c : cands) {
+        const double red = energy.stage_energy_reduction(c.stage, c.arith_config());
+        if (red > best_red) {
+          best = c;
+          best_red = red;
+        }
+      }
+      return best;
+    };
+    const StageDesign acc_prev{spaces[i - 1].stage, 0, lists.adders.front(),
+                               lists.mults.front()};
+    const StageDesign acc_cur{sp.stage, 0, lists.adders.front(), lists.mults.front()};
+    prev = best_of(stage1, acc_prev);
+    cur = best_of(stage2, acc_cur);
+
+    // The pseudo-code selects the two stages independently, which can pair
+    // configurations never evaluated together; re-validate and fall back to
+    // the last jointly-satisfying point if needed.
+    if (evaluate_point(3) < quality_constraint) {
+      for (auto it = result.log.rbegin(); it != result.log.rend(); ++it) {
+        if (it->satisfied) {
+          for (std::size_t s = 0; s < spaces.size(); ++s) {
+            const auto sd = find_stage(it->design, spaces[s].stage);
+            arch[s] = sd ? *sd
+                         : StageDesign{spaces[s].stage, 0, lists.adders.front(),
+                                       lists.mults.front()};
+          }
+          break;
+        }
+      }
+    }
+
+    // Lines 49-50: roll the arrays.
+    stage1 = stage2;
+    stage2.clear();
+  }
+
+  // Final re-validation of the committed configuration.
+  result.best = committed_design(arch);
+  result.best_quality = evaluator.evaluate(result.best);
+  result.log.push_back(ExploredPoint{result.best, result.best_quality,
+                                     result.best_quality >= quality_constraint, 3});
+  result.feasible = result.best_quality >= quality_constraint;
+  result.energy_reduction = energy.energy_reduction(result.best);
+  result.evaluations = static_cast<int>(result.log.size());
+  return result;
+}
+
+}  // namespace xbs::explore

@@ -1,0 +1,64 @@
+#include "xbs/explore/design.hpp"
+
+#include <sstream>
+
+namespace xbs::explore {
+
+std::string StageDesign::to_string() const {
+  std::ostringstream os;
+  os << xbs::pantompkins::to_string(stage) << ":" << lsbs << "/" << xbs::to_string(add_kind)
+     << "/" << xbs::to_string(mult_kind);
+  return os.str();
+}
+
+std::string to_string(const Design& d) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& sd : d) {
+    if (!first) os << " ";
+    os << sd.to_string();
+    first = false;
+  }
+  if (d.empty()) os << "(accurate)";
+  return os.str();
+}
+
+std::optional<StageDesign> find_stage(const Design& d, pantompkins::Stage s) {
+  for (const auto& sd : d) {
+    if (sd.stage == s) return sd;
+  }
+  return std::nullopt;
+}
+
+Design merge(const Design& base, const Design& overlay) {
+  Design out = base;
+  for (const auto& sd : overlay) {
+    bool replaced = false;
+    for (auto& existing : out) {
+      if (existing.stage == sd.stage) {
+        existing = sd;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) out.push_back(sd);
+  }
+  return out;
+}
+
+pantompkins::PipelineConfig to_pipeline_config(const Design& d) {
+  pantompkins::PipelineConfig cfg;  // all stages exact by default
+  for (const auto& sd : d) {
+    cfg.stage[static_cast<std::size_t>(sd.stage)] = sd.arith_config();
+  }
+  return cfg;
+}
+
+std::vector<int> default_lsb_list(pantompkins::Stage s) {
+  const int max = pantompkins::stage_inventory(s).max_lsbs;
+  std::vector<int> list;
+  for (int k = 0; k <= max; k += 2) list.push_back(k);
+  return list;
+}
+
+}  // namespace xbs::explore

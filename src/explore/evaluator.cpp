@@ -1,0 +1,93 @@
+#include "xbs/explore/evaluator.hpp"
+
+#include <algorithm>
+
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/metrics/signal_quality.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::explore {
+namespace {
+
+std::vector<double> to_double(std::span<const i32> v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+struct PreprocPsnrEvaluator::Impl {
+  std::vector<ecg::DigitizedRecord> records;
+  std::vector<std::vector<double>> ref_hpf;  ///< accurate HPF output per record
+
+  explicit Impl(std::vector<ecg::DigitizedRecord> recs) : records(std::move(recs)) {
+    const pantompkins::PanTompkinsPipeline accurate;
+    for (const auto& rec : records) {
+      ref_hpf.push_back(to_double(accurate.run_filters(rec.adu).hpf));
+    }
+  }
+
+  template <typename Metric>
+  [[nodiscard]] double mean_metric(const Design& d, Metric metric) const {
+    const pantompkins::PanTompkinsPipeline pipe(to_pipeline_config(d));
+    double total = 0.0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto out = pipe.run_filters(records[i].adu);
+      total += metric(ref_hpf[i], to_double(out.hpf));
+    }
+    return total / static_cast<double>(records.size());
+  }
+};
+
+PreprocPsnrEvaluator::PreprocPsnrEvaluator(std::vector<ecg::DigitizedRecord> records)
+    : impl_(std::make_unique<Impl>(std::move(records))) {}
+
+PreprocPsnrEvaluator::~PreprocPsnrEvaluator() = default;
+
+double PreprocPsnrEvaluator::evaluate_impl(const Design& d) {
+  return impl_->mean_metric(d, [](const auto& ref, const auto& test) {
+    return metrics::psnr_db(ref, test);
+  });
+}
+
+double PreprocPsnrEvaluator::ssim_of(const Design& d) const {
+  return impl_->mean_metric(d, [](const auto& ref, const auto& test) {
+    return metrics::ssim(ref, test);
+  });
+}
+
+struct AccuracyEvaluator::Impl {
+  std::vector<ecg::DigitizedRecord> records;
+  Design base;
+  Counts last{};
+};
+
+AccuracyEvaluator::AccuracyEvaluator(std::vector<ecg::DigitizedRecord> records, Design base)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->records = std::move(records);
+  impl_->base = std::move(base);
+}
+
+AccuracyEvaluator::~AccuracyEvaluator() = default;
+
+double AccuracyEvaluator::evaluate_impl(const Design& d) {
+  const Design full = merge(impl_->base, d);
+  const pantompkins::PanTompkinsPipeline pipe(to_pipeline_config(full));
+  Counts c{};
+  for (const auto& rec : impl_->records) {
+    const auto out = pipe.run(rec.adu);
+    const auto m = metrics::match_peaks(rec.r_peaks, out.detection.peaks,
+                                        metrics::default_tolerance_samples(rec.fs_hz));
+    c.true_positives += m.true_positives;
+    c.false_positives += m.false_positives;
+    c.false_negatives += m.false_negatives;
+    c.truth += m.truth_count();
+  }
+  impl_->last = c;
+  if (c.truth == 0) return c.false_positives == 0 ? 100.0 : 0.0;
+  const double err = static_cast<double>(c.false_negatives + c.false_positives) / c.truth;
+  return 100.0 * std::max(0.0, 1.0 - err);
+}
+
+AccuracyEvaluator::Counts AccuracyEvaluator::last_counts() const noexcept { return impl_->last; }
+
+}  // namespace xbs::explore

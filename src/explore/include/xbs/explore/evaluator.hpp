@@ -1,0 +1,93 @@
+/// \file evaluator.hpp
+/// \brief Behavioural quality evaluation of candidate designs — the
+/// Evaluate() step of Algorithm 1, run on the bit-accurate pipeline.
+///
+/// The methodology evaluates quality twice (paper §4): after data
+/// pre-processing (signal quality of the HPF output, PSNR or SSIM) and after
+/// signal processing (peak-detection accuracy). Each evaluator owns its
+/// workload records, caches the accurate reference, and counts evaluations —
+/// the count drives the Fig. 11 exploration-time analysis.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "xbs/ecg/record.hpp"
+#include "xbs/explore/design.hpp"
+
+namespace xbs::explore {
+
+/// Interface: higher return value = better quality.
+class QualityEvaluator {
+ public:
+  virtual ~QualityEvaluator() = default;
+
+  /// Evaluate the quality metric of a design (absent stages accurate).
+  [[nodiscard]] double evaluate(const Design& d) {
+    ++evaluations_;
+    return evaluate_impl(d);
+  }
+
+  [[nodiscard]] virtual std::string_view metric_name() const noexcept = 0;
+  [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+  void reset_evaluations() noexcept { evaluations_ = 0; }
+
+ protected:
+  [[nodiscard]] virtual double evaluate_impl(const Design& d) = 0;
+
+ private:
+  int evaluations_ = 0;
+};
+
+/// Pre-processing quality stage: mean PSNR (dB) of the approximate HPF
+/// output against the accurate HPF output across the workload records.
+class PreprocPsnrEvaluator final : public QualityEvaluator {
+ public:
+  explicit PreprocPsnrEvaluator(std::vector<ecg::DigitizedRecord> records);
+  ~PreprocPsnrEvaluator() override;
+
+  [[nodiscard]] std::string_view metric_name() const noexcept override { return "PSNR [dB]"; }
+
+  /// Mean SSIM of the same comparison (reported alongside PSNR).
+  [[nodiscard]] double ssim_of(const Design& d) const;
+
+ protected:
+  [[nodiscard]] double evaluate_impl(const Design& d) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Final quality stage: aggregate peak-detection accuracy (%) across the
+/// workload records, with an optional fixed base design (the pre-processing
+/// configuration chosen earlier) merged under every candidate.
+class AccuracyEvaluator final : public QualityEvaluator {
+ public:
+  AccuracyEvaluator(std::vector<ecg::DigitizedRecord> records, Design base = {});
+  ~AccuracyEvaluator() override;
+
+  [[nodiscard]] std::string_view metric_name() const noexcept override {
+    return "Peak detection accuracy [%]";
+  }
+
+  /// Aggregate counts of the last evaluation (for misclassification drill-in).
+  struct Counts {
+    int true_positives = 0;
+    int false_positives = 0;
+    int false_negatives = 0;
+    int truth = 0;
+  };
+  [[nodiscard]] Counts last_counts() const noexcept;
+
+ protected:
+  [[nodiscard]] double evaluate_impl(const Design& d) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xbs::explore

@@ -1,0 +1,50 @@
+/// \file exhaustive.hpp
+/// \brief Exhaustive and heuristic baseline explorers (paper §6.1, Fig. 11).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "xbs/explore/design.hpp"
+#include "xbs/explore/energy_model.hpp"
+#include "xbs/explore/evaluator.hpp"
+
+namespace xbs::explore {
+
+/// One fully evaluated grid point.
+struct GridPoint {
+  Design design;
+  double quality = 0.0;
+  double energy_reduction = 1.0;
+  bool satisfied = false;
+};
+
+/// Result of a grid exploration.
+struct GridResult {
+  std::vector<GridPoint> points;
+  int evaluations = 0;
+  /// Best = maximum energy reduction among constraint-satisfying points.
+  [[nodiscard]] const GridPoint* best() const noexcept;
+};
+
+/// Exhaustively evaluate the cross product of every stage's LSB list with
+/// the given module lists applied per stage (the 9x9 = 81-combination
+/// experiment of Table 2 when called with the two pre-processing stages and
+/// singleton module lists).
+[[nodiscard]] GridResult exhaustive_explore(const std::vector<StageSpace>& spaces,
+                                            const ModuleLists& lists,
+                                            QualityEvaluator& evaluator,
+                                            const StageEnergyModel& energy,
+                                            double quality_constraint);
+
+/// The paper's "heuristic" baseline (§6.1): one elementary adder and
+/// multiplier pair for the whole design, LSBs restricted to multiples of two
+/// — i.e. the same grid as exhaustive_explore but with the module pair
+/// chosen globally instead of per stage.
+[[nodiscard]] GridResult heuristic_explore(const std::vector<StageSpace>& spaces,
+                                           const ModuleLists& lists,
+                                           QualityEvaluator& evaluator,
+                                           const StageEnergyModel& energy,
+                                           double quality_constraint);
+
+}  // namespace xbs::explore

@@ -1,0 +1,17 @@
+/// \file pareto.hpp
+/// \brief Pareto-front extraction over (quality, energy reduction) — used
+/// for the Fig. 12 design selection (§6.2: "we obtain two Pareto-optimal
+/// points from the design space by extracting the Pareto-frontier").
+#pragma once
+
+#include <vector>
+
+#include "xbs/explore/exhaustive.hpp"
+
+namespace xbs::explore {
+
+/// Indices of the Pareto-optimal points of \p points, maximizing both
+/// quality and energy reduction. Output is sorted by descending quality.
+[[nodiscard]] std::vector<std::size_t> pareto_front(const std::vector<GridPoint>& points);
+
+}  // namespace xbs::explore

@@ -1,0 +1,41 @@
+/// \file timing.hpp
+/// \brief Exploration-duration model (paper Fig. 11).
+///
+/// The paper times one behavioural evaluation of a 20,000-sample recording
+/// at ~300 s (§6.1) and compares three search strategies as the number of
+/// approximated stages grows:
+///  - *exhaustive*: the joint cross product of every stage's full parameter
+///    range — LSBs 0..16 at step 1, all 6 adders, all 3 multipliers;
+///  - *heuristic*: the restricted grid of §6.1 — one global module pair,
+///    LSBs at multiples of two;
+///  - *Algorithm 1*: the measured number of evaluations of the three-phase
+///    methodology.
+#pragma once
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::explore {
+
+/// Duration model: evaluations x seconds-per-evaluation.
+struct ExplorationTimeModel {
+  double seconds_per_evaluation = 300.0;  ///< paper §6.1: 20k samples ~ 300 s
+  int lsb_options_full = 17;              ///< 0..16 step 1
+  int lsb_options_step2 = 9;              ///< 0..16 step 2
+  int adder_kinds = 6;
+  int mult_kinds = 3;
+
+  /// Joint exhaustive evaluations for n approximated stages.
+  [[nodiscard]] double exhaustive_evaluations(int n_stages) const noexcept;
+
+  /// Heuristic evaluations for n stages (global module pair, step-2 LSBs).
+  [[nodiscard]] double heuristic_evaluations(int n_stages) const noexcept;
+
+  [[nodiscard]] double hours(double evaluations) const noexcept {
+    return evaluations * seconds_per_evaluation / 3600.0;
+  }
+  [[nodiscard]] double years(double evaluations) const noexcept {
+    return evaluations * seconds_per_evaluation / (3600.0 * 24.0 * 365.25);
+  }
+};
+
+}  // namespace xbs::explore

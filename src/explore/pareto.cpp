@@ -1,0 +1,26 @@
+#include "xbs/explore/pareto.hpp"
+
+#include <algorithm>
+
+namespace xbs::explore {
+
+std::vector<std::size_t> pareto_front(const std::vector<GridPoint>& points) {
+  std::vector<std::size_t> idx(points.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  // Sort by quality desc, then energy reduction desc.
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].quality != points[b].quality) return points[a].quality > points[b].quality;
+    return points[a].energy_reduction > points[b].energy_reduction;
+  });
+  std::vector<std::size_t> front;
+  double best_energy = -1.0;
+  for (const std::size_t i : idx) {
+    if (points[i].energy_reduction > best_energy) {
+      front.push_back(i);
+      best_energy = points[i].energy_reduction;
+    }
+  }
+  return front;
+}
+
+}  // namespace xbs::explore

@@ -1,0 +1,18 @@
+#include "xbs/explore/timing.hpp"
+
+#include <cmath>
+
+namespace xbs::explore {
+
+double ExplorationTimeModel::exhaustive_evaluations(int n_stages) const noexcept {
+  const double per_stage =
+      static_cast<double>(lsb_options_full) * adder_kinds * mult_kinds;
+  return std::pow(per_stage, n_stages);
+}
+
+double ExplorationTimeModel::heuristic_evaluations(int n_stages) const noexcept {
+  const double lsb_grid = std::pow(static_cast<double>(lsb_options_step2), n_stages);
+  return static_cast<double>(adder_kinds) * mult_kinds * lsb_grid;
+}
+
+}  // namespace xbs::explore

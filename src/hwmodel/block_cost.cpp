@@ -1,0 +1,81 @@
+#include "xbs/hwmodel/block_cost.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "xbs/arith/structure.hpp"
+
+namespace xbs::hwmodel {
+namespace {
+
+double ratio(double acc, double approx) noexcept {
+  if (approx <= 0.0) {
+    return acc <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return acc / approx;
+}
+
+}  // namespace
+
+Cost adder_block_cost(const arith::AdderConfig& cfg) {
+  Cost total{};
+  for (int i = 0; i < cfg.width; ++i) {
+    const bool approx = arith::fa_is_approx(cfg.weight_offset + i, cfg.approx_lsbs);
+    total += cell_cost(approx ? cfg.kind : AdderKind::Accurate);
+  }
+  return total;
+}
+
+Cost mult_block_cost(const arith::MultiplierConfig& cfg) {
+  const arith::MultStructure s = arith::compute_mult_structure(cfg.width);
+  Cost total{};
+  // Elementary 2x2 modules.
+  for (const auto& e : s.elems) {
+    const bool approx = arith::elem_is_approx(cfg.policy, e.out_offset, cfg.approx_lsbs);
+    const Cost c = cell_cost(approx ? cfg.mult_kind : MultKind::Accurate);
+    total.area_um2 += c.area_um2;
+    total.power_uw += c.power_uw;
+    total.energy_fj += c.energy_fj;
+  }
+  // Partial-product accumulation adders.
+  for (const auto& a : s.adders) {
+    for (int i = 0; i < a.width; ++i) {
+      const bool approx = arith::fa_is_approx(a.out_offset + i, cfg.approx_lsbs);
+      const Cost c = cell_cost(approx ? cfg.adder_kind : AdderKind::Accurate);
+      total.area_um2 += c.area_um2;
+      total.power_uw += c.power_uw;
+      total.energy_fj += c.energy_fj;
+    }
+  }
+  // First-order critical path: one elementary module at offset 0, then the
+  // three sequential combine adders of each level on the base-0 path.
+  const bool elem0_approx = arith::elem_is_approx(cfg.policy, 0, cfg.approx_lsbs);
+  double delay = cell_cost(elem0_approx ? cfg.mult_kind : MultKind::Accurate).delay_ns;
+  for (int n = 4; n <= cfg.width; n *= 2) {
+    const arith::AdderConfig level{2 * n, cfg.approx_lsbs, cfg.adder_kind, 0};
+    delay += 3.0 * adder_block_cost(level).delay_ns;
+  }
+  total.delay_ns = delay;
+  return total;
+}
+
+Cost stage_cost(int n_adders, int n_mults, const arith::StageArithConfig& cfg) {
+  const Cost add = adder_block_cost(cfg.adder);
+  const Cost mult = mult_block_cost(cfg.mult);
+  Cost total = static_cast<double>(n_adders) * add + static_cast<double>(n_mults) * mult;
+  // Stage latency is one multiplier followed by the accumulation adder chain,
+  // not the sum over all parallel instances.
+  total.delay_ns = (n_mults > 0 ? mult.delay_ns : 0.0) + (n_adders > 0 ? add.delay_ns : 0.0);
+  return total;
+}
+
+Reductions reductions(const Cost& accurate, const Cost& approximate) noexcept {
+  Reductions r;
+  r.area = ratio(accurate.area_um2, approximate.area_um2);
+  r.delay = ratio(accurate.delay_ns, approximate.delay_ns);
+  r.power = ratio(accurate.power_uw, approximate.power_uw);
+  r.energy = ratio(accurate.energy_fj, approximate.energy_fj);
+  return r;
+}
+
+}  // namespace xbs::hwmodel

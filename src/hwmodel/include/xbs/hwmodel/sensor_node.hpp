@@ -1,0 +1,46 @@
+/// \file sensor_node.hpp
+/// \brief Energy model of bio-signal monitoring sensor nodes (paper Fig. 1).
+///
+/// Fig. 1 of the paper adapts per-day energy figures for five wearable
+/// sensor-node types from Nia et al. (IEEE TMSCS'15) and Rault (PhD'15): the
+/// sensing front-end consumes at least six orders of magnitude less than the
+/// node total, and on-sensor processing accounts for 40-60 % of the total.
+/// This model reproduces those published relationships and is used by the
+/// Fig. 1 bench and the energy-budget example.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace xbs::hwmodel {
+
+/// Per-day energy profile of one sensor-node type.
+struct SensorNodeSpec {
+  std::string_view name;
+  double total_j_per_day = 0.0;
+  double sensing_j_per_day = 0.0;
+  double processing_share = 0.5;  ///< fraction of total spent on processing
+
+  [[nodiscard]] double processing_j_per_day() const noexcept {
+    return processing_share * total_j_per_day;
+  }
+  [[nodiscard]] double communication_j_per_day() const noexcept {
+    return total_j_per_day - processing_j_per_day() - sensing_j_per_day;
+  }
+  /// Orders of magnitude between sensing and total energy.
+  [[nodiscard]] double sensing_gap_orders() const noexcept;
+
+  /// New total after scaling processing energy down by \p factor (>= 1).
+  [[nodiscard]] double total_after_processing_reduction(double factor) const noexcept;
+
+  /// Battery-lifetime extension factor achieved by the processing reduction.
+  [[nodiscard]] double lifetime_extension(double factor) const noexcept {
+    return total_j_per_day / total_after_processing_reduction(factor);
+  }
+};
+
+/// The five node types of Fig. 1: heart rate, oxygen saturation, skin
+/// temperature, ECG, EEG.
+[[nodiscard]] const std::array<SensorNodeSpec, 5>& standard_nodes() noexcept;
+
+}  // namespace xbs::hwmodel

@@ -1,0 +1,4 @@
+#include "xbs/hwmodel/software_energy.hpp"
+
+// Header-only model; this translation unit exists so the target has a
+// non-interface source and the header stays self-contained.

@@ -1,0 +1,46 @@
+/// \file peaks.hpp
+/// \brief R-peak matching and the paper's peak-detection-accuracy metric
+/// (the final quality-evaluation stage of the methodology).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xbs::metrics {
+
+/// Outcome of matching detected peaks against ground-truth annotations.
+struct PeakMatchResult {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+  std::vector<std::size_t> matched_truth;     ///< truth indices that were found
+  std::vector<std::size_t> missed_truth;      ///< truth indices with no detection
+  std::vector<std::size_t> spurious_detected; ///< detections with no truth peak
+
+  [[nodiscard]] int truth_count() const noexcept { return true_positives + false_negatives; }
+  /// Sensitivity (recall): TP / (TP + FN), in percent.
+  [[nodiscard]] double sensitivity_pct() const noexcept;
+  /// Positive predictive value: TP / (TP + FP), in percent.
+  [[nodiscard]] double ppv_pct() const noexcept;
+  /// F1 score in percent.
+  [[nodiscard]] double f1_pct() const noexcept;
+  /// The paper's peak-detection accuracy: the fraction of heartbeats
+  /// correctly detected, penalizing both misses and spurious detections:
+  /// 100 * max(0, 1 - (FN + FP) / truth). Identical counts with garbage
+  /// placement therefore still score 0, matching the paper's observation
+  /// that accuracy collapses past the error-resilience threshold.
+  [[nodiscard]] double detection_accuracy_pct() const noexcept;
+};
+
+/// Greedily match detections to truth annotations within +/- tolerance
+/// samples (nearest-first, one-to-one). Both inputs must be sorted.
+[[nodiscard]] PeakMatchResult match_peaks(std::span<const std::size_t> truth,
+                                          std::span<const std::size_t> detected,
+                                          std::size_t tolerance_samples);
+
+/// Default matching tolerance: 150 ms (the AAMI-style acceptance window) at
+/// the given sampling rate.
+[[nodiscard]] std::size_t default_tolerance_samples(double fs_hz) noexcept;
+
+}  // namespace xbs::metrics

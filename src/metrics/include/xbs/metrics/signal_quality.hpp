@@ -1,0 +1,37 @@
+/// \file signal_quality.hpp
+/// \brief Signal-quality metrics for the pre-processing quality stage:
+/// PSNR and 1-D SSIM (the paper's intermediate constraints), plus RMSE/MAE.
+#pragma once
+
+#include <span>
+
+namespace xbs::metrics {
+
+/// Mean squared error between reference and test (sizes must match).
+[[nodiscard]] double mse(std::span<const double> ref, std::span<const double> test);
+
+/// Root-mean-square error.
+[[nodiscard]] double rmse(std::span<const double> ref, std::span<const double> test);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> ref, std::span<const double> test);
+
+/// Peak signal-to-noise ratio in dB. The peak value is the reference's
+/// dynamic range (max - min); identical signals yield +infinity.
+[[nodiscard]] double psnr_db(std::span<const double> ref, std::span<const double> test);
+
+/// Parameters of the 1-D SSIM metric (Wang et al. adapted to signals):
+/// mean SSIM over sliding windows, with stabilizers derived from the
+/// reference dynamic range.
+struct SsimParams {
+  int window = 64;   ///< sliding-window length in samples
+  int stride = 16;   ///< hop between windows
+  double k1 = 0.01;  ///< luminance stabilizer coefficient
+  double k2 = 0.03;  ///< contrast stabilizer coefficient
+};
+
+/// Mean structural similarity index in [-1, 1] (1 = identical).
+[[nodiscard]] double ssim(std::span<const double> ref, std::span<const double> test,
+                          const SsimParams& params = {});
+
+}  // namespace xbs::metrics

@@ -1,0 +1,93 @@
+#include "xbs/metrics/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace xbs::metrics {
+
+double PeakMatchResult::sensitivity_pct() const noexcept {
+  const int denom = true_positives + false_negatives;
+  return denom > 0 ? 100.0 * true_positives / denom : 100.0;
+}
+
+double PeakMatchResult::ppv_pct() const noexcept {
+  const int denom = true_positives + false_positives;
+  return denom > 0 ? 100.0 * true_positives / denom : 100.0;
+}
+
+double PeakMatchResult::f1_pct() const noexcept {
+  const double se = sensitivity_pct();
+  const double pp = ppv_pct();
+  return (se + pp) > 0.0 ? 2.0 * se * pp / (se + pp) : 0.0;
+}
+
+double PeakMatchResult::detection_accuracy_pct() const noexcept {
+  const int truth = truth_count();
+  if (truth == 0) return false_positives == 0 ? 100.0 : 0.0;
+  const double err = static_cast<double>(false_negatives + false_positives) / truth;
+  return 100.0 * std::max(0.0, 1.0 - err);
+}
+
+PeakMatchResult match_peaks(std::span<const std::size_t> truth,
+                            std::span<const std::size_t> detected,
+                            std::size_t tolerance_samples) {
+  PeakMatchResult r;
+  std::vector<bool> truth_used(truth.size(), false);
+  std::vector<bool> det_used(detected.size(), false);
+
+  // Nearest-first greedy matching: enumerate candidate pairs within
+  // tolerance, sort by distance, accept one-to-one.
+  struct Pair {
+    std::size_t d_truth;
+    std::size_t ti;
+    std::size_t di;
+  };
+  std::vector<Pair> pairs;
+  std::size_t di_start = 0;
+  for (std::size_t ti = 0; ti < truth.size(); ++ti) {
+    // Advance the lower bound (both arrays sorted).
+    while (di_start < detected.size() &&
+           detected[di_start] + tolerance_samples < truth[ti]) {
+      ++di_start;
+    }
+    for (std::size_t di = di_start; di < detected.size(); ++di) {
+      if (detected[di] > truth[ti] + tolerance_samples) break;
+      const std::size_t dist = detected[di] > truth[ti] ? detected[di] - truth[ti]
+                                                        : truth[ti] - detected[di];
+      pairs.push_back(Pair{dist, ti, di});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.d_truth != b.d_truth) return a.d_truth < b.d_truth;
+    if (a.ti != b.ti) return a.ti < b.ti;
+    return a.di < b.di;
+  });
+  for (const Pair& p : pairs) {
+    if (truth_used[p.ti] || det_used[p.di]) continue;
+    truth_used[p.ti] = true;
+    det_used[p.di] = true;
+    ++r.true_positives;
+    r.matched_truth.push_back(p.ti);
+  }
+  for (std::size_t ti = 0; ti < truth.size(); ++ti) {
+    if (!truth_used[ti]) {
+      ++r.false_negatives;
+      r.missed_truth.push_back(ti);
+    }
+  }
+  for (std::size_t di = 0; di < detected.size(); ++di) {
+    if (!det_used[di]) {
+      ++r.false_positives;
+      r.spurious_detected.push_back(di);
+    }
+  }
+  std::sort(r.matched_truth.begin(), r.matched_truth.end());
+  return r;
+}
+
+std::size_t default_tolerance_samples(double fs_hz) noexcept {
+  return static_cast<std::size_t>(std::llround(0.150 * fs_hz));
+}
+
+}  // namespace xbs::metrics

@@ -1,0 +1,95 @@
+#include "xbs/metrics/signal_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace xbs::metrics {
+namespace {
+
+void check_sizes(std::span<const double> ref, std::span<const double> test) {
+  if (ref.size() != test.size() || ref.empty()) {
+    throw std::invalid_argument("signal metrics require equal, non-zero sizes");
+  }
+}
+
+double dynamic_range(std::span<const double> ref) noexcept {
+  const auto [lo, hi] = std::minmax_element(ref.begin(), ref.end());
+  return *hi - *lo;
+}
+
+}  // namespace
+
+double mse(std::span<const double> ref, std::span<const double> test) {
+  check_sizes(ref, test);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d = ref[i] - test[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(ref.size());
+}
+
+double rmse(std::span<const double> ref, std::span<const double> test) {
+  return std::sqrt(mse(ref, test));
+}
+
+double mae(std::span<const double> ref, std::span<const double> test) {
+  check_sizes(ref, test);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) acc += std::abs(ref[i] - test[i]);
+  return acc / static_cast<double>(ref.size());
+}
+
+double psnr_db(std::span<const double> ref, std::span<const double> test) {
+  const double m = mse(ref, test);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  const double peak = dynamic_range(ref);
+  if (peak <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / m);
+}
+
+double ssim(std::span<const double> ref, std::span<const double> test, const SsimParams& p) {
+  check_sizes(ref, test);
+  if (p.window < 2 || p.stride < 1) throw std::invalid_argument("bad SSIM parameters");
+  const std::size_t n = ref.size();
+  if (n < 2) return 1.0;
+  const double range = std::max(dynamic_range(ref), 1e-12);
+  const double c1 = (p.k1 * range) * (p.k1 * range);
+  const double c2 = (p.k2 * range) * (p.k2 * range);
+
+  // Signals shorter than one window are scored over a single full-signal
+  // window.
+  const std::size_t w = std::min<std::size_t>(static_cast<std::size_t>(p.window), n);
+  double total = 0.0;
+  std::size_t count = 0;
+  const std::size_t last = n - w;
+  for (std::size_t start = 0; start <= last; start += static_cast<std::size_t>(p.stride)) {
+    double mu_r = 0.0, mu_t = 0.0;
+    for (std::size_t i = start; i < start + w; ++i) {
+      mu_r += ref[i];
+      mu_t += test[i];
+    }
+    mu_r /= static_cast<double>(w);
+    mu_t /= static_cast<double>(w);
+    double var_r = 0.0, var_t = 0.0, cov = 0.0;
+    for (std::size_t i = start; i < start + w; ++i) {
+      const double dr = ref[i] - mu_r;
+      const double dt = test[i] - mu_t;
+      var_r += dr * dr;
+      var_t += dt * dt;
+      cov += dr * dt;
+    }
+    var_r /= static_cast<double>(w - 1);
+    var_t /= static_cast<double>(w - 1);
+    cov /= static_cast<double>(w - 1);
+    const double num = (2.0 * mu_r * mu_t + c1) * (2.0 * cov + c2);
+    const double den = (mu_r * mu_r + mu_t * mu_t + c1) * (var_r + var_t + c2);
+    total += num / den;
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace xbs::metrics

@@ -1,0 +1,149 @@
+#include "xbs/netlist/builders.hpp"
+
+#include <stdexcept>
+
+#include "xbs/arith/structure.hpp"
+#include "xbs/common/bitops.hpp"
+
+namespace xbs::netlist {
+namespace {
+
+/// Zero-extend or truncate a bus to the given width.
+std::vector<NetId> resize_bus(std::span<const NetId> bus, int width) {
+  std::vector<NetId> out(static_cast<std::size_t>(width), kConst0);
+  for (std::size_t i = 0; i < out.size() && i < bus.size(); ++i) out[i] = bus[i];
+  return out;
+}
+
+/// Shift a bus left by n bits (prepending constant zeros), keeping width.
+std::vector<NetId> shift_bus(std::span<const NetId> bus, int n, int width) {
+  std::vector<NetId> out(static_cast<std::size_t>(width), kConst0);
+  for (int i = 0; i + n < width && i < static_cast<int>(bus.size()); ++i) {
+    out[static_cast<std::size_t>(i + n)] = bus[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+/// Recursive multiplier core mirroring arith::RecursiveMultiplier::simulate.
+std::vector<NetId> build_mult_rec(Netlist& nl, const arith::MultiplierConfig& cfg, int n,
+                                  std::span<const NetId> a, std::span<const NetId> b, int off_a,
+                                  int off_b) {
+  const int base = off_a + off_b;
+  if (n == 2) {
+    const MultKind kind = arith::elem_is_approx(cfg.policy, base, cfg.approx_lsbs)
+                              ? cfg.mult_kind
+                              : MultKind::Accurate;
+    const auto outs = nl.emit_mult2(kind, a[0], a[1], b[0], b[1], base);
+    return {outs.begin(), outs.end()};
+  }
+  const int h = n / 2;
+  const std::span<const NetId> al = a.subspan(0, static_cast<std::size_t>(h));
+  const std::span<const NetId> ah = a.subspan(static_cast<std::size_t>(h));
+  const std::span<const NetId> bl = b.subspan(0, static_cast<std::size_t>(h));
+  const std::span<const NetId> bh = b.subspan(static_cast<std::size_t>(h));
+  const std::vector<NetId> ll = build_mult_rec(nl, cfg, h, al, bl, off_a, off_b);
+  const std::vector<NetId> hl = build_mult_rec(nl, cfg, h, ah, bl, off_a + h, off_b);
+  const std::vector<NetId> lh = build_mult_rec(nl, cfg, h, al, bh, off_a, off_b + h);
+  const std::vector<NetId> hh = build_mult_rec(nl, cfg, h, ah, bh, off_a + h, off_b + h);
+  // P = LL + ((HL + LH) << h) + (HH << n), three 2n-bit adders at this base.
+  // Port convention mirrors arith::RecursiveMultiplier::combine: the
+  // structurally-zero operand goes to the A port so the wiring adder
+  // (Sum = B, Cout = A) passes live data through.
+  const arith::AdderConfig acfg{2 * n, cfg.approx_lsbs, cfg.adder_kind, base};
+  const std::vector<NetId> hl_sh = shift_bus(hl, h, 2 * n);
+  const std::vector<NetId> lh_sh = shift_bus(lh, h, 2 * n);
+  const AdderNets s1 = build_rca(nl, acfg, hl_sh, lh_sh);
+  const std::vector<NetId> ll_z = resize_bus(ll, 2 * n);
+  const AdderNets s2 = build_rca(nl, acfg, s1.sum, ll_z);
+  const std::vector<NetId> hh_sh = shift_bus(hh, n, 2 * n);
+  const AdderNets s3 = build_rca(nl, acfg, hh_sh, s2.sum);
+  return s3.sum;
+}
+
+}  // namespace
+
+AdderNets build_rca(Netlist& nl, const arith::AdderConfig& cfg, std::span<const NetId> a,
+                    std::span<const NetId> b, NetId carry_in) {
+  if (static_cast<int>(a.size()) != cfg.width || static_cast<int>(b.size()) != cfg.width) {
+    throw std::invalid_argument("build_rca: bus width mismatch");
+  }
+  AdderNets out;
+  out.sum.reserve(a.size());
+  NetId carry = carry_in;
+  for (int i = 0; i < cfg.width; ++i) {
+    const int weight = cfg.weight_offset + i;
+    const AdderKind kind =
+        arith::fa_is_approx(weight, cfg.approx_lsbs) ? cfg.kind : AdderKind::Accurate;
+    const FaPins pins = nl.emit_fa(kind, a[static_cast<std::size_t>(i)],
+                                   b[static_cast<std::size_t>(i)], carry, weight);
+    out.sum.push_back(pins.sum);
+    carry = pins.cout;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+std::vector<NetId> build_multiplier(Netlist& nl, const arith::MultiplierConfig& cfg,
+                                    std::span<const NetId> a, std::span<const NetId> b) {
+  if (static_cast<int>(a.size()) != cfg.width || static_cast<int>(b.size()) != cfg.width) {
+    throw std::invalid_argument("build_multiplier: bus width mismatch");
+  }
+  return build_mult_rec(nl, cfg, cfg.width, a, b, 0, 0);
+}
+
+Netlist build_fir_stage(const FirStageSpec& spec) {
+  Netlist nl;
+  std::vector<std::vector<NetId>> products;
+  for (const u32 mag : spec.coeff_magnitudes) {
+    if (mag == 0) continue;
+    const std::vector<NetId> x = nl.new_input_bus(16);
+    const std::vector<NetId> c = nl.const_bus(mag, 16);
+    std::vector<NetId> p = build_multiplier(nl, spec.arith.mult, x, c);
+    products.push_back(resize_bus(p, 32));
+  }
+  if (products.empty()) throw std::invalid_argument("build_fir_stage: all coefficients zero");
+  // Accumulate with a chain of (n_products - 1) 32-bit adders. Sign handling
+  // is polarity wiring in the real datapath; the adder count matches the
+  // paper's per-stage inventory (e.g. LPF: 11 multipliers, 10 adders).
+  std::vector<NetId> acc = products[0];
+  const arith::AdderConfig acfg = spec.arith.adder;
+  for (std::size_t i = 1; i < products.size(); ++i) {
+    acc = build_rca(nl, acfg, acc, products[i]).sum;
+  }
+  for (const NetId n : acc) nl.mark_output(n);
+  return nl;
+}
+
+Netlist build_squarer_stage(const arith::MultiplierConfig& cfg) {
+  Netlist nl;
+  const std::vector<NetId> x = nl.new_input_bus(cfg.width);
+  const std::vector<NetId> p = build_multiplier(nl, cfg, x, x);
+  for (const NetId n : p) nl.mark_output(n);
+  return nl;
+}
+
+Netlist build_mwi_stage(int window, const arith::AdderConfig& cfg, int input_bits) {
+  if (window < 2) throw std::invalid_argument("build_mwi_stage: window must be >= 2");
+  if (input_bits < 1 || input_bits > cfg.width) {
+    throw std::invalid_argument("build_mwi_stage: input_bits must be in [1, width]");
+  }
+  Netlist nl;
+  std::vector<std::vector<NetId>> terms;
+  terms.reserve(static_cast<std::size_t>(window));
+  for (int i = 0; i < window; ++i) {
+    terms.push_back(resize_bus(nl.new_input_bus(input_bits), cfg.width));
+  }
+  // Balanced feed-forward adder tree (window - 1 adders).
+  while (terms.size() > 1) {
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(build_rca(nl, cfg, terms[i], terms[i + 1]).sum);
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  for (const NetId n : terms[0]) nl.mark_output(n);
+  return nl;
+}
+
+}  // namespace xbs::netlist

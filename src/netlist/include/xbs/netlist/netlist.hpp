@@ -1,0 +1,126 @@
+/// \file netlist.hpp
+/// \brief Module-level netlist: the RTL/ASIC tool-flow substitute.
+///
+/// The paper implements its designs in VHDL, simulates them with ModelSim and
+/// synthesizes them with Synopsys Design Compiler. This library plays those
+/// roles: designs are built as netlists of elementary modules (1-bit full
+/// adders, elementary 2x2 multipliers, inverters), simulated bit-accurately
+/// (ModelSim substitute, cross-validated against the fast behavioural models)
+/// and passed through a mini synthesis-optimization flow (constant
+/// propagation, functional wire collapse, dead-module elimination) before
+/// area/power/energy/critical-path reporting (Design Compiler substitute).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::netlist {
+
+/// Identifier of a net (wire). Nets 0 and 1 are the constant-0 and constant-1
+/// nets of every netlist.
+using NetId = u32;
+
+inline constexpr NetId kConst0 = 0;
+inline constexpr NetId kConst1 = 1;
+
+/// Kind of a hardware module instance.
+enum class ModuleKind : u8 {
+  FullAdder,  ///< 3 inputs (a, b, cin), 2 outputs (sum, cout)
+  Mult2,      ///< 4 inputs (a0, a1, b0, b1), 4 outputs (o0..o3)
+  Inverter,   ///< 1 input, 1 output; zero-cost polarity element (see DESIGN.md)
+};
+
+/// One module instance.
+struct Module {
+  ModuleKind kind = ModuleKind::FullAdder;
+  AdderKind fa_kind = AdderKind::Accurate;  ///< valid when kind == FullAdder
+  MultKind m2_kind = MultKind::Accurate;    ///< valid when kind == Mult2
+  std::array<NetId, 4> in{};                ///< unused pins set to kConst0
+  std::array<NetId, 4> out{};
+  int n_in = 0;
+  int n_out = 0;
+  int weight = 0;        ///< absolute LSB weight of the output (diagnostics)
+  bool removed = false;  ///< set by optimization passes
+};
+
+/// Output pin pair of an emitted full adder.
+struct FaPins {
+  NetId sum = kConst0;
+  NetId cout = kConst0;
+};
+
+/// A module-level netlist under construction or analysis.
+///
+/// Construction is inherently topological: a module can only reference nets
+/// that already exist, so simulating modules in emission order is always
+/// correct — including after optimization, which only aliases nets to earlier
+/// nets or constants.
+class Netlist {
+ public:
+  Netlist();
+
+  /// Constant net for the given value.
+  [[nodiscard]] static NetId const_net(bool v) noexcept { return v ? kConst1 : kConst0; }
+
+  /// Create one primary-input net.
+  [[nodiscard]] NetId new_input();
+
+  /// Create a bus of \p width primary-input nets (LSB first).
+  [[nodiscard]] std::vector<NetId> new_input_bus(int width);
+
+  /// Bus of constant nets holding the low \p width bits of \p value.
+  [[nodiscard]] std::vector<NetId> const_bus(u64 value, int width) const;
+
+  /// Emit a full adder of the given kind; \p weight is the absolute bit
+  /// weight of the sum output (used by approximation decisions/diagnostics).
+  FaPins emit_fa(AdderKind kind, NetId a, NetId b, NetId cin, int weight);
+
+  /// Emit an elementary 2x2 multiplier; returns output nets o0..o3.
+  std::array<NetId, 4> emit_mult2(MultKind kind, NetId a0, NetId a1, NetId b0, NetId b1,
+                                  int weight);
+
+  /// Emit an inverter.
+  NetId emit_not(NetId a);
+
+  /// Mark a net as a primary output.
+  void mark_output(NetId n);
+
+  [[nodiscard]] std::size_t net_count() const noexcept { return n_nets_; }
+  [[nodiscard]] const std::vector<Module>& modules() const noexcept { return modules_; }
+  [[nodiscard]] std::vector<Module>& modules() noexcept { return modules_; }
+  [[nodiscard]] const std::vector<NetId>& inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<NetId>& outputs() const noexcept { return outputs_; }
+
+  /// Resolve a net through the alias table installed by optimization.
+  [[nodiscard]] NetId resolve(NetId n) const noexcept;
+
+  /// Alias net \p n to \p target (must resolve to an earlier net or constant).
+  void set_alias(NetId n, NetId target);
+
+  /// Number of live (non-removed) modules.
+  [[nodiscard]] std::size_t live_module_count() const noexcept;
+
+  /// Bit-accurate simulation (the ModelSim substitute). \p input_values must
+  /// match inputs() in size/order; returns the values of outputs() in order.
+  [[nodiscard]] std::vector<bool> simulate(const std::vector<bool>& input_values) const;
+
+  /// Convenience: drive input buses from integer words and read back integer
+  /// outputs. \p input_words are consumed in the order the input nets were
+  /// created; outputs are packed LSB-first in marked order.
+  [[nodiscard]] u64 simulate_word(std::span<const u64> input_words,
+                                  std::span<const int> input_widths) const;
+
+ private:
+  std::size_t n_nets_ = 0;
+  std::vector<Module> modules_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<NetId> alias_;  ///< alias_[n] == n when unaliased
+};
+
+}  // namespace xbs::netlist

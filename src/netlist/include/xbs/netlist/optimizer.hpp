@@ -1,0 +1,35 @@
+/// \file optimizer.hpp
+/// \brief Mini logic-synthesis optimization over module-level netlists.
+///
+/// Two passes run to fixpoint, substituting for what Synopsys DC does to the
+/// paper's RTL once coefficients are constants and approximate modules
+/// degenerate to wires:
+///
+///  1. **Constant propagation / functional wire collapse**: a module whose
+///     outputs are constant under its known-constant inputs is folded away;
+///     an output that equals one of the module's free inputs for every
+///     assignment (e.g. ApproxAdd5's Sum = B) is collapsed to a wire.
+///  2. **Dead-module elimination**: modules driving no primary output
+///     (transitively) are removed.
+///
+/// This is what produces the paper's differentiator observation that
+/// "approximating more than 4 LSBs truncates all active paths, effectively
+/// connecting the outputs to either the inputs or to logic 0".
+#pragma once
+
+#include "xbs/netlist/netlist.hpp"
+
+namespace xbs::netlist {
+
+/// Statistics of one optimization run.
+struct OptimizeStats {
+  int const_folded = 0;    ///< modules removed by constant propagation
+  int wire_collapsed = 0;  ///< modules removed because all outputs were wires/consts
+  int dead_removed = 0;    ///< modules removed by dead-logic elimination
+  int passes = 0;          ///< pass iterations until fixpoint
+};
+
+/// Run the optimization pipeline in place.
+OptimizeStats optimize(Netlist& nl);
+
+}  // namespace xbs::netlist

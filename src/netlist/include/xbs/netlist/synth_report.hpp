@@ -1,0 +1,25 @@
+/// \file synth_report.hpp
+/// \brief Area/power/energy/critical-path reporting (the Design Compiler
+/// report substitute), priced with the paper's Table 1 cell data.
+#pragma once
+
+#include "xbs/hwmodel/cell_library.hpp"
+#include "xbs/netlist/netlist.hpp"
+
+namespace xbs::netlist {
+
+/// Synthesis-style report of a (possibly optimized) netlist.
+struct SynthesisReport {
+  hwmodel::Cost cost;           ///< summed module costs; delay = critical path
+  int live_modules = 0;         ///< modules remaining after optimization
+  int removed_modules = 0;      ///< modules eliminated
+  int full_adders = 0;          ///< live FA count
+  int mult2s = 0;               ///< live elementary multiplier count
+  int inverters = 0;            ///< live inverter count (zero-cost)
+  double critical_path_ns = 0;  ///< longest combinational path
+};
+
+/// Price the live modules of \p nl and compute its critical path.
+[[nodiscard]] SynthesisReport report(const Netlist& nl);
+
+}  // namespace xbs::netlist

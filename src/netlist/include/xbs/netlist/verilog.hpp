@@ -1,0 +1,34 @@
+/// \file verilog.hpp
+/// \brief Structural Verilog export of module-level netlists.
+///
+/// The paper's open-source release contained "the RTL and behavioral models
+/// of these approximate adders and multipliers, including a VHDL
+/// implementation of the key stages". This exporter plays that role for this
+/// reproduction: any netlist (adder, multiplier, FIR stage — optimized or
+/// not) can be emitted as a self-contained structural Verilog module whose
+/// gate-level bodies implement the exact truth tables of the elementary
+/// library, so downstream users can push the designs through a real ASIC
+/// flow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "xbs/netlist/netlist.hpp"
+
+namespace xbs::netlist {
+
+/// Options for the Verilog emitter.
+struct VerilogOptions {
+  std::string module_name = "xbs_design";
+  bool emit_primitives = true;  ///< include the FA/MUL2 primitive definitions
+};
+
+/// Emit the (live part of the) netlist as structural Verilog. Primary inputs
+/// become a flat `in` bus in creation order; marked outputs become `out`.
+void write_verilog(std::ostream& os, const Netlist& nl, const VerilogOptions& options = {});
+
+/// Convenience: Verilog source as a string.
+[[nodiscard]] std::string to_verilog(const Netlist& nl, const VerilogOptions& options = {});
+
+}  // namespace xbs::netlist

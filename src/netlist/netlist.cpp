@@ -1,0 +1,175 @@
+#include "xbs/netlist/netlist.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "xbs/arith/fulladder.hpp"
+#include "xbs/arith/mult2x2.hpp"
+#include "xbs/common/bitops.hpp"
+
+namespace xbs::netlist {
+
+Netlist::Netlist() {
+  // Nets 0 and 1 are the constants.
+  n_nets_ = 2;
+  alias_.assign(2, 0);
+  alias_[0] = kConst0;
+  alias_[1] = kConst1;
+}
+
+NetId Netlist::new_input() {
+  const NetId n = static_cast<NetId>(n_nets_++);
+  alias_.push_back(n);
+  inputs_.push_back(n);
+  return n;
+}
+
+std::vector<NetId> Netlist::new_input_bus(int width) {
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(new_input());
+  return bus;
+}
+
+std::vector<NetId> Netlist::const_bus(u64 value, int width) const {
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(const_net(bit_of(value, i)));
+  return bus;
+}
+
+FaPins Netlist::emit_fa(AdderKind kind, NetId a, NetId b, NetId cin, int weight) {
+  assert(a < n_nets_ && b < n_nets_ && cin < n_nets_);
+  Module m;
+  m.kind = ModuleKind::FullAdder;
+  m.fa_kind = kind;
+  m.in = {a, b, cin, kConst0};
+  m.n_in = 3;
+  m.n_out = 2;
+  m.weight = weight;
+  const NetId sum = static_cast<NetId>(n_nets_++);
+  const NetId cout = static_cast<NetId>(n_nets_++);
+  alias_.push_back(sum);
+  alias_.push_back(cout);
+  m.out = {sum, cout, kConst0, kConst0};
+  modules_.push_back(m);
+  return FaPins{sum, cout};
+}
+
+std::array<NetId, 4> Netlist::emit_mult2(MultKind kind, NetId a0, NetId a1, NetId b0, NetId b1,
+                                         int weight) {
+  assert(a0 < n_nets_ && a1 < n_nets_ && b0 < n_nets_ && b1 < n_nets_);
+  Module m;
+  m.kind = ModuleKind::Mult2;
+  m.m2_kind = kind;
+  m.in = {a0, a1, b0, b1};
+  m.n_in = 4;
+  m.n_out = 4;
+  m.weight = weight;
+  std::array<NetId, 4> outs{};
+  for (auto& o : outs) {
+    o = static_cast<NetId>(n_nets_++);
+    alias_.push_back(o);
+  }
+  m.out = outs;
+  modules_.push_back(m);
+  return outs;
+}
+
+NetId Netlist::emit_not(NetId a) {
+  assert(a < n_nets_);
+  Module m;
+  m.kind = ModuleKind::Inverter;
+  m.in = {a, kConst0, kConst0, kConst0};
+  m.n_in = 1;
+  m.n_out = 1;
+  const NetId o = static_cast<NetId>(n_nets_++);
+  alias_.push_back(o);
+  m.out = {o, kConst0, kConst0, kConst0};
+  modules_.push_back(m);
+  return o;
+}
+
+void Netlist::mark_output(NetId n) {
+  assert(n < n_nets_);
+  outputs_.push_back(n);
+}
+
+NetId Netlist::resolve(NetId n) const noexcept {
+  // Alias chains are short (installed once per optimization), but follow them
+  // fully for safety.
+  NetId cur = n;
+  while (alias_[cur] != cur) cur = alias_[cur];
+  return cur;
+}
+
+void Netlist::set_alias(NetId n, NetId target) {
+  const NetId t = resolve(target);
+  if (t == n) throw std::logic_error("alias cycle");
+  alias_[n] = t;
+}
+
+std::size_t Netlist::live_module_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : modules_) n += m.removed ? 0 : 1;
+  return n;
+}
+
+std::vector<bool> Netlist::simulate(const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("simulate: wrong number of input values");
+  }
+  std::vector<bool> val(n_nets_, false);
+  val[kConst1] = true;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) val[inputs_[i]] = input_values[i];
+  for (const Module& m : modules_) {
+    if (m.removed) continue;
+    switch (m.kind) {
+      case ModuleKind::FullAdder: {
+        const bool a = val[resolve(m.in[0])];
+        const bool b = val[resolve(m.in[1])];
+        const bool c = val[resolve(m.in[2])];
+        const arith::FaOut o = arith::full_add(m.fa_kind, a, b, c);
+        val[m.out[0]] = o.sum;
+        val[m.out[1]] = o.cout;
+        break;
+      }
+      case ModuleKind::Mult2: {
+        const u32 a = (val[resolve(m.in[1])] ? 2u : 0u) | (val[resolve(m.in[0])] ? 1u : 0u);
+        const u32 b = (val[resolve(m.in[3])] ? 2u : 0u) | (val[resolve(m.in[2])] ? 1u : 0u);
+        const u32 p = arith::mult2(m.m2_kind, a, b);
+        for (int i = 0; i < 4; ++i) val[m.out[static_cast<std::size_t>(i)]] = bit_of(p, i);
+        break;
+      }
+      case ModuleKind::Inverter:
+        val[m.out[0]] = !val[resolve(m.in[0])];
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const NetId n : outputs_) out.push_back(val[resolve(n)]);
+  return out;
+}
+
+u64 Netlist::simulate_word(std::span<const u64> input_words,
+                           std::span<const int> input_widths) const {
+  if (input_words.size() != input_widths.size()) {
+    throw std::invalid_argument("simulate_word: words/widths mismatch");
+  }
+  std::vector<bool> bits;
+  bits.reserve(inputs_.size());
+  for (std::size_t w = 0; w < input_words.size(); ++w) {
+    for (int i = 0; i < input_widths[w]; ++i) bits.push_back(bit_of(input_words[w], i));
+  }
+  if (bits.size() != inputs_.size()) {
+    throw std::invalid_argument("simulate_word: total width != number of inputs");
+  }
+  const std::vector<bool> out = simulate(bits);
+  if (out.size() > 64) throw std::invalid_argument("simulate_word: more than 64 output bits");
+  u64 word = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) word = with_bit(word, static_cast<int>(i), out[i]);
+  return word;
+}
+
+}  // namespace xbs::netlist

@@ -1,0 +1,183 @@
+#include "xbs/netlist/optimizer.hpp"
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "xbs/arith/fulladder.hpp"
+#include "xbs/arith/mult2x2.hpp"
+#include "xbs/common/bitops.hpp"
+
+namespace xbs::netlist {
+namespace {
+
+/// Constant value of a (resolved) net, if known.
+std::optional<bool> const_value(NetId n) noexcept {
+  if (n == kConst0) return false;
+  if (n == kConst1) return true;
+  return std::nullopt;
+}
+
+/// Evaluate a module's outputs for a concrete input assignment.
+std::array<bool, 4> eval_module(const Module& m, const std::array<bool, 4>& in) noexcept {
+  std::array<bool, 4> out{};
+  switch (m.kind) {
+    case ModuleKind::FullAdder: {
+      const arith::FaOut o = arith::full_add(m.fa_kind, in[0], in[1], in[2]);
+      out[0] = o.sum;
+      out[1] = o.cout;
+      break;
+    }
+    case ModuleKind::Mult2: {
+      const u32 a = (in[1] ? 2u : 0u) | (in[0] ? 1u : 0u);
+      const u32 b = (in[3] ? 2u : 0u) | (in[2] ? 1u : 0u);
+      const u32 p = arith::mult2(m.m2_kind, a, b);
+      for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] = bit_of(p, i);
+      break;
+    }
+    case ModuleKind::Inverter:
+      out[0] = !in[0];
+      break;
+  }
+  return out;
+}
+
+/// Truth table of one module under its known-constant inputs: for each free
+/// variable assignment, the value of each output.
+struct ProjectedFunction {
+  std::vector<NetId> vars;               ///< distinct free input nets
+  std::vector<std::array<bool, 4>> out;  ///< out[assignment][output pin]
+};
+
+ProjectedFunction project(const Netlist& nl, const Module& m) {
+  ProjectedFunction f;
+  std::array<NetId, 4> rin{};
+  std::array<std::optional<bool>, 4> cin{};
+  std::array<int, 4> var_of{};
+  for (int i = 0; i < m.n_in; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    rin[si] = nl.resolve(m.in[si]);
+    cin[si] = const_value(rin[si]);
+    if (!cin[si]) {
+      int idx = -1;
+      for (std::size_t v = 0; v < f.vars.size(); ++v)
+        if (f.vars[v] == rin[si]) idx = static_cast<int>(v);
+      if (idx < 0) {
+        idx = static_cast<int>(f.vars.size());
+        f.vars.push_back(rin[si]);
+      }
+      var_of[si] = idx;
+    }
+  }
+  const int n_assign = 1 << f.vars.size();
+  f.out.reserve(static_cast<std::size_t>(n_assign));
+  for (int a = 0; a < n_assign; ++a) {
+    std::array<bool, 4> in{};
+    for (int i = 0; i < m.n_in; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      in[si] = cin[si] ? *cin[si] : (((a >> var_of[si]) & 1) != 0);
+    }
+    f.out.push_back(eval_module(m, in));
+  }
+  return f;
+}
+
+/// One forward partial-evaluation pass. Returns {const_folds, wire_collapses}.
+std::pair<int, int> partial_eval_pass(Netlist& nl) {
+  int const_folds = 0;
+  int collapses = 0;
+  for (Module& m : nl.modules()) {
+    if (m.removed) continue;
+    const ProjectedFunction f = project(nl, m);
+    const int n_vars = static_cast<int>(f.vars.size());
+    const int n_assign = 1 << n_vars;
+    bool all_resolved = true;
+    for (int o = 0; o < m.n_out; ++o) {
+      const std::size_t so = static_cast<std::size_t>(o);
+      const NetId onet = m.out[so];
+      if (nl.resolve(onet) != onet) continue;  // already aliased
+      // Constant output?
+      bool is_const = true;
+      for (int a = 1; a < n_assign && is_const; ++a)
+        is_const = (f.out[static_cast<std::size_t>(a)][so] == f.out[0][so]);
+      if (is_const) {
+        nl.set_alias(onet, Netlist::const_net(f.out[0][so]));
+        continue;
+      }
+      // Identity wire to one free variable?
+      int wire_var = -1;
+      for (int v = 0; v < n_vars && wire_var < 0; ++v) {
+        bool all = true;
+        for (int a = 0; a < n_assign && all; ++a)
+          all = (f.out[static_cast<std::size_t>(a)][so] == (((a >> v) & 1) != 0));
+        if (all) wire_var = v;
+      }
+      if (wire_var >= 0) {
+        nl.set_alias(onet, f.vars[static_cast<std::size_t>(wire_var)]);
+        continue;
+      }
+      all_resolved = false;
+    }
+    if (all_resolved) {
+      m.removed = true;
+      if (n_vars == 0) {
+        ++const_folds;
+      } else {
+        ++collapses;
+      }
+    }
+  }
+  return {const_folds, collapses};
+}
+
+/// One dead-module elimination sweep. Returns removals.
+int dce_pass(Netlist& nl) {
+  std::vector<u32> fanout(nl.net_count(), 0);
+  for (const NetId n : nl.outputs()) ++fanout[nl.resolve(n)];
+  for (const Module& m : nl.modules()) {
+    if (m.removed) continue;
+    for (int i = 0; i < m.n_in; ++i) ++fanout[nl.resolve(m.in[static_cast<std::size_t>(i)])];
+  }
+  int removed = 0;
+  auto& mods = nl.modules();
+  // Walk backwards so removing a consumer can free its producers in the same
+  // sweep.
+  for (auto it = mods.rbegin(); it != mods.rend(); ++it) {
+    Module& m = *it;
+    if (m.removed) continue;
+    bool used = false;
+    for (int o = 0; o < m.n_out && !used; ++o) {
+      const NetId onet = m.out[static_cast<std::size_t>(o)];
+      // An aliased output is no longer driven by this module.
+      if (nl.resolve(onet) == onet && fanout[onet] > 0) used = true;
+    }
+    if (!used) {
+      m.removed = true;
+      ++removed;
+      for (int i = 0; i < m.n_in; ++i) {
+        const NetId r = nl.resolve(m.in[static_cast<std::size_t>(i)]);
+        if (fanout[r] > 0) --fanout[r];
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+OptimizeStats optimize(Netlist& nl) {
+  OptimizeStats stats;
+  for (;;) {
+    ++stats.passes;
+    const auto [folds, collapses] = partial_eval_pass(nl);
+    const int dead = dce_pass(nl);
+    stats.const_folded += folds;
+    stats.wire_collapsed += collapses;
+    stats.dead_removed += dead;
+    if (folds + collapses + dead == 0) break;
+    if (stats.passes > 64) break;  // defensive; fixpoint is reached in 2-3 passes
+  }
+  return stats;
+}
+
+}  // namespace xbs::netlist

@@ -1,0 +1,83 @@
+#include "xbs/netlist/synth_report.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace xbs::netlist {
+
+SynthesisReport report(const Netlist& nl) {
+  SynthesisReport rep;
+  // Fanout of every (resolved) net over live modules and primary outputs:
+  // needed to price modules at output-cone granularity below.
+  std::vector<u32> fanout(nl.net_count(), 0);
+  for (const NetId n : nl.outputs()) ++fanout[nl.resolve(n)];
+  for (const Module& m : nl.modules()) {
+    if (m.removed) continue;
+    for (int i = 0; i < m.n_in; ++i) ++fanout[nl.resolve(m.in[static_cast<std::size_t>(i)])];
+  }
+  std::vector<double> arrival(nl.net_count(), 0.0);
+  for (const Module& m : nl.modules()) {
+    if (m.removed) {
+      ++rep.removed_modules;
+      continue;
+    }
+    ++rep.live_modules;
+    hwmodel::Cost c{};
+    switch (m.kind) {
+      case ModuleKind::FullAdder:
+        ++rep.full_adders;
+        c = hwmodel::cell_cost(m.fa_kind);
+        break;
+      case ModuleKind::Mult2:
+        ++rep.mult2s;
+        c = hwmodel::cell_cost(m.m2_kind);
+        break;
+      case ModuleKind::Inverter:
+        ++rep.inverters;
+        break;  // polarity element: zero cost by convention
+    }
+    // Cone pricing: a surviving module is priced by the fraction of its
+    // input/output cones that are still live — a full adder with a constant
+    // operand is really a half adder, one with a dead carry-out loses its
+    // majority gate, and an elementary multiplier with folded product bits
+    // keeps only the cones of the live bits. This is what synthesis does to
+    // partially-folded cells. Standalone blocks with all pins observable
+    // keep full cost, so the Table 1 numbers are reproduced exactly.
+    int live_outs = 0;
+    for (int o = 0; o < m.n_out; ++o) {
+      const NetId onet = m.out[static_cast<std::size_t>(o)];
+      if (nl.resolve(onet) == onet && fanout[onet] > 0) ++live_outs;
+    }
+    int live_ins = 0;
+    for (int i = 0; i < m.n_in; ++i) {
+      const NetId inet = nl.resolve(m.in[static_cast<std::size_t>(i)]);
+      if (inet != kConst0 && inet != kConst1) ++live_ins;
+    }
+    const double out_frac =
+        m.n_out > 0 ? static_cast<double>(live_outs) / static_cast<double>(m.n_out) : 1.0;
+    const double in_frac =
+        m.n_in > 0 ? static_cast<double>(live_ins) / static_cast<double>(m.n_in) : 1.0;
+    const double scale = 0.5 * (out_frac + in_frac);
+    rep.cost.area_um2 += scale * c.area_um2;
+    rep.cost.power_uw += scale * c.power_uw;
+    rep.cost.energy_fj += scale * c.energy_fj;
+    double in_arrival = 0.0;
+    for (int i = 0; i < m.n_in; ++i) {
+      in_arrival = std::max(in_arrival, arrival[nl.resolve(m.in[static_cast<std::size_t>(i)])]);
+    }
+    const double out_arrival = in_arrival + c.delay_ns;
+    for (int o = 0; o < m.n_out; ++o) {
+      const NetId onet = m.out[static_cast<std::size_t>(o)];
+      if (nl.resolve(onet) == onet) arrival[onet] = out_arrival;
+    }
+  }
+  double crit = 0.0;
+  for (const NetId n : nl.outputs()) crit = std::max(crit, arrival[nl.resolve(n)]);
+  // Also consider internal nets, in case outputs were folded to constants.
+  for (const double a : arrival) crit = std::max(crit, a);
+  rep.cost.delay_ns = crit;
+  rep.critical_path_ns = crit;
+  return rep;
+}
+
+}  // namespace xbs::netlist

@@ -1,0 +1,86 @@
+#include "xbs/pantompkins/arrhythmia.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xbs::pantompkins {
+
+RhythmAnalysis analyze_rhythm(std::span<const std::size_t> peaks, double fs_hz,
+                              const RhythmParams& p) {
+  RhythmAnalysis out;
+  if (peaks.size() < 3 || fs_hz <= 0.0) return out;
+
+  std::vector<double> rr_s;
+  rr_s.reserve(peaks.size() - 1);
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    rr_s.push_back(static_cast<double>(peaks[i] - peaks[i - 1]) / fs_hz);
+  }
+
+  // --- Event scan with a robust running mean (flagged outliers excluded).
+  double rr_mean = 0.0;
+  int rr_count = 0;
+  std::vector<double> recent_diffs;  // successive |dRR| for the irregularity window
+  double prev_rr = rr_s.front();
+  for (std::size_t i = 0; i < rr_s.size(); ++i) {
+    const double rr = rr_s[i];
+    const std::size_t beat = i + 1;
+    const double t = static_cast<double>(peaks[beat]) / fs_hz;
+    bool flagged = false;
+    if (rr_count >= p.warmup_beats) {
+      if (rr < p.premature_ratio * rr_mean) {
+        out.events.push_back({beat, t, RhythmEventKind::PrematureBeat});
+        flagged = true;
+      } else if (rr > p.pause_ratio * rr_mean) {
+        out.events.push_back({beat, t, RhythmEventKind::Pause});
+        flagged = true;
+      }
+      const double hr = 60.0 / rr;
+      if (hr < p.brady_bpm) out.events.push_back({beat, t, RhythmEventKind::Bradycardia});
+      if (hr > p.tachy_bpm) out.events.push_back({beat, t, RhythmEventKind::Tachycardia});
+    }
+    if (!flagged || rr_count < p.warmup_beats) {
+      rr_mean = (rr_mean * rr_count + rr) / (rr_count + 1);
+      ++rr_count;
+    }
+    // Windowed RMSSD for irregularity.
+    if (i > 0) {
+      recent_diffs.push_back((rr - prev_rr) * 1000.0);
+      if (static_cast<int>(recent_diffs.size()) > p.irregular_window_beats) {
+        recent_diffs.erase(recent_diffs.begin());
+      }
+      if (static_cast<int>(recent_diffs.size()) == p.irregular_window_beats) {
+        double sq = 0.0;
+        for (const double d : recent_diffs) sq += d * d;
+        const double rmssd = std::sqrt(sq / static_cast<double>(recent_diffs.size()));
+        if (rmssd > p.irregular_rmssd_ms) {
+          out.events.push_back({beat, t, RhythmEventKind::IrregularRhythm});
+          recent_diffs.clear();  // one flag per episode
+        }
+      }
+    }
+    prev_rr = rr;
+  }
+
+  // --- HRV summary.
+  double mean_rr = 0.0;
+  for (const double rr : rr_s) mean_rr += rr;
+  mean_rr /= static_cast<double>(rr_s.size());
+  out.hrv.mean_hr_bpm = 60.0 / mean_rr;
+  double var = 0.0;
+  for (const double rr : rr_s) var += (rr - mean_rr) * (rr - mean_rr);
+  out.hrv.sdnn_ms = std::sqrt(var / static_cast<double>(rr_s.size())) * 1000.0;
+  double sq = 0.0;
+  int nn50 = 0;
+  for (std::size_t i = 1; i < rr_s.size(); ++i) {
+    const double d = (rr_s[i] - rr_s[i - 1]) * 1000.0;
+    sq += d * d;
+    nn50 += (std::abs(d) > 50.0) ? 1 : 0;
+  }
+  if (rr_s.size() > 1) {
+    out.hrv.rmssd_ms = std::sqrt(sq / static_cast<double>(rr_s.size() - 1));
+    out.hrv.pnn50_pct = 100.0 * nn50 / static_cast<double>(rr_s.size() - 1);
+  }
+  return out;
+}
+
+}  // namespace xbs::pantompkins

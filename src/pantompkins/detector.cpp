@@ -1,0 +1,228 @@
+#include "xbs/pantompkins/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace xbs::pantompkins {
+namespace {
+
+/// Candidate fiducial marks: strict local maxima of the MWI signal with a
+/// minimum separation; among closer peaks the larger survives.
+std::vector<std::size_t> fiducial_marks(std::span<const i32> mwi, int min_separation) {
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 1; i + 1 < mwi.size(); ++i) {
+    if (mwi[i] > mwi[i - 1] && mwi[i] >= mwi[i + 1]) cand.push_back(i);
+  }
+  // Enforce separation, keeping the taller peak.
+  std::vector<std::size_t> out;
+  for (const std::size_t c : cand) {
+    if (!out.empty() &&
+        c - out.back() < static_cast<std::size_t>(min_separation)) {
+      if (mwi[c] > mwi[out.back()]) out.back() = c;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Index of the maximum of \p v in [lo, hi] (clamped); returns lo if empty.
+std::size_t argmax_in(std::span<const i32> v, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+  lo = std::max<std::ptrdiff_t>(lo, 0);
+  hi = std::min<std::ptrdiff_t>(hi, static_cast<std::ptrdiff_t>(v.size()) - 1);
+  std::size_t best = static_cast<std::size_t>(std::max<std::ptrdiff_t>(lo, 0));
+  for (std::ptrdiff_t i = lo; i <= hi; ++i) {
+    if (v[static_cast<std::size_t>(i)] > v[best]) best = static_cast<std::size_t>(i);
+  }
+  return best;
+}
+
+/// Peak steepness proxy: max |first difference| of the MWI input's rising
+/// edge near the fiducial mark.
+double rising_slope(std::span<const i32> mwi, std::size_t peak, int lookback) {
+  double slope = 0.0;
+  const std::ptrdiff_t lo =
+      std::max<std::ptrdiff_t>(1, static_cast<std::ptrdiff_t>(peak) - lookback);
+  for (std::ptrdiff_t i = lo; i <= static_cast<std::ptrdiff_t>(peak); ++i) {
+    slope = std::max(slope, static_cast<double>(mwi[static_cast<std::size_t>(i)]) -
+                                static_cast<double>(mwi[static_cast<std::size_t>(i) - 1]));
+  }
+  return slope;
+}
+
+struct Thresholds {
+  double spk = 0.0;  ///< running signal-peak estimate
+  double npk = 0.0;  ///< running noise-peak estimate
+
+  [[nodiscard]] double threshold1(double coeff) const noexcept {
+    return npk + coeff * (spk - npk);
+  }
+  void signal_update(double peak) noexcept { spk = 0.125 * peak + 0.875 * spk; }
+  void noise_update(double peak) noexcept { npk = 0.125 * peak + 0.875 * npk; }
+};
+
+}  // namespace
+
+DetectionResult detect_qrs(std::span<const i32> mwi, std::span<const i32> hpf,
+                           std::span<const i32> raw, const DetectorParams& p) {
+  if (mwi.size() != hpf.size() || mwi.size() != raw.size()) {
+    throw std::invalid_argument("detect_qrs: signal size mismatch");
+  }
+  DetectionResult result;
+  if (mwi.size() < 8) return result;
+
+  const std::vector<std::size_t> marks = fiducial_marks(mwi, p.refractory_samples / 2);
+
+  // Threshold training on the first two seconds.
+  const std::size_t train = std::min<std::size_t>(
+      mwi.size(), static_cast<std::size_t>(std::llround(2.0 * p.fs_hz)));
+  double train_max = 0.0, train_mean = 0.0;
+  for (std::size_t i = 0; i < train; ++i) {
+    train_max = std::max(train_max, static_cast<double>(mwi[i]));
+    train_mean += static_cast<double>(mwi[i]);
+  }
+  train_mean /= static_cast<double>(std::max<std::size_t>(train, 1));
+  Thresholds th_i{0.4 * train_max, 0.7 * train_mean};
+  Thresholds th_f{0.0, 0.0};
+  {
+    double fmax = 0.0, fmean = 0.0;
+    for (std::size_t i = 0; i < train; ++i) {
+      fmax = std::max(fmax, static_cast<double>(hpf[i]));
+      fmean += std::abs(static_cast<double>(hpf[i]));
+    }
+    fmean /= static_cast<double>(std::max<std::size_t>(train, 1));
+    th_f = Thresholds{0.4 * fmax, 0.7 * fmean};
+  }
+
+  std::ptrdiff_t last_accept = -1;       // MWI index of last accepted QRS
+  double last_slope = 0.0;               // rising slope of last accepted QRS
+  std::vector<double> rr_history;        // last accepted RR intervals
+  std::vector<std::size_t> pending;      // candidate marks since last accept (for search-back)
+
+  auto rr_mean = [&]() -> double {
+    if (rr_history.empty()) return p.fs_hz;  // prior: 60 bpm
+    const std::size_t n = std::min<std::size_t>(rr_history.size(), 8);
+    double s = 0.0;
+    for (std::size_t i = rr_history.size() - n; i < rr_history.size(); ++i) s += rr_history[i];
+    return s / static_cast<double>(n);
+  };
+
+  /// Locate the band-passed peak corresponding to a fiducial mark and report
+  /// raw-domain location; returns alignment error in samples.
+  auto locate = [&](std::size_t mark, std::size_t& hpf_idx, std::size_t& raw_idx) -> int {
+    const std::ptrdiff_t expect =
+        static_cast<std::ptrdiff_t>(mark) - p.mwi_hpf_lag_samples;
+    hpf_idx = argmax_in(hpf, expect - p.hpf_search_halfwidth, expect + p.hpf_search_halfwidth);
+    const std::ptrdiff_t est =
+        static_cast<std::ptrdiff_t>(hpf_idx) - p.raw_delay_samples;
+    raw_idx = argmax_in(raw, est - p.raw_refine_halfwidth, est + p.raw_refine_halfwidth);
+    return static_cast<int>(std::abs(static_cast<std::ptrdiff_t>(hpf_idx) - expect));
+  };
+
+  auto accept = [&](PeakEvent ev) {
+    if (last_accept >= 0) {
+      rr_history.push_back(static_cast<double>(ev.mwi_index) -
+                           static_cast<double>(last_accept));
+    }
+    last_accept = static_cast<std::ptrdiff_t>(ev.mwi_index);
+    last_slope = rising_slope(mwi, ev.mwi_index, p.refractory_samples / 2);
+    th_i.signal_update(static_cast<double>(ev.mwi_value));
+    th_f.signal_update(static_cast<double>(ev.hpf_value));
+    result.peaks.push_back(ev.raw_index);
+    result.trace.push_back(ev);
+    pending.clear();
+  };
+
+  for (const std::size_t mark : marks) {
+    PeakEvent ev;
+    ev.mwi_index = mark;
+    ev.mwi_value = mwi[mark];
+
+    if (last_accept >= 0 &&
+        static_cast<std::ptrdiff_t>(mark) - last_accept <
+            static_cast<std::ptrdiff_t>(p.refractory_samples)) {
+      continue;  // inside the absolute refractory: physiologically impossible
+    }
+
+    const double thr1 = th_i.threshold1(p.threshold_coeff);
+    if (static_cast<double>(ev.mwi_value) > thr1) {
+      // T-wave discrimination inside the 360 ms zone.
+      if (last_accept >= 0 &&
+          static_cast<std::ptrdiff_t>(mark) - last_accept <
+              static_cast<std::ptrdiff_t>(p.t_wave_window_samples)) {
+        const double slope = rising_slope(mwi, mark, p.refractory_samples / 2);
+        if (slope < p.t_wave_slope_ratio * last_slope) {
+          ev.decision = PeakDecision::TWave;
+          th_i.noise_update(static_cast<double>(ev.mwi_value));
+          result.trace.push_back(ev);
+          pending.push_back(mark);
+          continue;
+        }
+      }
+      // HPF/MWI alignment consistency (Fig. 13).
+      std::size_t hpf_idx = 0, raw_idx = 0;
+      const int misalign = locate(mark, hpf_idx, raw_idx);
+      ev.hpf_index = hpf_idx;
+      ev.raw_index = raw_idx;
+      ev.hpf_value = hpf[hpf_idx];
+      const double thrf = th_f.threshold1(p.threshold_coeff);
+      if (misalign > p.alignment_tolerance ||
+          static_cast<double>(ev.hpf_value) <= thrf) {
+        ev.decision = PeakDecision::MisalignedOmitted;
+        result.trace.push_back(ev);
+        pending.push_back(mark);
+        continue;
+      }
+      ev.decision = PeakDecision::Accepted;
+      accept(ev);
+    } else {
+      ev.decision = PeakDecision::BelowThreshold;
+      th_i.noise_update(static_cast<double>(ev.mwi_value));
+      std::size_t hpf_idx = 0, raw_idx = 0;
+      (void)locate(mark, hpf_idx, raw_idx);
+      th_f.noise_update(static_cast<double>(hpf[hpf_idx]));
+      result.trace.push_back(ev);
+      pending.push_back(mark);
+    }
+
+    // RR search-back: if the gap since the last beat exceeds the missed-beat
+    // limit, revisit the pending candidates with the relaxed threshold.
+    if (last_accept >= 0 && !pending.empty()) {
+      const double limit = p.search_back_factor * rr_mean();
+      if (static_cast<double>(mark) - static_cast<double>(last_accept) > limit) {
+        std::size_t best = pending.front();
+        for (const std::size_t c : pending) {
+          if (mwi[c] > mwi[best]) best = c;
+        }
+        const double relaxed = p.search_back_threshold * th_i.threshold1(p.threshold_coeff);
+        if (static_cast<double>(mwi[best]) > relaxed &&
+            static_cast<std::ptrdiff_t>(best) - last_accept >=
+                static_cast<std::ptrdiff_t>(p.refractory_samples)) {
+          PeakEvent sb;
+          sb.mwi_index = best;
+          sb.mwi_value = mwi[best];
+          std::size_t hpf_idx = 0, raw_idx = 0;
+          const int misalign = locate(best, hpf_idx, raw_idx);
+          sb.hpf_index = hpf_idx;
+          sb.raw_index = raw_idx;
+          sb.hpf_value = hpf[hpf_idx];
+          if (misalign <= p.alignment_tolerance) {
+            sb.decision = PeakDecision::SearchBackRecovered;
+            accept(sb);
+          }
+        }
+      }
+    }
+  }
+
+  // Detections are appended in acceptance order; search-back can insert
+  // out-of-order indices.
+  std::sort(result.peaks.begin(), result.peaks.end());
+  result.peaks.erase(std::unique(result.peaks.begin(), result.peaks.end()),
+                     result.peaks.end());
+  return result;
+}
+
+}  // namespace xbs::pantompkins

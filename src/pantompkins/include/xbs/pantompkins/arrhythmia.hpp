@@ -1,0 +1,70 @@
+/// \file arrhythmia.hpp
+/// \brief RR-interval rhythm analysis over detected beats — the paper's
+/// stated future-work direction ("extend ... to ECG-based arrhythmia
+/// detection"), implemented as a library module so downstream users can run
+/// it directly on the (approximate) detector output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace xbs::pantompkins {
+
+/// Kinds of rhythm events the classifier flags.
+enum class RhythmEventKind {
+  PrematureBeat,    ///< RR < premature_ratio x running mean (PVC-like)
+  Pause,            ///< RR > pause_ratio x running mean
+  Bradycardia,      ///< instantaneous HR below brady_bpm
+  Tachycardia,      ///< instantaneous HR above tachy_bpm
+  IrregularRhythm,  ///< sustained high RR variability (AF-like surrogate)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RhythmEventKind k) noexcept {
+  switch (k) {
+    case RhythmEventKind::PrematureBeat: return "premature beat";
+    case RhythmEventKind::Pause: return "pause";
+    case RhythmEventKind::Bradycardia: return "bradycardia";
+    case RhythmEventKind::Tachycardia: return "tachycardia";
+    case RhythmEventKind::IrregularRhythm: return "irregular rhythm";
+  }
+  return "?";
+}
+
+/// One flagged event, anchored at a detected beat.
+struct RhythmEvent {
+  std::size_t beat_index = 0;  ///< index into the detected peak list
+  double time_s = 0.0;
+  RhythmEventKind kind = RhythmEventKind::PrematureBeat;
+};
+
+/// Classifier thresholds (conventional screening defaults).
+struct RhythmParams {
+  double premature_ratio = 0.80;
+  double pause_ratio = 1.60;
+  double brady_bpm = 50.0;
+  double tachy_bpm = 110.0;
+  double irregular_rmssd_ms = 120.0;  ///< windowed RMSSD threshold
+  int irregular_window_beats = 12;
+  int warmup_beats = 4;  ///< beats used to seed the running RR mean
+};
+
+/// HRV summary statistics over the detected RR series.
+struct HrvSummary {
+  double mean_hr_bpm = 0.0;
+  double sdnn_ms = 0.0;   ///< standard deviation of RR intervals
+  double rmssd_ms = 0.0;  ///< root mean square of successive differences
+  double pnn50_pct = 0.0; ///< fraction of successive RR diffs > 50 ms
+};
+
+/// Analyze a detected beat sequence (sample indices at \p fs_hz).
+struct RhythmAnalysis {
+  std::vector<RhythmEvent> events;
+  HrvSummary hrv;
+};
+
+[[nodiscard]] RhythmAnalysis analyze_rhythm(std::span<const std::size_t> peaks, double fs_hz,
+                                            const RhythmParams& params = {});
+
+}  // namespace xbs::pantompkins

@@ -1,0 +1,69 @@
+/// \file detector.hpp
+/// \brief Adaptive-threshold QRS decision logic (Pan & Tompkins 1985).
+///
+/// Operates on the MWI and band-passed (HPF) outputs of the filtering chain:
+/// dual running thresholds (signal/noise estimates on both streams), a 200 ms
+/// refractory, T-wave slope discrimination, RR-based search-back, and the
+/// HPF-vs-MWI peak-alignment consistency check whose failure mode Fig. 13 of
+/// the paper dissects ("misalignment of peaks between the HPF and MWI
+/// signals ... the detected peak is omitted"). The decision logic is control
+/// circuitry and always runs in native arithmetic — the paper approximates
+/// only the filter datapaths.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::pantompkins {
+
+/// Tunable constants of the decision logic (defaults follow the published
+/// algorithm at 200 Hz).
+struct DetectorParams {
+  double fs_hz = 200.0;
+  int refractory_samples = 40;        ///< 200 ms absolute refractory
+  int t_wave_window_samples = 72;     ///< 360 ms T-wave discrimination zone
+  double t_wave_slope_ratio = 0.5;    ///< candidate slope must exceed this x last QRS slope
+  double threshold_coeff = 0.25;      ///< THR = NPK + coeff * (SPK - NPK)
+  double search_back_factor = 1.66;   ///< missed-beat limit (x mean RR)
+  double search_back_threshold = 0.5; ///< relaxed threshold factor for search-back
+  int mwi_hpf_lag_samples = 16;       ///< expected MWI-peak lag behind the HPF peak
+  int alignment_tolerance = 10;       ///< max |lag - expected| before omission
+  int hpf_search_halfwidth = 12;      ///< +/- window when locating the HPF peak
+  int raw_delay_samples = 20;         ///< HPF index -> raw index compensation
+  int raw_refine_halfwidth = 8;       ///< local-max refinement on the raw signal
+};
+
+/// Why a candidate fiducial mark was or was not accepted (Fig. 13 analysis).
+enum class PeakDecision {
+  Accepted,            ///< classified as a QRS complex
+  BelowThreshold,      ///< noise peak (below THRESHOLD I1)
+  TWave,               ///< rejected by the slope discrimination
+  MisalignedOmitted,   ///< above threshold but HPF/MWI peaks misaligned
+  SearchBackRecovered, ///< accepted retroactively by RR search-back
+};
+
+/// One candidate event in the detector trace.
+struct PeakEvent {
+  std::size_t mwi_index = 0;  ///< fiducial mark in MWI coordinates
+  std::size_t hpf_index = 0;  ///< matched band-passed peak (if located)
+  std::size_t raw_index = 0;  ///< reported R location in raw-signal coordinates
+  i64 mwi_value = 0;
+  i64 hpf_value = 0;
+  PeakDecision decision = PeakDecision::BelowThreshold;
+};
+
+/// Full detector output.
+struct DetectionResult {
+  std::vector<std::size_t> peaks;  ///< accepted R locations (raw coordinates)
+  std::vector<PeakEvent> trace;    ///< every candidate with its decision
+};
+
+/// Run the decision logic. \p mwi, \p hpf and \p raw must be equally sized.
+[[nodiscard]] DetectionResult detect_qrs(std::span<const i32> mwi, std::span<const i32> hpf,
+                                         std::span<const i32> raw,
+                                         const DetectorParams& params = {});
+
+}  // namespace xbs::pantompkins

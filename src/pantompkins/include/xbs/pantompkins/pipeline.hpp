@@ -1,0 +1,78 @@
+/// \file pipeline.hpp
+/// \brief The end-to-end fixed-point Pan-Tompkins pipeline with per-stage
+/// approximate arithmetic configuration.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "xbs/arith/unit.hpp"
+#include "xbs/common/types.hpp"
+#include "xbs/pantompkins/detector.hpp"
+#include "xbs/pantompkins/stages.hpp"
+
+namespace xbs::pantompkins {
+
+/// Per-stage LSB counts — the paper's hardware-configuration vocabulary
+/// (Fig. 12's table lists configurations exactly like this).
+using LsbVector = std::array<int, kNumStages>;
+
+/// Pipeline configuration: one arithmetic configuration per stage plus the
+/// detector constants.
+struct PipelineConfig {
+  std::array<arith::StageArithConfig, kNumStages> stage{};
+  DetectorParams detector{};
+
+  /// All stages exact.
+  [[nodiscard]] static PipelineConfig accurate() noexcept { return PipelineConfig{}; }
+
+  /// Per-stage LSB counts with a common adder/multiplier kind — e.g.
+  /// configuration B9 of Fig. 12 is from_lsbs({10, 12, 2, 8, 16}).
+  [[nodiscard]] static PipelineConfig from_lsbs(
+      const LsbVector& lsbs, AdderKind add_kind = AdderKind::Approx5,
+      MultKind mult_kind = MultKind::V1,
+      ApproxPolicy policy = ApproxPolicy::Moderate) noexcept;
+
+  /// The same LSB count at every stage (the Fig. 10 experiment).
+  [[nodiscard]] static PipelineConfig uniform(
+      int lsbs, AdderKind add_kind = AdderKind::Approx5, MultKind mult_kind = MultKind::V1,
+      ApproxPolicy policy = ApproxPolicy::Moderate) noexcept {
+    return from_lsbs(LsbVector{lsbs, lsbs, lsbs, lsbs, lsbs}, add_kind, mult_kind, policy);
+  }
+};
+
+/// Per-stage signals plus detection output.
+struct PipelineResult {
+  std::vector<i32> lpf;
+  std::vector<i32> hpf;
+  std::vector<i32> der;
+  std::vector<i32> sqr;
+  std::vector<i32> mwi;
+  DetectionResult detection;
+  std::array<arith::OpCounts, kNumStages> ops{};
+
+  [[nodiscard]] const std::vector<i32>& stage_signal(Stage s) const noexcept;
+};
+
+/// The five-stage pipeline. Stages whose configuration is exact run on the
+/// native datapath; approximated stages run bit-accurately through the
+/// behavioural models.
+class PanTompkinsPipeline {
+ public:
+  explicit PanTompkinsPipeline(const PipelineConfig& cfg = PipelineConfig::accurate());
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
+
+  /// Filter + detect over a whole digitized record.
+  [[nodiscard]] PipelineResult run(std::span<const i32> adu) const;
+
+  /// Filter only (no detection) — used by quality evaluation sweeps that
+  /// only need the intermediate signal.
+  [[nodiscard]] PipelineResult run_filters(std::span<const i32> adu) const;
+
+ private:
+  PipelineConfig cfg_;
+};
+
+}  // namespace xbs::pantompkins

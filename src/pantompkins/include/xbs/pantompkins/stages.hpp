@@ -1,0 +1,98 @@
+/// \file stages.hpp
+/// \brief The five Pan-Tompkins application stages as fixed-point datapaths
+/// over a pluggable ArithmeticUnit.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "xbs/arith/unit.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::pantompkins {
+
+/// The five stages, in pipeline order (paper Fig. 3).
+enum class Stage { Lpf, Hpf, Der, Sqr, Mwi };
+inline constexpr int kNumStages = 5;
+inline constexpr std::array<Stage, 5> kAllStages = {Stage::Lpf, Stage::Hpf, Stage::Der,
+                                                    Stage::Sqr, Stage::Mwi};
+
+[[nodiscard]] constexpr std::string_view to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::Lpf: return "LPF";
+    case Stage::Hpf: return "HPF";
+    case Stage::Der: return "DER";
+    case Stage::Sqr: return "SQR";
+    case Stage::Mwi: return "MWI";
+  }
+  return "?";
+}
+
+/// Hardware inventory of one stage: the module counts the paper quotes and
+/// the LSB range it sweeps/allows for that stage (§2, §4.2, §6.2).
+struct StageInventory {
+  Stage stage = Stage::Lpf;
+  std::string_view name;
+  int n_adders = 0;  ///< 32-bit adder blocks
+  int n_mults = 0;   ///< 16x16 multiplier blocks
+  int n_registers = 0;
+  int max_lsbs = 16;  ///< upper bound of the approximation sweep
+};
+
+/// Inventory for each stage: LPF 10+11 (11 taps), HPF 31+32 (32 taps),
+/// DER 3+4 (4 non-zero taps), SQR 0+1, MWI 29+0 (30-input adder tree).
+[[nodiscard]] const StageInventory& stage_inventory(Stage s) noexcept;
+
+/// A fixed-point FIR stage: per-tap 16x16 multiplies by integer
+/// coefficients, a chain of 32-bit accumulations, then an arithmetic
+/// normalization shift and 16-bit saturation of the output (the inter-stage
+/// register width). All arithmetic flows through the given unit.
+class FirStage {
+ public:
+  FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUnit& unit);
+
+  [[nodiscard]] i32 process(i32 x);
+  void reset();
+
+ private:
+  std::vector<i32> taps_;
+  std::vector<i32> delay_;
+  std::size_t head_ = 0;
+  int out_shift_;
+  arith::ArithmeticUnit* unit_;
+};
+
+/// The squarer stage: y = (x * x) >> shift through the unit's multiplier.
+/// The output keeps wide precision (it feeds the adder-only MWI stage); the
+/// shift keeps the downstream MWI sum inside its 32-bit adders.
+class SquarerStage {
+ public:
+  explicit SquarerStage(int out_shift, arith::ArithmeticUnit& unit)
+      : out_shift_(out_shift), unit_(&unit) {}
+  [[nodiscard]] i32 process(i32 x);
+
+ private:
+  int out_shift_;
+  arith::ArithmeticUnit* unit_;
+};
+
+/// The moving-window-integration stage: a feed-forward balanced tree of
+/// window-1 adds per sample (adder-only, no error feedback), then >> shift.
+/// The tree reduction order matches the netlist builder exactly.
+class MwiStage {
+ public:
+  MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit);
+
+  [[nodiscard]] i32 process(i32 x);
+  void reset();
+
+ private:
+  std::vector<i32> window_buf_;
+  std::size_t head_ = 0;
+  int out_shift_;
+  arith::ArithmeticUnit* unit_;
+};
+
+}  // namespace xbs::pantompkins

@@ -1,0 +1,90 @@
+#include "xbs/pantompkins/pipeline.hpp"
+
+#include <memory>
+
+#include "xbs/dsp/pt_coeffs.hpp"
+
+namespace xbs::pantompkins {
+namespace {
+
+/// True when a stage configuration is exactly the accurate datapath.
+bool is_exact(const arith::StageArithConfig& c) noexcept {
+  return c.adder.approx_lsbs == 0 && c.mult.approx_lsbs == 0;
+}
+
+std::unique_ptr<arith::ArithmeticUnit> make_unit(const arith::StageArithConfig& c) {
+  if (is_exact(c)) return std::make_unique<arith::ExactUnit>();
+  return std::make_unique<arith::ApproxUnit>(c);
+}
+
+}  // namespace
+
+PipelineConfig PipelineConfig::from_lsbs(const LsbVector& lsbs, AdderKind add_kind,
+                                         MultKind mult_kind, ApproxPolicy policy) noexcept {
+  PipelineConfig cfg;
+  for (int s = 0; s < kNumStages; ++s) {
+    cfg.stage[static_cast<std::size_t>(s)] =
+        arith::StageArithConfig::uniform(lsbs[static_cast<std::size_t>(s)], add_kind, mult_kind,
+                                         policy);
+  }
+  return cfg;
+}
+
+const std::vector<i32>& PipelineResult::stage_signal(Stage s) const noexcept {
+  switch (s) {
+    case Stage::Lpf: return lpf;
+    case Stage::Hpf: return hpf;
+    case Stage::Der: return der;
+    case Stage::Sqr: return sqr;
+    case Stage::Mwi: return mwi;
+  }
+  return mwi;  // unreachable
+}
+
+PanTompkinsPipeline::PanTompkinsPipeline(const PipelineConfig& cfg) : cfg_(cfg) {}
+
+PipelineResult PanTompkinsPipeline::run_filters(std::span<const i32> adu) const {
+  PipelineResult out;
+  const std::size_t n = adu.size();
+  out.lpf.reserve(n);
+  out.hpf.reserve(n);
+  out.der.reserve(n);
+  out.sqr.reserve(n);
+  out.mwi.reserve(n);
+
+  auto u_lpf = make_unit(cfg_.stage[0]);
+  auto u_hpf = make_unit(cfg_.stage[1]);
+  auto u_der = make_unit(cfg_.stage[2]);
+  auto u_sqr = make_unit(cfg_.stage[3]);
+  auto u_mwi = make_unit(cfg_.stage[4]);
+
+  FirStage lpf(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, *u_lpf);
+  FirStage hpf(dsp::pt::kHpfTaps, dsp::pt::kHpfShift, *u_hpf);
+  FirStage der(dsp::pt::kDerTaps, dsp::pt::kDerShift, *u_der);
+  SquarerStage sqr(dsp::pt::kSqrShift, *u_sqr);
+  MwiStage mwi(dsp::pt::kMwiWindow, dsp::pt::kMwiShift, *u_mwi);
+
+  for (const i32 x : adu) {
+    const i32 a = lpf.process(x);
+    const i32 b = hpf.process(a);
+    const i32 c = der.process(b);
+    const i32 d = sqr.process(c);
+    const i32 e = mwi.process(d);
+    out.lpf.push_back(a);
+    out.hpf.push_back(b);
+    out.der.push_back(c);
+    out.sqr.push_back(d);
+    out.mwi.push_back(e);
+  }
+  out.ops = {u_lpf->counts(), u_hpf->counts(), u_der->counts(), u_sqr->counts(),
+             u_mwi->counts()};
+  return out;
+}
+
+PipelineResult PanTompkinsPipeline::run(std::span<const i32> adu) const {
+  PipelineResult out = run_filters(adu);
+  out.detection = detect_qrs(out.mwi, out.hpf, adu, cfg_.detector);
+  return out;
+}
+
+}  // namespace xbs::pantompkins

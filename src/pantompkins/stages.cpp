@@ -1,0 +1,97 @@
+#include "xbs/pantompkins/stages.hpp"
+
+#include <stdexcept>
+
+#include "xbs/common/fixed.hpp"
+#include "xbs/dsp/pt_coeffs.hpp"
+
+namespace xbs::pantompkins {
+
+const StageInventory& stage_inventory(Stage s) noexcept {
+  static const std::array<StageInventory, 5> inv = {{
+      {Stage::Lpf, "LPF", 10, 11, 10, 16},
+      {Stage::Hpf, "HPF", 31, 32, 31, 16},
+      {Stage::Der, "DER", 3, 4, 4, 4},
+      {Stage::Sqr, "SQR", 0, 1, 0, 8},
+      {Stage::Mwi, "MWI", dsp::pt::kMwiWindow - 1, 0, dsp::pt::kMwiWindow - 1, 16},
+  }};
+  return inv[static_cast<std::size_t>(s)];
+}
+
+FirStage::FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUnit& unit)
+    : out_shift_(out_shift), unit_(&unit) {
+  if (taps.empty()) throw std::invalid_argument("FirStage: empty taps");
+  taps_.assign(taps.begin(), taps.end());
+  delay_.assign(taps_.size(), 0);
+}
+
+void FirStage::reset() {
+  delay_.assign(taps_.size(), 0);
+  head_ = 0;
+}
+
+i32 FirStage::process(i32 x) {
+  delay_[head_] = x;
+  // Products in tap order (zero taps skipped), accumulated through a chain of
+  // 32-bit adds — the same structure the netlist stage builder emits.
+  i64 acc = 0;
+  bool first = true;
+  std::size_t idx = head_;
+  for (const i32 c : taps_) {
+    if (c != 0) {
+      const i64 p = unit_->mul(c, delay_[idx]);
+      if (first) {
+        acc = p;
+        first = false;
+      } else {
+        acc = unit_->add(acc, p);
+      }
+    }
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+  head_ = (head_ + 1) % delay_.size();
+  // Normalization shift (wiring) and 16-bit inter-stage register.
+  return static_cast<i32>(saturate_to_bits(acc >> out_shift_, 16));
+}
+
+i32 SquarerStage::process(i32 x) {
+  const i64 clamped = saturate_to_bits(x, 16);
+  return static_cast<i32>(unit_->mul(clamped, clamped) >> out_shift_);
+}
+
+MwiStage::MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit)
+    : out_shift_(out_shift), unit_(&unit) {
+  if (window < 2) throw std::invalid_argument("MwiStage: window must be >= 2");
+  window_buf_.assign(static_cast<std::size_t>(window), 0);
+}
+
+void MwiStage::reset() {
+  window_buf_.assign(window_buf_.size(), 0);
+  head_ = 0;
+}
+
+i32 MwiStage::process(i32 x) {
+  window_buf_[head_] = x;
+  head_ = (head_ + 1) % window_buf_.size();
+  // Balanced feed-forward adder tree over the window contents, oldest first;
+  // pairwise reduction order mirrors netlist::build_mwi_stage.
+  std::vector<i64> terms;
+  terms.reserve(window_buf_.size());
+  std::size_t idx = head_;  // oldest element
+  for (std::size_t i = 0; i < window_buf_.size(); ++i) {
+    terms.push_back(window_buf_[idx]);
+    idx = (idx + 1) % window_buf_.size();
+  }
+  while (terms.size() > 1) {
+    std::vector<i64> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(unit_->add(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return static_cast<i32>(saturate_i32(terms[0] >> out_shift_));
+}
+
+}  // namespace xbs::pantompkins

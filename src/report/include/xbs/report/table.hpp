@@ -1,0 +1,43 @@
+/// \file table.hpp
+/// \brief ASCII table / CSV rendering used by every bench binary, so each
+/// experiment prints the same rows the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xbs::report {
+
+/// Simple column-aligned ASCII table with an optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  AsciiTable& set_title(std::string title);
+  AsciiTable& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision ("12.34").
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+/// Format a reduction factor ("12.3x"; infinities as "inf").
+[[nodiscard]] std::string fmt_factor(double v, int precision = 2);
+
+/// Format a value in scientific notation ("1.2e+03").
+[[nodiscard]] std::string fmt_sci(double v, int precision = 2);
+
+/// Format a percentage ("99.1%").
+[[nodiscard]] std::string fmt_pct(double v, int precision = 1);
+
+}  // namespace xbs::report

@@ -1,0 +1,88 @@
+#include "xbs/report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace xbs::report {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+AsciiTable& AsciiTable::set_title(std::string title) {
+  title_ = std::move(title);
+  return *this;
+}
+
+AsciiTable& AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  std::size_t total = width.empty() ? 0 : (3 * (width.size() - 1));
+  for (const std::size_t w : width) total += w;
+
+  if (!title_.empty()) os << title_ << "\n";
+  auto rule = [&] { os << std::string(total, '-') << "\n"; };
+  rule();
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << headers_[c] << std::string(width[c] - headers_[c].size(), ' ');
+    if (c + 1 < headers_.size()) os << " | ";
+  }
+  os << "\n";
+  rule();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << " | ";
+    }
+    os << "\n";
+  }
+  rule();
+}
+
+void AsciiTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << ",";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_factor(double v, int precision) {
+  if (std::isinf(v)) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v);
+  return buf;
+}
+
+}  // namespace xbs::report

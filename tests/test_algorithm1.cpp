@@ -1,0 +1,112 @@
+// Tests for the three-phase design generation methodology (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/explore/algorithm1.hpp"
+#include "xbs/explore/exhaustive.hpp"
+
+namespace xbs::explore {
+namespace {
+
+using pantompkins::Stage;
+
+std::vector<StageSpace> preproc_spaces() {
+  StageSpace lpf{Stage::Lpf, default_lsb_list(Stage::Lpf), 5.8};
+  StageSpace hpf{Stage::Hpf, default_lsb_list(Stage::Hpf), 2.8};
+  return {lpf, hpf};
+}
+
+std::vector<ecg::DigitizedRecord> workload() { return {ecg::nsrdb_like_digitized(0, 6000)}; }
+
+TEST(Algorithm1, FindsSatisfyingDesignUnderLooseConstraint) {
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  const auto result =
+      design_generation(preproc_spaces(), ModuleLists{}, eval, energy, /*PSNR>=*/30.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GE(result.best_quality, 30.0);
+  EXPECT_GT(result.energy_reduction, 1.0);
+  EXPECT_FALSE(result.best.empty());
+}
+
+TEST(Algorithm1, InfeasibleConstraintFallsBackToAccurate) {
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  // No approximate design reaches PSNR 1000 dB; only the accurate design
+  // (infinite PSNR) would — but 0-LSB points are the committed fallback.
+  const auto result =
+      design_generation(preproc_spaces(), ModuleLists{}, eval, energy, 1000.0);
+  // The committed design must be (nearly) accurate: zero LSBs everywhere.
+  for (const auto& sd : result.best) EXPECT_EQ(sd.lsbs, 0) << sd.to_string();
+}
+
+TEST(Algorithm1, ExploresFarFewerPointsThanExhaustive) {
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  const auto a1 = design_generation(preproc_spaces(), ModuleLists{}, eval, energy, 30.0);
+  // Exhaustive grid over the same spaces with singleton module lists = 9x9.
+  PreprocPsnrEvaluator eval2(workload());
+  const auto grid = exhaustive_explore(preproc_spaces(), ModuleLists{}, eval2, energy, 30.0);
+  EXPECT_EQ(grid.evaluations, 81);
+  EXPECT_LT(a1.evaluations, grid.evaluations / 3);  // paper: 11 vs 81
+  EXPECT_GE(a1.evaluations, 3);
+}
+
+TEST(Algorithm1, BestNearExhaustiveOptimum) {
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  const auto a1 = design_generation(preproc_spaces(), ModuleLists{}, eval, energy, 30.0);
+  PreprocPsnrEvaluator eval2(workload());
+  const auto grid = exhaustive_explore(preproc_spaces(), ModuleLists{}, eval2, energy, 30.0);
+  const GridPoint* opt = grid.best();
+  ASSERT_NE(opt, nullptr);
+  ASSERT_TRUE(a1.feasible);
+  // The methodology trades optimality for speed: it must land within 2x of
+  // the exhaustive optimum's energy reduction (paper finds the same design).
+  EXPECT_GE(a1.energy_reduction, opt->energy_reduction / 2.0);
+}
+
+TEST(Algorithm1, LogPhasesAreOrdered) {
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  const auto result = design_generation(preproc_spaces(), ModuleLists{}, eval, energy, 30.0);
+  ASSERT_FALSE(result.log.empty());
+  int max_phase_seen = 1;
+  bool saw_phase1 = false;
+  for (const auto& p : result.log) {
+    EXPECT_GE(p.phase, 1);
+    EXPECT_LE(p.phase, 3);
+    saw_phase1 |= (p.phase == 1);
+    max_phase_seen = std::max(max_phase_seen, p.phase);
+  }
+  EXPECT_TRUE(saw_phase1);
+  EXPECT_EQ(result.evaluations, static_cast<int>(result.log.size()));
+}
+
+TEST(Algorithm1, EmptyInputsThrow) {
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  EXPECT_THROW((void)design_generation({}, ModuleLists{}, eval, energy, 30.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)design_generation(preproc_spaces(), ModuleLists{{}, {}}, eval, energy, 30.0),
+               std::invalid_argument);
+}
+
+TEST(Algorithm1, StageOrderingByEnergySavings) {
+  // The least-saving stage is configured in phase 1: with HPF declared less
+  // lucrative than LPF, phase-1 log entries must touch HPF only.
+  PreprocPsnrEvaluator eval(workload());
+  const StageEnergyModel energy;
+  StageSpace lpf{Stage::Lpf, default_lsb_list(Stage::Lpf), /*savings=*/10.0};
+  StageSpace hpf{Stage::Hpf, default_lsb_list(Stage::Hpf), /*savings=*/2.0};
+  const auto result = design_generation({lpf, hpf}, ModuleLists{}, eval, energy, 30.0);
+  for (const auto& p : result.log) {
+    if (p.phase != 1) continue;
+    for (const auto& sd : p.design) {
+      if (sd.lsbs > 0) EXPECT_EQ(sd.stage, Stage::Hpf);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbs::explore

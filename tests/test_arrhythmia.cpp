@@ -1,0 +1,101 @@
+// Tests for the RR-interval rhythm analysis module (the paper's future-work
+// arrhythmia direction).
+#include <gtest/gtest.h>
+
+#include "xbs/ecg/adc.hpp"
+#include "xbs/ecg/template_gen.hpp"
+#include "xbs/pantompkins/arrhythmia.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::pantompkins {
+namespace {
+
+std::vector<std::size_t> regular_beats(double hr_bpm, double fs, int n) {
+  std::vector<std::size_t> peaks;
+  const double rr = 60.0 / hr_bpm * fs;
+  for (int i = 0; i < n; ++i) peaks.push_back(static_cast<std::size_t>(200 + i * rr));
+  return peaks;
+}
+
+TEST(Rhythm, CleanSinusFlagsNothing) {
+  const auto peaks = regular_beats(70, 200, 60);
+  const auto r = analyze_rhythm(peaks, 200.0);
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_NEAR(r.hrv.mean_hr_bpm, 70.0, 1.5);
+  EXPECT_LT(r.hrv.sdnn_ms, 10.0);
+}
+
+TEST(Rhythm, PrematureBeatFlagged) {
+  auto peaks = regular_beats(70, 200, 30);
+  // Shift beat 15 early by 40% of an RR interval.
+  const std::size_t rr = peaks[15] - peaks[14];
+  peaks[15] -= static_cast<std::size_t>(0.4 * static_cast<double>(rr));
+  const auto r = analyze_rhythm(peaks, 200.0);
+  bool found = false;
+  for (const auto& e : r.events) {
+    if (e.kind == RhythmEventKind::PrematureBeat && e.beat_index == 15) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Rhythm, PauseFlagged) {
+  auto peaks = regular_beats(70, 200, 30);
+  // Drop beat 20 entirely: the next RR doubles.
+  peaks.erase(peaks.begin() + 20);
+  const auto r = analyze_rhythm(peaks, 200.0);
+  bool found = false;
+  for (const auto& e : r.events) found |= (e.kind == RhythmEventKind::Pause);
+  EXPECT_TRUE(found);
+}
+
+TEST(Rhythm, BradyAndTachyFlagged) {
+  const auto slow = analyze_rhythm(regular_beats(42, 200, 30), 200.0);
+  bool brady = false;
+  for (const auto& e : slow.events) brady |= (e.kind == RhythmEventKind::Bradycardia);
+  EXPECT_TRUE(brady);
+
+  const auto fast = analyze_rhythm(regular_beats(130, 200, 40), 200.0);
+  bool tachy = false;
+  for (const auto& e : fast.events) tachy |= (e.kind == RhythmEventKind::Tachycardia);
+  EXPECT_TRUE(tachy);
+}
+
+TEST(Rhythm, IrregularRhythmFlagged) {
+  // Alternating 0.6 s / 1.1 s RR: RMSSD = 500 ms >> threshold.
+  std::vector<std::size_t> peaks;
+  std::size_t t = 200;
+  for (int i = 0; i < 30; ++i) {
+    peaks.push_back(t);
+    t += (i % 2 == 0) ? 120 : 220;
+  }
+  const auto r = analyze_rhythm(peaks, 200.0);
+  bool irregular = false;
+  for (const auto& e : r.events) irregular |= (e.kind == RhythmEventKind::IrregularRhythm);
+  EXPECT_TRUE(irregular);
+  EXPECT_GT(r.hrv.rmssd_ms, 120.0);
+  EXPECT_GT(r.hrv.pnn50_pct, 50.0);
+}
+
+TEST(Rhythm, TooFewBeatsYieldsEmpty) {
+  const auto r = analyze_rhythm(std::vector<std::size_t>{100, 300}, 200.0);
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_EQ(r.hrv.mean_hr_bpm, 0.0);
+}
+
+TEST(Rhythm, EndToEndOnApproximatePipeline) {
+  // PVC-laden record through the B9 approximate datapath: the ectopics the
+  // generator injected must surface as premature-beat flags.
+  ecg::TemplateEcgParams p;
+  p.ectopic_probability = 0.08;
+  const auto rec =
+      ecg::AdcFrontEnd{}.digitize(ecg::generate_template_ecg(p, 20000, 314));
+  const PanTompkinsPipeline pipe(PipelineConfig::from_lsbs({10, 12, 2, 8, 16}));
+  const auto res = pipe.run(rec.adu);
+  const auto r = analyze_rhythm(res.detection.peaks, rec.fs_hz);
+  int premature = 0;
+  for (const auto& e : r.events) premature += (e.kind == RhythmEventKind::PrematureBeat) ? 1 : 0;
+  EXPECT_GE(premature, 3);
+}
+
+}  // namespace
+}  // namespace xbs::pantompkins

@@ -1,0 +1,76 @@
+// Unit tests for the bit-manipulation helpers underlying the bit-accurate
+// arithmetic simulators.
+#include <gtest/gtest.h>
+
+#include "xbs/common/bitops.hpp"
+#include "xbs/common/rng.hpp"
+
+namespace xbs {
+namespace {
+
+TEST(Bitops, BitOfExtractsBits) {
+  EXPECT_TRUE(bit_of(0b1010, 1));
+  EXPECT_FALSE(bit_of(0b1010, 0));
+  EXPECT_TRUE(bit_of(0b1010, 3));
+  EXPECT_TRUE(bit_of(u64{1} << 63, 63));
+  EXPECT_FALSE(bit_of(0, 17));
+}
+
+TEST(Bitops, WithBitSetsAndClears) {
+  EXPECT_EQ(with_bit(0, 3, true), 0b1000u);
+  EXPECT_EQ(with_bit(0b1111, 2, false), 0b1011u);
+  EXPECT_EQ(with_bit(0b1011, 2, true), 0b1111u);
+  EXPECT_EQ(with_bit(0, 63, true), u64{1} << 63);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(low_mask(64), ~u64{0});
+}
+
+TEST(Bitops, SignExtendPositive) {
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x0001, 16), 1);
+  EXPECT_EQ(sign_extend(0, 16), 0);
+}
+
+TEST(Bitops, SignExtendNegative) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+}
+
+TEST(Bitops, SignExtendIgnoresHighGarbage) {
+  // Bits above `bits` must not affect the result.
+  EXPECT_EQ(sign_extend(0xABCD00FF, 8), -1);
+  EXPECT_EQ(sign_extend(0xABCD007F, 8), 127);
+}
+
+TEST(Bitops, ToUnsignedBitsWrapsTwosComplement) {
+  EXPECT_EQ(to_unsigned_bits(-1, 8), 0xFFu);
+  EXPECT_EQ(to_unsigned_bits(-128, 8), 0x80u);
+  EXPECT_EQ(to_unsigned_bits(255, 8), 0xFFu);
+  EXPECT_EQ(to_unsigned_bits(256, 8), 0u);
+}
+
+class BitopsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitopsRoundTrip, SignExtendInvertsToUnsignedBits) {
+  const int bits = GetParam();
+  Rng rng(42 + static_cast<u64>(bits));
+  const i64 lo = -(i64{1} << (bits - 1));
+  const i64 hi = (i64{1} << (bits - 1)) - 1;
+  for (int trial = 0; trial < 200; ++trial) {
+    const i64 v = rng.uniform_int(lo, hi);
+    EXPECT_EQ(sign_extend(to_unsigned_bits(v, bits), bits), v) << "bits=" << bits << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitopsRoundTrip, ::testing::Values(2, 4, 8, 15, 16, 31, 32, 48, 63));
+
+}  // namespace
+}  // namespace xbs

@@ -1,0 +1,60 @@
+// Tests for design-space vocabulary helpers.
+#include <gtest/gtest.h>
+
+#include "xbs/explore/design.hpp"
+
+namespace xbs::explore {
+namespace {
+
+using pantompkins::Stage;
+
+TEST(Design, ToStringReadable) {
+  const StageDesign sd{Stage::Lpf, 10, AdderKind::Approx5, MultKind::V1};
+  EXPECT_EQ(sd.to_string(), "LPF:10/ApproxAdd5/AppMultV1");
+  EXPECT_EQ(to_string(Design{}), "(accurate)");
+}
+
+TEST(Design, FindStage) {
+  const Design d = {{Stage::Lpf, 10}, {Stage::Hpf, 8}};
+  ASSERT_TRUE(find_stage(d, Stage::Lpf).has_value());
+  EXPECT_EQ(find_stage(d, Stage::Lpf)->lsbs, 10);
+  EXPECT_FALSE(find_stage(d, Stage::Der).has_value());
+}
+
+TEST(Design, MergeOverridesAndAppends) {
+  const Design base = {{Stage::Lpf, 10}, {Stage::Hpf, 8}};
+  const Design overlay = {{Stage::Hpf, 12}, {Stage::Mwi, 16}};
+  const Design merged = merge(base, overlay);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(find_stage(merged, Stage::Lpf)->lsbs, 10);
+  EXPECT_EQ(find_stage(merged, Stage::Hpf)->lsbs, 12);
+  EXPECT_EQ(find_stage(merged, Stage::Mwi)->lsbs, 16);
+}
+
+TEST(Design, ToPipelineConfigAbsentStagesAccurate) {
+  const Design d = {{Stage::Hpf, 8}};
+  const auto cfg = to_pipeline_config(d);
+  EXPECT_EQ(cfg.stage[1].adder.approx_lsbs, 8);
+  EXPECT_EQ(cfg.stage[0].adder.approx_lsbs, 0);
+  EXPECT_EQ(cfg.stage[4].mult.approx_lsbs, 0);
+}
+
+TEST(Design, DefaultLsbListsFollowPaperLimits) {
+  EXPECT_EQ(default_lsb_list(Stage::Lpf), (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14, 16}));
+  EXPECT_EQ(default_lsb_list(Stage::Der), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(default_lsb_list(Stage::Sqr), (std::vector<int>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(default_lsb_list(Stage::Mwi).back(), 16);
+}
+
+TEST(Design, ArithConfigRoundTrip) {
+  const StageDesign sd{Stage::Sqr, 6, AdderKind::Approx3, MultKind::V2,
+                       ApproxPolicy::Aggressive};
+  const auto cfg = sd.arith_config();
+  EXPECT_EQ(cfg.adder.approx_lsbs, 6);
+  EXPECT_EQ(cfg.adder.kind, AdderKind::Approx3);
+  EXPECT_EQ(cfg.mult.mult_kind, MultKind::V2);
+  EXPECT_EQ(cfg.mult.policy, ApproxPolicy::Aggressive);
+}
+
+}  // namespace
+}  // namespace xbs::explore

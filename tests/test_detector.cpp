@@ -1,0 +1,103 @@
+// Tests for the adaptive-threshold QRS decision logic.
+#include <gtest/gtest.h>
+
+#include "xbs/ecg/adc.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/ecg/template_gen.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::pantompkins {
+namespace {
+
+DetectionResult run_detection(const ecg::DigitizedRecord& rec) {
+  const PanTompkinsPipeline pipe;
+  return pipe.run(rec.adu).detection;
+}
+
+TEST(Detector, CleanRecordDetectedPerfectly) {
+  ecg::TemplateEcgParams p;
+  ecg::EcgRecord rec = ecg::generate_template_ecg(p, 20000, 1234);
+  const auto digit = ecg::AdcFrontEnd{}.digitize(rec);
+  const auto det = run_detection(digit);
+  const auto m = metrics::match_peaks(digit.r_peaks, det.peaks, 30);
+  EXPECT_EQ(m.false_negatives, 0);
+  EXPECT_EQ(m.false_positives, 0);
+}
+
+TEST(Detector, NoisyDatasetAbove99Percent) {
+  int fn = 0, fp = 0, truth = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto rec = ecg::nsrdb_like_digitized(i, 10000);
+    const auto det = run_detection(rec);
+    const auto m = metrics::match_peaks(rec.r_peaks, det.peaks, 30);
+    fn += m.false_negatives;
+    fp += m.false_positives;
+    truth += m.truth_count();
+  }
+  EXPECT_GE(truth, 200);
+  EXPECT_LE(fn + fp, truth / 100);  // >= 99 % aggregate accuracy
+}
+
+TEST(Detector, TallTWavesDoNotDouble) {
+  // Exaggerated T waves must not produce double detections (slope rule).
+  ecg::TemplateEcgParams p;
+  p.t.amplitude_mv = 0.55;
+  p.t.width_s = 0.07;
+  const ecg::EcgRecord rec = ecg::generate_template_ecg(p, 20000, 77);
+  const auto digit = ecg::AdcFrontEnd{}.digitize(rec);
+  const auto det = run_detection(digit);
+  const auto m = metrics::match_peaks(digit.r_peaks, det.peaks, 30);
+  EXPECT_EQ(m.false_positives, 0);
+  EXPECT_LE(m.false_negatives, 1);
+}
+
+TEST(Detector, RefractorySuppressesAdjacentMarks) {
+  const auto rec = ecg::nsrdb_like_digitized(2, 10000);
+  const auto det = run_detection(rec);
+  for (std::size_t i = 1; i < det.peaks.size(); ++i) {
+    EXPECT_GE(det.peaks[i] - det.peaks[i - 1], 40u) << i;  // 200 ms at 200 Hz
+  }
+}
+
+TEST(Detector, TraceCoversDecisions) {
+  const auto rec = ecg::nsrdb_like_digitized(0, 10000);
+  const auto det = run_detection(rec);
+  int accepted = 0;
+  for (const auto& ev : det.trace) {
+    if (ev.decision == PeakDecision::Accepted ||
+        ev.decision == PeakDecision::SearchBackRecovered) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(accepted), det.peaks.size());
+}
+
+TEST(Detector, SizeMismatchThrows) {
+  std::vector<i32> a(100, 0), b(99, 0);
+  EXPECT_THROW((void)detect_qrs(a, b, a), std::invalid_argument);
+}
+
+TEST(Detector, EmptySignalYieldsNothing) {
+  std::vector<i32> empty;
+  const auto det = detect_qrs(empty, empty, empty);
+  EXPECT_TRUE(det.peaks.empty());
+}
+
+TEST(Detector, AmplitudeStepAdapts) {
+  // Halve the signal amplitude midway: adaptive thresholds must keep
+  // detecting beats in the quieter half.
+  ecg::TemplateEcgParams p;
+  ecg::EcgRecord rec = ecg::generate_template_ecg(p, 30000, 5);
+  for (std::size_t i = 15000; i < rec.mv.size(); ++i) rec.mv[i] *= 0.5;
+  const auto digit = ecg::AdcFrontEnd{}.digitize(rec);
+  const auto det = run_detection(digit);
+  // Count detections in the second half.
+  int truth_late = 0, det_late = 0;
+  for (const auto r : digit.r_peaks) truth_late += (r >= 16000) ? 1 : 0;
+  for (const auto d : det.peaks) det_late += (d >= 16000) ? 1 : 0;
+  EXPECT_GE(det_late, truth_late - 2);
+}
+
+}  // namespace
+}  // namespace xbs::pantompkins

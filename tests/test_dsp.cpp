@@ -1,0 +1,128 @@
+// Tests for the double-precision DSP reference: FIR engine, frequency
+// responses of the Pan-Tompkins tap sets, reference chain sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "xbs/dsp/fir.hpp"
+#include "xbs/dsp/pt_coeffs.hpp"
+#include "xbs/dsp/pt_reference.hpp"
+
+namespace xbs::dsp {
+namespace {
+
+std::vector<double> norm_taps(std::span<const int> taps, double gain) {
+  std::vector<double> out;
+  for (const int t : taps) out.push_back(t / gain);
+  return out;
+}
+
+TEST(Fir, ImpulseResponseIsTaps) {
+  FirFilter f({0.5, -0.25, 0.125});
+  std::vector<double> x = {1, 0, 0, 0};
+  const auto y = f.filter(x);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], -0.25);
+  EXPECT_DOUBLE_EQ(y[2], 0.125);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(Fir, StepResponseConvergesToTapSum) {
+  FirFilter f({0.2, 0.2, 0.2, 0.2, 0.2});
+  double y = 0;
+  for (int i = 0; i < 10; ++i) y = f.process(1.0);
+  EXPECT_NEAR(y, 1.0, 1e-12);
+}
+
+TEST(Fir, ResetClearsState) {
+  FirFilter f({1.0, 1.0});
+  (void)f.process(5.0);
+  f.reset();
+  EXPECT_DOUBLE_EQ(f.process(1.0), 1.0);
+}
+
+TEST(Fir, EmptyTapsThrow) { EXPECT_THROW(FirFilter({}), std::invalid_argument); }
+
+TEST(PtCoeffs, LpfStructureMatchesPaper) {
+  // 11 taps, triangular, 10 adders / 11 multipliers / 10 registers (§2).
+  EXPECT_EQ(pt::kLpfTaps.size(), 11u);
+  int sum = 0;
+  for (const int t : pt::kLpfTaps) sum += t;
+  EXPECT_EQ(sum, 36);  // DC gain before the >>5 normalization
+  // Triangular symmetry.
+  for (std::size_t i = 0; i < pt::kLpfTaps.size(); ++i) {
+    EXPECT_EQ(pt::kLpfTaps[i], pt::kLpfTaps[pt::kLpfTaps.size() - 1 - i]);
+  }
+}
+
+TEST(PtCoeffs, HpfStructureMatchesPaper) {
+  // 32 non-zero taps -> 32 multipliers, 31 adders (§4.2); zero DC gain.
+  EXPECT_EQ(pt::kHpfTaps.size(), 32u);
+  int nonzero = 0, sum = 0;
+  for (const int t : pt::kHpfTaps) {
+    nonzero += (t != 0) ? 1 : 0;
+    sum += t;
+  }
+  EXPECT_EQ(nonzero, 32);
+  EXPECT_EQ(sum, 0);  // perfect DC rejection
+  EXPECT_EQ(pt::kHpfTaps[16], 31);
+}
+
+TEST(PtCoeffs, DerCoefficientMagnitudes) {
+  // Magnitudes 2 and 1 only (§4.2).
+  for (const int t : pt::kDerTaps) EXPECT_LE(std::abs(t), 2);
+  EXPECT_EQ(pt::kDerTaps[0], 2);
+  EXPECT_EQ(pt::kDerTaps[4], -2);
+}
+
+TEST(FrequencyResponse, LpfPassesLowBlocksHigh) {
+  const auto taps = norm_taps(pt::kLpfTaps, 36.0);
+  const double dc = magnitude_response(taps, 0.0, 200.0);
+  const double at5 = magnitude_response(taps, 5.0, 200.0);
+  const double at40 = magnitude_response(taps, 40.0, 200.0);
+  EXPECT_NEAR(dc, 1.0, 1e-12);
+  EXPECT_GT(at5, 0.8);
+  EXPECT_LT(at40, 0.15);
+}
+
+TEST(FrequencyResponse, HpfBlocksDcAndBaselineWander) {
+  const auto taps = norm_taps(pt::kHpfTaps, 32.0);
+  EXPECT_NEAR(magnitude_response(taps, 0.0, 200.0), 0.0, 1e-12);
+  EXPECT_LT(magnitude_response(taps, 0.3, 200.0), 0.12);  // baseline wander
+  EXPECT_GT(magnitude_response(taps, 8.0, 200.0), 0.8);   // QRS band
+}
+
+TEST(FrequencyResponse, DifferentiatorIsLinearInLowBand) {
+  const auto taps = norm_taps(pt::kDerTaps, 8.0);
+  // |H(f)| approximately proportional to f in the low band (the response
+  // flattens toward 30 Hz, so test well inside the linear region).
+  const double h5 = magnitude_response(taps, 5.0, 200.0);
+  const double h10 = magnitude_response(taps, 10.0, 200.0);
+  EXPECT_NEAR(h10 / h5, 2.0, 0.25);
+}
+
+TEST(Reference, ChainShapesSane) {
+  // A 2 Hz sine survives the LPF but dies in the HPF passband edge; MWI is
+  // non-negative by construction.
+  std::vector<double> x;
+  for (int i = 0; i < 2000; ++i)
+    x.push_back(std::sin(2.0 * std::numbers::pi * 2.0 * i / 200.0));
+  const PtReferenceOutput out = pt_reference_chain(x);
+  ASSERT_EQ(out.mwi.size(), x.size());
+  for (const double v : out.mwi) EXPECT_GE(v, 0.0);
+  // LPF keeps the 2 Hz component.
+  double lpf_rms = 0, hpf_rms = 0;
+  for (std::size_t i = 500; i < x.size(); ++i) {
+    lpf_rms += out.lpf[i] * out.lpf[i];
+    hpf_rms += out.hpf[i] * out.hpf[i];
+  }
+  EXPECT_GT(lpf_rms, 10.0 * hpf_rms);  // HPF attenuates 2 Hz strongly
+}
+
+TEST(Reference, PipelineDelayConstant) {
+  EXPECT_DOUBLE_EQ(pt::kPipelineDelay, 5.0 + 15.5 + 2.0 + 14.5);
+}
+
+}  // namespace
+}  // namespace xbs::dsp

@@ -1,0 +1,60 @@
+// Tests for CSV record persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/ecg/io.hpp"
+
+namespace xbs::ecg {
+namespace {
+
+TEST(EcgIo, RoundTripPreservesEverything) {
+  const DigitizedRecord rec = nsrdb_like_digitized(3, 3000);
+  std::stringstream ss;
+  write_csv(ss, rec);
+  const DigitizedRecord back = read_csv(ss);
+  EXPECT_EQ(back.name, rec.name);
+  EXPECT_DOUBLE_EQ(back.fs_hz, rec.fs_hz);
+  EXPECT_DOUBLE_EQ(back.gain_adu_per_mv, rec.gain_adu_per_mv);
+  EXPECT_EQ(back.adu, rec.adu);
+  EXPECT_EQ(back.r_peaks, rec.r_peaks);
+}
+
+TEST(EcgIo, HeaderFormat) {
+  DigitizedRecord rec;
+  rec.name = "r1";
+  rec.fs_hz = 200.0;
+  rec.gain_adu_per_mv = 18000.0;
+  rec.adu = {1, -2, 3};
+  rec.r_peaks = {1};
+  std::stringstream ss;
+  write_csv(ss, rec);
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("# name,r1"), std::string::npos);
+  EXPECT_NE(s.find("index,adu,is_r_peak"), std::string::npos);
+  EXPECT_NE(s.find("1,-2,1"), std::string::npos);
+}
+
+TEST(EcgIo, MalformedInputThrows) {
+  std::stringstream empty("");
+  EXPECT_THROW((void)read_csv(empty), std::runtime_error);
+
+  std::stringstream bad_row("index,adu,is_r_peak\n0,1\n");
+  EXPECT_THROW((void)read_csv(bad_row), std::runtime_error);
+
+  std::stringstream skipped_index("index,adu,is_r_peak\n0,1,0\n2,1,0\n");
+  EXPECT_THROW((void)read_csv(skipped_index), std::runtime_error);
+}
+
+TEST(EcgIo, FileRoundTrip) {
+  const DigitizedRecord rec = nsrdb_like_digitized(0, 500);
+  const std::string path = "/tmp/xbs_io_test.csv";
+  save_csv(path, rec);
+  const DigitizedRecord back = load_csv(path);
+  EXPECT_EQ(back.adu, rec.adu);
+  EXPECT_THROW((void)load_csv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xbs::ecg

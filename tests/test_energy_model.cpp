@@ -1,0 +1,90 @@
+// Tests for the netlist-backed stage energy model.
+#include <gtest/gtest.h>
+
+#include "xbs/explore/energy_model.hpp"
+
+namespace xbs::explore {
+namespace {
+
+using pantompkins::Stage;
+
+TEST(EnergyModel, AccuratePipelineEnergyPositiveAndStable) {
+  const StageEnergyModel m;
+  const double e1 = m.accurate_energy_fj();
+  const double e2 = m.accurate_energy_fj();  // cached
+  EXPECT_GT(e1, 100.0);
+  EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(EnergyModel, NaiveExceedsOptimizedForAccurate) {
+  // Synthesis (constant folding) can only shrink the accurate design.
+  const StageEnergyModel opt(StageEnergyModel::Mode::Optimized);
+  const StageEnergyModel naive(StageEnergyModel::Mode::Naive);
+  for (const Stage s : pantompkins::kAllStages) {
+    const arith::StageArithConfig acc{};
+    EXPECT_GE(naive.stage_energy_fj(s, acc), opt.stage_energy_fj(s, acc)) << to_string(s);
+  }
+}
+
+TEST(EnergyModel, DeepApproximationReducesEveryStage) {
+  const StageEnergyModel m;
+  for (const Stage s : pantompkins::kAllStages) {
+    const double acc = m.stage_energy_fj(s, arith::StageArithConfig{});
+    const double deep = m.stage_energy_fj(s, arith::StageArithConfig::uniform(16));
+    EXPECT_LT(deep, acc) << to_string(s);
+  }
+}
+
+TEST(EnergyModel, ReductionMonotoneForDeepK) {
+  // In the k >= 8 regime (where all chosen designs live) stage reductions
+  // grow monotonically with k.
+  const StageEnergyModel m;
+  for (const Stage s : {Stage::Lpf, Stage::Hpf, Stage::Mwi, Stage::Sqr}) {
+    double prev = 0.0;
+    for (const int k : {8, 12, 16}) {
+      const double red = m.stage_energy_reduction(s, arith::StageArithConfig::uniform(k));
+      EXPECT_GT(red, prev) << to_string(s) << " k=" << k;
+      prev = red;
+    }
+  }
+}
+
+TEST(EnergyModel, DesignEnergyComposes) {
+  const StageEnergyModel m;
+  const Design d = {{Stage::Lpf, 16}};
+  const double mixed = m.design_energy_fj(d);
+  const double all_acc = m.accurate_energy_fj();
+  EXPECT_LT(mixed, all_acc);
+  // Difference equals the LPF stage delta.
+  const double lpf_acc = m.stage_energy_fj(Stage::Lpf, arith::StageArithConfig{});
+  const double lpf_apx =
+      m.stage_energy_fj(Stage::Lpf, StageDesign{Stage::Lpf, 16}.arith_config());
+  EXPECT_NEAR(all_acc - mixed, lpf_acc - lpf_apx, 1e-9);
+}
+
+TEST(EnergyModel, EnergyReductionOfAccurateIsOne) {
+  const StageEnergyModel m;
+  EXPECT_DOUBLE_EQ(m.energy_reduction(Design{}), 1.0);
+}
+
+TEST(EnergyModel, HpfIsMostExpensiveFilterStage) {
+  // 32 multipliers / 31 adders: the HPF dominates the filter energy, which
+  // is why the paper calls it the most lucrative approximation target.
+  const StageEnergyModel m;
+  const arith::StageArithConfig acc{};
+  EXPECT_GT(m.stage_energy_fj(Stage::Hpf, acc), m.stage_energy_fj(Stage::Lpf, acc));
+  EXPECT_GT(m.stage_energy_fj(Stage::Hpf, acc), m.stage_energy_fj(Stage::Der, acc));
+}
+
+TEST(EnergyModel, DerIsCheapestStage) {
+  // Coefficients 2 and 1 fold to wiring: the differentiator is nearly free,
+  // hence "limited energy reductions" from approximating it (paper §4.2).
+  const StageEnergyModel m;
+  const arith::StageArithConfig acc{};
+  for (const Stage s : {Stage::Lpf, Stage::Hpf, Stage::Sqr, Stage::Mwi}) {
+    EXPECT_LT(m.stage_energy_fj(Stage::Der, acc), m.stage_energy_fj(s, acc));
+  }
+}
+
+}  // namespace
+}  // namespace xbs::explore

@@ -1,0 +1,73 @@
+// Tests for the arithmetic error-characterization module.
+#include <gtest/gtest.h>
+
+#include "xbs/arith/error_stats.hpp"
+
+namespace xbs::arith {
+namespace {
+
+TEST(ErrorStats, AccurateConfigurationsAreErrorFree) {
+  const auto add = characterize_adder(AdderConfig{8, 0, AdderKind::Approx5, 0});
+  EXPECT_EQ(add.samples, 65536u);  // exhaustive 2^16
+  EXPECT_DOUBLE_EQ(add.error_rate, 0.0);
+  EXPECT_EQ(add.max_abs_error, 0);
+
+  const auto mul = characterize_multiplier(MultiplierConfig{8, 0});
+  EXPECT_DOUBLE_EQ(mul.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(mul.mean_abs_error, 0.0);
+}
+
+TEST(ErrorStats, Ama5AdderExhaustive8Bit) {
+  // 8-bit adder, 4 approximated LSBs of AMA5: errors bounded by 2^5 region.
+  const auto s = characterize_adder(AdderConfig{8, 4, AdderKind::Approx5, 0});
+  EXPECT_GT(s.error_rate, 0.3);
+  EXPECT_LT(s.error_rate, 1.0);
+  EXPECT_LE(s.max_abs_error, 63);  // sum-lane + displaced carry at bit 4
+  EXPECT_GT(s.mean_abs_error, 1.0);
+}
+
+TEST(ErrorStats, ErrorGrowsWithK) {
+  double prev = -1.0;
+  for (const int k : {2, 4, 6, 8}) {
+    const auto s = characterize_adder(AdderConfig{16, k, AdderKind::Approx5, 0},
+                                      /*exhaustive_limit=*/0, /*mc=*/40000);
+    EXPECT_GT(s.mean_abs_error, prev) << k;
+    prev = s.mean_abs_error;
+  }
+}
+
+TEST(ErrorStats, KinderAddersHaveSmallerError) {
+  // At equal k, AMA1 (2 truth-table errors) must beat AMA5 (6 errors) on
+  // mean error distance.
+  const auto a1 = characterize_adder(AdderConfig{16, 8, AdderKind::Approx1, 0},
+                                     /*exhaustive_limit=*/0, /*mc=*/60000);
+  const auto a5 = characterize_adder(AdderConfig{16, 8, AdderKind::Approx5, 0},
+                                     /*exhaustive_limit=*/0, /*mc=*/60000);
+  EXPECT_LT(a1.mean_abs_error, a5.mean_abs_error);
+}
+
+TEST(ErrorStats, V1MultiplierExhaustive4Bit) {
+  // 4x4 multiplier fully approximated with V1: the only elementary error is
+  // 3x3 -> 7, so the error rate over 256 inputs must be small but non-zero.
+  const auto s = characterize_multiplier(
+      MultiplierConfig{4, 8, AdderKind::Accurate, MultKind::V1, ApproxPolicy::Aggressive});
+  EXPECT_EQ(s.samples, 256u);
+  EXPECT_GT(s.error_rate, 0.0);
+  EXPECT_LT(s.error_rate, 0.3);
+}
+
+TEST(ErrorStats, MonteCarloDeterministicUnderSeed) {
+  const MultiplierConfig cfg{16, 8, AdderKind::Approx5, MultKind::V1, ApproxPolicy::Moderate};
+  const auto a = characterize_multiplier(cfg, 0, 20000, 7);
+  const auto b = characterize_multiplier(cfg, 0, 20000, 7);
+  EXPECT_DOUBLE_EQ(a.mean_abs_error, b.mean_abs_error);
+  EXPECT_EQ(a.max_abs_error, b.max_abs_error);
+}
+
+TEST(ErrorStats, RmsAtLeastMean) {
+  const auto s = characterize_adder(AdderConfig{16, 6, AdderKind::Approx2, 0}, 0, 30000);
+  EXPECT_GE(s.rms_error, s.mean_abs_error);
+}
+
+}  // namespace
+}  // namespace xbs::arith

@@ -1,0 +1,62 @@
+// Tests for the behavioural quality evaluators.
+#include <gtest/gtest.h>
+
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/explore/evaluator.hpp"
+
+namespace xbs::explore {
+namespace {
+
+using pantompkins::Stage;
+
+std::vector<ecg::DigitizedRecord> workload() { return {ecg::nsrdb_like_digitized(0, 6000)}; }
+
+TEST(PreprocEvaluator, AccurateDesignScoresHighest) {
+  PreprocPsnrEvaluator eval(workload());
+  const double acc = eval.evaluate(Design{});
+  const double mild = eval.evaluate(Design{{Stage::Lpf, 8}});
+  const double heavy = eval.evaluate(Design{{Stage::Lpf, 16}, {Stage::Hpf, 16}});
+  EXPECT_GT(acc, mild);
+  EXPECT_GT(mild, heavy);
+  EXPECT_LT(heavy, 40.0);
+}
+
+TEST(PreprocEvaluator, CountsEvaluations) {
+  PreprocPsnrEvaluator eval(workload());
+  EXPECT_EQ(eval.evaluations(), 0);
+  (void)eval.evaluate(Design{});
+  (void)eval.evaluate(Design{{Stage::Lpf, 4}});
+  EXPECT_EQ(eval.evaluations(), 2);
+  eval.reset_evaluations();
+  EXPECT_EQ(eval.evaluations(), 0);
+}
+
+TEST(PreprocEvaluator, SsimTracksPsnr) {
+  PreprocPsnrEvaluator eval(workload());
+  EXPECT_NEAR(eval.ssim_of(Design{}), 1.0, 1e-9);
+  EXPECT_LT(eval.ssim_of(Design{{Stage::Lpf, 16}, {Stage::Hpf, 16}}), 0.9);
+}
+
+TEST(AccuracyEvaluator, AccurateIs100) {
+  AccuracyEvaluator eval(workload());
+  EXPECT_DOUBLE_EQ(eval.evaluate(Design{}), 100.0);
+  const auto c = eval.last_counts();
+  EXPECT_GT(c.truth, 0);
+  EXPECT_EQ(c.false_negatives, 0);
+  EXPECT_EQ(c.false_positives, 0);
+}
+
+TEST(AccuracyEvaluator, BaseDesignMergedUnderCandidates) {
+  // With a destructive base (DER 16), even an accurate candidate must fail.
+  AccuracyEvaluator eval(workload(), Design{{Stage::Der, 16}});
+  EXPECT_LT(eval.evaluate(Design{}), 60.0);
+}
+
+TEST(AccuracyEvaluator, CandidateOverridesBaseStage) {
+  AccuracyEvaluator eval(workload(), Design{{Stage::Der, 16}});
+  // Candidate resets DER to 0 LSBs: accuracy restored.
+  EXPECT_DOUBLE_EQ(eval.evaluate(Design{{Stage::Der, 0}}), 100.0);
+}
+
+}  // namespace
+}  // namespace xbs::explore

@@ -1,0 +1,110 @@
+// Tests for the exhaustive/heuristic baseline explorers, the Pareto front
+// and the exploration-time model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/explore/exhaustive.hpp"
+#include "xbs/explore/pareto.hpp"
+#include "xbs/explore/timing.hpp"
+
+namespace xbs::explore {
+namespace {
+
+using pantompkins::Stage;
+
+TEST(Exhaustive, GridSizeIsProductOfLists) {
+  std::vector<ecg::DigitizedRecord> recs = {ecg::nsrdb_like_digitized(0, 4000)};
+  PreprocPsnrEvaluator eval(std::move(recs));
+  const StageEnergyModel energy;
+  StageSpace lpf{Stage::Lpf, {0, 8, 16}, 1.0};
+  StageSpace hpf{Stage::Hpf, {0, 8}, 1.0};
+  const auto grid = exhaustive_explore({lpf, hpf}, ModuleLists{}, eval, energy, 30.0);
+  EXPECT_EQ(grid.evaluations, 6);  // 3 x 2 with singleton module lists
+  EXPECT_EQ(grid.points.size(), 6u);
+}
+
+TEST(Exhaustive, ModuleListsMultiplyNonZeroPoints) {
+  std::vector<ecg::DigitizedRecord> recs = {ecg::nsrdb_like_digitized(0, 4000)};
+  PreprocPsnrEvaluator eval(std::move(recs));
+  const StageEnergyModel energy;
+  StageSpace lpf{Stage::Lpf, {0, 16}, 1.0};
+  ModuleLists lists{{AdderKind::Approx5, AdderKind::Approx2}, {MultKind::V1}};
+  const auto grid = exhaustive_explore({lpf}, lists, eval, energy, 30.0);
+  // lsb=0 contributes 1 point; lsb=16 contributes 2 (adder kinds) x 1.
+  EXPECT_EQ(grid.evaluations, 3);
+}
+
+TEST(Exhaustive, BestMaximizesEnergyAmongSatisfying) {
+  std::vector<ecg::DigitizedRecord> recs = {ecg::nsrdb_like_digitized(0, 4000)};
+  PreprocPsnrEvaluator eval(std::move(recs));
+  const StageEnergyModel energy;
+  StageSpace lpf{Stage::Lpf, default_lsb_list(Stage::Lpf), 1.0};
+  const auto grid = exhaustive_explore({lpf}, ModuleLists{}, eval, energy, 30.0);
+  const GridPoint* best = grid.best();
+  ASSERT_NE(best, nullptr);
+  EXPECT_TRUE(best->satisfied);
+  for (const auto& p : grid.points) {
+    if (p.satisfied) {
+      EXPECT_LE(p.energy_reduction, best->energy_reduction + 1e-12);
+    }
+  }
+}
+
+TEST(Heuristic, GlobalModulePairGrid) {
+  std::vector<ecg::DigitizedRecord> recs = {ecg::nsrdb_like_digitized(0, 4000)};
+  PreprocPsnrEvaluator eval(std::move(recs));
+  const StageEnergyModel energy;
+  StageSpace lpf{Stage::Lpf, {0, 16}, 1.0};
+  StageSpace hpf{Stage::Hpf, {0, 16}, 1.0};
+  ModuleLists lists{{AdderKind::Approx5, AdderKind::Approx2}, {MultKind::V1}};
+  const auto grid = heuristic_explore({lpf, hpf}, lists, eval, energy, 30.0);
+  // 2 global module pairs x 2 x 2 LSB grid = 8 evaluations.
+  EXPECT_EQ(grid.evaluations, 8);
+}
+
+TEST(Pareto, FrontExtractsNonDominated) {
+  std::vector<GridPoint> pts(5);
+  // (quality, energy): A(100, 2) B(99, 5) C(98, 4) D(95, 9) E(100, 1)
+  pts[0].quality = 100;
+  pts[0].energy_reduction = 2;
+  pts[1].quality = 99;
+  pts[1].energy_reduction = 5;
+  pts[2].quality = 98;
+  pts[2].energy_reduction = 4;  // dominated by B
+  pts[3].quality = 95;
+  pts[3].energy_reduction = 9;
+  pts[4].quality = 100;
+  pts[4].energy_reduction = 1;  // dominated by A
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, EmptyAndSingle) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  std::vector<GridPoint> one(1);
+  one[0].quality = 50;
+  one[0].energy_reduction = 3;
+  EXPECT_EQ(pareto_front(one).size(), 1u);
+}
+
+TEST(TimeModel, PaperEvaluationUnit) {
+  const ExplorationTimeModel t;
+  // One 20k-sample evaluation ~ 300 s (paper §6.1): 81 evaluations ~ 6.75 h,
+  // matching "an exhaustive exploration of 81 possible scenarios takes
+  // roughly seven hours".
+  EXPECT_NEAR(t.hours(81), 6.75, 0.01);
+}
+
+TEST(TimeModel, GrowthRates) {
+  const ExplorationTimeModel t;
+  EXPECT_DOUBLE_EQ(t.exhaustive_evaluations(1), 17.0 * 6 * 3);
+  EXPECT_DOUBLE_EQ(t.exhaustive_evaluations(2), std::pow(17.0 * 6 * 3, 2));
+  EXPECT_DOUBLE_EQ(t.heuristic_evaluations(1), 6.0 * 3 * 9);
+  EXPECT_DOUBLE_EQ(t.heuristic_evaluations(3), 6.0 * 3 * 9 * 9 * 9);
+  EXPECT_GT(t.years(t.exhaustive_evaluations(6)), 1e6);  // astronomically infeasible
+}
+
+}  // namespace
+}  // namespace xbs::explore

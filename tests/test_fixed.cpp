@@ -1,0 +1,82 @@
+// Unit tests for fixed-point helpers.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "xbs/common/fixed.hpp"
+
+namespace xbs {
+namespace {
+
+TEST(Saturate, WithinRangePassesThrough) {
+  EXPECT_EQ(saturate_to_bits(1234, 16), 1234);
+  EXPECT_EQ(saturate_to_bits(-1234, 16), -1234);
+  EXPECT_EQ(saturate_to_bits(32767, 16), 32767);
+  EXPECT_EQ(saturate_to_bits(-32768, 16), -32768);
+}
+
+TEST(Saturate, ClampsOutOfRange) {
+  EXPECT_EQ(saturate_to_bits(32768, 16), 32767);
+  EXPECT_EQ(saturate_to_bits(-32769, 16), -32768);
+  EXPECT_EQ(saturate_to_bits(1e15, 16), 32767);
+  EXPECT_EQ(saturate_i16(1LL << 40), 32767);
+  EXPECT_EQ(saturate_i16(-(1LL << 40)), -32768);
+}
+
+TEST(Saturate, I32Limits) {
+  EXPECT_EQ(saturate_i32(i64{std::numeric_limits<i32>::max()} + 5),
+            std::numeric_limits<i32>::max());
+  EXPECT_EQ(saturate_i32(i64{std::numeric_limits<i32>::min()} - 5),
+            std::numeric_limits<i32>::min());
+  EXPECT_EQ(saturate_i32(12345), 12345);
+}
+
+TEST(ShiftRound, RoundsToNearest) {
+  EXPECT_EQ(shift_round(7, 2), 2);    // 1.75 -> 2
+  EXPECT_EQ(shift_round(5, 2), 1);    // 1.25 -> 1
+  EXPECT_EQ(shift_round(6, 2), 2);    // 1.5 -> 2 (ties away)
+  EXPECT_EQ(shift_round(-7, 2), -2);
+  EXPECT_EQ(shift_round(-6, 2), -2);
+  EXPECT_EQ(shift_round(-5, 2), -1);
+}
+
+TEST(ShiftRound, NegativeShiftIsLeftShift) { EXPECT_EQ(shift_round(3, -2), 12); }
+
+TEST(QFormat, ScaleAndRange) {
+  const QFormat q{1, 15};  // Q1.15
+  EXPECT_EQ(q.total_bits(), 16);
+  EXPECT_DOUBLE_EQ(q.scale(), 32768.0);
+  EXPECT_NEAR(q.max_value(), 0.99997, 1e-4);
+  EXPECT_DOUBLE_EQ(q.min_value(), -1.0);
+}
+
+TEST(QFormat, QuantizeRoundTrip) {
+  const QFormat q{8, 8};
+  for (const double v : {0.0, 1.0, -1.0, 3.14159, -2.71828, 100.5}) {
+    const i64 fix = quantize(v, q);
+    EXPECT_NEAR(dequantize(fix, q), v, 1.0 / q.scale() * 0.51) << v;
+  }
+}
+
+TEST(QFormat, QuantizeSaturates) {
+  const QFormat q{8, 8};  // range [-128, ~127.996]
+  EXPECT_EQ(quantize(1e9, q), (i64{1} << 15) - 1);
+  EXPECT_EQ(quantize(-1e9, q), -(i64{1} << 15));
+}
+
+TEST(QuantizeSignal, VectorizedMatchesScalar) {
+  const QFormat q{16, 0};
+  const std::vector<double> sig = {0.2, 1.7, -3.5, 40000.0, -40000.0};
+  const auto fixed = quantize_signal(sig, q);
+  ASSERT_EQ(fixed.size(), sig.size());
+  EXPECT_EQ(fixed[0], 0);
+  EXPECT_EQ(fixed[1], 2);
+  EXPECT_EQ(fixed[2], -4);  // ties away from zero via nearbyint -> -4? (-3.5 rounds to even = -4)
+  EXPECT_EQ(fixed[3], 32767);
+  EXPECT_EQ(fixed[4], -32768);
+  const auto back = dequantize_signal(fixed, q);
+  EXPECT_DOUBLE_EQ(back[1], 2.0);
+}
+
+}  // namespace
+}  // namespace xbs

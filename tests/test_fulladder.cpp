@@ -1,0 +1,95 @@
+// Truth-table tests for the elementary full-adder library (paper Fig. 5).
+#include <gtest/gtest.h>
+
+#include "xbs/arith/fulladder.hpp"
+
+namespace xbs::arith {
+namespace {
+
+TEST(FullAdder, AccurateMatchesArithmetic) {
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        const FaOut o = full_add(AdderKind::Accurate, a != 0, b != 0, c != 0);
+        const int total = a + b + c;
+        EXPECT_EQ(o.sum, (total & 1) != 0);
+        EXPECT_EQ(o.cout, total >= 2);
+      }
+    }
+  }
+}
+
+TEST(FullAdder, Ama2SumIsInvertedCarry) {
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
+    const FaOut o = full_add(AdderKind::Approx2, a, b, c);
+    EXPECT_EQ(o.sum, !o.cout);
+    // Carry remains exact.
+    EXPECT_EQ(o.cout, full_add(AdderKind::Accurate, a, b, c).cout);
+  }
+}
+
+TEST(FullAdder, Ama5IsPureWiring) {
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
+    const FaOut o = full_add(AdderKind::Approx5, a, b, c);
+    EXPECT_EQ(o.sum, b);
+    EXPECT_EQ(o.cout, a);
+  }
+}
+
+TEST(FullAdder, Ama4IsInverterOnA) {
+  for (int i = 0; i < 8; ++i) {
+    const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
+    const FaOut o = full_add(AdderKind::Approx4, a, b, c);
+    EXPECT_EQ(o.sum, !a);
+    EXPECT_EQ(o.cout, a);
+  }
+}
+
+TEST(FullAdder, DocumentedErrorCounts) {
+  // DESIGN.md §4.1: AMA1 2+0, AMA2 2+0, AMA3 3+1, AMA4 4+2, AMA5 4+2.
+  EXPECT_EQ(fa_sum_error_count(AdderKind::Accurate), 0);
+  EXPECT_EQ(fa_cout_error_count(AdderKind::Accurate), 0);
+  EXPECT_EQ(fa_sum_error_count(AdderKind::Approx1), 2);
+  EXPECT_EQ(fa_cout_error_count(AdderKind::Approx1), 0);
+  EXPECT_EQ(fa_sum_error_count(AdderKind::Approx2), 2);
+  EXPECT_EQ(fa_cout_error_count(AdderKind::Approx2), 0);
+  EXPECT_EQ(fa_sum_error_count(AdderKind::Approx3), 3);
+  EXPECT_EQ(fa_cout_error_count(AdderKind::Approx3), 1);
+  EXPECT_EQ(fa_sum_error_count(AdderKind::Approx4), 4);
+  EXPECT_EQ(fa_cout_error_count(AdderKind::Approx4), 2);
+  EXPECT_EQ(fa_sum_error_count(AdderKind::Approx5), 4);
+  EXPECT_EQ(fa_cout_error_count(AdderKind::Approx5), 2);
+}
+
+TEST(FullAdder, Ama1ErrorsAtDocumentedRows) {
+  const FaTable& acc = fa_table(AdderKind::Accurate);
+  const FaTable& t = fa_table(AdderKind::Approx1);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 0b100 || i == 0b110) {
+      EXPECT_NE(t[i].sum, acc[i].sum) << i;
+    } else {
+      EXPECT_EQ(t[i].sum, acc[i].sum) << i;
+    }
+    EXPECT_EQ(t[i].cout, acc[i].cout) << i;
+  }
+}
+
+class ErrorMonotonicity : public ::testing::TestWithParam<AdderKind> {};
+
+TEST_P(ErrorMonotonicity, ApproxVariantsHaveBoundedError) {
+  // Every approximate variant errs in at most half the truth table rows per
+  // output — the design premise for LSB-limited deployment.
+  const AdderKind kind = GetParam();
+  EXPECT_LE(fa_sum_error_count(kind), 4);
+  EXPECT_LE(fa_cout_error_count(kind), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ErrorMonotonicity,
+                         ::testing::Values(AdderKind::Approx1, AdderKind::Approx2,
+                                           AdderKind::Approx3, AdderKind::Approx4,
+                                           AdderKind::Approx5));
+
+}  // namespace
+}  // namespace xbs::arith

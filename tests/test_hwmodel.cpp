@@ -1,0 +1,123 @@
+// Tests for the 65 nm cost model (Table 1 data and block roll-ups) and the
+// Fig. 1 sensor-node / Fig. 12-A1 software energy models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xbs/hwmodel/block_cost.hpp"
+#include "xbs/hwmodel/cell_library.hpp"
+#include "xbs/hwmodel/sensor_node.hpp"
+#include "xbs/hwmodel/software_energy.hpp"
+
+namespace xbs::hwmodel {
+namespace {
+
+TEST(CellLibrary, Table1AdderValues) {
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Accurate).area_um2, 10.08);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Accurate).delay_ns, 0.18);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Accurate).power_uw, 2.27);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Accurate).energy_fj, 0.409);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Approx1).energy_fj, 0.147);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Approx2).energy_fj, 0.049);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Approx3).energy_fj, 0.025);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Approx4).energy_fj, 0.020);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Approx5).energy_fj, 0.0);
+  EXPECT_DOUBLE_EQ(cell_cost(AdderKind::Approx5).area_um2, 0.0);
+}
+
+TEST(CellLibrary, Table1MultiplierValues) {
+  EXPECT_DOUBLE_EQ(cell_cost(MultKind::Accurate).energy_fj, 0.288);
+  EXPECT_DOUBLE_EQ(cell_cost(MultKind::V1).energy_fj, 0.167);
+  EXPECT_DOUBLE_EQ(cell_cost(MultKind::V2).energy_fj, 0.137);
+  EXPECT_DOUBLE_EQ(cell_cost(MultKind::V2).area_um2, 9.72);
+}
+
+TEST(CellLibrary, EnergyOrderingMatchesPaperLists) {
+  // Table 1 lists modules in descending energy order; the design generation
+  // methodology depends on that ordering.
+  double prev = 1e9;
+  for (const AdderKind k : kAllAdderKinds) {
+    EXPECT_LT(cell_cost(k).energy_fj, prev);
+    prev = cell_cost(k).energy_fj;
+  }
+  prev = 1e9;
+  for (const MultKind k : kAllMultKinds) {
+    EXPECT_LT(cell_cost(k).energy_fj, prev);
+    prev = cell_cost(k).energy_fj;
+  }
+}
+
+TEST(BlockCost, AdderBlockSumsPerBitCosts) {
+  const arith::AdderConfig acc{32, 0, AdderKind::Approx5, 0};
+  EXPECT_NEAR(adder_block_cost(acc).energy_fj, 32 * 0.409, 1e-9);
+  const arith::AdderConfig half{32, 16, AdderKind::Approx5, 0};
+  EXPECT_NEAR(adder_block_cost(half).energy_fj, 16 * 0.409, 1e-9);
+  const arith::AdderConfig off{32, 16, AdderKind::Approx5, 8};
+  // Bits with absolute weight 8..15 are approximate: 8 approximate FAs.
+  EXPECT_NEAR(adder_block_cost(off).energy_fj, 24 * 0.409, 1e-9);
+}
+
+TEST(BlockCost, MultBlockAccurateCount) {
+  // 64 elementary modules + 672 FA slots, all accurate at k = 0.
+  const arith::MultiplierConfig cfg{16, 0};
+  EXPECT_NEAR(mult_block_cost(cfg).energy_fj, 64 * 0.288 + 672 * 0.409, 1e-6);
+}
+
+TEST(BlockCost, MultBlockMonotoneInK) {
+  double prev = 1e18;
+  for (const int k : {0, 4, 8, 12, 16, 20}) {
+    const arith::MultiplierConfig cfg{16, k, AdderKind::Approx5, MultKind::V1,
+                                      ApproxPolicy::Moderate};
+    const double e = mult_block_cost(cfg).energy_fj;
+    EXPECT_LT(e, prev) << k;
+    prev = e;
+  }
+}
+
+TEST(BlockCost, ReductionsRatioAndInfinity) {
+  const Cost acc{100, 10, 50, 200};
+  const Cost half{50, 5, 25, 100};
+  const Reductions r = reductions(acc, half);
+  EXPECT_DOUBLE_EQ(r.area, 2.0);
+  EXPECT_DOUBLE_EQ(r.energy, 2.0);
+  const Cost zero{0, 0, 0, 0};
+  EXPECT_TRUE(std::isinf(reductions(acc, zero).energy));
+  EXPECT_DOUBLE_EQ(reductions(zero, zero).energy, 1.0);
+}
+
+TEST(SensorNodes, Figure1Relationships) {
+  const auto& nodes = standard_nodes();
+  ASSERT_EQ(nodes.size(), 5u);
+  for (const auto& n : nodes) {
+    // Sensing at least six orders of magnitude below total (paper Fig. 1).
+    EXPECT_GE(n.sensing_gap_orders(), 6.0) << n.name;
+    // Processing 40-60 % of total ([18]).
+    EXPECT_GE(n.processing_share, 0.40) << n.name;
+    EXPECT_LE(n.processing_share, 0.60) << n.name;
+    EXPECT_GT(n.communication_j_per_day(), 0.0) << n.name;
+  }
+  // EEG is the hungriest, temperature the lightest.
+  EXPECT_GT(nodes[4].total_j_per_day, nodes[0].total_j_per_day);
+  EXPECT_LT(nodes[2].total_j_per_day, nodes[0].total_j_per_day);
+}
+
+TEST(SensorNodes, LifetimeExtensionMath) {
+  const SensorNodeSpec n{"test", 100.0, 1e-5, 0.5};
+  // Halving processing energy: total 100 -> 75 => 1.333x lifetime.
+  EXPECT_NEAR(n.total_after_processing_reduction(2.0), 75.0, 1e-9);
+  EXPECT_NEAR(n.lifetime_extension(2.0), 100.0 / 75.0, 1e-9);
+  // Infinite reduction caps at the non-processing share.
+  EXPECT_NEAR(n.total_after_processing_reduction(1e12), 50.0, 1e-3);
+}
+
+TEST(SoftwareEnergy, SevenOrdersAboveAsic) {
+  const SoftwareEnergyModel sw;
+  // The accurate ASIC datapath costs ~1e3 fJ/sample (see energy model tests);
+  // the software execution model must sit ~7 orders above (paper Fig. 12).
+  const double ratio = sw.energy_per_sample_fj() / 1.1e3;
+  EXPECT_GT(ratio, 1e6);
+  EXPECT_LT(ratio, 1e9);
+}
+
+}  // namespace
+}  // namespace xbs::hwmodel

@@ -1,0 +1,70 @@
+// End-to-end test of the XBioSiP methodology facade.
+#include <gtest/gtest.h>
+
+#include "xbs/core/methodology.hpp"
+#include "xbs/ecg/dataset.hpp"
+
+namespace xbs::core {
+namespace {
+
+using pantompkins::Stage;
+
+TEST(Methodology, EndToEndSatisfiesBothConstraints) {
+  MethodologyConfig cfg;
+  cfg.constraints.preproc_psnr_db = 30.0;
+  cfg.constraints.final_accuracy_pct = 99.0;
+  cfg.run_resilience_analysis = false;  // keep the test fast; savings from energy model
+  const std::vector<ecg::DigitizedRecord> records = {ecg::nsrdb_like_digitized(0, 6000)};
+  const MethodologyResult result = run_methodology(cfg, records);
+
+  EXPECT_GE(result.preproc_psnr_db, cfg.constraints.preproc_psnr_db);
+  EXPECT_GE(result.final_accuracy_pct, cfg.constraints.final_accuracy_pct);
+  EXPECT_GT(result.energy_reduction, 1.0);
+  EXPECT_FALSE(result.final_design.empty());
+  EXPECT_GT(result.total_evaluations, 5);
+}
+
+TEST(Methodology, ApproximatesBothSections) {
+  MethodologyConfig cfg;
+  cfg.run_resilience_analysis = false;
+  const std::vector<ecg::DigitizedRecord> records = {ecg::nsrdb_like_digitized(1, 6000)};
+  const MethodologyResult result = run_methodology(cfg, records);
+  // Pre-processing design touches LPF/HPF only; signal processing the rest.
+  for (const auto& sd : result.preproc.best) {
+    EXPECT_TRUE(sd.stage == Stage::Lpf || sd.stage == Stage::Hpf);
+  }
+  for (const auto& sd : result.sigproc.best) {
+    EXPECT_TRUE(sd.stage == Stage::Der || sd.stage == Stage::Sqr || sd.stage == Stage::Mwi);
+  }
+  // At least one section found real approximations.
+  EXPECT_FALSE(result.preproc.best.empty() && result.sigproc.best.empty());
+}
+
+TEST(Methodology, ResilienceAnalysisProfilesAllStages) {
+  const std::vector<ecg::DigitizedRecord> records = {ecg::nsrdb_like_digitized(2, 5000)};
+  const explore::StageEnergyModel energy;
+  const auto profiles = analyze_all_stages(records, energy);
+  ASSERT_EQ(profiles.size(), 5u);
+  for (const auto& p : profiles) {
+    EXPECT_FALSE(p.points.empty());
+    // First point (k = 0) must be lossless.
+    EXPECT_DOUBLE_EQ(p.points.front().accuracy_pct, 100.0);
+    EXPECT_NEAR(p.points.front().stage_ssim, 1.0, 1e-9);
+    // Paper's headline: every stage tolerates a non-trivial number of LSBs.
+    EXPECT_GE(p.threshold_lsbs, 2) << to_string(p.stage);
+  }
+}
+
+TEST(Methodology, LpfResilienceThresholdMatchesPaper) {
+  // Paper §2: "The error resilience threshold for this stage is 14 LSBs".
+  const std::vector<ecg::DigitizedRecord> records = {ecg::nsrdb_like_digitized(0, 10000),
+                                                     ecg::nsrdb_like_digitized(3, 10000)};
+  const explore::StageEnergyModel energy;
+  const auto prof = analyze_stage_resilience(pantompkins::Stage::Lpf, records,
+                                             explore::default_lsb_list(pantompkins::Stage::Lpf),
+                                             energy);
+  EXPECT_GE(prof.threshold_lsbs, 12);
+}
+
+}  // namespace
+}  // namespace xbs::core

@@ -1,0 +1,168 @@
+// Tests for the quality metrics: PSNR, 1-D SSIM and R-peak matching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/metrics/signal_quality.hpp"
+
+namespace xbs::metrics {
+namespace {
+
+std::vector<double> sine(std::size_t n, double f = 0.01, double amp = 1.0) {
+  std::vector<double> v;
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(amp * std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i)));
+  return v;
+}
+
+TEST(Psnr, IdenticalIsInfinite) {
+  const auto s = sine(1000);
+  EXPECT_TRUE(std::isinf(psnr_db(s, s)));
+}
+
+TEST(Psnr, KnownValue) {
+  // ref range 2.0 (peak), constant error 0.2 -> PSNR = 20*log10(2/0.2) = 20 dB.
+  const auto ref = sine(4096);
+  auto test = ref;
+  for (auto& v : test) v += 0.2;
+  EXPECT_NEAR(psnr_db(ref, test), 20.0, 1e-6);
+}
+
+TEST(Psnr, MonotoneInNoise) {
+  const auto ref = sine(2000);
+  auto t1 = ref, t2 = ref;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    t1[i] += 0.01 * ((i % 2 == 0) ? 1 : -1);
+    t2[i] += 0.1 * ((i % 2 == 0) ? 1 : -1);
+  }
+  EXPECT_GT(psnr_db(ref, t1), psnr_db(ref, t2));
+}
+
+TEST(ErrorMetrics, MseRmseMae) {
+  const std::vector<double> ref = {1, 2, 3, 4};
+  const std::vector<double> test = {1, 2, 3, 8};
+  EXPECT_DOUBLE_EQ(mse(ref, test), 4.0);
+  EXPECT_DOUBLE_EQ(rmse(ref, test), 2.0);
+  EXPECT_DOUBLE_EQ(mae(ref, test), 1.0);
+}
+
+TEST(ErrorMetrics, SizeMismatchThrows) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1};
+  EXPECT_THROW((void)mse(a, b), std::invalid_argument);
+  EXPECT_THROW((void)psnr_db({}, {}), std::invalid_argument);
+}
+
+TEST(Ssim, IdenticalIsOne) {
+  const auto s = sine(2000);
+  EXPECT_NEAR(ssim(s, s), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithNoise) {
+  const auto ref = sine(2000);
+  auto mild = ref, heavy = ref;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double n = ((i * 2654435761u) % 1000) / 1000.0 - 0.5;
+    mild[i] += 0.05 * n;
+    heavy[i] += 3.0 * n;
+  }
+  const double s_mild = ssim(ref, mild);
+  const double s_heavy = ssim(ref, heavy);
+  EXPECT_GT(s_mild, 0.95);
+  EXPECT_LT(s_heavy, 0.6);
+  EXPECT_GT(s_mild, s_heavy);
+}
+
+TEST(Ssim, AntiCorrelatedIsNegative) {
+  // Use a fast sine so every SSIM window is zero-mean: the structural term
+  // then dominates and inversion drives the index negative.
+  const auto ref = sine(1024, 0.25);
+  auto inv = ref;
+  for (auto& v : inv) v = -v;
+  EXPECT_LT(ssim(ref, inv), 0.0);
+}
+
+TEST(Ssim, ShortSignalFallsBackToSingleWindow) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(ssim(a, b), 1.0, 1e-12);
+}
+
+TEST(Ssim, BadParamsThrow) {
+  const auto s = sine(100);
+  SsimParams p;
+  p.window = 1;
+  EXPECT_THROW((void)ssim(s, s, p), std::invalid_argument);
+}
+
+TEST(PeakMatch, PerfectDetection) {
+  const std::vector<std::size_t> truth = {100, 300, 500};
+  const std::vector<std::size_t> det = {101, 299, 502};
+  const auto m = match_peaks(truth, det, 30);
+  EXPECT_EQ(m.true_positives, 3);
+  EXPECT_EQ(m.false_positives, 0);
+  EXPECT_EQ(m.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(m.detection_accuracy_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(m.sensitivity_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(m.ppv_pct(), 100.0);
+  EXPECT_DOUBLE_EQ(m.f1_pct(), 100.0);
+}
+
+TEST(PeakMatch, MissAndSpurious) {
+  const std::vector<std::size_t> truth = {100, 300, 500, 700};
+  const std::vector<std::size_t> det = {101, 502, 900};
+  const auto m = match_peaks(truth, det, 30);
+  EXPECT_EQ(m.true_positives, 2);
+  EXPECT_EQ(m.false_negatives, 2);  // 300 and 700 missed
+  EXPECT_EQ(m.false_positives, 1);  // 900 spurious
+  EXPECT_DOUBLE_EQ(m.detection_accuracy_pct(), 100.0 * (1.0 - 3.0 / 4.0));
+  EXPECT_EQ(m.missed_truth.size(), 2u);
+  EXPECT_EQ(m.spurious_detected.size(), 1u);
+}
+
+TEST(PeakMatch, OneToOneGreedyNearest) {
+  // Two detections near one truth peak: only the nearest matches.
+  const std::vector<std::size_t> truth = {100};
+  const std::vector<std::size_t> det = {95, 104};
+  const auto m = match_peaks(truth, det, 30);
+  EXPECT_EQ(m.true_positives, 1);
+  EXPECT_EQ(m.false_positives, 1);
+}
+
+TEST(PeakMatch, ToleranceBoundary) {
+  const std::vector<std::size_t> truth = {100};
+  EXPECT_EQ(match_peaks(truth, std::vector<std::size_t>{130}, 30).true_positives, 1);
+  EXPECT_EQ(match_peaks(truth, std::vector<std::size_t>{131}, 30).true_positives, 0);
+}
+
+TEST(PeakMatch, GarbageDetectionsScoreZeroAccuracy) {
+  // Same count, wrong places: the paper's accuracy metric collapses to zero.
+  std::vector<std::size_t> truth, det;
+  for (std::size_t i = 0; i < 50; ++i) {
+    truth.push_back(1000 * (i + 1));
+    det.push_back(1000 * (i + 1) + 500);
+  }
+  const auto m = match_peaks(truth, det, 30);
+  EXPECT_DOUBLE_EQ(m.detection_accuracy_pct(), 0.0);
+}
+
+TEST(PeakMatch, EmptyCases) {
+  const auto none = match_peaks({}, {}, 30);
+  EXPECT_DOUBLE_EQ(none.detection_accuracy_pct(), 100.0);
+  const std::vector<std::size_t> truth = {10};
+  const auto missed_all = match_peaks(truth, {}, 30);
+  EXPECT_EQ(missed_all.false_negatives, 1);
+  EXPECT_DOUBLE_EQ(missed_all.detection_accuracy_pct(), 0.0);
+}
+
+TEST(PeakMatch, DefaultToleranceIs150ms) {
+  EXPECT_EQ(default_tolerance_samples(200.0), 30u);
+  EXPECT_EQ(default_tolerance_samples(360.0), 54u);
+}
+
+}  // namespace
+}  // namespace xbs::metrics

@@ -1,0 +1,58 @@
+// Truth-table tests for the elementary 2x2 multipliers (paper Fig. 5).
+#include <gtest/gtest.h>
+
+#include "xbs/arith/mult2x2.hpp"
+
+namespace xbs::arith {
+namespace {
+
+TEST(Mult2, AccurateIsExact) {
+  for (u32 a = 0; a < 4; ++a)
+    for (u32 b = 0; b < 4; ++b) EXPECT_EQ(mult2(MultKind::Accurate, a, b), a * b);
+}
+
+TEST(Mult2, V1OnlyErrorIsThreeTimesThree) {
+  for (u32 a = 0; a < 4; ++a) {
+    for (u32 b = 0; b < 4; ++b) {
+      if (a == 3 && b == 3) {
+        EXPECT_EQ(mult2(MultKind::V1, a, b), 7u);  // Kulkarni: 9 -> 7
+      } else {
+        EXPECT_EQ(mult2(MultKind::V1, a, b), a * b);
+      }
+    }
+  }
+}
+
+TEST(Mult2, V2OnlyErrorIsThreeTimesThree) {
+  for (u32 a = 0; a < 4; ++a) {
+    for (u32 b = 0; b < 4; ++b) {
+      if (a == 3 && b == 3) {
+        EXPECT_EQ(mult2(MultKind::V2, a, b), 3u);  // gated O2: 9 -> 3
+      } else {
+        EXPECT_EQ(mult2(MultKind::V2, a, b), a * b);
+      }
+    }
+  }
+}
+
+TEST(Mult2, ErrorStatistics) {
+  EXPECT_EQ(mult2_error_count(MultKind::Accurate), 0);
+  EXPECT_EQ(mult2_max_error(MultKind::Accurate), 0);
+  EXPECT_EQ(mult2_error_count(MultKind::V1), 1);
+  EXPECT_EQ(mult2_max_error(MultKind::V1), 2);
+  EXPECT_EQ(mult2_error_count(MultKind::V2), 1);
+  EXPECT_EQ(mult2_max_error(MultKind::V2), 6);
+}
+
+TEST(Mult2, V1DropsTopOutputBit) {
+  // Kulkarni's module has only three output bits: O3 is always 0.
+  for (u32 a = 0; a < 4; ++a)
+    for (u32 b = 0; b < 4; ++b) EXPECT_LT(mult2(MultKind::V1, a, b), 8u);
+}
+
+TEST(Mult2, OperandsMaskedToTwoBits) {
+  EXPECT_EQ(mult2(MultKind::Accurate, 7, 5), 3u * 1u);
+}
+
+}  // namespace
+}  // namespace xbs::arith

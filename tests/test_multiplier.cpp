@@ -1,0 +1,129 @@
+// Tests for the recursive approximate multiplier (paper Fig. 7).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+
+#include "xbs/arith/multiplier.hpp"
+#include "xbs/common/rng.hpp"
+
+namespace xbs::arith {
+namespace {
+
+TEST(Multiplier, AccurateExhaustive4x4) {
+  const RecursiveMultiplier m(MultiplierConfig{4, 0});
+  for (u64 a = 0; a < 16; ++a)
+    for (u64 b = 0; b < 16; ++b) EXPECT_EQ(m.multiply_u(a, b), a * b);
+}
+
+TEST(Multiplier, AccurateExhaustive8x8) {
+  const RecursiveMultiplier m(MultiplierConfig{8, 0});
+  for (u64 a = 0; a < 256; ++a)
+    for (u64 b = 0; b < 256; ++b) EXPECT_EQ(m.multiply_u(a, b), a * b);
+}
+
+TEST(Multiplier, AccurateRandom16x16) {
+  const RecursiveMultiplier m(MultiplierConfig{16, 0});
+  Rng rng(5);
+  for (int t = 0; t < 2000; ++t) {
+    const u64 a = rng.next_u64() & 0xFFFF;
+    const u64 b = rng.next_u64() & 0xFFFF;
+    EXPECT_EQ(m.multiply_u(a, b), a * b);
+  }
+}
+
+TEST(Multiplier, SignedMultiplyViaSignMagnitude) {
+  const RecursiveMultiplier m(MultiplierConfig{16, 0});
+  EXPECT_EQ(m.multiply_signed(-3, 7), -21);
+  EXPECT_EQ(m.multiply_signed(-3, -7), 21);
+  EXPECT_EQ(m.multiply_signed(3, -7), -21);
+  EXPECT_EQ(m.multiply_signed(0, -7), 0);
+  EXPECT_EQ(m.multiply_signed(-32768, 2), -65536);
+  EXPECT_EQ(m.multiply_signed(32767, 32767), i64{32767} * 32767);
+}
+
+TEST(Multiplier, InvalidWidthThrows) {
+  EXPECT_THROW(RecursiveMultiplier(MultiplierConfig{3, 0}), std::invalid_argument);
+  EXPECT_THROW(RecursiveMultiplier(MultiplierConfig{64, 0}), std::invalid_argument);
+  EXPECT_THROW(RecursiveMultiplier(MultiplierConfig{16, 40}), std::invalid_argument);
+}
+
+TEST(Multiplier, CacheReturnsSharedInstance) {
+  const MultiplierConfig cfg{16, 6, AdderKind::Approx5, MultKind::V1, ApproxPolicy::Moderate};
+  const auto a = get_multiplier(cfg);
+  const auto b = get_multiplier(cfg);
+  EXPECT_EQ(a.get(), b.get());
+  MultiplierConfig other = cfg;
+  other.approx_lsbs = 8;
+  EXPECT_NE(get_multiplier(other).get(), a.get());
+}
+
+/// Approximation error must be confined to (roughly) the approximated LSB
+/// region: with k approximated output LSBs the error magnitude is bounded by
+/// a small multiple of 2^k (carry displacement can nudge one bit above).
+class MultErrorBound
+    : public ::testing::TestWithParam<std::tuple<AdderKind, MultKind, ApproxPolicy, int>> {};
+
+TEST_P(MultErrorBound, ErrorConfinedToApproxRegion) {
+  const auto [add_kind, mult_kind, policy, k] = GetParam();
+  const RecursiveMultiplier m(MultiplierConfig{16, k, add_kind, mult_kind, policy});
+  Rng rng(7000 + static_cast<u64>(k));
+  i64 max_err = 0;
+  for (int t = 0; t < 800; ++t) {
+    const u64 a = rng.next_u64() & 0xFFFF;
+    const u64 b = rng.next_u64() & 0xFFFF;
+    const i64 err = std::llabs(static_cast<i64>(m.multiply_u(a, b)) - static_cast<i64>(a * b));
+    max_err = std::max(max_err, err);
+  }
+  // Error bound: displaced carries/sums below bit k can accumulate across the
+  // three combine levels; 16 * 2^k is a conservative envelope, and exactness
+  // is required at k == 0.
+  const i64 bound = (k == 0) ? 0 : (i64{16} << k);
+  EXPECT_LE(max_err, bound) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultErrorBound,
+    ::testing::Combine(::testing::Values(AdderKind::Approx2, AdderKind::Approx5),
+                       ::testing::Values(MultKind::V1, MultKind::V2),
+                       ::testing::Values(ApproxPolicy::Conservative, ApproxPolicy::Moderate,
+                                         ApproxPolicy::Aggressive),
+                       ::testing::Values(0, 2, 4, 8, 12, 16)));
+
+/// Policy ordering: a more aggressive policy approximates a superset of the
+/// elementary modules, so its mean error can only grow.
+TEST(MultiplierPolicy, MeanErrorOrderedByPolicy) {
+  const int k = 8;
+  double mean_err[3] = {0, 0, 0};
+  const ApproxPolicy policies[3] = {ApproxPolicy::Conservative, ApproxPolicy::Moderate,
+                                    ApproxPolicy::Aggressive};
+  for (int p = 0; p < 3; ++p) {
+    const RecursiveMultiplier m(
+        MultiplierConfig{16, k, AdderKind::Approx5, MultKind::V1, policies[p]});
+    Rng rng(99);
+    for (int t = 0; t < 2000; ++t) {
+      const u64 a = rng.next_u64() & 0xFFFF;
+      const u64 b = rng.next_u64() & 0xFFFF;
+      mean_err[p] += static_cast<double>(
+          std::llabs(static_cast<i64>(m.multiply_u(a, b)) - static_cast<i64>(a * b)));
+    }
+    mean_err[p] /= 2000.0;
+  }
+  EXPECT_LE(mean_err[0], mean_err[1] + 1e-9);
+  EXPECT_LE(mean_err[1], mean_err[2] + 1e-9);
+}
+
+TEST(Multiplier, FullyApproximateStillBounded) {
+  // k = 32 (whole product approximated): result must stay within 32 bits.
+  const RecursiveMultiplier m(
+      MultiplierConfig{16, 32, AdderKind::Approx5, MultKind::V2, ApproxPolicy::Aggressive});
+  Rng rng(123);
+  for (int t = 0; t < 200; ++t) {
+    const u64 a = rng.next_u64() & 0xFFFF;
+    const u64 b = rng.next_u64() & 0xFFFF;
+    EXPECT_LT(m.multiply_u(a, b), u64{1} << 32);
+  }
+}
+
+}  // namespace
+}  // namespace xbs::arith

@@ -1,0 +1,122 @@
+// Integration tests for the end-to-end fixed-point pipeline with per-stage
+// approximate arithmetic.
+#include <gtest/gtest.h>
+
+#include "xbs/dsp/pt_coeffs.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::pantompkins {
+namespace {
+
+double accuracy(const PipelineConfig& cfg, int n_records, std::size_t n_samples) {
+  int fn = 0, fp = 0, truth = 0;
+  const PanTompkinsPipeline pipe(cfg);
+  for (int i = 0; i < n_records; ++i) {
+    const auto rec = ecg::nsrdb_like_digitized(i, n_samples);
+    const auto res = pipe.run(rec.adu);
+    const auto m = metrics::match_peaks(rec.r_peaks, res.detection.peaks, 30);
+    fn += m.false_negatives;
+    fp += m.false_positives;
+    truth += m.truth_count();
+  }
+  return truth > 0 ? 100.0 * std::max(0.0, 1.0 - double(fn + fp) / truth) : 0.0;
+}
+
+TEST(Pipeline, AccurateDetects100Percent) {
+  EXPECT_DOUBLE_EQ(accuracy(PipelineConfig::accurate(), 4, 10000), 100.0);
+}
+
+TEST(Pipeline, ApproxUnitAtZeroLsbsBitIdenticalToExact) {
+  // Force the ApproxUnit path with k=0 on one stage by using an approximate
+  // kind with zero approximated LSBs... k=0 means the exact fast path is
+  // taken; instead configure k>0 with *accurate* elementary modules, which
+  // must also be bit-identical to exact.
+  const auto rec = ecg::nsrdb_like_digitized(0, 6000);
+  const PanTompkinsPipeline exact;
+  PipelineConfig cfg;
+  for (auto& s : cfg.stage) {
+    s = arith::StageArithConfig::uniform(12, AdderKind::Accurate, MultKind::Accurate);
+  }
+  const PanTompkinsPipeline accurate_modules(cfg);
+  const auto a = exact.run_filters(rec.adu);
+  const auto b = accurate_modules.run_filters(rec.adu);
+  EXPECT_EQ(a.lpf, b.lpf);
+  EXPECT_EQ(a.hpf, b.hpf);
+  EXPECT_EQ(a.der, b.der);
+  EXPECT_EQ(a.sqr, b.sqr);
+  EXPECT_EQ(a.mwi, b.mwi);
+}
+
+TEST(Pipeline, PaperConfigB9Keeps100Percent) {
+  // Fig. 12 B9 = {LPF 10, HPF 12, DER 2, SQR 8, MWI 16}: the paper's
+  // zero-quality-loss design; ours must also detect every beat.
+  const auto cfg = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  EXPECT_DOUBLE_EQ(accuracy(cfg, 4, 10000), 100.0);
+}
+
+TEST(Pipeline, ExtremeApproximationCollapsesAccuracy) {
+  // DER at 16 LSBs wipes the slope signal entirely (paper: past the
+  // error-resilience threshold accuracy falls to zero).
+  LsbVector lsbs{0, 0, 16, 0, 0};
+  const auto cfg = PipelineConfig::from_lsbs(lsbs);
+  EXPECT_LT(accuracy(cfg, 2, 10000), 50.0);
+}
+
+TEST(Pipeline, AccuracyMonotoneOverLpfSweepCoarse) {
+  // Accuracy may only degrade (weakly) as LPF approximation deepens.
+  double prev = 101.0;
+  for (const int k : {0, 8, 14, 16}) {
+    LsbVector lsbs{k, 0, 0, 0, 0};
+    const double acc = accuracy(PipelineConfig::from_lsbs(lsbs), 2, 10000);
+    EXPECT_LE(acc, prev + 1e-9) << k;
+    prev = acc;
+  }
+}
+
+TEST(Pipeline, OpCountsMatchStageInventory) {
+  const auto rec = ecg::nsrdb_like_digitized(1, 2000);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run_filters(rec.adu);
+  const u64 n = rec.adu.size();
+  EXPECT_EQ(res.ops[0].mults, 11 * n);  // LPF taps
+  EXPECT_EQ(res.ops[0].adds, 10 * n);
+  EXPECT_EQ(res.ops[1].mults, 32 * n);  // HPF taps
+  EXPECT_EQ(res.ops[1].adds, 31 * n);
+  EXPECT_EQ(res.ops[2].mults, 4 * n);   // DER non-zero taps
+  EXPECT_EQ(res.ops[3].mults, 1 * n);   // SQR
+  EXPECT_EQ(res.ops[3].adds, 0u);
+  EXPECT_EQ(res.ops[4].mults, 0u);      // MWI adder-only
+  EXPECT_EQ(res.ops[4].adds, 29 * n);
+}
+
+TEST(Pipeline, StageSignalAccessor) {
+  const auto rec = ecg::nsrdb_like_digitized(0, 2000);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run_filters(rec.adu);
+  EXPECT_EQ(&res.stage_signal(Stage::Lpf), &res.lpf);
+  EXPECT_EQ(&res.stage_signal(Stage::Mwi), &res.mwi);
+  EXPECT_EQ(res.lpf.size(), rec.adu.size());
+}
+
+TEST(Pipeline, UniformFactoryAppliesAllStages) {
+  const auto cfg = PipelineConfig::uniform(4);
+  for (const auto& s : cfg.stage) {
+    EXPECT_EQ(s.adder.approx_lsbs, 4);
+    EXPECT_EQ(s.mult.approx_lsbs, 4);
+    EXPECT_EQ(s.adder.kind, AdderKind::Approx5);
+    EXPECT_EQ(s.mult.mult_kind, MultKind::V1);
+  }
+}
+
+TEST(Pipeline, MwiOutputNonNegativeEvenApproximate) {
+  // The squarer output is non-negative; the accurate MWI must preserve that.
+  const auto rec = ecg::nsrdb_like_digitized(2, 4000);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run_filters(rec.adu);
+  for (const i32 v : res.mwi) EXPECT_GE(v, 0);
+}
+
+}  // namespace
+}  // namespace xbs::pantompkins

@@ -1,0 +1,108 @@
+// Cross-cutting property suites:
+//  - every Fig. 12 B-configuration clears the paper's 95 % quality threshold
+//    (parameterized over the whole table);
+//  - the synthesis optimizer preserves netlist function on randomly
+//    generated module DAGs (fuzz), not just on structured designs.
+#include <gtest/gtest.h>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/core/paper_configs.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/netlist/netlist.hpp"
+#include "xbs/netlist/optimizer.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs {
+namespace {
+
+// ---------------------------------------------------------------- Fig. 12 --
+
+class BConfigQuality : public ::testing::TestWithParam<core::NamedConfig> {};
+
+TEST_P(BConfigQuality, ClearsThe95PercentThreshold) {
+  const core::NamedConfig cfg = GetParam();
+  const pantompkins::PanTompkinsPipeline pipe(pantompkins::PipelineConfig::from_lsbs(cfg.lsbs));
+  int fn = 0, fp = 0, truth = 0;
+  for (int i = 0; i < 2; ++i) {
+    const auto rec = ecg::nsrdb_like_digitized(i, 8000);
+    const auto res = pipe.run(rec.adu);
+    const auto m = metrics::match_peaks(rec.r_peaks, res.detection.peaks, 30);
+    fn += m.false_negatives;
+    fp += m.false_positives;
+    truth += m.truth_count();
+  }
+  ASSERT_GT(truth, 0);
+  const double acc = 100.0 * std::max(0.0, 1.0 - static_cast<double>(fn + fp) / truth);
+  EXPECT_GE(acc, 95.0) << cfg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBConfigs, BConfigQuality,
+                         ::testing::ValuesIn(core::fig12_b_configs()),
+                         [](const ::testing::TestParamInfo<core::NamedConfig>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ------------------------------------------------------------ netlist fuzz --
+
+/// Build a random DAG of FA / MUL2 / NOT modules over a few primary inputs
+/// and constants; outputs sample random internal nets.
+netlist::Netlist random_netlist(Rng& rng, int n_modules) {
+  netlist::Netlist nl;
+  std::vector<netlist::NetId> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(nl.new_input());
+  pool.push_back(netlist::kConst0);
+  pool.push_back(netlist::kConst1);
+  auto pick = [&]() { return pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<i64>(pool.size()) - 1))]; };
+  for (int i = 0; i < n_modules; ++i) {
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        const auto kind = kAllAdderKinds[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+        const auto pins = nl.emit_fa(kind, pick(), pick(), pick(), 0);
+        pool.push_back(pins.sum);
+        pool.push_back(pins.cout);
+        break;
+      }
+      case 1: {
+        const auto kind = kAllMultKinds[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+        const auto outs = nl.emit_mult2(kind, pick(), pick(), pick(), pick(), 0);
+        for (const auto o : outs) pool.push_back(o);
+        break;
+      }
+      default:
+        pool.push_back(nl.emit_not(pick()));
+        break;
+    }
+  }
+  for (int i = 0; i < 8; ++i) nl.mark_output(pick());
+  return nl;
+}
+
+class OptimizerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerFuzz, OptimizePreservesFunctionOnRandomDags) {
+  Rng rng(1000 + static_cast<u64>(GetParam()));
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n_modules = static_cast<int>(rng.uniform_int(5, 60));
+    Rng build_rng(rng.next_u64());
+    Rng build_rng_copy = build_rng;
+    netlist::Netlist raw = random_netlist(build_rng, n_modules);
+    netlist::Netlist opt = random_netlist(build_rng_copy, n_modules);
+    const auto stats = netlist::optimize(opt);
+    (void)stats;
+    for (int vec = 0; vec < 32; ++vec) {
+      std::vector<bool> inputs;
+      for (std::size_t i = 0; i < raw.inputs().size(); ++i) {
+        inputs.push_back((rng.next_u64() & 1) != 0);
+      }
+      EXPECT_EQ(opt.simulate(inputs), raw.simulate(inputs))
+          << "trial " << trial << " vec " << vec << " modules " << n_modules;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xbs

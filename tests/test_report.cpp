@@ -1,0 +1,68 @@
+// Tests for the table/CSV rendering helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "xbs/report/table.hpp"
+
+namespace xbs::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  AsciiTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  // Every data line has the separator at a consistent position.
+  EXPECT_NE(s.find("alpha | 1"), std::string::npos);
+}
+
+TEST(Table, TitlePrinted) {
+  AsciiTable t({"A"});
+  t.set_title("My Table");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().rfind("My Table", 0), 0u);
+}
+
+TEST(Table, CsvOutput) {
+  AsciiTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);  // must not throw
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+}
+
+TEST(Fmt, Factors) {
+  EXPECT_EQ(fmt_factor(19.7, 1), "19.7x");
+  EXPECT_EQ(fmt_factor(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(Fmt, SciAndPct) {
+  EXPECT_EQ(fmt_sci(1234.5, 2), "1.23e+03");
+  EXPECT_EQ(fmt_pct(99.123, 1), "99.1%");
+}
+
+}  // namespace
+}  // namespace xbs::report

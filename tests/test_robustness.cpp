@@ -1,0 +1,108 @@
+// Failure-injection / robustness suite: the pipeline and detector under
+// pathological inputs — flatlines, saturated leads, extreme noise, lead
+// dropouts — must degrade gracefully (no crashes, no absurd detections).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/adc.hpp"
+#include "xbs/ecg/noise.hpp"
+#include "xbs/ecg/template_gen.hpp"
+#include "xbs/metrics/peaks.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::pantompkins {
+namespace {
+
+ecg::DigitizedRecord clean_record(std::size_t n = 12000, u64 seed = 5) {
+  return ecg::AdcFrontEnd{}.digitize(ecg::generate_template_ecg({}, n, seed));
+}
+
+TEST(Robustness, FlatlineYieldsNoBeats) {
+  std::vector<i32> flat(8000, 0);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run(flat);
+  EXPECT_TRUE(res.detection.peaks.empty());
+}
+
+TEST(Robustness, ConstantOffsetYieldsNoBeats) {
+  std::vector<i32> dc(8000, 20000);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run(dc);
+  // The HPF kills DC; only the startup transient could look like energy.
+  EXPECT_LE(res.detection.peaks.size(), 1u);
+}
+
+TEST(Robustness, FullScaleSaturatedLead) {
+  // Rail-to-rail square wave at 1 Hz (a detached electrode bouncing):
+  // the pipeline must not crash and must not detect hundreds of beats.
+  std::vector<i32> rail(8000);
+  for (std::size_t i = 0; i < rail.size(); ++i) {
+    rail[i] = ((i / 100) % 2 == 0) ? 32767 : -32768;
+  }
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run(rail);
+  EXPECT_LE(res.detection.peaks.size(), 90u);  // edges occur at 80 transitions
+}
+
+TEST(Robustness, ExtremeNoiseDoesNotExplodeDetections) {
+  ecg::EcgRecord rec = ecg::generate_template_ecg({}, 12000, 6);
+  Rng rng(1);
+  ecg::add_emg_noise(rec, 0.6, rng);  // ~half the R amplitude, brutal
+  const auto digit = ecg::AdcFrontEnd{}.digitize(rec);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run(digit.adu);
+  // Physiological ceiling: < 4 Hz beat rate over the record.
+  EXPECT_LT(res.detection.peaks.size(), digit.adu.size() / 50);
+}
+
+TEST(Robustness, LeadDropoutRecovers) {
+  // Zero out two seconds mid-record: detection must resume afterwards.
+  auto rec = clean_record(16000, 8);
+  std::fill(rec.adu.begin() + 8000, rec.adu.begin() + 8400, 0);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run(rec.adu);
+  int late = 0;
+  for (const auto p : res.detection.peaks) late += (p > 9000) ? 1 : 0;
+  EXPECT_GE(late, 25);  // ~35 beats live after the dropout window
+}
+
+TEST(Robustness, VeryShortRecords) {
+  const PanTompkinsPipeline pipe;
+  for (const std::size_t n : {0u, 1u, 7u, 50u, 200u}) {
+    std::vector<i32> x(n, 100);
+    const auto res = pipe.run(x);  // must not crash
+    EXPECT_LE(res.detection.peaks.size(), 2u);
+  }
+}
+
+TEST(Robustness, ApproximatePipelineSurvivesPathologies) {
+  const auto cfg = PipelineConfig::from_lsbs({12, 12, 4, 8, 16});
+  const PanTompkinsPipeline pipe(cfg);
+  std::vector<i32> rail(6000);
+  Rng rng(2);
+  for (auto& v : rail) v = static_cast<i32>(rng.uniform_int(-32768, 32767));
+  const auto res = pipe.run(rail);  // white-noise lead
+  EXPECT_LT(res.detection.peaks.size(), 300u);
+}
+
+TEST(Robustness, AlternansAmplitudePattern) {
+  // Alternating strong/weak beats (electrical alternans): the adaptive
+  // thresholds must keep both phases.
+  ecg::EcgRecord rec = ecg::generate_template_ecg({}, 16000, 10);
+  // Attenuate every other beat by 45%.
+  for (std::size_t b = 0; b + 1 < rec.r_peaks.size(); b += 2) {
+    const std::size_t lo = rec.r_peaks[b] > 60 ? rec.r_peaks[b] - 60 : 0;
+    const std::size_t hi = std::min(rec.r_peaks[b] + 60, rec.mv.size() - 1);
+    for (std::size_t i = lo; i <= hi; ++i) rec.mv[i] *= 0.55;
+  }
+  const auto digit = ecg::AdcFrontEnd{}.digitize(rec);
+  const PanTompkinsPipeline pipe;
+  const auto res = pipe.run(digit.adu);
+  const auto m = metrics::match_peaks(digit.r_peaks, res.detection.peaks, 30);
+  EXPECT_GE(m.sensitivity_pct(), 95.0);
+}
+
+}  // namespace
+}  // namespace xbs::pantompkins

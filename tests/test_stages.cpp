@@ -1,0 +1,133 @@
+// Tests for the fixed-point Pan-Tompkins stage datapaths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/dsp/pt_coeffs.hpp"
+#include "xbs/dsp/pt_reference.hpp"
+#include "xbs/pantompkins/stages.hpp"
+
+namespace xbs::pantompkins {
+namespace {
+
+TEST(Inventory, MatchesPaperCounts) {
+  EXPECT_EQ(stage_inventory(Stage::Lpf).n_adders, 10);
+  EXPECT_EQ(stage_inventory(Stage::Lpf).n_mults, 11);
+  EXPECT_EQ(stage_inventory(Stage::Lpf).n_registers, 10);
+  EXPECT_EQ(stage_inventory(Stage::Hpf).n_adders, 31);
+  EXPECT_EQ(stage_inventory(Stage::Hpf).n_mults, 32);
+  EXPECT_EQ(stage_inventory(Stage::Der).n_mults, 4);
+  EXPECT_EQ(stage_inventory(Stage::Sqr).n_mults, 1);
+  EXPECT_EQ(stage_inventory(Stage::Sqr).n_adders, 0);
+  EXPECT_EQ(stage_inventory(Stage::Mwi).n_mults, 0);
+  EXPECT_EQ(stage_inventory(Stage::Mwi).n_adders, 29);
+  // Paper sweep limits (§6.2): DER 4, SQR 8, MWI 16.
+  EXPECT_EQ(stage_inventory(Stage::Der).max_lsbs, 4);
+  EXPECT_EQ(stage_inventory(Stage::Sqr).max_lsbs, 8);
+  EXPECT_EQ(stage_inventory(Stage::Mwi).max_lsbs, 16);
+}
+
+TEST(FirStage, MatchesDoubleReferenceWithinQuantization) {
+  // Exact-datapath LPF vs the double-precision reference (gain 36 vs >>5):
+  // outputs must track within integer truncation error of the shift.
+  arith::ExactUnit unit;
+  FirStage lpf(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, unit);
+  std::vector<double> x;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(8000.0 * std::sin(2.0 * std::numbers::pi * 3.0 * i / 200.0) +
+                rng.gaussian(0.0, 500.0));
+  }
+  const auto ref = dsp::pt_reference_chain(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const i32 fixed = lpf.process(static_cast<i32>(std::lround(x[i])));
+    const double expect = ref.lpf[i] * 36.0 / 32.0;  // reference uses /36, hw >>5
+    EXPECT_NEAR(fixed, expect, 2.0) << i;
+  }
+}
+
+TEST(FirStage, OutputSaturatesTo16Bit) {
+  arith::ExactUnit unit;
+  FirStage lpf(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, unit);
+  i32 y = 0;
+  for (int i = 0; i < 30; ++i) y = lpf.process(32767);  // step of full-scale
+  EXPECT_EQ(y, 32767);  // 36*32767>>5 would exceed: must clamp
+}
+
+TEST(FirStage, ZeroTapsSkipped) {
+  arith::ExactUnit unit;
+  FirStage der(dsp::pt::kDerTaps, dsp::pt::kDerShift, unit);
+  for (int i = 0; i < 100; ++i) (void)der.process(1000);
+  // 4 non-zero taps -> 4 multiplies, 3 adds per sample.
+  EXPECT_EQ(unit.counts().mults, 400u);
+  EXPECT_EQ(unit.counts().adds, 300u);
+}
+
+TEST(FirStage, ResetRestoresInitialState) {
+  arith::ExactUnit unit;
+  FirStage f(dsp::pt::kDerTaps, dsp::pt::kDerShift, unit);
+  const i32 first = f.process(5000);
+  (void)f.process(-3000);
+  f.reset();
+  EXPECT_EQ(f.process(5000), first);
+}
+
+TEST(Squarer, SquaresAndShifts) {
+  arith::ExactUnit unit;
+  SquarerStage sqr(dsp::pt::kSqrShift, unit);
+  EXPECT_EQ(sqr.process(100), (100 * 100) >> dsp::pt::kSqrShift);
+  EXPECT_EQ(sqr.process(-100), (100 * 100) >> dsp::pt::kSqrShift);  // always positive
+  EXPECT_EQ(sqr.process(0), 0);
+  // Saturating clamp on the 16-bit input port.
+  EXPECT_EQ(sqr.process(100000), (i64{32767} * 32767) >> dsp::pt::kSqrShift);
+}
+
+TEST(Mwi, MatchesRunningSumShifted) {
+  arith::ExactUnit unit;
+  MwiStage mwi(4, 2, unit);  // window 4, >>2 == /4 exactly
+  const std::vector<i32> xs = {4, 8, 12, 16, 20, 24};
+  std::vector<i32> got;
+  for (const i32 x : xs) got.push_back(mwi.process(x));
+  // Window contents: {4}, {4,8}, {4,8,12}, {4..16}, {8..20}, {12..24}.
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 3);
+  EXPECT_EQ(got[2], 6);
+  EXPECT_EQ(got[3], 10);
+  EXPECT_EQ(got[4], 14);
+  EXPECT_EQ(got[5], 18);
+}
+
+TEST(Mwi, AdderOnlyOpCounts) {
+  arith::ExactUnit unit;
+  MwiStage mwi(30, dsp::pt::kMwiShift, unit);
+  for (int i = 0; i < 10; ++i) (void)mwi.process(100);
+  EXPECT_EQ(unit.counts().mults, 0u);
+  EXPECT_EQ(unit.counts().adds, 290u);  // 29 adds per sample
+}
+
+TEST(Mwi, InvalidWindowThrows) {
+  arith::ExactUnit unit;
+  EXPECT_THROW(MwiStage(1, 0, unit), std::invalid_argument);
+}
+
+TEST(ApproxUnitVsExact, IdenticalAtZeroLsbs) {
+  // The bit-accurate datapath with k = 0 must match native arithmetic
+  // exactly — the foundational correctness property of the whole pipeline.
+  arith::ExactUnit exact;
+  arith::ApproxUnit approx(arith::StageArithConfig::uniform(0));
+  Rng rng(9);
+  for (int t = 0; t < 2000; ++t) {
+    const i64 a = rng.uniform_int(-2000000, 2000000);
+    const i64 b = rng.uniform_int(-2000000, 2000000);
+    EXPECT_EQ(approx.add(a, b), exact.add(a, b));
+    EXPECT_EQ(approx.sub(a, b), exact.sub(a, b));
+    const i64 ma = rng.uniform_int(-32768, 32767);
+    const i64 mb = rng.uniform_int(-32768, 32767);
+    EXPECT_EQ(approx.mul(ma, mb), exact.mul(ma, mb));
+  }
+}
+
+}  // namespace
+}  // namespace xbs::pantompkins

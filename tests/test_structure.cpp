@@ -1,0 +1,88 @@
+// Tests for the recursive-multiplier structural decomposition shared by the
+// behavioural simulator, the netlist builders and the cost model.
+#include <gtest/gtest.h>
+
+#include "xbs/arith/structure.hpp"
+
+namespace xbs::arith {
+namespace {
+
+TEST(Structure, SixteenBitInventoryMatchesPaper) {
+  // 16x16 -> 4 x 8x8 -> 16 x 4x4 -> 64 elementary 2x2 modules, with three
+  // 2N-bit accumulation adders per combine level (paper Fig. 7).
+  const MultStructure s = compute_mult_structure(16);
+  EXPECT_EQ(s.elems.size(), 64u);
+  int adders_by_level[3] = {0, 0, 0};  // level 4, 8, 16
+  for (const auto& a : s.adders) {
+    if (a.level == 4) {
+      EXPECT_EQ(a.width, 8);
+      ++adders_by_level[0];
+    } else if (a.level == 8) {
+      EXPECT_EQ(a.width, 16);
+      ++adders_by_level[1];
+    } else if (a.level == 16) {
+      EXPECT_EQ(a.width, 32);
+      ++adders_by_level[2];
+    } else {
+      FAIL() << "unexpected level " << a.level;
+    }
+  }
+  EXPECT_EQ(adders_by_level[0], 48);  // 16 4x4 blocks x 3
+  EXPECT_EQ(adders_by_level[1], 12);  // 4 8x8 blocks x 3
+  EXPECT_EQ(adders_by_level[2], 3);   // top combine
+  // Total FA slots: 48*8 + 12*16 + 3*32 = 672.
+  EXPECT_EQ(s.total_fa_slots(), 672);
+}
+
+TEST(Structure, ElementaryOffsetsCoverOperands) {
+  const MultStructure s = compute_mult_structure(8);
+  EXPECT_EQ(s.elems.size(), 16u);
+  for (const auto& e : s.elems) {
+    EXPECT_EQ(e.off_a % 2, 0);
+    EXPECT_EQ(e.off_b % 2, 0);
+    EXPECT_GE(e.off_a, 0);
+    EXPECT_LT(e.off_a, 8);
+    EXPECT_EQ(e.out_offset, e.off_a + e.off_b);
+  }
+}
+
+TEST(Structure, TwoBitBaseCase) {
+  const MultStructure s = compute_mult_structure(2);
+  EXPECT_EQ(s.elems.size(), 1u);
+  EXPECT_TRUE(s.adders.empty());
+}
+
+TEST(Structure, InvalidWidthThrows) {
+  EXPECT_THROW(compute_mult_structure(3), std::invalid_argument);
+  EXPECT_THROW(compute_mult_structure(0), std::invalid_argument);
+  EXPECT_THROW(compute_mult_structure(64), std::invalid_argument);
+}
+
+TEST(Policy, FaRule) {
+  EXPECT_TRUE(fa_is_approx(0, 1));
+  EXPECT_FALSE(fa_is_approx(1, 1));
+  EXPECT_TRUE(fa_is_approx(15, 16));
+  EXPECT_FALSE(fa_is_approx(16, 16));
+}
+
+TEST(Policy, ElemRulesOrderedByAggressiveness) {
+  for (int off = 0; off <= 28; off += 2) {
+    for (int k = 0; k <= 32; ++k) {
+      const bool cons = elem_is_approx(ApproxPolicy::Conservative, off, k);
+      const bool mod = elem_is_approx(ApproxPolicy::Moderate, off, k);
+      const bool aggr = elem_is_approx(ApproxPolicy::Aggressive, off, k);
+      // conservative => moderate => aggressive (set inclusion).
+      EXPECT_LE(cons, mod);
+      EXPECT_LE(mod, aggr);
+    }
+  }
+  // Spot checks of the documented boundaries.
+  EXPECT_TRUE(elem_is_approx(ApproxPolicy::Conservative, 0, 4));
+  EXPECT_FALSE(elem_is_approx(ApproxPolicy::Conservative, 0, 3));
+  EXPECT_TRUE(elem_is_approx(ApproxPolicy::Moderate, 0, 2));
+  EXPECT_FALSE(elem_is_approx(ApproxPolicy::Moderate, 0, 1));
+  EXPECT_TRUE(elem_is_approx(ApproxPolicy::Aggressive, 0, 1));
+}
+
+}  // namespace
+}  // namespace xbs::arith

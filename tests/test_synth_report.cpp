@@ -1,0 +1,112 @@
+// Tests for the synthesis reporting (Design Compiler substitute).
+#include <gtest/gtest.h>
+
+#include "xbs/arith/rca.hpp"
+#include "xbs/hwmodel/cell_library.hpp"
+#include "xbs/netlist/builders.hpp"
+#include "xbs/netlist/netlist.hpp"
+#include "xbs/netlist/optimizer.hpp"
+#include "xbs/netlist/synth_report.hpp"
+
+namespace xbs::netlist {
+namespace {
+
+TEST(SynthReport, StandaloneFullAdderMatchesTable1) {
+  for (const AdderKind kind : kAllAdderKinds) {
+    Netlist nl;
+    const NetId a = nl.new_input();
+    const NetId b = nl.new_input();
+    const NetId c = nl.new_input();
+    const FaPins pins = nl.emit_fa(kind, a, b, c, 0);
+    nl.mark_output(pins.sum);
+    nl.mark_output(pins.cout);
+    const SynthesisReport rep = report(nl);
+    const hwmodel::Cost want = hwmodel::cell_cost(kind);
+    EXPECT_DOUBLE_EQ(rep.cost.area_um2, want.area_um2) << to_string(kind);
+    EXPECT_DOUBLE_EQ(rep.cost.energy_fj, want.energy_fj) << to_string(kind);
+    EXPECT_DOUBLE_EQ(rep.critical_path_ns, want.delay_ns) << to_string(kind);
+  }
+}
+
+TEST(SynthReport, StandaloneMult2MatchesTable1) {
+  for (const MultKind kind : kAllMultKinds) {
+    Netlist nl;
+    const NetId a0 = nl.new_input(), a1 = nl.new_input();
+    const NetId b0 = nl.new_input(), b1 = nl.new_input();
+    const auto outs = nl.emit_mult2(kind, a0, a1, b0, b1, 0);
+    for (const auto o : outs) nl.mark_output(o);
+    const SynthesisReport rep = report(nl);
+    const hwmodel::Cost want = hwmodel::cell_cost(kind);
+    EXPECT_DOUBLE_EQ(rep.cost.area_um2, want.area_um2) << to_string(kind);
+    EXPECT_DOUBLE_EQ(rep.cost.power_uw, want.power_uw) << to_string(kind);
+  }
+}
+
+TEST(SynthReport, UnoptimizedAdderIsWidthTimesUnitCost) {
+  Netlist nl;
+  const arith::AdderConfig cfg{32, 0, AdderKind::Accurate, 0};
+  const auto a = nl.new_input_bus(32);
+  const auto b = nl.new_input_bus(32);
+  const auto out = build_rca(nl, cfg, a, b);
+  for (const auto n : out.sum) nl.mark_output(n);
+  nl.mark_output(out.carry_out);
+  const SynthesisReport rep = report(nl);
+  const hwmodel::Cost fa = hwmodel::cell_cost(AdderKind::Accurate);
+  // Cone pricing discounts the constant carry-in of bit 0 (a half adder in
+  // real synthesis): 31 full cells + one at (1 + 2/3)/2 of unit cost.
+  EXPECT_NEAR(rep.cost.energy_fj, (31.0 + 5.0 / 6.0) * fa.energy_fj, 1e-9);
+  // Critical path = the full carry chain.
+  EXPECT_NEAR(rep.critical_path_ns, 32 * fa.delay_ns, 1e-9);
+  EXPECT_EQ(rep.full_adders, 32);
+}
+
+TEST(SynthReport, CarryChainCutByAma5ShortensCriticalPath) {
+  // ApproxAdd5 has zero delay, so approximating k LSBs cuts the carry chain.
+  const auto critical = [](int k) {
+    Netlist nl;
+    const arith::AdderConfig cfg{32, k, AdderKind::Approx5, 0};
+    const auto a = nl.new_input_bus(32);
+    const auto b = nl.new_input_bus(32);
+    const auto out = build_rca(nl, cfg, a, b);
+    for (const auto n : out.sum) nl.mark_output(n);
+    nl.mark_output(out.carry_out);
+    return report(nl).critical_path_ns;
+  };
+  EXPECT_GT(critical(0), critical(8));
+  EXPECT_GT(critical(8), critical(16));
+  EXPECT_NEAR(critical(16), 16 * hwmodel::cell_cost(AdderKind::Accurate).delay_ns, 1e-9);
+}
+
+TEST(SynthReport, ConePricingDiscountsDeadCarry) {
+  // A lone FA whose carry-out is unobserved is priced as a partial cell.
+  Netlist nl;
+  const NetId a = nl.new_input();
+  const NetId b = nl.new_input();
+  const FaPins pins = nl.emit_fa(AdderKind::Accurate, a, b, Netlist::const_net(false), 0);
+  nl.mark_output(pins.sum);  // cout unused
+  optimize(nl);
+  const SynthesisReport rep = report(nl);
+  const hwmodel::Cost full = hwmodel::cell_cost(AdderKind::Accurate);
+  EXPECT_LT(rep.cost.energy_fj, full.energy_fj);
+  EXPECT_GT(rep.cost.energy_fj, 0.0);
+}
+
+TEST(SynthReport, MwiStageIsAdderOnly) {
+  Netlist nl = build_mwi_stage(30, arith::AdderConfig{32, 0, AdderKind::Approx5, 0}, 16);
+  const SynthesisReport rep = report(nl);
+  EXPECT_EQ(rep.mult2s, 0);
+  EXPECT_EQ(rep.full_adders, 29 * 32);  // window-1 adders x width
+}
+
+TEST(SynthReport, SquarerSeesSharedOperand) {
+  Netlist nl = build_squarer_stage(arith::MultiplierConfig{16, 0});
+  optimize(nl);
+  // x*x folds partially (a handful of elementary products are symmetric),
+  // but substantial live logic must remain.
+  const SynthesisReport rep = report(nl);
+  EXPECT_GT(rep.cost.energy_fj, 50.0);
+  EXPECT_GT(rep.mult2s, 16);
+}
+
+}  // namespace
+}  // namespace xbs::netlist

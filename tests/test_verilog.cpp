@@ -1,0 +1,88 @@
+// Tests for the structural Verilog exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "xbs/netlist/builders.hpp"
+#include "xbs/netlist/optimizer.hpp"
+#include "xbs/netlist/verilog.hpp"
+
+namespace xbs::netlist {
+namespace {
+
+Netlist adder_netlist(int k) {
+  Netlist nl;
+  const arith::AdderConfig cfg{8, k, AdderKind::Approx5, 0};
+  const auto a = nl.new_input_bus(8);
+  const auto b = nl.new_input_bus(8);
+  const auto out = build_rca(nl, cfg, a, b);
+  for (const auto n : out.sum) nl.mark_output(n);
+  return nl;
+}
+
+TEST(Verilog, EmitsModuleWithPorts) {
+  const std::string v = to_verilog(adder_netlist(0), {"my_adder", true});
+  EXPECT_NE(v.find("module my_adder"), std::string::npos);
+  EXPECT_NE(v.find("input wire [15:0] in"), std::string::npos);
+  EXPECT_NE(v.find("output wire [7:0] out"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, EmitsOnlyUsedPrimitives) {
+  const std::string acc = to_verilog(adder_netlist(0));
+  EXPECT_NE(acc.find("module xbs_fa_acc"), std::string::npos);
+  EXPECT_EQ(acc.find("module xbs_fa_ama5"), std::string::npos);
+  const std::string mixed = to_verilog(adder_netlist(4));
+  EXPECT_NE(mixed.find("module xbs_fa_acc"), std::string::npos);
+  EXPECT_NE(mixed.find("module xbs_fa_ama5"), std::string::npos);
+}
+
+TEST(Verilog, PrimitiveTruthTablesExact) {
+  // The AMA5 body must encode sum = b, cout = a.
+  std::ostringstream os;
+  write_verilog(os, adder_netlist(8), {"w", true});
+  const std::string v = os.str();
+  // Row {a,b,cin} = 3'b010 -> sum 1 (b), cout 0 (a).
+  EXPECT_NE(v.find("3'b010: {sum, cout} = 2'b10;"), std::string::npos);
+  // Row 3'b101 -> sum 0, cout 1.
+  EXPECT_NE(v.find("3'b101: {sum, cout} = 2'b01;"), std::string::npos);
+}
+
+TEST(Verilog, MultiplierExportsMul2Primitives) {
+  Netlist nl;
+  const arith::MultiplierConfig cfg{4, 4, AdderKind::Approx5, MultKind::V1,
+                                    ApproxPolicy::Moderate};
+  const auto a = nl.new_input_bus(4);
+  const auto b = nl.new_input_bus(4);
+  const auto p = build_multiplier(nl, cfg, a, b);
+  for (const auto n : p) nl.mark_output(n);
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module xbs_mul2_v1"), std::string::npos);
+  // V1's 3x3 entry is 7.
+  EXPECT_NE(v.find("4'd15: p = 4'd7;"), std::string::npos);
+}
+
+TEST(Verilog, OptimizedNetlistEmitsConstantsAndWires) {
+  // x + 0 optimizes to wires: outputs become direct input references.
+  Netlist nl;
+  const arith::AdderConfig cfg{4, 0, AdderKind::Accurate, 0};
+  const auto a = nl.new_input_bus(4);
+  const auto b = nl.const_bus(0, 4);
+  const auto out = build_rca(nl, cfg, a, b);
+  for (const auto n : out.sum) nl.mark_output(n);
+  optimize(nl);
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("assign out[0] = in[0];"), std::string::npos);
+  EXPECT_NE(v.find("assign out[3] = in[3];"), std::string::npos);
+  // No primitive instances remain.
+  EXPECT_EQ(v.find("xbs_fa_acc u"), std::string::npos);
+}
+
+TEST(Verilog, DeterministicOutput) {
+  const std::string a = to_verilog(adder_netlist(4));
+  const std::string b = to_verilog(adder_netlist(4));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace xbs::netlist
