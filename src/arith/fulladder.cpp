@@ -9,7 +9,7 @@ constexpr FaTable make_accurate() noexcept {
   FaTable t{};
   for (int i = 0; i < 8; ++i) {
     const bool a = (i & 4) != 0, b = (i & 2) != 0, c = (i & 1) != 0;
-    t[static_cast<std::size_t>(i)] = FaOut{a ^ b ^ c, maj(a, b, c)};
+    t[static_cast<std::size_t>(i)] = FaOut{static_cast<bool>(a ^ b ^ c), maj(a, b, c)};
   }
   return t;
 }

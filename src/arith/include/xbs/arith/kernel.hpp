@@ -1,0 +1,243 @@
+/// \file kernel.hpp
+/// \brief Batched arithmetic kernels — the block-granular datapath API.
+///
+/// The scalar ArithmeticUnit interface pays one virtual dispatch, one config
+/// decode and one lookup-table resolution *per sample operation*. A Kernel
+/// amortizes all of that over a whole signal block: config decoding, LUT
+/// pointer resolution and operation counting happen once per `*_n` call, and
+/// the inner loops are tight non-virtual code. The scalar units in unit.hpp
+/// are thin adapters over these kernels, so both views of the datapath are
+/// bit-identical by construction (asserted in tests/test_kernel_equivalence).
+///
+/// Operand convention: every value is a sign-extended signed 64-bit integer
+/// carrying the block's `width`-bit two's-complement result, exactly like the
+/// scalar API. Adds/subs model the 32-bit adder block; multiplies model the
+/// 16x16 signed multiplier block.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "xbs/arith/multiplier.hpp"
+#include "xbs/arith/rca.hpp"
+#include "xbs/common/kinds.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::arith {
+
+/// Datapath operation counters (shared vocabulary with the scalar units;
+/// reset between runs to attribute operations to stages).
+struct OpCounts {
+  u64 adds = 0;
+  u64 mults = 0;
+
+  friend constexpr bool operator==(OpCounts, OpCounts) = default;
+};
+
+/// Arithmetic configuration of one application stage: a 32-bit adder block
+/// and a 16x16 multiplier block sharing the same number of approximated LSBs,
+/// mirroring how the paper configures each stage with a single (LSB, Add,
+/// Mult) triple.
+struct StageArithConfig {
+  AdderConfig adder{32, 0, AdderKind::Accurate, 0};
+  MultiplierConfig mult{16, 0, AdderKind::Accurate, MultKind::Accurate,
+                        ApproxPolicy::Moderate};
+
+  /// Uniform configuration: k LSBs approximated in both blocks.
+  [[nodiscard]] static StageArithConfig uniform(
+      int approx_lsbs, AdderKind add_kind = AdderKind::Approx5,
+      MultKind mult_kind = MultKind::V1,
+      ApproxPolicy policy = ApproxPolicy::Moderate) noexcept {
+    StageArithConfig c;
+    c.adder = AdderConfig{32, approx_lsbs, add_kind, 0};
+    c.mult = MultiplierConfig{16, approx_lsbs, add_kind, mult_kind, policy};
+    return c;
+  }
+
+  /// True when this configuration is exactly the accurate native datapath.
+  [[nodiscard]] constexpr bool is_exact() const noexcept {
+    return adder.approx_lsbs == 0 && mult.approx_lsbs == 0;
+  }
+
+  friend constexpr bool operator==(const StageArithConfig&, const StageArithConfig&) = default;
+};
+
+/// Block-granular datapath. The public `*_n` entry points count operations
+/// once per block (n ops per call, identical totals to the scalar path) and
+/// dispatch a single virtual call; the `*_impl` hooks run the tight loops.
+///
+/// The uncounted scalar hooks (`add1/sub1/mul1`) exist for the ArithmeticUnit
+/// adapters and for streaming single-sample use; they compute exactly one
+/// element of the corresponding batched op.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  // --- uncounted scalar compute (one element of the batched ops) ---
+  [[nodiscard]] virtual i64 add1(i64 a, i64 b) const = 0;
+  [[nodiscard]] virtual i64 sub1(i64 a, i64 b) const = 0;
+  [[nodiscard]] virtual i64 mul1(i64 a, i64 b) const = 0;
+
+  // --- counted scalar ops (streaming use; 1 op each) ---
+  [[nodiscard]] i64 add(i64 a, i64 b) {
+    ++counts_.adds;
+    return add1(a, b);
+  }
+  [[nodiscard]] i64 sub(i64 a, i64 b) {
+    ++counts_.adds;
+    return sub1(a, b);
+  }
+  [[nodiscard]] i64 mul(i64 a, i64 b) {
+    ++counts_.mults;
+    return mul1(a, b);
+  }
+
+  // --- counted batched ops ---
+  /// out[i] = add(a[i], b[i]). Spans must be equally sized; aliasing with
+  /// `out` is allowed element-wise (in-place accumulate).
+  void add_n(std::span<const i64> a, std::span<const i64> b, std::span<i64> out) {
+    counts_.adds += out.size();
+    add_n_impl(a, b, out);
+  }
+  /// out[i] = sub(a[i], b[i]).
+  void sub_n(std::span<const i64> a, std::span<const i64> b, std::span<i64> out) {
+    counts_.adds += out.size();
+    sub_n_impl(a, b, out);
+  }
+  /// out[i] = mul(a[i], b[i]).
+  void mul_n(std::span<const i64> a, std::span<const i64> b, std::span<i64> out) {
+    counts_.mults += out.size();
+    mul_n_impl(a, b, out);
+  }
+  /// Constant-coefficient multiply: out[i] = mul(c, x[i]) — the FIR tap
+  /// primitive (note the operand order: approximate multiplies are not
+  /// commutative).
+  void mul_cn(i64 c, std::span<const i64> x, std::span<i64> out) {
+    counts_.mults += out.size();
+    mul_cn_impl(c, x, out);
+  }
+  /// Fused multiply-accumulate: acc[i] = add(acc[i], mul(c, x[i])).
+  /// Counts one multiply and one add per element, like the scalar chain.
+  void mac_n(i64 c, std::span<const i64> x, std::span<i64> acc) {
+    counts_.mults += acc.size();
+    counts_.adds += acc.size();
+    mac_n_impl(c, x, acc);
+  }
+
+  [[nodiscard]] const OpCounts& counts() const noexcept { return counts_; }
+  void reset_counts() noexcept { counts_ = OpCounts{}; }
+
+ protected:
+  virtual void add_n_impl(std::span<const i64> a, std::span<const i64> b,
+                          std::span<i64> out) const;
+  virtual void sub_n_impl(std::span<const i64> a, std::span<const i64> b,
+                          std::span<i64> out) const;
+  virtual void mul_n_impl(std::span<const i64> a, std::span<const i64> b,
+                          std::span<i64> out) const;
+  virtual void mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const;
+  virtual void mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const;
+
+ private:
+  OpCounts counts_;
+};
+
+/// Exact native backend (the golden reference datapath): 32-bit wrapping
+/// adds, sign-extended 16x16 multiplies, all in tight native loops.
+class ExactKernel final : public Kernel {
+ public:
+  [[nodiscard]] i64 add1(i64 a, i64 b) const override;
+  [[nodiscard]] i64 sub1(i64 a, i64 b) const override;
+  [[nodiscard]] i64 mul1(i64 a, i64 b) const override;
+
+ protected:
+  void add_n_impl(std::span<const i64> a, std::span<const i64> b,
+                  std::span<i64> out) const override;
+  void sub_n_impl(std::span<const i64> a, std::span<const i64> b,
+                  std::span<i64> out) const override;
+  void mul_n_impl(std::span<const i64> a, std::span<const i64> b,
+                  std::span<i64> out) const override;
+  void mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const override;
+  void mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const override;
+};
+
+/// Bit-accurate approximate backend for one stage configuration.
+///
+/// Hoisted out of the inner loops, once per kernel lifetime:
+///  - the ripple-carry adder model (config decode + approx-region clamp),
+///  - the recursive-multiplier behavioural model (its 4x4/8x8 LUTs),
+/// and, lazily per distinct coefficient magnitude, a full product table
+/// `P[m] = multiply_u(|c|, m)` covering every 16-bit operand magnitude — so
+/// the FIR-critical `mac_n` costs one table load, one sign fix and one
+/// (possibly approximate) add per sample instead of a recursive multiplier
+/// simulation. Tables are cached process-wide keyed by (MultiplierConfig,
+/// magnitude), matching the get_multiplier() cache idiom (thread-compatible,
+/// not thread-safe — the explorers are single-threaded by design).
+class ApproxKernel final : public Kernel {
+ public:
+  explicit ApproxKernel(const StageArithConfig& cfg);
+
+  [[nodiscard]] const StageArithConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] i64 add1(i64 a, i64 b) const override;
+  [[nodiscard]] i64 sub1(i64 a, i64 b) const override;
+  [[nodiscard]] i64 mul1(i64 a, i64 b) const override;
+
+ protected:
+  void add_n_impl(std::span<const i64> a, std::span<const i64> b,
+                  std::span<i64> out) const override;
+  void sub_n_impl(std::span<const i64> a, std::span<const i64> b,
+                  std::span<i64> out) const override;
+  void mul_n_impl(std::span<const i64> a, std::span<const i64> b,
+                  std::span<i64> out) const override;
+  void mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const override;
+  void mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const override;
+
+ private:
+  /// Product table of mul1(c, .) for one coefficient, indexed by the 16-bit
+  /// operand magnitude; `negate` folds in the coefficient's sign.
+  struct CoeffTable {
+    i64 coeff = 0;
+    bool negate = false;
+    std::shared_ptr<const std::vector<i64>> products;  ///< [0, 2^(w-1)] entries
+  };
+  [[nodiscard]] const CoeffTable& coeff_table(i64 c) const;
+  /// The coefficient's table only if it is already warm (kernel-local or
+  /// process-wide); nullptr when using it would require a cold build.
+  [[nodiscard]] const CoeffTable* coeff_table_if_warm(i64 c) const;
+
+  /// Closed-form evaluation of the adder's approximate low region, decoded
+  /// once at construction. AMA5 (Sum=B, Cout=A) and AMA4 (Sum=NOT A, Cout=A)
+  /// have no carry chain through the approximated LSBs, so the whole add
+  /// collapses to masks plus one native add of the accurate high region —
+  /// bit-identical to the per-FA simulation (tests/test_kernel_equivalence).
+  enum class AddFastPath { Generic, SumIsB, SumIsNotA };
+  [[nodiscard]] i64 add_signed_fast(i64 a, i64 b) const noexcept;
+  [[nodiscard]] i64 sub_signed_fast(i64 a, i64 b) const noexcept;
+  [[nodiscard]] i64 wired_add(u64 ua, u64 ub) const noexcept;
+
+  StageArithConfig cfg_;
+  RippleCarryAdder adder_;
+  AddFastPath add_path_ = AddFastPath::Generic;
+  int approx_bits_ = 0;  ///< adder LSBs in the approximate region (clamped)
+  std::shared_ptr<const RecursiveMultiplier> mult_owner_;
+  const RecursiveMultiplier* mult_;  ///< hoisted raw pointer for the loops
+  mutable std::vector<CoeffTable> coeff_tables_;  ///< tiny per-kernel LRU-less cache
+};
+
+/// Build the right backend for a stage configuration: the exact native kernel
+/// when the configuration is accurate, the bit-accurate approximate kernel
+/// otherwise.
+[[nodiscard]] std::unique_ptr<Kernel> make_kernel(const StageArithConfig& cfg);
+
+/// Process-wide cache of per-coefficient product tables (see ApproxKernel).
+/// Exposed for benches that want to pre-warm tables outside timed regions.
+[[nodiscard]] std::shared_ptr<const std::vector<i64>> get_coeff_products(
+    const MultiplierConfig& cfg, u64 magnitude);
+
+/// Cache peek: the table if it has already been built, nullptr otherwise.
+/// Lets small-block paths use a warm table without paying a cold build.
+[[nodiscard]] std::shared_ptr<const std::vector<i64>> peek_coeff_products(
+    const MultiplierConfig& cfg, u64 magnitude) noexcept;
+
+}  // namespace xbs::arith

@@ -1,55 +1,24 @@
 /// \file unit.hpp
-/// \brief Pluggable arithmetic datapath used by the bio-signal pipeline.
+/// \brief Scalar arithmetic datapath — a thin adapter over the batched
+/// kernels in kernel.hpp.
 ///
-/// Every add/sub/multiply the Pan-Tompkins stages perform goes through an
+/// Every add/sub/multiply the Pan-Tompkins stages perform can go through an
 /// ArithmeticUnit, so a stage can be re-targeted from exact native arithmetic
 /// to any (k LSBs, adder kind, multiplier kind) configuration without
 /// touching the signal-processing code — the software analogue of swapping
-/// RTL arithmetic blocks.
+/// RTL arithmetic blocks. Block-oriented consumers (the pipeline, the
+/// explorers) use the Kernel API directly; this scalar view remains for
+/// streaming single-sample use, the netlist-level cross-validation and the
+/// existing tests, and is bit-identical to the kernels by construction.
 #pragma once
 
-#include <memory>
-
-#include "xbs/arith/multiplier.hpp"
-#include "xbs/arith/rca.hpp"
+#include "xbs/arith/kernel.hpp"
 #include "xbs/common/kinds.hpp"
 #include "xbs/common/types.hpp"
 
 namespace xbs::arith {
 
-/// Datapath operation counters (per unit; reset between runs to attribute
-/// operations to stages).
-struct OpCounts {
-  u64 adds = 0;
-  u64 mults = 0;
-
-  friend constexpr bool operator==(OpCounts, OpCounts) = default;
-};
-
-/// Arithmetic configuration of one application stage: a 32-bit adder block
-/// and a 16x16 multiplier block sharing the same number of approximated LSBs,
-/// mirroring how the paper configures each stage with a single (LSB, Add,
-/// Mult) triple.
-struct StageArithConfig {
-  AdderConfig adder{32, 0, AdderKind::Accurate, 0};
-  MultiplierConfig mult{16, 0, AdderKind::Accurate, MultKind::Accurate,
-                        ApproxPolicy::Moderate};
-
-  /// Uniform configuration: k LSBs approximated in both blocks.
-  [[nodiscard]] static StageArithConfig uniform(
-      int approx_lsbs, AdderKind add_kind = AdderKind::Approx5,
-      MultKind mult_kind = MultKind::V1,
-      ApproxPolicy policy = ApproxPolicy::Moderate) noexcept {
-    StageArithConfig c;
-    c.adder = AdderConfig{32, approx_lsbs, add_kind, 0};
-    c.mult = MultiplierConfig{16, approx_lsbs, add_kind, mult_kind, policy};
-    return c;
-  }
-
-  friend constexpr bool operator==(const StageArithConfig&, const StageArithConfig&) = default;
-};
-
-/// Abstract datapath: all stage arithmetic funnels through here.
+/// Abstract scalar datapath: all stage arithmetic can funnel through here.
 class ArithmeticUnit {
  public:
   virtual ~ArithmeticUnit() = default;
@@ -74,6 +43,9 @@ class ExactUnit final : public ArithmeticUnit {
   [[nodiscard]] i64 add(i64 a, i64 b) override;
   [[nodiscard]] i64 sub(i64 a, i64 b) override;
   [[nodiscard]] i64 mul(i64 a, i64 b) override;
+
+ private:
+  ExactKernel kernel_;
 };
 
 /// Bit-accurate approximate datapath for one stage configuration.
@@ -81,16 +53,31 @@ class ApproxUnit final : public ArithmeticUnit {
  public:
   explicit ApproxUnit(const StageArithConfig& cfg);
 
-  [[nodiscard]] const StageArithConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const StageArithConfig& config() const noexcept { return kernel_.config(); }
 
   [[nodiscard]] i64 add(i64 a, i64 b) override;
   [[nodiscard]] i64 sub(i64 a, i64 b) override;
   [[nodiscard]] i64 mul(i64 a, i64 b) override;
 
  private:
-  StageArithConfig cfg_;
-  RippleCarryAdder adder_;
-  std::shared_ptr<const RecursiveMultiplier> mult_;
+  ApproxKernel kernel_;
+};
+
+/// Adapter in the other direction: presents any scalar ArithmeticUnit as a
+/// Kernel, so block-oriented code (the stage transforms) can also run over a
+/// caller-supplied unit — e.g. a counting or instrumented datapath in tests.
+/// Batched calls devolve to the scalar loop; operation counts accrue on the
+/// wrapped unit exactly as if the caller had streamed sample by sample.
+class UnitKernel final : public Kernel {
+ public:
+  explicit UnitKernel(ArithmeticUnit& unit) noexcept : unit_(&unit) {}
+
+  [[nodiscard]] i64 add1(i64 a, i64 b) const override { return unit_->add(a, b); }
+  [[nodiscard]] i64 sub1(i64 a, i64 b) const override { return unit_->sub(a, b); }
+  [[nodiscard]] i64 mul1(i64 a, i64 b) const override { return unit_->mul(a, b); }
+
+ private:
+  ArithmeticUnit* unit_;
 };
 
 }  // namespace xbs::arith

@@ -1,0 +1,287 @@
+#include "xbs/arith/kernel.hpp"
+
+#include <algorithm>
+
+#include "xbs/common/bitops.hpp"
+
+namespace xbs::arith {
+namespace {
+
+/// Blocks shorter than this fall back to the scalar multiplier instead of
+/// building a per-coefficient product table (2^(w-1)+1 multiplies to fill):
+/// below the threshold the table cannot pay for itself within one process
+/// unless it is already cached.
+constexpr std::size_t kCoeffTableThreshold = 512;
+
+}  // namespace
+
+// ---------------------------------------------------------------- Kernel base
+
+void Kernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
+                        std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = add1(a[i], b[i]);
+}
+
+void Kernel::sub_n_impl(std::span<const i64> a, std::span<const i64> b,
+                        std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = sub1(a[i], b[i]);
+}
+
+void Kernel::mul_n_impl(std::span<const i64> a, std::span<const i64> b,
+                        std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = mul1(a[i], b[i]);
+}
+
+void Kernel::mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = mul1(c, x[i]);
+}
+
+void Kernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = add1(acc[i], mul1(c, x[i]));
+}
+
+// ----------------------------------------------------------------- ExactKernel
+
+i64 ExactKernel::add1(i64 a, i64 b) const {
+  return sign_extend(to_unsigned_bits(a + b, 32), 32);
+}
+
+i64 ExactKernel::sub1(i64 a, i64 b) const {
+  return sign_extend(to_unsigned_bits(a - b, 32), 32);
+}
+
+i64 ExactKernel::mul1(i64 a, i64 b) const {
+  const i64 sa = sign_extend(to_unsigned_bits(a, 16), 16);
+  const i64 sb = sign_extend(to_unsigned_bits(b, 16), 16);
+  return sa * sb;
+}
+
+void ExactKernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
+                             std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = sign_extend(to_unsigned_bits(a[i] + b[i], 32), 32);
+  }
+}
+
+void ExactKernel::sub_n_impl(std::span<const i64> a, std::span<const i64> b,
+                             std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = sign_extend(to_unsigned_bits(a[i] - b[i], 32), 32);
+  }
+}
+
+void ExactKernel::mul_n_impl(std::span<const i64> a, std::span<const i64> b,
+                             std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = sign_extend(to_unsigned_bits(a[i], 16), 16) *
+             sign_extend(to_unsigned_bits(b[i], 16), 16);
+  }
+}
+
+void ExactKernel::mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const {
+  const i64 sc = sign_extend(to_unsigned_bits(c, 16), 16);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = sc * sign_extend(to_unsigned_bits(x[i], 16), 16);
+  }
+}
+
+void ExactKernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const {
+  const i64 sc = sign_extend(to_unsigned_bits(c, 16), 16);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const i64 p = sc * sign_extend(to_unsigned_bits(x[i], 16), 16);
+    acc[i] = sign_extend(to_unsigned_bits(acc[i] + p, 32), 32);
+  }
+}
+
+// ---------------------------------------------------------------- ApproxKernel
+
+ApproxKernel::ApproxKernel(const StageArithConfig& cfg)
+    : cfg_(cfg),
+      adder_(cfg.adder),
+      mult_owner_(get_multiplier(cfg.mult)),
+      mult_(mult_owner_.get()) {
+  // Decode the adder once: the carry-free mirror adders evaluate in closed
+  // form (see AddFastPath). Positions below `approx_bits_` are approximate.
+  approx_bits_ = std::clamp(cfg.adder.approx_lsbs - cfg.adder.weight_offset, 0,
+                            cfg.adder.width);
+  if (approx_bits_ > 0 && cfg.adder.width <= 63) {
+    if (cfg.adder.kind == AdderKind::Approx5) add_path_ = AddFastPath::SumIsB;
+    if (cfg.adder.kind == AdderKind::Approx4) add_path_ = AddFastPath::SumIsNotA;
+  }
+}
+
+i64 ApproxKernel::wired_add(u64 ua, u64 ub) const noexcept {
+  // Approximate low region of a carry-free mirror adder: the low sum bits
+  // are pure wiring (B for AMA5, NOT A for AMA4) and the carry into the
+  // accurate high region is A's top approximate bit (Cout = A in both
+  // kinds; the carry-in is ignored by the first approximate FA, so this
+  // covers the subtractor's injected carry too). The accurate high region
+  // is one native add, exactly like RippleCarryAdder's fast path.
+  const int w = cfg_.adder.width;
+  const int k = approx_bits_;
+  const u64 low =
+      (add_path_ == AddFastPath::SumIsB ? ub : ~ua) & low_mask(k);
+  if (k >= w) return sign_extend(low & low_mask(w), w);
+  const u64 carry = (ua >> (k - 1)) & 1u;
+  const u64 hi = ((ua >> k) + (ub >> k) + carry) & low_mask(w - k);
+  return sign_extend((hi << k) | low, w);
+}
+
+i64 ApproxKernel::add_signed_fast(i64 a, i64 b) const noexcept {
+  if (add_path_ == AddFastPath::Generic) return adder_.add_signed(a, b);
+  const int w = cfg_.adder.width;
+  return wired_add(to_unsigned_bits(a, w), to_unsigned_bits(b, w));
+}
+
+i64 ApproxKernel::sub_signed_fast(i64 a, i64 b) const noexcept {
+  if (add_path_ == AddFastPath::Generic) return adder_.sub_signed(a, b);
+  const int w = cfg_.adder.width;
+  // One's complement + carry-in, as in the adder-subtractor datapath; the
+  // injected carry-in dies at the first approximate FA (see wired_add).
+  return wired_add(to_unsigned_bits(a, w), (~to_unsigned_bits(b, w)) & low_mask(w));
+}
+
+i64 ApproxKernel::add1(i64 a, i64 b) const { return adder_.add_signed(a, b); }
+
+i64 ApproxKernel::sub1(i64 a, i64 b) const { return adder_.sub_signed(a, b); }
+
+i64 ApproxKernel::mul1(i64 a, i64 b) const { return mult_->multiply_signed(a, b); }
+
+void ApproxKernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
+                              std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = add_signed_fast(a[i], b[i]);
+}
+
+void ApproxKernel::sub_n_impl(std::span<const i64> a, std::span<const i64> b,
+                              std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = sub_signed_fast(a[i], b[i]);
+}
+
+void ApproxKernel::mul_n_impl(std::span<const i64> a, std::span<const i64> b,
+                              std::span<i64> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = mult_->multiply_signed(a[i], b[i]);
+}
+
+const ApproxKernel::CoeffTable& ApproxKernel::coeff_table(i64 c) const {
+  for (const CoeffTable& t : coeff_tables_) {
+    if (t.coeff == c) return t;
+  }
+  const int w = cfg_.mult.width;
+  const i64 sc = sign_extend(to_unsigned_bits(c, w), w);
+  const u64 mag = sc < 0 ? static_cast<u64>(-sc) : static_cast<u64>(sc);
+  CoeffTable t;
+  t.coeff = c;
+  t.negate = sc < 0;
+  t.products = get_coeff_products(cfg_.mult, mag);
+  coeff_tables_.push_back(std::move(t));
+  return coeff_tables_.back();
+}
+
+const ApproxKernel::CoeffTable* ApproxKernel::coeff_table_if_warm(i64 c) const {
+  for (const CoeffTable& t : coeff_tables_) {
+    if (t.coeff == c) return &t;
+  }
+  const int w = cfg_.mult.width;
+  const i64 sc = sign_extend(to_unsigned_bits(c, w), w);
+  const u64 mag = sc < 0 ? static_cast<u64>(-sc) : static_cast<u64>(sc);
+  auto products = peek_coeff_products(cfg_.mult, mag);
+  if (products == nullptr) return nullptr;
+  CoeffTable t;
+  t.coeff = c;
+  t.negate = sc < 0;
+  t.products = std::move(products);
+  coeff_tables_.push_back(std::move(t));
+  return &coeff_tables_.back();
+}
+
+void ApproxKernel::mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const {
+  // Below the threshold a cold table build cannot pay for itself, but a warm
+  // one (kernel-local or process-wide) is still the fast path.
+  const CoeffTable* t =
+      out.size() >= kCoeffTableThreshold ? &coeff_table(c) : coeff_table_if_warm(c);
+  if (t == nullptr) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = mult_->multiply_signed(c, x[i]);
+    return;
+  }
+  const std::vector<i64>& prod = *t->products;
+  const int w = cfg_.mult.width;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const i64 sx = sign_extend(to_unsigned_bits(x[i], w), w);
+    const u64 m = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
+    const i64 p = prod[m];
+    out[i] = (t->negate != (sx < 0)) ? -p : p;
+  }
+}
+
+void ApproxKernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const {
+  const CoeffTable* t =
+      acc.size() >= kCoeffTableThreshold ? &coeff_table(c) : coeff_table_if_warm(c);
+  if (t == nullptr) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = add_signed_fast(acc[i], mult_->multiply_signed(c, x[i]));
+    }
+    return;
+  }
+  const std::vector<i64>& prod = *t->products;
+  const int w = cfg_.mult.width;
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const i64 sx = sign_extend(to_unsigned_bits(x[i], w), w);
+    const u64 m = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
+    const i64 p = prod[m];
+    acc[i] = add_signed_fast(acc[i], (t->negate != (sx < 0)) ? -p : p);
+  }
+}
+
+// -------------------------------------------------------------------- factory
+
+std::unique_ptr<Kernel> make_kernel(const StageArithConfig& cfg) {
+  if (cfg.is_exact()) return std::make_unique<ExactKernel>();
+  return std::make_unique<ApproxKernel>(cfg);
+}
+
+// ---------------------------------------------- coefficient product table cache
+
+namespace {
+
+struct CoeffCacheEntry {
+  MultiplierConfig cfg;
+  u64 magnitude;
+  std::shared_ptr<const std::vector<i64>> table;
+};
+
+std::vector<CoeffCacheEntry>& coeff_cache() {
+  static std::vector<CoeffCacheEntry> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<i64>> peek_coeff_products(const MultiplierConfig& cfg,
+                                                            u64 magnitude) noexcept {
+  for (const CoeffCacheEntry& e : coeff_cache()) {
+    if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const std::vector<i64>> get_coeff_products(const MultiplierConfig& cfg,
+                                                           u64 magnitude) {
+  std::vector<CoeffCacheEntry>& cache = coeff_cache();
+  for (const CoeffCacheEntry& e : cache) {
+    if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
+  }
+  const auto model = get_multiplier(cfg);
+  // Operand magnitudes of a w-bit signed multiplier span [0, 2^(w-1)]
+  // (the upper bound is the magnitude of the most negative value).
+  const std::size_t n = (std::size_t{1} << (cfg.width - 1)) + 1;
+  auto table = std::make_shared<std::vector<i64>>(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    // Same operand order as multiply_signed(c, x): the coefficient drives
+    // the A port. Approximate arrays are not commutative, so this matters.
+    (*table)[m] = static_cast<i64>(model->multiply_u(magnitude, static_cast<u64>(m)));
+  }
+  cache.push_back(CoeffCacheEntry{cfg, magnitude, table});
+  return cache.back().table;
+}
+
+}  // namespace xbs::arith

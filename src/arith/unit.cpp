@@ -4,37 +4,34 @@ namespace xbs::arith {
 
 i64 ExactUnit::add(i64 a, i64 b) {
   ++counts_.adds;
-  return sign_extend(to_unsigned_bits(a + b, 32), 32);
+  return kernel_.add1(a, b);
 }
 
 i64 ExactUnit::sub(i64 a, i64 b) {
   ++counts_.adds;
-  return sign_extend(to_unsigned_bits(a - b, 32), 32);
+  return kernel_.sub1(a, b);
 }
 
 i64 ExactUnit::mul(i64 a, i64 b) {
   ++counts_.mults;
-  const i64 sa = sign_extend(to_unsigned_bits(a, 16), 16);
-  const i64 sb = sign_extend(to_unsigned_bits(b, 16), 16);
-  return sa * sb;
+  return kernel_.mul1(a, b);
 }
 
-ApproxUnit::ApproxUnit(const StageArithConfig& cfg)
-    : cfg_(cfg), adder_(cfg.adder), mult_(get_multiplier(cfg.mult)) {}
+ApproxUnit::ApproxUnit(const StageArithConfig& cfg) : kernel_(cfg) {}
 
 i64 ApproxUnit::add(i64 a, i64 b) {
   ++counts_.adds;
-  return adder_.add_signed(a, b);
+  return kernel_.add1(a, b);
 }
 
 i64 ApproxUnit::sub(i64 a, i64 b) {
   ++counts_.adds;
-  return adder_.sub_signed(a, b);
+  return kernel_.sub1(a, b);
 }
 
 i64 ApproxUnit::mul(i64 a, i64 b) {
   ++counts_.mults;
-  return mult_->multiply_signed(a, b);
+  return kernel_.mul1(a, b);
 }
 
 }  // namespace xbs::arith

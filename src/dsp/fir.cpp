@@ -23,10 +23,27 @@ double FirFilter::process(double x) {
 }
 
 std::vector<double> FirFilter::filter(std::span<const double> x) {
+  // Block transform: tap-major accumulation over a zero-prefixed contiguous
+  // buffer. Each output element receives its products in the same tap order
+  // as the streaming path (including the zero-history products), so results
+  // are bit-identical to calling process() per sample — without the
+  // per-sample ring-buffer walk.
+  const std::size_t n = x.size();
+  const std::size_t taps = taps_.size();
+  std::vector<double> padded(n + taps - 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) padded[taps - 1 + i] = x[i];
+  std::vector<double> y(n, 0.0);
+  for (std::size_t j = 0; j < taps; ++j) {
+    const double c = taps_[j];
+    const double* xs = padded.data() + (taps - 1 - j);
+    for (std::size_t i = 0; i < n; ++i) y[i] += c * xs[i];
+  }
+  // Leave the filter as if the samples had been streamed.
   reset();
-  std::vector<double> y;
-  y.reserve(x.size());
-  for (const double v : x) y.push_back(process(v));
+  for (std::size_t i = n > taps ? n - taps : 0; i < n; ++i) {
+    delay_[head_] = x[i];
+    head_ = (head_ + 1) % delay_.size();
+  }
   return y;
 }
 

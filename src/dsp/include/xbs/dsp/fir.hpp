@@ -16,7 +16,8 @@ class FirFilter {
   /// Push one sample, get the filtered output y[n] = sum_i c_i x[n-i].
   [[nodiscard]] double process(double x);
 
-  /// Filter a whole signal (state starts from zero; same length out).
+  /// Filter a whole signal as one tap-major block transform (state starts
+  /// from zero; same length out; bit-identical to streaming via process()).
   [[nodiscard]] std::vector<double> filter(std::span<const double> x);
 
   /// Reset the delay line to zeros.

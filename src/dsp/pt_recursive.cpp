@@ -1,37 +1,55 @@
 #include "xbs/dsp/pt_recursive.hpp"
 
+#include <algorithm>
+
 namespace xbs::dsp {
+namespace {
+
+/// Shared shape of both recursive forms: a short zero-history prologue, then
+/// a branch-free steady-state loop over the contiguous buffers. The term
+/// order inside each expression matches the published difference equations,
+/// so outputs are bit-identical to the naive guarded-index evaluation.
+template <typename Prologue, typename Steady>
+std::vector<double> run_recurrence(std::size_t n, std::size_t warmup, Prologue prologue,
+                                   Steady steady) {
+  std::vector<double> y(n, 0.0);
+  const std::size_t split = std::min(n, warmup);
+  for (std::size_t i = 0; i < split; ++i) y[i] = prologue(y, i);
+  for (std::size_t i = split; i < n; ++i) y[i] = steady(y, i);
+  return y;
+}
+
+}  // namespace
 
 std::vector<double> pt_recursive_lpf(std::span<const double> x) {
-  std::vector<double> y(x.size(), 0.0);
-  auto at = [&](const std::vector<double>& v, std::ptrdiff_t i) -> double {
-    return i >= 0 ? v[static_cast<std::size_t>(i)] : 0.0;
+  // y[n] = 2 y[n-1] - y[n-2] + x[n] - 2 x[n-6] + x[n-12]
+  auto z = [](std::span<const double> v, std::size_t i, std::size_t back) -> double {
+    return i >= back ? v[i - back] : 0.0;
   };
-  auto xin = [&](std::ptrdiff_t i) -> double {
-    return i >= 0 ? x[static_cast<std::size_t>(i)] : 0.0;
-  };
-  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(x.size()); ++n) {
-    y[static_cast<std::size_t>(n)] = 2.0 * at(y, n - 1) - at(y, n - 2) + xin(n) -
-                                     2.0 * xin(n - 6) + xin(n - 12);
-  }
-  return y;
+  return run_recurrence(
+      x.size(), 12,
+      [&](const std::vector<double>& y, std::size_t i) {
+        return 2.0 * z(y, i, 1) - z(y, i, 2) + x[i] - 2.0 * z(x, i, 6) + z(x, i, 12);
+      },
+      [&](const std::vector<double>& y, std::size_t i) {
+        return 2.0 * y[i - 1] - y[i - 2] + x[i] - 2.0 * x[i - 6] + x[i - 12];
+      });
 }
 
 std::vector<double> pt_recursive_hpf(std::span<const double> x) {
   // y[n] = y[n-1] - x[n] + 32 x[n-16] - 32 x[n-17] + x[n-32], gain 32
   // (the integer form of allpass - moving average).
-  std::vector<double> y(x.size(), 0.0);
-  auto at = [&](const std::vector<double>& v, std::ptrdiff_t i) -> double {
-    return i >= 0 ? v[static_cast<std::size_t>(i)] : 0.0;
+  auto z = [](std::span<const double> v, std::size_t i, std::size_t back) -> double {
+    return i >= back ? v[i - back] : 0.0;
   };
-  auto xin = [&](std::ptrdiff_t i) -> double {
-    return i >= 0 ? x[static_cast<std::size_t>(i)] : 0.0;
-  };
-  for (std::ptrdiff_t n = 0; n < static_cast<std::ptrdiff_t>(x.size()); ++n) {
-    y[static_cast<std::size_t>(n)] = at(y, n - 1) - xin(n) + 32.0 * xin(n - 16) -
-                                     32.0 * xin(n - 17) + xin(n - 32);
-  }
-  return y;
+  return run_recurrence(
+      x.size(), 32,
+      [&](const std::vector<double>& y, std::size_t i) {
+        return z(y, i, 1) - x[i] + 32.0 * z(x, i, 16) - 32.0 * z(x, i, 17) + z(x, i, 32);
+      },
+      [&](const std::vector<double>& y, std::size_t i) {
+        return y[i - 1] - x[i] + 32.0 * x[i - 16] - 32.0 * x[i - 17] + x[i - 32];
+      });
 }
 
 }  // namespace xbs::dsp

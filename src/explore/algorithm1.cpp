@@ -27,6 +27,8 @@ Algorithm1Result design_generation(std::vector<StageSpace> spaces, const ModuleL
   }
   Algorithm1Result result;
   evaluator.reset_evaluations();
+  const StageCacheStats cache_before =
+      evaluator.cache_stats() != nullptr ? *evaluator.cache_stats() : StageCacheStats{};
 
   // Line 3: AscendingSort(StageList, EnergySavings) — least-saving stage
   // first.
@@ -184,6 +186,9 @@ Algorithm1Result design_generation(std::vector<StageSpace> spaces, const ModuleL
   result.feasible = result.best_quality >= quality_constraint;
   result.energy_reduction = energy.energy_reduction(result.best);
   result.evaluations = static_cast<int>(result.log.size());
+  if (evaluator.cache_stats() != nullptr) {
+    result.cache = *evaluator.cache_stats() - cache_before;
+  }
   return result;
 }
 

@@ -16,25 +16,27 @@ std::vector<double> to_double(std::span<const i32> v) {
 }  // namespace
 
 struct PreprocPsnrEvaluator::Impl {
-  std::vector<ecg::DigitizedRecord> records;
+  MemoizedPipelineRunner runner;
   std::vector<std::vector<double>> ref_hpf;  ///< accurate HPF output per record
 
-  explicit Impl(std::vector<ecg::DigitizedRecord> recs) : records(std::move(recs)) {
+  explicit Impl(std::vector<ecg::DigitizedRecord> recs) : runner(std::move(recs)) {
+    // References come from a plain pipeline run so the memo cache stays
+    // primed for candidate configurations only.
     const pantompkins::PanTompkinsPipeline accurate;
-    for (const auto& rec : records) {
-      ref_hpf.push_back(to_double(accurate.run_filters(rec.adu).hpf));
+    for (std::size_t i = 0; i < runner.num_records(); ++i) {
+      ref_hpf.push_back(to_double(accurate.run_filters(runner.record(i).adu).hpf));
     }
   }
 
   template <typename Metric>
-  [[nodiscard]] double mean_metric(const Design& d, Metric metric) const {
-    const pantompkins::PanTompkinsPipeline pipe(to_pipeline_config(d));
+  [[nodiscard]] double mean_metric(const Design& d, Metric metric) {
+    const pantompkins::PipelineConfig cfg = to_pipeline_config(d);
     double total = 0.0;
-    for (std::size_t i = 0; i < records.size(); ++i) {
-      const auto out = pipe.run_filters(records[i].adu);
+    for (std::size_t i = 0; i < runner.num_records(); ++i) {
+      const auto& out = runner.run_filters(i, cfg);
       total += metric(ref_hpf[i], to_double(out.hpf));
     }
-    return total / static_cast<double>(records.size());
+    return total / static_cast<double>(runner.num_records());
   }
 };
 
@@ -55,26 +57,31 @@ double PreprocPsnrEvaluator::ssim_of(const Design& d) const {
   });
 }
 
+const StageCacheStats* PreprocPsnrEvaluator::cache_stats() const noexcept {
+  return &impl_->runner.stats();
+}
+
 struct AccuracyEvaluator::Impl {
-  std::vector<ecg::DigitizedRecord> records;
+  MemoizedPipelineRunner runner;
   Design base;
   Counts last{};
+
+  Impl(std::vector<ecg::DigitizedRecord> recs, Design b)
+      : runner(std::move(recs)), base(std::move(b)) {}
 };
 
 AccuracyEvaluator::AccuracyEvaluator(std::vector<ecg::DigitizedRecord> records, Design base)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->records = std::move(records);
-  impl_->base = std::move(base);
-}
+    : impl_(std::make_unique<Impl>(std::move(records), std::move(base))) {}
 
 AccuracyEvaluator::~AccuracyEvaluator() = default;
 
 double AccuracyEvaluator::evaluate_impl(const Design& d) {
   const Design full = merge(impl_->base, d);
-  const pantompkins::PanTompkinsPipeline pipe(to_pipeline_config(full));
+  const pantompkins::PipelineConfig cfg = to_pipeline_config(full);
   Counts c{};
-  for (const auto& rec : impl_->records) {
-    const auto out = pipe.run(rec.adu);
+  for (std::size_t i = 0; i < impl_->runner.num_records(); ++i) {
+    const ecg::DigitizedRecord& rec = impl_->runner.record(i);
+    const auto& out = impl_->runner.run(i, cfg);
     const auto m = metrics::match_peaks(rec.r_peaks, out.detection.peaks,
                                         metrics::default_tolerance_samples(rec.fs_hz));
     c.true_positives += m.true_positives;
@@ -86,6 +93,10 @@ double AccuracyEvaluator::evaluate_impl(const Design& d) {
   if (c.truth == 0) return c.false_positives == 0 ? 100.0 : 0.0;
   const double err = static_cast<double>(c.false_negatives + c.false_positives) / c.truth;
   return 100.0 * std::max(0.0, 1.0 - err);
+}
+
+const StageCacheStats* AccuracyEvaluator::cache_stats() const noexcept {
+  return &impl_->runner.stats();
 }
 
 AccuracyEvaluator::Counts AccuracyEvaluator::last_counts() const noexcept { return impl_->last; }

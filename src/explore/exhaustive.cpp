@@ -45,6 +45,12 @@ GridResult run_grid(const std::vector<StageSpace>& spaces, const ModuleLists& li
                     bool per_stage_modules, QualityEvaluator& evaluator,
                     const StageEnergyModel& energy, double quality_constraint) {
   GridResult result;
+  // The recursive enumeration varies the last stage in `spaces` fastest, so
+  // when the caller lists stages in pipeline order every inner-loop step
+  // changes only a suffix of the pipeline and the evaluator's stage cache
+  // serves the unchanged prefix without re-simulation.
+  const StageCacheStats cache_before =
+      evaluator.cache_stats() != nullptr ? *evaluator.cache_stats() : StageCacheStats{};
   Design current;
   const auto visit = [&](const Design& d) {
     GridPoint p;
@@ -66,6 +72,9 @@ GridResult run_grid(const std::vector<StageSpace>& spaces, const ModuleLists& li
     }
   }
   result.evaluations = static_cast<int>(result.points.size());
+  if (evaluator.cache_stats() != nullptr) {
+    result.cache = *evaluator.cache_stats() - cache_before;
+  }
   return result;
 }
 

@@ -42,6 +42,7 @@ struct Algorithm1Result {
   std::vector<ExploredPoint> log;     ///< every evaluated design, in order
   int evaluations = 0;                ///< == log.size()
   bool feasible = false;              ///< some satisfying design was found
+  StageCacheStats cache{};            ///< stage-cache activity during the run
 };
 
 /// Run Algorithm 1 over the given stages.

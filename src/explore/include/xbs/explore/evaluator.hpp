@@ -16,6 +16,7 @@
 
 #include "xbs/ecg/record.hpp"
 #include "xbs/explore/design.hpp"
+#include "xbs/explore/stage_cache.hpp"
 
 namespace xbs::explore {
 
@@ -34,6 +35,12 @@ class QualityEvaluator {
   [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
   void reset_evaluations() noexcept { evaluations_ = 0; }
 
+  /// Stage-cache activity, when this evaluator memoizes pipeline stages
+  /// (both built-in evaluators do); nullptr otherwise.
+  [[nodiscard]] virtual const StageCacheStats* cache_stats() const noexcept {
+    return nullptr;
+  }
+
  protected:
   [[nodiscard]] virtual double evaluate_impl(const Design& d) = 0;
 
@@ -49,6 +56,7 @@ class PreprocPsnrEvaluator final : public QualityEvaluator {
   ~PreprocPsnrEvaluator() override;
 
   [[nodiscard]] std::string_view metric_name() const noexcept override { return "PSNR [dB]"; }
+  [[nodiscard]] const StageCacheStats* cache_stats() const noexcept override;
 
   /// Mean SSIM of the same comparison (reported alongside PSNR).
   [[nodiscard]] double ssim_of(const Design& d) const;
@@ -72,6 +80,7 @@ class AccuracyEvaluator final : public QualityEvaluator {
   [[nodiscard]] std::string_view metric_name() const noexcept override {
     return "Peak detection accuracy [%]";
   }
+  [[nodiscard]] const StageCacheStats* cache_stats() const noexcept override;
 
   /// Aggregate counts of the last evaluation (for misclassification drill-in).
   struct Counts {

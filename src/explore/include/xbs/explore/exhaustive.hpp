@@ -23,6 +23,10 @@ struct GridPoint {
 struct GridResult {
   std::vector<GridPoint> points;
   int evaluations = 0;
+  /// Stage-cache activity during this exploration (zeroes when the evaluator
+  /// does not memoize). The enumeration varies the deepest stage fastest, so
+  /// unchanged pipeline prefixes are served from cache.
+  StageCacheStats cache{};
   /// Best = maximum energy reduction among constraint-satisfying points.
   [[nodiscard]] const GridPoint* best() const noexcept;
 };

@@ -4,25 +4,68 @@
 /// The paper measures the Pan-Tompkins application on a Raspberry Pi 3 B+
 /// (ARMv8, HDMI and WiFi off) and reports its energy to be ~7 orders of
 /// magnitude above the accurate ASIC datapath (A2). This analytical model
-/// substitutes that measurement: energy/sample = SoC active power x per-sample
-/// processing time. The default parameters are calibrated to the published
-/// gap (see DESIGN.md §1).
+/// substitutes that measurement: energy = SoC active power x processing
+/// time, with processing time attributed per datapath operation so the
+/// batched OpCounts the pipeline reports can be priced directly. The default
+/// per-op timings are calibrated so that the accurate pipeline's operation
+/// mix (73 adds + 48 multiplies per sample, plus control/detection overhead)
+/// reproduces the published ~5 us/sample aggregate (see DESIGN.md §1).
 #pragma once
+
+#include <span>
+
+#include "xbs/arith/kernel.hpp"
+#include "xbs/common/types.hpp"
 
 namespace xbs::hwmodel {
 
-/// Raspberry-Pi-class software execution model.
+/// Raspberry-Pi-class software execution model with per-op attribution.
 struct SoftwareEnergyModel {
   double active_power_w = 2.1;      ///< SoC busy power, HDMI/WiFi disabled
-  double time_per_sample_s = 5e-6;  ///< per-sample filtering + detection time
-                                    ///< (~7k cycles at 1.4 GHz)
+  double time_per_sample_s = 5e-6;  ///< aggregate per-sample filtering +
+                                    ///< detection time (~7k cycles at 1.4 GHz)
 
+  /// Per-operation timing used for OpCounts-based attribution. Defaults are
+  /// chosen so the accurate pipeline's per-sample mix sums exactly to
+  /// time_per_sample_s (adds_per_sample * t_add + mults_per_sample * t_mult +
+  /// overhead == aggregate); see software_energy.cpp.
+  double time_per_add_s = 25e-9;        ///< 32-bit add/sub on the A53 pipeline
+  double time_per_mult_s = 35e-9;       ///< 16x16 multiply (MUL + widening)
+  double overhead_per_sample_s = 1.495e-6;  ///< loads/stores, control, detection
+
+  // --- aggregate view (configuration A1 of Fig. 12) ---
   [[nodiscard]] double energy_per_sample_j() const noexcept {
     return active_power_w * time_per_sample_s;
   }
   [[nodiscard]] double energy_per_sample_fj() const noexcept {
     return energy_per_sample_j() * 1e15;
   }
+
+  // --- per-op attribution over batched OpCounts ---
+  /// Execution time of the given operation mix (no per-sample overhead).
+  [[nodiscard]] double ops_time_s(const arith::OpCounts& ops) const noexcept;
+
+  /// Energy of the given operation mix (no per-sample overhead).
+  [[nodiscard]] double ops_energy_j(const arith::OpCounts& ops) const noexcept;
+
+  /// Execution time of a whole record: summed per-stage operation mixes
+  /// (e.g. PipelineResult::ops) plus per-sample overhead.
+  [[nodiscard]] double record_time_s(std::span<const arith::OpCounts> stage_ops,
+                                     u64 n_samples) const noexcept;
+
+  /// Energy of a whole record (power x record_time_s).
+  [[nodiscard]] double record_energy_j(std::span<const arith::OpCounts> stage_ops,
+                                       u64 n_samples) const noexcept;
+
+  /// Per-sample energy of a record, in femtojoules — directly comparable to
+  /// the ASIC datapath numbers of the cell-library cost model.
+  [[nodiscard]] double record_energy_per_sample_fj(
+      std::span<const arith::OpCounts> stage_ops, u64 n_samples) const noexcept;
 };
+
+/// The accurate pipeline's per-sample operation mix (sum of the five stage
+/// inventories): 73 adds and 48 multiplies. Exposed so calibration can be
+/// asserted in tests.
+[[nodiscard]] arith::OpCounts accurate_pipeline_ops_per_sample() noexcept;
 
 }  // namespace xbs::hwmodel

@@ -34,6 +34,10 @@ struct DetectorParams {
   int hpf_search_halfwidth = 12;      ///< +/- window when locating the HPF peak
   int raw_delay_samples = 20;         ///< HPF index -> raw index compensation
   int raw_refine_halfwidth = 8;       ///< local-max refinement on the raw signal
+
+  /// Equality is what lets the exploration stage cache reuse a cached
+  /// detection when only filter configurations changed.
+  friend constexpr bool operator==(const DetectorParams&, const DetectorParams&) = default;
 };
 
 /// Why a candidate fiducial mark was or was not accepted (Fig. 13 analysis).

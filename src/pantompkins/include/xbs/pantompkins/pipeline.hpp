@@ -55,9 +55,20 @@ struct PipelineResult {
   [[nodiscard]] const std::vector<i32>& stage_signal(Stage s) const noexcept;
 };
 
+/// Run one stage as a whole-record block transform over a freshly built
+/// kernel for \p cfg (exact native backend when the configuration is
+/// accurate). This is the single source of stage wiring (taps, shifts,
+/// window) shared by the pipeline and the exploration stage cache. If \p ops
+/// is non-null it receives the stage's operation counts.
+[[nodiscard]] std::vector<i32> run_stage(Stage s, const arith::StageArithConfig& cfg,
+                                         std::span<const i32> input,
+                                         arith::OpCounts* ops = nullptr);
+
 /// The five-stage pipeline. Stages whose configuration is exact run on the
 /// native datapath; approximated stages run bit-accurately through the
-/// behavioural models.
+/// behavioural models. Records are processed as contiguous buffers: each
+/// stage is one block transform over the whole signal (one batched kernel
+/// call per tap / tree level), not a per-sample scalar loop.
 class PanTompkinsPipeline {
  public:
   explicit PanTompkinsPipeline(const PipelineConfig& cfg = PipelineConfig::accurate());

@@ -1,13 +1,24 @@
 /// \file stages.hpp
 /// \brief The five Pan-Tompkins application stages as fixed-point datapaths
-/// over a pluggable ArithmeticUnit.
+/// over the batched kernel API.
+///
+/// Each stage offers two bit-identical views of the same datapath:
+///  - `process(x)` — the streaming scalar path (one sample in, one out),
+///  - `process_block(x)` — the whole-record block transform, which issues
+///    one batched kernel call per FIR tap / adder-tree level instead of one
+///    virtual scalar call per sample-operation.
+/// The block transform performs exactly the same dataflow graph per output
+/// sample (same operands, same order, same operation counts), so outputs and
+/// OpCounts match the scalar path bit for bit (tests/test_kernel_equivalence).
 #pragma once
 
 #include <array>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "xbs/arith/kernel.hpp"
 #include "xbs/arith/unit.hpp"
 #include "xbs/common/types.hpp"
 
@@ -48,12 +59,24 @@ struct StageInventory {
 /// A fixed-point FIR stage: per-tap 16x16 multiplies by integer
 /// coefficients, a chain of 32-bit accumulations, then an arithmetic
 /// normalization shift and 16-bit saturation of the output (the inter-stage
-/// register width). All arithmetic flows through the given unit.
+/// register width). All arithmetic flows through the given kernel; the
+/// block transform issues one mul_cn/mac_n per non-zero tap.
 class FirStage {
  public:
+  /// Kernel-backed construction (the fast path; kernel outlives the stage).
+  FirStage(std::span<const int> taps, int out_shift, arith::Kernel& kernel);
+  /// Scalar-unit construction: wraps the unit in a UnitKernel adapter so op
+  /// counts accrue on the caller's unit.
   FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUnit& unit);
 
+  /// Streaming scalar path: push one sample, get the filtered output.
   [[nodiscard]] i32 process(i32 x);
+
+  /// Whole-record block transform. Starts from a zero delay line and leaves
+  /// the stage exactly as if the samples had been streamed through process().
+  [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x);
+
+  /// Reset the delay line to zeros.
   void reset();
 
  private:
@@ -61,38 +84,59 @@ class FirStage {
   std::vector<i32> delay_;
   std::size_t head_ = 0;
   int out_shift_;
-  arith::ArithmeticUnit* unit_;
+  std::unique_ptr<arith::Kernel> owned_;  ///< UnitKernel adapter, if any
+  arith::Kernel* kernel_;
+  std::vector<i64> padded_;  ///< block scratch: zero-prefixed input
+  std::vector<i64> acc_;     ///< block scratch: accumulator chain
 };
 
-/// The squarer stage: y = (x * x) >> shift through the unit's multiplier.
+/// The squarer stage: y = (x * x) >> shift through the kernel's multiplier.
 /// The output keeps wide precision (it feeds the adder-only MWI stage); the
 /// shift keeps the downstream MWI sum inside its 32-bit adders.
 class SquarerStage {
  public:
-  explicit SquarerStage(int out_shift, arith::ArithmeticUnit& unit)
-      : out_shift_(out_shift), unit_(&unit) {}
+  SquarerStage(int out_shift, arith::Kernel& kernel)
+      : out_shift_(out_shift), kernel_(&kernel) {}
+  SquarerStage(int out_shift, arith::ArithmeticUnit& unit);
+
   [[nodiscard]] i32 process(i32 x);
+  [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x);
 
  private:
   int out_shift_;
-  arith::ArithmeticUnit* unit_;
+  std::unique_ptr<arith::Kernel> owned_;
+  arith::Kernel* kernel_ = nullptr;
+  std::vector<i64> in_;  ///< block scratch: clamped operands, then products
 };
 
 /// The moving-window-integration stage: a feed-forward balanced tree of
 /// window-1 adds per sample (adder-only, no error feedback), then >> shift.
-/// The tree reduction order matches the netlist builder exactly.
+/// The tree reduction order matches the netlist builder exactly; the block
+/// transform issues one add_n per tree-level pair over the whole record.
 class MwiStage {
  public:
+  MwiStage(int window, int out_shift, arith::Kernel& kernel);
   MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit);
 
   [[nodiscard]] i32 process(i32 x);
+  [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x);
   void reset();
 
  private:
+  void validate_window(int window);
+
   std::vector<i32> window_buf_;
   std::size_t head_ = 0;
   int out_shift_;
-  arith::ArithmeticUnit* unit_;
+  std::unique_ptr<arith::Kernel> owned_;
+  arith::Kernel* kernel_ = nullptr;
+  std::vector<i64> padded_;  ///< block scratch
+  /// Block scratch: tree-level output buffers, ping-ponged by level parity
+  /// so a level recycles its grandparent level's buffers (levels strictly
+  /// shrink, and a carried odd leftover always has the highest index of its
+  /// parity, so it is never overwritten before its final read). Caps scratch
+  /// at ~two tree levels instead of one buffer per add of the whole tree.
+  std::array<std::vector<std::vector<i64>>, 2> pool_;
 };
 
 }  // namespace xbs::pantompkins

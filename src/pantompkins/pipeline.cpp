@@ -1,23 +1,8 @@
 #include "xbs/pantompkins/pipeline.hpp"
 
-#include <memory>
-
 #include "xbs/dsp/pt_coeffs.hpp"
 
 namespace xbs::pantompkins {
-namespace {
-
-/// True when a stage configuration is exactly the accurate datapath.
-bool is_exact(const arith::StageArithConfig& c) noexcept {
-  return c.adder.approx_lsbs == 0 && c.mult.approx_lsbs == 0;
-}
-
-std::unique_ptr<arith::ArithmeticUnit> make_unit(const arith::StageArithConfig& c) {
-  if (is_exact(c)) return std::make_unique<arith::ExactUnit>();
-  return std::make_unique<arith::ApproxUnit>(c);
-}
-
-}  // namespace
 
 PipelineConfig PipelineConfig::from_lsbs(const LsbVector& lsbs, AdderKind add_kind,
                                          MultKind mult_kind, ApproxPolicy policy) noexcept {
@@ -41,43 +26,40 @@ const std::vector<i32>& PipelineResult::stage_signal(Stage s) const noexcept {
   return mwi;  // unreachable
 }
 
+std::vector<i32> run_stage(Stage s, const arith::StageArithConfig& cfg,
+                           std::span<const i32> input, arith::OpCounts* ops) {
+  const std::unique_ptr<arith::Kernel> kernel = arith::make_kernel(cfg);
+  std::vector<i32> out;
+  switch (s) {
+    case Stage::Lpf:
+      out = FirStage(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, *kernel).process_block(input);
+      break;
+    case Stage::Hpf:
+      out = FirStage(dsp::pt::kHpfTaps, dsp::pt::kHpfShift, *kernel).process_block(input);
+      break;
+    case Stage::Der:
+      out = FirStage(dsp::pt::kDerTaps, dsp::pt::kDerShift, *kernel).process_block(input);
+      break;
+    case Stage::Sqr:
+      out = SquarerStage(dsp::pt::kSqrShift, *kernel).process_block(input);
+      break;
+    case Stage::Mwi:
+      out = MwiStage(dsp::pt::kMwiWindow, dsp::pt::kMwiShift, *kernel).process_block(input);
+      break;
+  }
+  if (ops != nullptr) *ops = kernel->counts();
+  return out;
+}
+
 PanTompkinsPipeline::PanTompkinsPipeline(const PipelineConfig& cfg) : cfg_(cfg) {}
 
 PipelineResult PanTompkinsPipeline::run_filters(std::span<const i32> adu) const {
   PipelineResult out;
-  const std::size_t n = adu.size();
-  out.lpf.reserve(n);
-  out.hpf.reserve(n);
-  out.der.reserve(n);
-  out.sqr.reserve(n);
-  out.mwi.reserve(n);
-
-  auto u_lpf = make_unit(cfg_.stage[0]);
-  auto u_hpf = make_unit(cfg_.stage[1]);
-  auto u_der = make_unit(cfg_.stage[2]);
-  auto u_sqr = make_unit(cfg_.stage[3]);
-  auto u_mwi = make_unit(cfg_.stage[4]);
-
-  FirStage lpf(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, *u_lpf);
-  FirStage hpf(dsp::pt::kHpfTaps, dsp::pt::kHpfShift, *u_hpf);
-  FirStage der(dsp::pt::kDerTaps, dsp::pt::kDerShift, *u_der);
-  SquarerStage sqr(dsp::pt::kSqrShift, *u_sqr);
-  MwiStage mwi(dsp::pt::kMwiWindow, dsp::pt::kMwiShift, *u_mwi);
-
-  for (const i32 x : adu) {
-    const i32 a = lpf.process(x);
-    const i32 b = hpf.process(a);
-    const i32 c = der.process(b);
-    const i32 d = sqr.process(c);
-    const i32 e = mwi.process(d);
-    out.lpf.push_back(a);
-    out.hpf.push_back(b);
-    out.der.push_back(c);
-    out.sqr.push_back(d);
-    out.mwi.push_back(e);
-  }
-  out.ops = {u_lpf->counts(), u_hpf->counts(), u_der->counts(), u_sqr->counts(),
-             u_mwi->counts()};
+  out.lpf = run_stage(Stage::Lpf, cfg_.stage[0], adu, &out.ops[0]);
+  out.hpf = run_stage(Stage::Hpf, cfg_.stage[1], out.lpf, &out.ops[1]);
+  out.der = run_stage(Stage::Der, cfg_.stage[2], out.hpf, &out.ops[2]);
+  out.sqr = run_stage(Stage::Sqr, cfg_.stage[3], out.der, &out.ops[3]);
+  out.mwi = run_stage(Stage::Mwi, cfg_.stage[4], out.sqr, &out.ops[4]);
   return out;
 }
 

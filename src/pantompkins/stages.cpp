@@ -18,8 +18,19 @@ const StageInventory& stage_inventory(Stage s) noexcept {
   return inv[static_cast<std::size_t>(s)];
 }
 
+// ------------------------------------------------------------------- FirStage
+
+FirStage::FirStage(std::span<const int> taps, int out_shift, arith::Kernel& kernel)
+    : out_shift_(out_shift), kernel_(&kernel) {
+  if (taps.empty()) throw std::invalid_argument("FirStage: empty taps");
+  taps_.assign(taps.begin(), taps.end());
+  delay_.assign(taps_.size(), 0);
+}
+
 FirStage::FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUnit& unit)
-    : out_shift_(out_shift), unit_(&unit) {
+    : out_shift_(out_shift),
+      owned_(std::make_unique<arith::UnitKernel>(unit)),
+      kernel_(owned_.get()) {
   if (taps.empty()) throw std::invalid_argument("FirStage: empty taps");
   taps_.assign(taps.begin(), taps.end());
   delay_.assign(taps_.size(), 0);
@@ -39,12 +50,12 @@ i32 FirStage::process(i32 x) {
   std::size_t idx = head_;
   for (const i32 c : taps_) {
     if (c != 0) {
-      const i64 p = unit_->mul(c, delay_[idx]);
+      const i64 p = kernel_->mul(c, delay_[idx]);
       if (first) {
         acc = p;
         first = false;
       } else {
-        acc = unit_->add(acc, p);
+        acc = kernel_->add(acc, p);
       }
     }
     idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
@@ -54,15 +65,87 @@ i32 FirStage::process(i32 x) {
   return static_cast<i32>(saturate_to_bits(acc >> out_shift_, 16));
 }
 
+std::vector<i32> FirStage::process_block(std::span<const i32> x) {
+  const std::size_t n = x.size();
+  const std::size_t taps = taps_.size();
+  // Zero-prefixed copy of the input: element T-1+i is x[i], so tap j reads
+  // x[i-j] at offset T-1-j+i — exactly the zero-initialized delay line of the
+  // streaming path.
+  padded_.assign(n + taps - 1, 0);
+  for (std::size_t i = 0; i < n; ++i) padded_[taps - 1 + i] = x[i];
+  acc_.assign(n, 0);
+
+  // One batched kernel call per non-zero tap, in tap order: the per-sample
+  // accumulation chain (operands and order) is identical to process().
+  bool first = true;
+  for (std::size_t j = 0; j < taps; ++j) {
+    const i32 c = taps_[j];
+    if (c == 0) continue;
+    const std::span<const i64> xs = std::span<const i64>(padded_).subspan(taps - 1 - j, n);
+    if (first) {
+      kernel_->mul_cn(c, xs, acc_);
+      first = false;
+    } else {
+      kernel_->mac_n(c, xs, acc_);
+    }
+  }
+
+  std::vector<i32> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<i32>(saturate_to_bits(acc_[i] >> out_shift_, 16));
+  }
+
+  // Leave the stage as if the samples had been streamed: the ring buffer
+  // holds the most recent min(T, n) samples in arrival order.
+  reset();
+  for (std::size_t i = n > taps ? n - taps : 0; i < n; ++i) {
+    delay_[head_] = x[i];
+    head_ = (head_ + 1) % delay_.size();
+  }
+  return y;
+}
+
+// --------------------------------------------------------------- SquarerStage
+
+SquarerStage::SquarerStage(int out_shift, arith::ArithmeticUnit& unit)
+    : out_shift_(out_shift),
+      owned_(std::make_unique<arith::UnitKernel>(unit)),
+      kernel_(owned_.get()) {}
+
 i32 SquarerStage::process(i32 x) {
   const i64 clamped = saturate_to_bits(x, 16);
-  return static_cast<i32>(unit_->mul(clamped, clamped) >> out_shift_);
+  return static_cast<i32>(kernel_->mul(clamped, clamped) >> out_shift_);
+}
+
+std::vector<i32> SquarerStage::process_block(std::span<const i32> x) {
+  const std::size_t n = x.size();
+  in_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) in_[i] = saturate_to_bits(x[i], 16);
+  // Element-wise aliasing with out is part of the kernel contract, so the
+  // products overwrite the clamped operands in place.
+  kernel_->mul_n(in_, in_, in_);
+  std::vector<i32> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = static_cast<i32>(in_[i] >> out_shift_);
+  return y;
+}
+
+// ------------------------------------------------------------------- MwiStage
+
+void MwiStage::validate_window(int window) {
+  if (window < 2) throw std::invalid_argument("MwiStage: window must be >= 2");
+  window_buf_.assign(static_cast<std::size_t>(window), 0);
+}
+
+MwiStage::MwiStage(int window, int out_shift, arith::Kernel& kernel)
+    : out_shift_(out_shift), kernel_(&kernel) {
+  validate_window(window);
 }
 
 MwiStage::MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit)
-    : out_shift_(out_shift), unit_(&unit) {
-  if (window < 2) throw std::invalid_argument("MwiStage: window must be >= 2");
-  window_buf_.assign(static_cast<std::size_t>(window), 0);
+    : out_shift_(out_shift),
+      owned_(std::make_unique<arith::UnitKernel>(unit)),
+      kernel_(owned_.get()) {
+  validate_window(window);
 }
 
 void MwiStage::reset() {
@@ -86,12 +169,68 @@ i32 MwiStage::process(i32 x) {
     std::vector<i64> next;
     next.reserve(terms.size() / 2 + 1);
     for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
-      next.push_back(unit_->add(terms[i], terms[i + 1]));
+      next.push_back(kernel_->add(terms[i], terms[i + 1]));
     }
     if (terms.size() % 2 == 1) next.push_back(terms.back());
     terms = std::move(next);
   }
   return static_cast<i32>(saturate_i32(terms[0] >> out_shift_));
+}
+
+std::vector<i32> MwiStage::process_block(std::span<const i32> x) {
+  const std::size_t n = x.size();
+  const std::size_t w = window_buf_.size();
+  // Zero-prefixed input: for output i the window contents oldest-first are
+  // x[i-w+1..i], i.e. term k (k = 0..w-1) is padded[i + k] — the same
+  // zero-initialized window the streaming path starts from.
+  padded_.assign(n + w - 1, 0);
+  for (std::size_t i = 0; i < n; ++i) padded_[w - 1 + i] = x[i];
+
+  // The streaming path's pairwise tree, one add_n per pair per level. Terms
+  // are spans over either the padded input (level 0, leftovers) or buffers
+  // from the scratch pool; pairing order and odd-leftover placement mirror
+  // process() exactly.
+  std::vector<std::span<const i64>> terms;
+  terms.reserve(w);
+  for (std::size_t k = 0; k < w; ++k) {
+    terms.push_back(std::span<const i64>(padded_).subspan(k, n));
+  }
+  std::size_t parity = 0;
+  std::size_t used = 0;
+  auto next_buffer = [&]() -> std::vector<i64>& {
+    std::vector<std::vector<i64>>& pool = pool_[parity];
+    if (used == pool.size()) pool.emplace_back();
+    std::vector<i64>& buf = pool[used++];
+    buf.resize(n);
+    return buf;
+  };
+  while (terms.size() > 1) {
+    std::vector<std::span<const i64>> next;
+    next.reserve(terms.size() / 2 + 1);
+    used = 0;  // recycle this parity's buffers (written two levels up)
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      std::vector<i64>& out = next_buffer();
+      kernel_->add_n(terms[i], terms[i + 1], out);
+      next.push_back(out);
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+    parity ^= 1;
+  }
+
+  std::vector<i32> y(n);
+  const std::span<const i64> sum = terms.front();
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<i32>(saturate_i32(sum[i] >> out_shift_));
+  }
+
+  // Leave the window as if the samples had been streamed.
+  reset();
+  for (std::size_t i = n > w ? n - w : 0; i < n; ++i) {
+    window_buf_[head_] = x[i];
+    head_ = (head_ + 1) % window_buf_.size();
+  }
+  return y;
 }
 
 }  // namespace xbs::pantompkins

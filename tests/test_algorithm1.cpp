@@ -103,7 +103,9 @@ TEST(Algorithm1, StageOrderingByEnergySavings) {
   for (const auto& p : result.log) {
     if (p.phase != 1) continue;
     for (const auto& sd : p.design) {
-      if (sd.lsbs > 0) EXPECT_EQ(sd.stage, Stage::Hpf);
+      if (sd.lsbs > 0) {
+        EXPECT_EQ(sd.stage, Stage::Hpf);
+      }
     }
   }
 }

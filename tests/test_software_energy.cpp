@@ -1,0 +1,66 @@
+// Tests for the software-execution energy model's per-op attribution over
+// batched OpCounts.
+#include <gtest/gtest.h>
+
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/hwmodel/software_energy.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::hwmodel {
+namespace {
+
+TEST(SoftwareEnergy, DefaultsCalibratedToAggregate) {
+  // Per-op attribution of the accurate pipeline's operation mix plus the
+  // overhead term must reproduce the published per-sample aggregate exactly.
+  const SoftwareEnergyModel m;
+  const arith::OpCounts per_sample = accurate_pipeline_ops_per_sample();
+  EXPECT_EQ(per_sample.adds, 73u);
+  EXPECT_EQ(per_sample.mults, 48u);
+  EXPECT_NEAR(m.ops_time_s(per_sample) + m.overhead_per_sample_s, m.time_per_sample_s,
+              1e-12);
+}
+
+TEST(SoftwareEnergy, RecordAttributionMatchesPipelineCounts) {
+  // Feeding the pipeline's actual batched OpCounts into the model must agree
+  // with the closed-form per-sample mix: the block transforms count exactly
+  // the same operations the scalar datapath would.
+  const auto rec = ecg::nsrdb_like_digitized(0, 2000);
+  const pantompkins::PanTompkinsPipeline pipe;
+  const auto res = pipe.run_filters(rec.adu);
+
+  const SoftwareEnergyModel m;
+  const u64 n = rec.adu.size();
+  const arith::OpCounts mix = accurate_pipeline_ops_per_sample();
+  const double expected_time =
+      static_cast<double>(n) *
+      (m.ops_time_s(mix) + m.overhead_per_sample_s);
+  EXPECT_NEAR(m.record_time_s(res.ops, n), expected_time, 1e-9);
+  EXPECT_NEAR(m.record_energy_j(res.ops, n), m.active_power_w * expected_time, 1e-9);
+  EXPECT_NEAR(m.record_energy_per_sample_fj(res.ops, n), m.energy_per_sample_fj(),
+              1e-3);
+}
+
+TEST(SoftwareEnergy, EnergyScalesWithOps) {
+  const SoftwareEnergyModel m;
+  const arith::OpCounts small{10, 5};
+  const arith::OpCounts big{20, 10};
+  EXPECT_GT(m.ops_energy_j(big), m.ops_energy_j(small));
+  EXPECT_NEAR(m.ops_energy_j(big), 2.0 * m.ops_energy_j(small), 1e-15);
+  EXPECT_EQ(m.ops_energy_j(arith::OpCounts{}), 0.0);
+}
+
+TEST(SoftwareEnergy, ZeroSamplesIsZeroEnergy) {
+  const SoftwareEnergyModel m;
+  EXPECT_EQ(m.record_energy_per_sample_fj({}, 0), 0.0);
+  EXPECT_EQ(m.record_time_s({}, 0), 0.0);
+}
+
+TEST(SoftwareEnergy, AggregateViewUnchanged) {
+  // The Fig. 12 A1 aggregate view (what the figure benches consume).
+  const SoftwareEnergyModel m;
+  EXPECT_NEAR(m.energy_per_sample_j(), 2.1 * 5e-6, 1e-15);
+  EXPECT_NEAR(m.energy_per_sample_fj(), 2.1 * 5e-6 * 1e15, 1e-3);
+}
+
+}  // namespace
+}  // namespace xbs::hwmodel
