@@ -32,6 +32,12 @@ struct OpCounts {
   u64 adds = 0;
   u64 mults = 0;
 
+  constexpr OpCounts& operator+=(OpCounts o) noexcept {
+    adds += o.adds;
+    mults += o.mults;
+    return *this;
+  }
+  friend constexpr OpCounts operator+(OpCounts a, OpCounts b) noexcept { return a += b; }
   friend constexpr bool operator==(OpCounts, OpCounts) = default;
 };
 
@@ -171,8 +177,11 @@ class ExactKernel final : public Kernel {
 /// the FIR-critical `mac_n` costs one table load, one sign fix and one
 /// (possibly approximate) add per sample instead of a recursive multiplier
 /// simulation. Tables are cached process-wide keyed by (MultiplierConfig,
-/// magnitude), matching the get_multiplier() cache idiom (thread-compatible,
-/// not thread-safe — the explorers are single-threaded by design).
+/// magnitude), matching the get_multiplier() cache idiom; both caches are
+/// internally synchronized, and the cached models/tables are immutable, so
+/// kernels in different threads (one per stream::SessionPool session) share
+/// them safely. A Kernel instance itself is single-consumer (mutable op
+/// counters and a per-kernel table cache) — give each session its own.
 class ApproxKernel final : public Kernel {
  public:
   explicit ApproxKernel(const StageArithConfig& cfg);

@@ -1,6 +1,7 @@
 #include "xbs/arith/kernel.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "xbs/common/bitops.hpp"
 
@@ -249,6 +250,14 @@ struct CoeffCacheEntry {
   std::shared_ptr<const std::vector<i64>> table;
 };
 
+// The cache is shared by every kernel in the process and may now be hit from
+// the concurrent sessions of a stream::SessionPool, so reads and inserts are
+// serialized. The tables themselves are immutable once published.
+std::mutex& coeff_cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
 std::vector<CoeffCacheEntry>& coeff_cache() {
   static std::vector<CoeffCacheEntry> cache;
   return cache;
@@ -258,6 +267,7 @@ std::vector<CoeffCacheEntry>& coeff_cache() {
 
 std::shared_ptr<const std::vector<i64>> peek_coeff_products(const MultiplierConfig& cfg,
                                                             u64 magnitude) noexcept {
+  const std::lock_guard<std::mutex> lock(coeff_cache_mutex());
   for (const CoeffCacheEntry& e : coeff_cache()) {
     if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
   }
@@ -266,10 +276,14 @@ std::shared_ptr<const std::vector<i64>> peek_coeff_products(const MultiplierConf
 
 std::shared_ptr<const std::vector<i64>> get_coeff_products(const MultiplierConfig& cfg,
                                                            u64 magnitude) {
-  std::vector<CoeffCacheEntry>& cache = coeff_cache();
-  for (const CoeffCacheEntry& e : cache) {
-    if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
+  {
+    const std::lock_guard<std::mutex> lock(coeff_cache_mutex());
+    for (const CoeffCacheEntry& e : coeff_cache()) {
+      if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
+    }
   }
+  // Build outside the lock (the fill is the expensive part); a racing
+  // builder of the same table just publishes an equivalent duplicate.
   const auto model = get_multiplier(cfg);
   // Operand magnitudes of a w-bit signed multiplier span [0, 2^(w-1)]
   // (the upper bound is the magnitude of the most negative value).
@@ -280,8 +294,9 @@ std::shared_ptr<const std::vector<i64>> get_coeff_products(const MultiplierConfi
     // the A port. Approximate arrays are not commutative, so this matters.
     (*table)[m] = static_cast<i64>(model->multiply_u(magnitude, static_cast<u64>(m)));
   }
-  cache.push_back(CoeffCacheEntry{cfg, magnitude, table});
-  return cache.back().table;
+  const std::lock_guard<std::mutex> lock(coeff_cache_mutex());
+  coeff_cache().push_back(CoeffCacheEntry{cfg, magnitude, table});
+  return table;
 }
 
 }  // namespace xbs::arith

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -150,7 +151,11 @@ struct MultCacheEntry {
 }  // namespace
 
 std::shared_ptr<const RecursiveMultiplier> get_multiplier(const MultiplierConfig& cfg) {
+  // Serialized: kernels are built concurrently by stream::SessionPool
+  // sessions. The models themselves are immutable once published.
+  static std::mutex mutex;
   static std::vector<MultCacheEntry> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
   for (const auto& e : cache)
     if (e.cfg == cfg) return e.model;
   auto model = std::make_shared<const RecursiveMultiplier>(cfg);

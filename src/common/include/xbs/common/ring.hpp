@@ -1,0 +1,43 @@
+/// \file ring.hpp
+/// \brief Ring-buffer helpers shared by every streaming delay line.
+///
+/// Convention (used by the fixed-point stages, the reference FirFilter, and
+/// any carry-over State struct): the ring holds the most recent |ring|
+/// samples, `head` is the next write slot and therefore always holds the
+/// oldest retained sample; a fresh state is all zeros with head == 0.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace xbs {
+
+/// Copy the newest min(|ring|, |x|) samples of \p x into the ring, leaving
+/// it exactly as if every sample of \p x had been streamed through one at a
+/// time.
+template <typename Ring, typename Sample>
+void ring_carry(Ring& ring, std::size_t& head, std::span<const Sample> x) {
+  const std::size_t w = ring.size();
+  const std::size_t n = x.size();
+  if (n >= w) {
+    for (std::size_t i = 0; i < w; ++i) ring[i] = x[n - w + i];
+    head = 0;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      ring[head] = x[i];
+      head = (head + 1) % w;
+    }
+  }
+}
+
+/// Write the last |ring|-1 retained samples, oldest first, into
+/// dst[0 .. |ring|-2] — the history prefix a resumable chunked transform
+/// prepends to its padded input (tap/window j of chunk output i then reads
+/// the same operand the streaming scalar path would).
+template <typename Ring, typename Dst>
+void ring_history_prefix(const Ring& ring, std::size_t head, Dst& dst) {
+  const std::size_t w = ring.size();
+  for (std::size_t j = 0; j + 1 < w; ++j) dst[j] = ring[(head + 1 + j) % w];
+}
+
+}  // namespace xbs

@@ -3,34 +3,37 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "xbs/common/ring.hpp"
+
 namespace xbs::dsp {
 
 FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
   if (taps_.empty()) throw std::invalid_argument("FirFilter: empty tap set");
-  delay_.assign(taps_.size(), 0.0);
+  state_ = make_state();
 }
 
-double FirFilter::process(double x) {
-  delay_[head_] = x;
+double FirFilter::process(FirFilterState& st, double x) const {
+  st.delay[st.head] = x;
   double acc = 0.0;
-  std::size_t idx = head_;
+  std::size_t idx = st.head;
   for (const double c : taps_) {
-    acc += c * delay_[idx];
-    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+    acc += c * st.delay[idx];
+    idx = (idx == 0) ? st.delay.size() - 1 : idx - 1;
   }
-  head_ = (head_ + 1) % delay_.size();
+  st.head = (st.head + 1) % st.delay.size();
   return acc;
 }
 
-std::vector<double> FirFilter::filter(std::span<const double> x) {
-  // Block transform: tap-major accumulation over a zero-prefixed contiguous
-  // buffer. Each output element receives its products in the same tap order
-  // as the streaming path (including the zero-history products), so results
-  // are bit-identical to calling process() per sample — without the
-  // per-sample ring-buffer walk.
+std::vector<double> FirFilter::filter_chunk(FirFilterState& st,
+                                            std::span<const double> x) const {
+  // Chunked transform: tap-major accumulation over a history-prefixed
+  // contiguous buffer. Each output element receives its products in the same
+  // tap order as the streaming path, so results are bit-identical to calling
+  // process() per sample — without the per-sample ring-buffer walk.
   const std::size_t n = x.size();
   const std::size_t taps = taps_.size();
-  std::vector<double> padded(n + taps - 1, 0.0);
+  std::vector<double> padded(n + taps - 1);
+  ring_history_prefix(st.delay, st.head, padded);
   for (std::size_t i = 0; i < n; ++i) padded[taps - 1 + i] = x[i];
   std::vector<double> y(n, 0.0);
   for (std::size_t j = 0; j < taps; ++j) {
@@ -38,19 +41,16 @@ std::vector<double> FirFilter::filter(std::span<const double> x) {
     const double* xs = padded.data() + (taps - 1 - j);
     for (std::size_t i = 0; i < n; ++i) y[i] += c * xs[i];
   }
-  // Leave the filter as if the samples had been streamed.
-  reset();
-  for (std::size_t i = n > taps ? n - taps : 0; i < n; ++i) {
-    delay_[head_] = x[i];
-    head_ = (head_ + 1) % delay_.size();
-  }
+  ring_carry(st.delay, st.head, x);
   return y;
 }
 
-void FirFilter::reset() {
-  delay_.assign(taps_.size(), 0.0);
-  head_ = 0;
+std::vector<double> FirFilter::filter(std::span<const double> x) {
+  reset();
+  return filter_chunk(state_, x);
 }
+
+void FirFilter::reset() { state_ = make_state(); }
 
 std::complex<double> frequency_response(std::span<const double> taps, double f_hz, double fs_hz) {
   const double w = 2.0 * std::numbers::pi * f_hz / fs_hz;

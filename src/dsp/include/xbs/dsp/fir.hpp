@@ -8,19 +8,42 @@
 
 namespace xbs::dsp {
 
-/// Direct-form FIR filter with a ring-buffer delay line.
+/// Carry-over state of a FirFilter: the delay-line ring. `head` is the next
+/// write slot, which always holds the oldest retained sample.
+struct FirFilterState {
+  std::vector<double> delay;
+  std::size_t head = 0;
+};
+
+/// Direct-form FIR filter with a ring-buffer delay line. The tap set is
+/// immutable; streaming state is either held internally (single-consumer
+/// convenience API) or passed explicitly (FirFilterState) so many concurrent
+/// streams can share one filter object.
 class FirFilter {
  public:
   explicit FirFilter(std::vector<double> taps);
 
-  /// Push one sample, get the filtered output y[n] = sum_i c_i x[n-i].
-  [[nodiscard]] double process(double x);
+  /// A zeroed delay line sized for this filter.
+  [[nodiscard]] FirFilterState make_state() const {
+    return FirFilterState{std::vector<double>(taps_.size(), 0.0), 0};
+  }
 
-  /// Filter a whole signal as one tap-major block transform (state starts
-  /// from zero; same length out; bit-identical to streaming via process()).
+  /// Push one sample through \p st, get y[n] = sum_i c_i x[n-i].
+  [[nodiscard]] double process(FirFilterState& st, double x) const;
+
+  /// Resumable chunked transform: continues from \p st and carries it
+  /// forward — bit-identical to streaming the chunk through process().
+  [[nodiscard]] std::vector<double> filter_chunk(FirFilterState& st,
+                                                 std::span<const double> x) const;
+
+  // --- internal-state convenience view ---
+  [[nodiscard]] double process(double x) { return process(state_, x); }
+
+  /// Filter a whole signal as one tap-major chunk (state starts from zero;
+  /// same length out; bit-identical to streaming via process()).
   [[nodiscard]] std::vector<double> filter(std::span<const double> x);
 
-  /// Reset the delay line to zeros.
+  /// Reset the internal delay line to zeros.
   void reset();
 
   [[nodiscard]] const std::vector<double>& taps() const noexcept { return taps_; }
@@ -32,8 +55,7 @@ class FirFilter {
 
  private:
   std::vector<double> taps_;
-  std::vector<double> delay_;
-  std::size_t head_ = 0;
+  FirFilterState state_;  ///< internal state backing the convenience view
 };
 
 /// Complex frequency response H(e^{j 2 pi f / fs}) of a tap set.

@@ -13,18 +13,60 @@
 /// independent reference — the equivalence of the two is asserted in the
 /// test suite, which pins the FIR tap derivation to the original
 /// publication.
+///
+/// Both filters are exposed as streaming classes with an explicit carry-over
+/// State (the recursive taps: recent inputs plus output feedback), so they
+/// compose with the chunked session API; the whole-record functions are
+/// fresh-state one-chunk wrappers and remain bit-identical to the original
+/// batch evaluation.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
 namespace xbs::dsp {
 
-/// Recursive LPF, unnormalized integer gain 36 (like the FIR accumulator).
+/// Streaming recursive LPF, unnormalized integer gain 36 (like the FIR
+/// accumulator).
+class PtRecursiveLpf {
+ public:
+  /// Recursive-filter taps carried across chunks: the last 12 inputs (ring,
+  /// `head` = next write slot = x[n-12]) and the last two outputs.
+  struct State {
+    std::array<double, 12> x{};
+    std::size_t head = 0;
+    double y1 = 0.0, y2 = 0.0;
+  };
+
+  [[nodiscard]] static State make_state() noexcept { return State{}; }
+  [[nodiscard]] static double process(State& st, double x) noexcept;
+  [[nodiscard]] static std::vector<double> process_chunk(State& st,
+                                                         std::span<const double> x);
+};
+
+/// Streaming recursive HPF over the *normalized* LPF output, gain 32 (like
+/// the FIR accumulator before its >>5).
+class PtRecursiveHpf {
+ public:
+  /// The last 32 inputs (ring, `head` = next write slot = x[n-32]) and the
+  /// last output.
+  struct State {
+    std::array<double, 32> x{};
+    std::size_t head = 0;
+    double y1 = 0.0;
+  };
+
+  [[nodiscard]] static State make_state() noexcept { return State{}; }
+  [[nodiscard]] static double process(State& st, double x) noexcept;
+  [[nodiscard]] static std::vector<double> process_chunk(State& st,
+                                                         std::span<const double> x);
+};
+
+/// Whole-record recursive LPF (fresh-state wrapper over PtRecursiveLpf).
 [[nodiscard]] std::vector<double> pt_recursive_lpf(std::span<const double> x);
 
-/// Recursive HPF over the *normalized* LPF output, gain 32 (like the FIR
-/// accumulator before its >>5).
+/// Whole-record recursive HPF (fresh-state wrapper over PtRecursiveHpf).
 [[nodiscard]] std::vector<double> pt_recursive_hpf(std::span<const double> x);
 
 }  // namespace xbs::dsp

@@ -1,55 +1,57 @@
 #include "xbs/dsp/pt_recursive.hpp"
 
-#include <algorithm>
-
 namespace xbs::dsp {
-namespace {
 
-/// Shared shape of both recursive forms: a short zero-history prologue, then
-/// a branch-free steady-state loop over the contiguous buffers. The term
-/// order inside each expression matches the published difference equations,
-/// so outputs are bit-identical to the naive guarded-index evaluation.
-template <typename Prologue, typename Steady>
-std::vector<double> run_recurrence(std::size_t n, std::size_t warmup, Prologue prologue,
-                                   Steady steady) {
-  std::vector<double> y(n, 0.0);
-  const std::size_t split = std::min(n, warmup);
-  for (std::size_t i = 0; i < split; ++i) y[i] = prologue(y, i);
-  for (std::size_t i = split; i < n; ++i) y[i] = steady(y, i);
+// Each scalar step evaluates the published difference equation with the same
+// term order as the original batch loops (and zeros where the history has
+// not filled yet), so any chunking — including the whole-record wrappers —
+// is bit-identical to the historical batch evaluation.
+
+double PtRecursiveLpf::process(State& st, double x) noexcept {
+  // y[n] = 2 y[n-1] - y[n-2] + x[n] - 2 x[n-6] + x[n-12]
+  const double x6 = st.x[(st.head + 6) % 12];   // head - 6 == head + 6 (mod 12)
+  const double x12 = st.x[st.head];
+  const double y = 2.0 * st.y1 - st.y2 + x - 2.0 * x6 + x12;
+  st.x[st.head] = x;
+  st.head = (st.head + 1) % 12;
+  st.y2 = st.y1;
+  st.y1 = y;
   return y;
 }
 
-}  // namespace
+std::vector<double> PtRecursiveLpf::process_chunk(State& st, std::span<const double> x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(st, x[i]);
+  return y;
+}
+
+double PtRecursiveHpf::process(State& st, double x) noexcept {
+  // y[n] = y[n-1] - x[n] + 32 x[n-16] - 32 x[n-17] + x[n-32], gain 32
+  // (the integer form of allpass - moving average).
+  const double x16 = st.x[(st.head + 16) % 32];
+  const double x17 = st.x[(st.head + 15) % 32];  // head - 17 == head + 15 (mod 32)
+  const double x32 = st.x[st.head];
+  const double y = st.y1 - x + 32.0 * x16 - 32.0 * x17 + x32;
+  st.x[st.head] = x;
+  st.head = (st.head + 1) % 32;
+  st.y1 = y;
+  return y;
+}
+
+std::vector<double> PtRecursiveHpf::process_chunk(State& st, std::span<const double> x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(st, x[i]);
+  return y;
+}
 
 std::vector<double> pt_recursive_lpf(std::span<const double> x) {
-  // y[n] = 2 y[n-1] - y[n-2] + x[n] - 2 x[n-6] + x[n-12]
-  auto z = [](std::span<const double> v, std::size_t i, std::size_t back) -> double {
-    return i >= back ? v[i - back] : 0.0;
-  };
-  return run_recurrence(
-      x.size(), 12,
-      [&](const std::vector<double>& y, std::size_t i) {
-        return 2.0 * z(y, i, 1) - z(y, i, 2) + x[i] - 2.0 * z(x, i, 6) + z(x, i, 12);
-      },
-      [&](const std::vector<double>& y, std::size_t i) {
-        return 2.0 * y[i - 1] - y[i - 2] + x[i] - 2.0 * x[i - 6] + x[i - 12];
-      });
+  PtRecursiveLpf::State st;
+  return PtRecursiveLpf::process_chunk(st, x);
 }
 
 std::vector<double> pt_recursive_hpf(std::span<const double> x) {
-  // y[n] = y[n-1] - x[n] + 32 x[n-16] - 32 x[n-17] + x[n-32], gain 32
-  // (the integer form of allpass - moving average).
-  auto z = [](std::span<const double> v, std::size_t i, std::size_t back) -> double {
-    return i >= back ? v[i - back] : 0.0;
-  };
-  return run_recurrence(
-      x.size(), 32,
-      [&](const std::vector<double>& y, std::size_t i) {
-        return z(y, i, 1) - x[i] + 32.0 * z(x, i, 16) - 32.0 * z(x, i, 17) + z(x, i, 32);
-      },
-      [&](const std::vector<double>& y, std::size_t i) {
-        return y[i - 1] - x[i] + 32.0 * x[i - 16] - 32.0 * x[i - 17] + x[i - 32];
-      });
+  PtRecursiveHpf::State st;
+  return PtRecursiveHpf::process_chunk(st, x);
 }
 
 }  // namespace xbs::dsp

@@ -32,7 +32,9 @@ class QualityEvaluator {
   }
 
   [[nodiscard]] virtual std::string_view metric_name() const noexcept = 0;
-  [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+  /// 64-bit: large exhaustive sweeps (16^5 designs x records x repeats)
+  /// overflow an int counter.
+  [[nodiscard]] i64 evaluations() const noexcept { return evaluations_; }
   void reset_evaluations() noexcept { evaluations_ = 0; }
 
   /// Stage-cache activity, when this evaluator memoizes pipeline stages
@@ -45,7 +47,7 @@ class QualityEvaluator {
   [[nodiscard]] virtual double evaluate_impl(const Design& d) = 0;
 
  private:
-  int evaluations_ = 0;
+  i64 evaluations_ = 0;
 };
 
 /// Pre-processing quality stage: mean PSNR (dB) of the approximate HPF

@@ -6,223 +6,327 @@
 #include <stdexcept>
 
 namespace xbs::pantompkins {
-namespace {
 
-/// Candidate fiducial marks: strict local maxima of the MWI signal with a
-/// minimum separation; among closer peaks the larger survives.
-std::vector<std::size_t> fiducial_marks(std::span<const i32> mwi, int min_separation) {
-  std::vector<std::size_t> cand;
-  for (std::size_t i = 1; i + 1 < mwi.size(); ++i) {
-    if (mwi[i] > mwi[i - 1] && mwi[i] >= mwi[i + 1]) cand.push_back(i);
-  }
-  // Enforce separation, keeping the taller peak.
-  std::vector<std::size_t> out;
-  for (const std::size_t c : cand) {
-    if (!out.empty() &&
-        c - out.back() < static_cast<std::size_t>(min_separation)) {
-      if (mwi[c] > mwi[out.back()]) out.back() = c;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
+bool DetectorParams::valid() const noexcept {
+  return std::isfinite(fs_hz) && fs_hz > 0.0 && refractory_samples >= 0 &&
+         t_wave_window_samples >= 0 && t_wave_slope_ratio >= 0.0 && threshold_coeff >= 0.0 &&
+         search_back_factor >= 0.0 && search_back_threshold >= 0.0 &&
+         mwi_hpf_lag_samples >= 0 && alignment_tolerance >= 0 && hpf_search_halfwidth >= 0 &&
+         raw_delay_samples >= 0 && raw_refine_halfwidth >= 0;
 }
 
-/// Index of the maximum of \p v in [lo, hi] (clamped); returns lo if empty.
-std::size_t argmax_in(std::span<const i32> v, std::ptrdiff_t lo, std::ptrdiff_t hi) {
+// ------------------------------------------------------------ OnlineDetector
+//
+// The decision logic is sequential in fiducial-mark order; everything it
+// reads lies within a bounded window around the mark being judged (threshold
+// training on the first two seconds aside). Streaming therefore reduces to
+// bookkeeping about *when* a piece of work is final:
+//  - index i can be tested as a local maximum once i+1 has arrived,
+//  - a candidate mark is final once the stream is min_sep past it (no later
+//    candidate can replace it in the separation merge),
+//  - a final mark can be judged once the stream covers its HPF/raw search
+//    windows (lookahead_), or unconditionally at flush, where the batch
+//    path's clamp-to-record-end applies.
+// Every threshold/RR/search-back rule is a verbatim port of the batch loop,
+// so any chunking reproduces detect_qrs() bit for bit.
+
+OnlineDetector::OnlineDetector(const DetectorParams& params, bool keep_result)
+    : p_(params), keep_result_(keep_result) {
+  if (!p_.valid()) {
+    throw std::invalid_argument("OnlineDetector: invalid DetectorParams");
+  }
+  min_sep_ = p_.refractory_samples / 2;
+  train_target_ = static_cast<std::size_t>(std::llround(2.0 * p_.fs_hz));
+  const std::ptrdiff_t rel_hpf =
+      static_cast<std::ptrdiff_t>(p_.hpf_search_halfwidth) - p_.mwi_hpf_lag_samples;
+  const std::ptrdiff_t rel_raw = rel_hpf - p_.raw_delay_samples + p_.raw_refine_halfwidth;
+  lookahead_ = static_cast<std::size_t>(std::max<std::ptrdiff_t>({0, rel_hpf, rel_raw}));
+  const std::ptrdiff_t back = std::max<std::ptrdiff_t>(
+      {1, p_.mwi_hpf_lag_samples + p_.hpf_search_halfwidth,
+       p_.mwi_hpf_lag_samples + p_.hpf_search_halfwidth + p_.raw_delay_samples +
+           p_.raw_refine_halfwidth,
+       p_.refractory_samples / 2 + 1});
+  back_need_ = static_cast<std::size_t>(back) + 4;
+}
+
+std::size_t OnlineDetector::argmax_in(const std::vector<i32>& v, std::ptrdiff_t lo,
+                                      std::ptrdiff_t hi) const {
   lo = std::max<std::ptrdiff_t>(lo, 0);
-  hi = std::min<std::ptrdiff_t>(hi, static_cast<std::ptrdiff_t>(v.size()) - 1);
+  hi = std::min<std::ptrdiff_t>(hi, static_cast<std::ptrdiff_t>(n_) - 1);
   std::size_t best = static_cast<std::size_t>(std::max<std::ptrdiff_t>(lo, 0));
   for (std::ptrdiff_t i = lo; i <= hi; ++i) {
-    if (v[static_cast<std::size_t>(i)] > v[best]) best = static_cast<std::size_t>(i);
+    if (v[static_cast<std::size_t>(i) - base_] > v[best - base_]) {
+      best = static_cast<std::size_t>(i);
+    }
   }
   return best;
 }
 
-/// Peak steepness proxy: max |first difference| of the MWI input's rising
-/// edge near the fiducial mark.
-double rising_slope(std::span<const i32> mwi, std::size_t peak, int lookback) {
+double OnlineDetector::rising_slope(std::size_t peak, int lookback) const {
   double slope = 0.0;
   const std::ptrdiff_t lo =
       std::max<std::ptrdiff_t>(1, static_cast<std::ptrdiff_t>(peak) - lookback);
   for (std::ptrdiff_t i = lo; i <= static_cast<std::ptrdiff_t>(peak); ++i) {
-    slope = std::max(slope, static_cast<double>(mwi[static_cast<std::size_t>(i)]) -
-                                static_cast<double>(mwi[static_cast<std::size_t>(i) - 1]));
+    slope = std::max(slope, static_cast<double>(mwi_at(static_cast<std::size_t>(i))) -
+                                static_cast<double>(mwi_at(static_cast<std::size_t>(i) - 1)));
   }
   return slope;
 }
 
-struct Thresholds {
-  double spk = 0.0;  ///< running signal-peak estimate
-  double npk = 0.0;  ///< running noise-peak estimate
+double OnlineDetector::rr_mean() const {
+  if (rr_history_.empty()) return p_.fs_hz;  // prior: 60 bpm
+  const std::size_t n = std::min<std::size_t>(rr_history_.size(), 8);
+  double s = 0.0;
+  for (std::size_t i = rr_history_.size() - n; i < rr_history_.size(); ++i) s += rr_history_[i];
+  return s / static_cast<double>(n);
+}
 
-  [[nodiscard]] double threshold1(double coeff) const noexcept {
-    return npk + coeff * (spk - npk);
+void OnlineDetector::train_now() {
+  // Threshold training on the first two seconds (or the whole record when it
+  // is shorter — the flush path). History has not been trimmed yet: trimming
+  // is gated on trained_.
+  const std::size_t train = std::min<std::size_t>(n_, train_target_);
+  double train_max = 0.0, train_mean = 0.0;
+  for (std::size_t i = 0; i < train; ++i) {
+    train_max = std::max(train_max, static_cast<double>(mwi_at(i)));
+    train_mean += static_cast<double>(mwi_at(i));
   }
-  void signal_update(double peak) noexcept { spk = 0.125 * peak + 0.875 * spk; }
-  void noise_update(double peak) noexcept { npk = 0.125 * peak + 0.875 * npk; }
-};
+  train_mean /= static_cast<double>(std::max<std::size_t>(train, 1));
+  th_i_ = Thresholds{0.4 * train_max, 0.7 * train_mean};
+  double fmax = 0.0, fmean = 0.0;
+  for (std::size_t i = 0; i < train; ++i) {
+    fmax = std::max(fmax, static_cast<double>(hpf_at(i)));
+    fmean += std::abs(static_cast<double>(hpf_at(i)));
+  }
+  fmean /= static_cast<double>(std::max<std::size_t>(train, 1));
+  th_f_ = Thresholds{0.4 * fmax, 0.7 * fmean};
+  trained_ = true;
+}
 
-}  // namespace
+int OnlineDetector::locate(std::size_t mark, std::size_t& hpf_idx, std::size_t& raw_idx) const {
+  const std::ptrdiff_t expect =
+      static_cast<std::ptrdiff_t>(mark) - p_.mwi_hpf_lag_samples;
+  hpf_idx = argmax_in(hpf_, expect - p_.hpf_search_halfwidth, expect + p_.hpf_search_halfwidth);
+  const std::ptrdiff_t est =
+      static_cast<std::ptrdiff_t>(hpf_idx) - p_.raw_delay_samples;
+  raw_idx = argmax_in(raw_, est - p_.raw_refine_halfwidth, est + p_.raw_refine_halfwidth);
+  return static_cast<int>(std::abs(static_cast<std::ptrdiff_t>(hpf_idx) - expect));
+}
+
+void OnlineDetector::emit(const PeakEvent& ev) {
+  fresh_.push_back(ev);
+  if (keep_result_) result_.trace.push_back(ev);
+}
+
+void OnlineDetector::accept(PeakEvent ev, double slope) {
+  if (last_accept_ >= 0) {
+    rr_history_.push_back(static_cast<double>(ev.mwi_index) -
+                          static_cast<double>(last_accept_));
+    // rr_mean() only ever reads the last 8 intervals; cap the history so a
+    // long-lived session stays O(1).
+    if (rr_history_.size() > 8) rr_history_.erase(rr_history_.begin());
+  }
+  last_accept_ = static_cast<std::ptrdiff_t>(ev.mwi_index);
+  last_slope_ = slope;
+  th_i_.signal_update(static_cast<double>(ev.mwi_value));
+  th_f_.signal_update(static_cast<double>(ev.hpf_value));
+  if (keep_result_) {
+    // Keep peaks sorted and unique at all times (search-back accepts out of
+    // order) — same final content as the batch path's end-of-run sort+unique.
+    const auto it =
+        std::lower_bound(result_.peaks.begin(), result_.peaks.end(), ev.raw_index);
+    if (it == result_.peaks.end() || *it != ev.raw_index) {
+      result_.peaks.insert(it, ev.raw_index);
+    }
+  }
+  emit(ev);
+  pending_.active = false;
+}
+
+void OnlineDetector::note_rejected(std::size_t mark) {
+  // Maintain the argmax over the rejected marks since the last accepted
+  // beat (strict > mirrors the batch scan: earliest wins ties), snapshotting
+  // everything a later search-back acceptance would read — the values are
+  // pure functions of the signal around the mark, which is fully resident
+  // right now, so recomputing them later would yield the same bits.
+  const i64 v = mwi_at(mark);
+  if (pending_.active && v <= pending_.mwi_value) return;
+  pending_.active = true;
+  pending_.mark = mark;
+  pending_.mwi_value = v;
+  pending_.slope = rising_slope(mark, p_.refractory_samples / 2);
+  pending_.misalign = locate(mark, pending_.hpf_idx, pending_.raw_idx);
+  pending_.hpf_value = hpf_at(pending_.hpf_idx);
+}
+
+void OnlineDetector::on_candidate(std::size_t c) {
+  // The separation merge: among candidates closer than min_sep the taller
+  // survives; a candidate min_sep or further away finalizes its predecessor.
+  if (have_cand_ && c - cand_ < static_cast<std::size_t>(min_sep_)) {
+    if (mwi_at(c) > mwi_at(cand_)) cand_ = c;
+  } else {
+    if (have_cand_) marks_.push_back(cand_);
+    cand_ = c;
+    have_cand_ = true;
+  }
+}
+
+void OnlineDetector::process_mark(std::size_t mark) {
+  PeakEvent ev;
+  ev.mwi_index = mark;
+  ev.mwi_value = mwi_at(mark);
+
+  if (last_accept_ >= 0 &&
+      static_cast<std::ptrdiff_t>(mark) - last_accept_ <
+          static_cast<std::ptrdiff_t>(p_.refractory_samples)) {
+    return;  // inside the absolute refractory: physiologically impossible
+  }
+
+  const double thr1 = th_i_.threshold1(p_.threshold_coeff);
+  if (static_cast<double>(ev.mwi_value) > thr1) {
+    // T-wave discrimination inside the 360 ms zone.
+    if (last_accept_ >= 0 &&
+        static_cast<std::ptrdiff_t>(mark) - last_accept_ <
+            static_cast<std::ptrdiff_t>(p_.t_wave_window_samples)) {
+      const double slope = rising_slope(mark, p_.refractory_samples / 2);
+      if (slope < p_.t_wave_slope_ratio * last_slope_) {
+        ev.decision = PeakDecision::TWave;
+        th_i_.noise_update(static_cast<double>(ev.mwi_value));
+        emit(ev);
+        note_rejected(mark);
+        return;
+      }
+    }
+    // HPF/MWI alignment consistency (Fig. 13).
+    std::size_t hpf_idx = 0, raw_idx = 0;
+    const int misalign = locate(mark, hpf_idx, raw_idx);
+    ev.hpf_index = hpf_idx;
+    ev.raw_index = raw_idx;
+    ev.hpf_value = hpf_at(hpf_idx);
+    const double thrf = th_f_.threshold1(p_.threshold_coeff);
+    if (misalign > p_.alignment_tolerance ||
+        static_cast<double>(ev.hpf_value) <= thrf) {
+      ev.decision = PeakDecision::MisalignedOmitted;
+      emit(ev);
+      note_rejected(mark);
+      return;
+    }
+    ev.decision = PeakDecision::Accepted;
+    accept(ev, rising_slope(mark, p_.refractory_samples / 2));
+  } else {
+    ev.decision = PeakDecision::BelowThreshold;
+    th_i_.noise_update(static_cast<double>(ev.mwi_value));
+    std::size_t hpf_idx = 0, raw_idx = 0;
+    (void)locate(mark, hpf_idx, raw_idx);
+    th_f_.noise_update(static_cast<double>(hpf_at(hpf_idx)));
+    emit(ev);
+    note_rejected(mark);
+  }
+
+  // RR search-back: if the gap since the last beat exceeds the missed-beat
+  // limit, revisit the tallest pending candidate with the relaxed threshold.
+  if (last_accept_ >= 0 && pending_.active) {
+    const double limit = p_.search_back_factor * rr_mean();
+    if (static_cast<double>(mark) - static_cast<double>(last_accept_) > limit) {
+      const double relaxed = p_.search_back_threshold * th_i_.threshold1(p_.threshold_coeff);
+      if (static_cast<double>(pending_.mwi_value) > relaxed &&
+          static_cast<std::ptrdiff_t>(pending_.mark) - last_accept_ >=
+              static_cast<std::ptrdiff_t>(p_.refractory_samples)) {
+        if (pending_.misalign <= p_.alignment_tolerance) {
+          PeakEvent sb;
+          sb.mwi_index = pending_.mark;
+          sb.mwi_value = pending_.mwi_value;
+          sb.hpf_index = pending_.hpf_idx;
+          sb.raw_index = pending_.raw_idx;
+          sb.hpf_value = pending_.hpf_value;
+          sb.decision = PeakDecision::SearchBackRecovered;
+          accept(sb, pending_.slope);
+        }
+      }
+    }
+  }
+}
+
+void OnlineDetector::advance(bool flushing) {
+  // 1. Scan newly covered indices for candidate fiducial marks (strict local
+  //    maxima need the right neighbour, hence the i+1 < n guard).
+  while (scan_ + 1 < n_) {
+    if (mwi_at(scan_) > mwi_at(scan_ - 1) && mwi_at(scan_) >= mwi_at(scan_ + 1)) {
+      on_candidate(scan_);
+    }
+    ++scan_;
+  }
+  // 2. Finalize the merged candidate once no future candidate can replace it
+  //    (all future candidates are at >= scan_), or unconditionally at flush.
+  if (have_cand_ &&
+      (flushing || scan_ - cand_ >= static_cast<std::size_t>(min_sep_))) {
+    marks_.push_back(cand_);
+    have_cand_ = false;
+  }
+  // 3. Judge finalized marks in order. The batch path does nothing on
+  //    records shorter than 8 samples, and trains before the first mark.
+  if (!trained_ || n_ < 8) return;
+  while (!marks_.empty()) {
+    const std::size_t mark = marks_.front();
+    if (!flushing && n_ < mark + lookahead_ + 1) break;  // search window not covered yet
+    marks_.pop_front();
+    process_mark(mark);
+  }
+}
+
+void OnlineDetector::maybe_trim() {
+  if (!trained_) return;  // training still needs the record head
+  // The search-back candidate does not pin the window: everything it would
+  // read was snapshotted at rejection time (note_rejected).
+  std::size_t active = scan_ > 0 ? scan_ - 1 : 0;
+  if (have_cand_) active = std::min(active, cand_);
+  if (!marks_.empty()) active = std::min(active, marks_.front());
+  const std::size_t floor = active > back_need_ ? active - back_need_ : 0;
+  if (floor <= base_ + 1024) return;  // trim in blocks, not per push
+  const auto drop = static_cast<std::ptrdiff_t>(floor - base_);
+  mwi_.erase(mwi_.begin(), mwi_.begin() + drop);
+  hpf_.erase(hpf_.begin(), hpf_.begin() + drop);
+  raw_.erase(raw_.begin(), raw_.begin() + drop);
+  base_ = floor;
+}
+
+std::span<const PeakEvent> OnlineDetector::push(std::span<const i32> mwi,
+                                                std::span<const i32> hpf,
+                                                std::span<const i32> raw) {
+  if (flushed_) throw std::logic_error("OnlineDetector: push after flush");
+  if (mwi.size() != hpf.size() || mwi.size() != raw.size()) {
+    throw std::invalid_argument("OnlineDetector: chunk size mismatch");
+  }
+  fresh_.clear();
+  mwi_.insert(mwi_.end(), mwi.begin(), mwi.end());
+  hpf_.insert(hpf_.end(), hpf.begin(), hpf.end());
+  raw_.insert(raw_.end(), raw.begin(), raw.end());
+  n_ += mwi.size();
+  if (!trained_ && n_ >= train_target_) train_now();
+  advance(/*flushing=*/false);
+  maybe_trim();
+  return fresh_;
+}
+
+std::span<const PeakEvent> OnlineDetector::flush() {
+  fresh_.clear();
+  if (flushed_) return fresh_;
+  flushed_ = true;
+  if (n_ < 8) return fresh_;  // batch: records this short yield nothing
+  if (!trained_) train_now();
+  advance(/*flushing=*/true);
+  return fresh_;
+}
 
 DetectionResult detect_qrs(std::span<const i32> mwi, std::span<const i32> hpf,
                            std::span<const i32> raw, const DetectorParams& p) {
   if (mwi.size() != hpf.size() || mwi.size() != raw.size()) {
     throw std::invalid_argument("detect_qrs: signal size mismatch");
   }
-  DetectionResult result;
-  if (mwi.size() < 8) return result;
-
-  const std::vector<std::size_t> marks = fiducial_marks(mwi, p.refractory_samples / 2);
-
-  // Threshold training on the first two seconds.
-  const std::size_t train = std::min<std::size_t>(
-      mwi.size(), static_cast<std::size_t>(std::llround(2.0 * p.fs_hz)));
-  double train_max = 0.0, train_mean = 0.0;
-  for (std::size_t i = 0; i < train; ++i) {
-    train_max = std::max(train_max, static_cast<double>(mwi[i]));
-    train_mean += static_cast<double>(mwi[i]);
-  }
-  train_mean /= static_cast<double>(std::max<std::size_t>(train, 1));
-  Thresholds th_i{0.4 * train_max, 0.7 * train_mean};
-  Thresholds th_f{0.0, 0.0};
-  {
-    double fmax = 0.0, fmean = 0.0;
-    for (std::size_t i = 0; i < train; ++i) {
-      fmax = std::max(fmax, static_cast<double>(hpf[i]));
-      fmean += std::abs(static_cast<double>(hpf[i]));
-    }
-    fmean /= static_cast<double>(std::max<std::size_t>(train, 1));
-    th_f = Thresholds{0.4 * fmax, 0.7 * fmean};
-  }
-
-  std::ptrdiff_t last_accept = -1;       // MWI index of last accepted QRS
-  double last_slope = 0.0;               // rising slope of last accepted QRS
-  std::vector<double> rr_history;        // last accepted RR intervals
-  std::vector<std::size_t> pending;      // candidate marks since last accept (for search-back)
-
-  auto rr_mean = [&]() -> double {
-    if (rr_history.empty()) return p.fs_hz;  // prior: 60 bpm
-    const std::size_t n = std::min<std::size_t>(rr_history.size(), 8);
-    double s = 0.0;
-    for (std::size_t i = rr_history.size() - n; i < rr_history.size(); ++i) s += rr_history[i];
-    return s / static_cast<double>(n);
-  };
-
-  /// Locate the band-passed peak corresponding to a fiducial mark and report
-  /// raw-domain location; returns alignment error in samples.
-  auto locate = [&](std::size_t mark, std::size_t& hpf_idx, std::size_t& raw_idx) -> int {
-    const std::ptrdiff_t expect =
-        static_cast<std::ptrdiff_t>(mark) - p.mwi_hpf_lag_samples;
-    hpf_idx = argmax_in(hpf, expect - p.hpf_search_halfwidth, expect + p.hpf_search_halfwidth);
-    const std::ptrdiff_t est =
-        static_cast<std::ptrdiff_t>(hpf_idx) - p.raw_delay_samples;
-    raw_idx = argmax_in(raw, est - p.raw_refine_halfwidth, est + p.raw_refine_halfwidth);
-    return static_cast<int>(std::abs(static_cast<std::ptrdiff_t>(hpf_idx) - expect));
-  };
-
-  auto accept = [&](PeakEvent ev) {
-    if (last_accept >= 0) {
-      rr_history.push_back(static_cast<double>(ev.mwi_index) -
-                           static_cast<double>(last_accept));
-    }
-    last_accept = static_cast<std::ptrdiff_t>(ev.mwi_index);
-    last_slope = rising_slope(mwi, ev.mwi_index, p.refractory_samples / 2);
-    th_i.signal_update(static_cast<double>(ev.mwi_value));
-    th_f.signal_update(static_cast<double>(ev.hpf_value));
-    result.peaks.push_back(ev.raw_index);
-    result.trace.push_back(ev);
-    pending.clear();
-  };
-
-  for (const std::size_t mark : marks) {
-    PeakEvent ev;
-    ev.mwi_index = mark;
-    ev.mwi_value = mwi[mark];
-
-    if (last_accept >= 0 &&
-        static_cast<std::ptrdiff_t>(mark) - last_accept <
-            static_cast<std::ptrdiff_t>(p.refractory_samples)) {
-      continue;  // inside the absolute refractory: physiologically impossible
-    }
-
-    const double thr1 = th_i.threshold1(p.threshold_coeff);
-    if (static_cast<double>(ev.mwi_value) > thr1) {
-      // T-wave discrimination inside the 360 ms zone.
-      if (last_accept >= 0 &&
-          static_cast<std::ptrdiff_t>(mark) - last_accept <
-              static_cast<std::ptrdiff_t>(p.t_wave_window_samples)) {
-        const double slope = rising_slope(mwi, mark, p.refractory_samples / 2);
-        if (slope < p.t_wave_slope_ratio * last_slope) {
-          ev.decision = PeakDecision::TWave;
-          th_i.noise_update(static_cast<double>(ev.mwi_value));
-          result.trace.push_back(ev);
-          pending.push_back(mark);
-          continue;
-        }
-      }
-      // HPF/MWI alignment consistency (Fig. 13).
-      std::size_t hpf_idx = 0, raw_idx = 0;
-      const int misalign = locate(mark, hpf_idx, raw_idx);
-      ev.hpf_index = hpf_idx;
-      ev.raw_index = raw_idx;
-      ev.hpf_value = hpf[hpf_idx];
-      const double thrf = th_f.threshold1(p.threshold_coeff);
-      if (misalign > p.alignment_tolerance ||
-          static_cast<double>(ev.hpf_value) <= thrf) {
-        ev.decision = PeakDecision::MisalignedOmitted;
-        result.trace.push_back(ev);
-        pending.push_back(mark);
-        continue;
-      }
-      ev.decision = PeakDecision::Accepted;
-      accept(ev);
-    } else {
-      ev.decision = PeakDecision::BelowThreshold;
-      th_i.noise_update(static_cast<double>(ev.mwi_value));
-      std::size_t hpf_idx = 0, raw_idx = 0;
-      (void)locate(mark, hpf_idx, raw_idx);
-      th_f.noise_update(static_cast<double>(hpf[hpf_idx]));
-      result.trace.push_back(ev);
-      pending.push_back(mark);
-    }
-
-    // RR search-back: if the gap since the last beat exceeds the missed-beat
-    // limit, revisit the pending candidates with the relaxed threshold.
-    if (last_accept >= 0 && !pending.empty()) {
-      const double limit = p.search_back_factor * rr_mean();
-      if (static_cast<double>(mark) - static_cast<double>(last_accept) > limit) {
-        std::size_t best = pending.front();
-        for (const std::size_t c : pending) {
-          if (mwi[c] > mwi[best]) best = c;
-        }
-        const double relaxed = p.search_back_threshold * th_i.threshold1(p.threshold_coeff);
-        if (static_cast<double>(mwi[best]) > relaxed &&
-            static_cast<std::ptrdiff_t>(best) - last_accept >=
-                static_cast<std::ptrdiff_t>(p.refractory_samples)) {
-          PeakEvent sb;
-          sb.mwi_index = best;
-          sb.mwi_value = mwi[best];
-          std::size_t hpf_idx = 0, raw_idx = 0;
-          const int misalign = locate(best, hpf_idx, raw_idx);
-          sb.hpf_index = hpf_idx;
-          sb.raw_index = raw_idx;
-          sb.hpf_value = hpf[hpf_idx];
-          if (misalign <= p.alignment_tolerance) {
-            sb.decision = PeakDecision::SearchBackRecovered;
-            accept(sb);
-          }
-        }
-      }
-    }
-  }
-
-  // Detections are appended in acceptance order; search-back can insert
-  // out-of-order indices.
-  std::sort(result.peaks.begin(), result.peaks.end());
-  result.peaks.erase(std::unique(result.peaks.begin(), result.peaks.end()),
-                     result.peaks.end());
-  return result;
+  OnlineDetector det(p);
+  (void)det.push(mwi, hpf, raw);
+  (void)det.flush();
+  return det.take_result();
 }
 
 }  // namespace xbs::pantompkins

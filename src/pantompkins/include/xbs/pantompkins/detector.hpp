@@ -9,9 +9,16 @@
 /// signals ... the detected peak is omitted"). The decision logic is control
 /// circuitry and always runs in native arithmetic — the paper approximates
 /// only the filter datapaths.
+///
+/// The core is the incremental OnlineDetector: samples arrive in chunks and
+/// decisions are emitted as soon as they are final (a fiducial mark is final
+/// once the stream has advanced past its separation/search windows). The
+/// whole-record detect_qrs() is a thin one-chunk wrapper over it, so both
+/// entry points are bit-identical by construction.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <span>
 #include <vector>
 
@@ -35,6 +42,11 @@ struct DetectorParams {
   int raw_delay_samples = 20;         ///< HPF index -> raw index compensation
   int raw_refine_halfwidth = 8;       ///< local-max refinement on the raw signal
 
+  /// Structural sanity of the constants: a positive finite sampling rate and
+  /// non-negative windows/ratios. Checked by both the batch (detect_qrs) and
+  /// streaming (OnlineDetector, stream::Session) entry points.
+  [[nodiscard]] bool valid() const noexcept;
+
   /// Equality is what lets the exploration stage cache reuse a cached
   /// detection when only filter configurations changed.
   friend constexpr bool operator==(const DetectorParams&, const DetectorParams&) = default;
@@ -57,6 +69,8 @@ struct PeakEvent {
   i64 mwi_value = 0;
   i64 hpf_value = 0;
   PeakDecision decision = PeakDecision::BelowThreshold;
+
+  friend constexpr bool operator==(const PeakEvent&, const PeakEvent&) = default;
 };
 
 /// Full detector output.
@@ -65,7 +79,127 @@ struct DetectionResult {
   std::vector<PeakEvent> trace;    ///< every candidate with its decision
 };
 
-/// Run the decision logic. \p mwi, \p hpf and \p raw must be equally sized.
+/// Incremental QRS detector: the streaming core of the decision logic.
+///
+/// Feed equally sized, index-aligned (MWI, HPF, raw) chunks via push();
+/// decisions come back as PeakEvents the moment they are final. flush()
+/// marks end-of-record and finalizes the tail. After push(a); push(b); ...;
+/// flush(), result() is bit-identical to detect_qrs() over the concatenated
+/// record — for any chunking, including one sample at a time.
+///
+/// Memory stays bounded for arbitrarily long streams: the detector keeps a
+/// sliding sample-history window (trimmed behind the earliest index any
+/// future decision can still read) plus O(1) threshold/RR/search-back state
+/// — the search-back candidate set collapses to its running argmax with the
+/// decision context snapshotted at rejection time (see PendingCandidate).
+/// Cumulative trace/peak accumulation into result() can be disabled for
+/// long-lived serving sessions that only consume the emitted events.
+class OnlineDetector {
+ public:
+  explicit OnlineDetector(const DetectorParams& params = {}, bool keep_result = true);
+
+  /// Consume one chunk of aligned MWI/HPF/raw samples. Returns the events
+  /// finalized by this chunk (valid until the next push/flush call).
+  std::span<const PeakEvent> push(std::span<const i32> mwi, std::span<const i32> hpf,
+                                  std::span<const i32> raw);
+
+  /// End-of-record: finalize and emit everything still pending. Idempotent;
+  /// push() after flush() throws.
+  std::span<const PeakEvent> flush();
+
+  [[nodiscard]] const DetectorParams& params() const noexcept { return p_; }
+  [[nodiscard]] bool flushed() const noexcept { return flushed_; }
+  [[nodiscard]] u64 samples_seen() const noexcept { return n_; }
+
+  /// Cumulative detection output (empty when keep_result is off). Peaks are
+  /// kept sorted and deduplicated at all times; after flush() this equals
+  /// the batch detect_qrs() result exactly.
+  [[nodiscard]] const DetectionResult& result() const noexcept { return result_; }
+  [[nodiscard]] DetectionResult take_result() noexcept { return std::move(result_); }
+
+ private:
+  struct Thresholds {
+    double spk = 0.0;  ///< running signal-peak estimate
+    double npk = 0.0;  ///< running noise-peak estimate
+
+    [[nodiscard]] double threshold1(double coeff) const noexcept {
+      return npk + coeff * (spk - npk);
+    }
+    void signal_update(double peak) noexcept { spk = 0.125 * peak + 0.875 * spk; }
+    void noise_update(double peak) noexcept { npk = 0.125 * peak + 0.875 * npk; }
+  };
+
+  // --- history access (absolute stream indices over the trimmed window) ---
+  [[nodiscard]] i32 mwi_at(std::size_t i) const noexcept { return mwi_[i - base_]; }
+  [[nodiscard]] i32 hpf_at(std::size_t i) const noexcept { return hpf_[i - base_]; }
+  [[nodiscard]] i32 raw_at(std::size_t i) const noexcept { return raw_[i - base_]; }
+  [[nodiscard]] std::size_t argmax_in(const std::vector<i32>& v, std::ptrdiff_t lo,
+                                      std::ptrdiff_t hi) const;
+  [[nodiscard]] double rising_slope(std::size_t peak, int lookback) const;
+  [[nodiscard]] double rr_mean() const;
+
+  void train_now();
+  void advance(bool flushing);
+  void on_candidate(std::size_t c);
+  void process_mark(std::size_t mark);
+  [[nodiscard]] int locate(std::size_t mark, std::size_t& hpf_idx, std::size_t& raw_idx) const;
+  void emit(const PeakEvent& ev);
+  void accept(PeakEvent ev, double slope);
+  void note_rejected(std::size_t mark);
+  void maybe_trim();
+
+  DetectorParams p_;
+  int min_sep_ = 0;             ///< fiducial-mark separation (refractory / 2)
+  std::size_t train_target_ = 0;///< training-window length (2 s)
+  std::size_t lookahead_ = 0;   ///< samples past a mark before it can be judged
+  std::size_t back_need_ = 0;   ///< history depth behind the earliest live index
+
+  // Sample history as a sliding window: absolute index i lives at [i - base_].
+  std::size_t base_ = 0;
+  std::vector<i32> mwi_, hpf_, raw_;
+  std::size_t n_ = 0;  ///< total samples seen
+
+  // Fiducial-mark scanning and separation merging.
+  std::size_t scan_ = 1;     ///< next index to test as a local maximum
+  bool have_cand_ = false;   ///< an unfinalized (possibly still replaceable) mark
+  std::size_t cand_ = 0;
+  std::deque<std::size_t> marks_;  ///< finalized marks awaiting judgement
+
+  // Decision state (the batch loop's locals, made persistent).
+  bool trained_ = false;
+  Thresholds th_i_{}, th_f_{};
+  std::ptrdiff_t last_accept_ = -1;
+  double last_slope_ = 0.0;
+  std::vector<double> rr_history_;  ///< last accepted RR intervals (capped at 8)
+
+  /// The search-back candidate. The batch path keeps every rejected mark
+  /// since the last accepted beat and scans them for the tallest (earliest
+  /// wins ties); only that argmax ever feeds the search-back decision, so an
+  /// incrementally maintained argmax is observably identical — with its
+  /// decision context (slope, located HPF/raw peaks) snapshotted at
+  /// rejection time, when the history around the mark is guaranteed
+  /// resident, so the sliding window never has to reach back to it.
+  struct PendingCandidate {
+    bool active = false;  ///< any rejected mark since the last accepted beat
+    std::size_t mark = 0;
+    i64 mwi_value = 0;
+    double slope = 0.0;  ///< rising_slope at the mark
+    std::size_t hpf_idx = 0;
+    std::size_t raw_idx = 0;
+    i64 hpf_value = 0;
+    int misalign = 0;
+  };
+  PendingCandidate pending_;
+
+  bool keep_result_ = true;
+  DetectionResult result_;
+  std::vector<PeakEvent> fresh_;  ///< events finalized by the current call
+  bool flushed_ = false;
+};
+
+/// Run the decision logic over a whole record. \p mwi, \p hpf and \p raw
+/// must be equally sized. Implemented as OnlineDetector push+flush, so batch
+/// and streaming results are identical by construction.
 [[nodiscard]] DetectionResult detect_qrs(std::span<const i32> mwi, std::span<const i32> hpf,
                                          std::span<const i32> raw,
                                          const DetectorParams& params = {});

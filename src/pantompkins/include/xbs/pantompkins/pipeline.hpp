@@ -53,13 +53,17 @@ struct PipelineResult {
   std::array<arith::OpCounts, kNumStages> ops{};
 
   [[nodiscard]] const std::vector<i32>& stage_signal(Stage s) const noexcept;
+
+  /// Aggregate datapath operation count across all five stages.
+  [[nodiscard]] arith::OpCounts total_ops() const noexcept;
 };
 
-/// Run one stage as a whole-record block transform over a freshly built
-/// kernel for \p cfg (exact native backend when the configuration is
-/// accurate). This is the single source of stage wiring (taps, shifts,
-/// window) shared by the pipeline and the exploration stage cache. If \p ops
-/// is non-null it receives the stage's operation counts.
+/// Run one stage as a whole-record transform over a freshly built kernel for
+/// \p cfg (exact native backend when the configuration is accurate): a
+/// one-chunk call into the streaming StageProcessor core, which owns the
+/// stage wiring (taps, shifts, window) shared by the batch pipeline, the
+/// exploration stage cache, and stream::Session. If \p ops is non-null it
+/// receives the stage's operation counts.
 [[nodiscard]] std::vector<i32> run_stage(Stage s, const arith::StageArithConfig& cfg,
                                          std::span<const i32> input,
                                          arith::OpCounts* ops = nullptr);

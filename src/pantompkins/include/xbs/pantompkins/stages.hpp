@@ -2,20 +2,28 @@
 /// \brief The five Pan-Tompkins application stages as fixed-point datapaths
 /// over the batched kernel API.
 ///
-/// Each stage offers two bit-identical views of the same datapath:
-///  - `process(x)` — the streaming scalar path (one sample in, one out),
-///  - `process_block(x)` — the whole-record block transform, which issues
-///    one batched kernel call per FIR tap / adder-tree level instead of one
-///    virtual scalar call per sample-operation.
-/// The block transform performs exactly the same dataflow graph per output
-/// sample (same operands, same order, same operation counts), so outputs and
-/// OpCounts match the scalar path bit for bit (tests/test_kernel_equivalence).
+/// Each stage offers three bit-identical views of the same datapath:
+///  - `process(state, x)` — the streaming scalar path (one sample in, one out),
+///  - `process_chunk(state, xs)` — the resumable chunked transform: consumes
+///    a chunk of any size, carries the delay/window state across calls, and
+///    issues one batched kernel call per FIR tap / adder-tree level,
+///  - `process_block(xs)` — the whole-record transform (a fresh-state
+///    one-chunk wrapper over process_chunk).
+/// Every view performs exactly the same dataflow graph per output sample
+/// (same operands, same order, same operation counts), so outputs and
+/// OpCounts match bit for bit for any chunking (tests/test_kernel_equivalence,
+/// tests/test_stream).
+///
+/// The carry-over state of each stage is an explicit struct (FirState,
+/// MwiState) so long-lived streaming sessions can own per-session state while
+/// sharing the immutable stage wiring and kernels.
 #pragma once
 
 #include <array>
 #include <memory>
 #include <span>
 #include <string_view>
+#include <variant>
 #include <vector>
 
 #include "xbs/arith/kernel.hpp"
@@ -56,11 +64,27 @@ struct StageInventory {
 /// DER 3+4 (4 non-zero taps), SQR 0+1, MWI 29+0 (30-input adder tree).
 [[nodiscard]] const StageInventory& stage_inventory(Stage s) noexcept;
 
+/// Carry-over state of a FIR stage: the delay-line ring. `head` is the next
+/// write slot, which always holds the oldest retained sample.
+struct FirState {
+  std::vector<i32> delay;
+  std::size_t head = 0;
+};
+
+/// Carry-over state of the MWI stage: the window ring, same conventions.
+struct MwiState {
+  std::vector<i32> window;
+  std::size_t head = 0;
+};
+
+/// The squarer is stateless; its state struct exists for API symmetry.
+struct SqrState {};
+
 /// A fixed-point FIR stage: per-tap 16x16 multiplies by integer
 /// coefficients, a chain of 32-bit accumulations, then an arithmetic
 /// normalization shift and 16-bit saturation of the output (the inter-stage
 /// register width). All arithmetic flows through the given kernel; the
-/// block transform issues one mul_cn/mac_n per non-zero tap.
+/// chunked transform issues one mul_cn/mac_n per non-zero tap.
 class FirStage {
  public:
   /// Kernel-backed construction (the fast path; kernel outlives the stage).
@@ -69,25 +93,44 @@ class FirStage {
   /// counts accrue on the caller's unit.
   FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUnit& unit);
 
-  /// Streaming scalar path: push one sample, get the filtered output.
-  [[nodiscard]] i32 process(i32 x);
+  /// A zeroed delay line sized for this stage's taps.
+  [[nodiscard]] FirState make_state() const { return FirState{std::vector<i32>(taps_.size(), 0), 0}; }
 
-  /// Whole-record block transform. Starts from a zero delay line and leaves
-  /// the stage exactly as if the samples had been streamed through process().
+  /// Streaming scalar path: push one sample through \p st, get the output.
+  [[nodiscard]] i32 process(FirState& st, i32 x);
+
+  /// Resumable chunked transform: continues from \p st and carries it
+  /// forward — bit-identical to streaming the chunk through process().
+  /// The write-into form is the allocation-free serving hot path; \p y is
+  /// resized to the chunk length and must not alias \p x.
+  void process_chunk(FirState& st, std::span<const i32> x, std::vector<i32>& y);
+  [[nodiscard]] std::vector<i32> process_chunk(FirState& st, std::span<const i32> x) {
+    std::vector<i32> y;
+    process_chunk(st, x, y);
+    return y;
+  }
+
+  // --- internal-state convenience view (single-consumer use) ---
+  [[nodiscard]] i32 process(i32 x) { return process(state_, x); }
+  void process_chunk(std::span<const i32> x, std::vector<i32>& y) {
+    process_chunk(state_, x, y);
+  }
+  [[nodiscard]] std::vector<i32> process_chunk(std::span<const i32> x) {
+    return process_chunk(state_, x);
+  }
+  /// Whole-record transform: fresh state, then one chunk.
   [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x);
-
-  /// Reset the delay line to zeros.
+  /// Reset the internal delay line to zeros.
   void reset();
 
  private:
   std::vector<i32> taps_;
-  std::vector<i32> delay_;
-  std::size_t head_ = 0;
+  FirState state_;  ///< internal state backing the convenience view
   int out_shift_;
   std::unique_ptr<arith::Kernel> owned_;  ///< UnitKernel adapter, if any
   arith::Kernel* kernel_;
-  std::vector<i64> padded_;  ///< block scratch: zero-prefixed input
-  std::vector<i64> acc_;     ///< block scratch: accumulator chain
+  std::vector<i64> padded_;  ///< chunk scratch: history-prefixed input
+  std::vector<i64> acc_;     ///< chunk scratch: accumulator chain
 };
 
 /// The squarer stage: y = (x * x) >> shift through the kernel's multiplier.
@@ -99,44 +142,107 @@ class SquarerStage {
       : out_shift_(out_shift), kernel_(&kernel) {}
   SquarerStage(int out_shift, arith::ArithmeticUnit& unit);
 
+  [[nodiscard]] static SqrState make_state() noexcept { return SqrState{}; }
+
   [[nodiscard]] i32 process(i32 x);
-  [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x);
+  /// Stateless: chunked and whole-record views coincide. \p y must not
+  /// alias \p x.
+  void process_chunk(std::span<const i32> x, std::vector<i32>& y);
+  [[nodiscard]] std::vector<i32> process_chunk(std::span<const i32> x) {
+    std::vector<i32> y;
+    process_chunk(x, y);
+    return y;
+  }
+  [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x) {
+    return process_chunk(x);
+  }
+  void reset() noexcept {}
 
  private:
   int out_shift_;
   std::unique_ptr<arith::Kernel> owned_;
   arith::Kernel* kernel_ = nullptr;
-  std::vector<i64> in_;  ///< block scratch: clamped operands, then products
+  std::vector<i64> in_;  ///< chunk scratch: clamped operands, then products
 };
 
 /// The moving-window-integration stage: a feed-forward balanced tree of
 /// window-1 adds per sample (adder-only, no error feedback), then >> shift.
-/// The tree reduction order matches the netlist builder exactly; the block
-/// transform issues one add_n per tree-level pair over the whole record.
+/// The tree reduction order matches the netlist builder exactly; the chunked
+/// transform issues one add_n per tree-level pair over the whole chunk.
 class MwiStage {
  public:
   MwiStage(int window, int out_shift, arith::Kernel& kernel);
   MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit);
 
-  [[nodiscard]] i32 process(i32 x);
+  /// A zeroed window sized for this stage.
+  [[nodiscard]] MwiState make_state() const {
+    return MwiState{std::vector<i32>(window_, 0), 0};
+  }
+
+  [[nodiscard]] i32 process(MwiState& st, i32 x);
+  /// \p y must not alias \p x.
+  void process_chunk(MwiState& st, std::span<const i32> x, std::vector<i32>& y);
+  [[nodiscard]] std::vector<i32> process_chunk(MwiState& st, std::span<const i32> x) {
+    std::vector<i32> y;
+    process_chunk(st, x, y);
+    return y;
+  }
+
+  // --- internal-state convenience view ---
+  [[nodiscard]] i32 process(i32 x) { return process(state_, x); }
+  void process_chunk(std::span<const i32> x, std::vector<i32>& y) {
+    process_chunk(state_, x, y);
+  }
+  [[nodiscard]] std::vector<i32> process_chunk(std::span<const i32> x) {
+    return process_chunk(state_, x);
+  }
   [[nodiscard]] std::vector<i32> process_block(std::span<const i32> x);
   void reset();
 
  private:
   void validate_window(int window);
 
-  std::vector<i32> window_buf_;
-  std::size_t head_ = 0;
+  std::size_t window_ = 0;
+  MwiState state_;  ///< internal state backing the convenience view
   int out_shift_;
   std::unique_ptr<arith::Kernel> owned_;
   arith::Kernel* kernel_ = nullptr;
-  std::vector<i64> padded_;  ///< block scratch
-  /// Block scratch: tree-level output buffers, ping-ponged by level parity
+  std::vector<i64> padded_;  ///< chunk scratch
+  /// Chunk scratch: tree-level output buffers, ping-ponged by level parity
   /// so a level recycles its grandparent level's buffers (levels strictly
   /// shrink, and a carried odd leftover always has the highest index of its
   /// parity, so it is never overwritten before its final read). Caps scratch
   /// at ~two tree levels instead of one buffer per add of the whole tree.
   std::array<std::vector<std::vector<i64>>, 2> pool_;
+};
+
+/// One wired pipeline stage — taps/shift/window resolved from the paper's
+/// coefficient set for the given Stage — bound to a kernel, with its
+/// carry-over state held internally. This is the single source of stage
+/// wiring shared by the batch pipeline (`run_stage`, one chunk per record),
+/// the exploration stage cache, and the streaming `stream::Session`.
+class StageProcessor {
+ public:
+  StageProcessor(Stage s, arith::Kernel& kernel);
+
+  /// Resumable: consume a chunk of any size, carrying state across calls.
+  /// The write-into form reuses \p out across calls (allocation-free hot
+  /// path; must not alias \p x).
+  void process_chunk(std::span<const i32> x, std::vector<i32>& out);
+  [[nodiscard]] std::vector<i32> process_chunk(std::span<const i32> x) {
+    std::vector<i32> out;
+    process_chunk(x, out);
+    return out;
+  }
+
+  /// Drop the carried state (start of a fresh record).
+  void reset();
+
+  [[nodiscard]] Stage stage() const noexcept { return stage_; }
+
+ private:
+  Stage stage_;
+  std::variant<FirStage, SquarerStage, MwiStage> impl_;
 };
 
 }  // namespace xbs::pantompkins

@@ -26,27 +26,18 @@ const std::vector<i32>& PipelineResult::stage_signal(Stage s) const noexcept {
   return mwi;  // unreachable
 }
 
+arith::OpCounts PipelineResult::total_ops() const noexcept {
+  arith::OpCounts total;
+  for (const arith::OpCounts& o : ops) total += o;
+  return total;
+}
+
 std::vector<i32> run_stage(Stage s, const arith::StageArithConfig& cfg,
                            std::span<const i32> input, arith::OpCounts* ops) {
   const std::unique_ptr<arith::Kernel> kernel = arith::make_kernel(cfg);
-  std::vector<i32> out;
-  switch (s) {
-    case Stage::Lpf:
-      out = FirStage(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, *kernel).process_block(input);
-      break;
-    case Stage::Hpf:
-      out = FirStage(dsp::pt::kHpfTaps, dsp::pt::kHpfShift, *kernel).process_block(input);
-      break;
-    case Stage::Der:
-      out = FirStage(dsp::pt::kDerTaps, dsp::pt::kDerShift, *kernel).process_block(input);
-      break;
-    case Stage::Sqr:
-      out = SquarerStage(dsp::pt::kSqrShift, *kernel).process_block(input);
-      break;
-    case Stage::Mwi:
-      out = MwiStage(dsp::pt::kMwiWindow, dsp::pt::kMwiShift, *kernel).process_block(input);
-      break;
-  }
+  // The whole record as a single chunk through the streaming core: the batch
+  // path is a thin wrapper over the same resumable stage it serves.
+  std::vector<i32> out = StageProcessor(s, *kernel).process_chunk(input);
   if (ops != nullptr) *ops = kernel->counts();
   return out;
 }

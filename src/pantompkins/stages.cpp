@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "xbs/common/fixed.hpp"
+#include "xbs/common/ring.hpp"
 #include "xbs/dsp/pt_coeffs.hpp"
 
 namespace xbs::pantompkins {
@@ -24,7 +25,7 @@ FirStage::FirStage(std::span<const int> taps, int out_shift, arith::Kernel& kern
     : out_shift_(out_shift), kernel_(&kernel) {
   if (taps.empty()) throw std::invalid_argument("FirStage: empty taps");
   taps_.assign(taps.begin(), taps.end());
-  delay_.assign(taps_.size(), 0);
+  state_ = make_state();
 }
 
 FirStage::FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUnit& unit)
@@ -33,24 +34,21 @@ FirStage::FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUn
       kernel_(owned_.get()) {
   if (taps.empty()) throw std::invalid_argument("FirStage: empty taps");
   taps_.assign(taps.begin(), taps.end());
-  delay_.assign(taps_.size(), 0);
+  state_ = make_state();
 }
 
-void FirStage::reset() {
-  delay_.assign(taps_.size(), 0);
-  head_ = 0;
-}
+void FirStage::reset() { state_ = make_state(); }
 
-i32 FirStage::process(i32 x) {
-  delay_[head_] = x;
+i32 FirStage::process(FirState& st, i32 x) {
+  st.delay[st.head] = x;
   // Products in tap order (zero taps skipped), accumulated through a chain of
   // 32-bit adds — the same structure the netlist stage builder emits.
   i64 acc = 0;
   bool first = true;
-  std::size_t idx = head_;
+  std::size_t idx = st.head;
   for (const i32 c : taps_) {
     if (c != 0) {
-      const i64 p = kernel_->mul(c, delay_[idx]);
+      const i64 p = kernel_->mul(c, st.delay[idx]);
       if (first) {
         acc = p;
         first = false;
@@ -58,20 +56,22 @@ i32 FirStage::process(i32 x) {
         acc = kernel_->add(acc, p);
       }
     }
-    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+    idx = (idx == 0) ? st.delay.size() - 1 : idx - 1;
   }
-  head_ = (head_ + 1) % delay_.size();
+  st.head = (st.head + 1) % st.delay.size();
   // Normalization shift (wiring) and 16-bit inter-stage register.
   return static_cast<i32>(saturate_to_bits(acc >> out_shift_, 16));
 }
 
-std::vector<i32> FirStage::process_block(std::span<const i32> x) {
+void FirStage::process_chunk(FirState& st, std::span<const i32> x, std::vector<i32>& y) {
   const std::size_t n = x.size();
   const std::size_t taps = taps_.size();
-  // Zero-prefixed copy of the input: element T-1+i is x[i], so tap j reads
-  // x[i-j] at offset T-1-j+i — exactly the zero-initialized delay line of the
-  // streaming path.
-  padded_.assign(n + taps - 1, 0);
+  // History-prefixed copy of the input: the first T-1 elements are the last
+  // T-1 carried samples oldest-first, element T-1+i is x[i]. Tap j of output
+  // i reads offset T-1-j+i — exactly the carried delay line of the streaming
+  // path (all zeros for a fresh state).
+  padded_.resize(n + taps - 1);
+  ring_history_prefix(st.delay, st.head, padded_);
   for (std::size_t i = 0; i < n; ++i) padded_[taps - 1 + i] = x[i];
   acc_.assign(n, 0);
 
@@ -90,19 +90,17 @@ std::vector<i32> FirStage::process_block(std::span<const i32> x) {
     }
   }
 
-  std::vector<i32> y(n);
+  y.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     y[i] = static_cast<i32>(saturate_to_bits(acc_[i] >> out_shift_, 16));
   }
 
-  // Leave the stage as if the samples had been streamed: the ring buffer
-  // holds the most recent min(T, n) samples in arrival order.
+  ring_carry(st.delay, st.head, x);
+}
+
+std::vector<i32> FirStage::process_block(std::span<const i32> x) {
   reset();
-  for (std::size_t i = n > taps ? n - taps : 0; i < n; ++i) {
-    delay_[head_] = x[i];
-    head_ = (head_ + 1) % delay_.size();
-  }
-  return y;
+  return process_chunk(state_, x);
 }
 
 // --------------------------------------------------------------- SquarerStage
@@ -117,23 +115,23 @@ i32 SquarerStage::process(i32 x) {
   return static_cast<i32>(kernel_->mul(clamped, clamped) >> out_shift_);
 }
 
-std::vector<i32> SquarerStage::process_block(std::span<const i32> x) {
+void SquarerStage::process_chunk(std::span<const i32> x, std::vector<i32>& y) {
   const std::size_t n = x.size();
   in_.resize(n);
   for (std::size_t i = 0; i < n; ++i) in_[i] = saturate_to_bits(x[i], 16);
   // Element-wise aliasing with out is part of the kernel contract, so the
   // products overwrite the clamped operands in place.
   kernel_->mul_n(in_, in_, in_);
-  std::vector<i32> y(n);
+  y.resize(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = static_cast<i32>(in_[i] >> out_shift_);
-  return y;
 }
 
 // ------------------------------------------------------------------- MwiStage
 
 void MwiStage::validate_window(int window) {
   if (window < 2) throw std::invalid_argument("MwiStage: window must be >= 2");
-  window_buf_.assign(static_cast<std::size_t>(window), 0);
+  window_ = static_cast<std::size_t>(window);
+  state_ = make_state();
 }
 
 MwiStage::MwiStage(int window, int out_shift, arith::Kernel& kernel)
@@ -148,22 +146,19 @@ MwiStage::MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit)
   validate_window(window);
 }
 
-void MwiStage::reset() {
-  window_buf_.assign(window_buf_.size(), 0);
-  head_ = 0;
-}
+void MwiStage::reset() { state_ = make_state(); }
 
-i32 MwiStage::process(i32 x) {
-  window_buf_[head_] = x;
-  head_ = (head_ + 1) % window_buf_.size();
+i32 MwiStage::process(MwiState& st, i32 x) {
+  st.window[st.head] = x;
+  st.head = (st.head + 1) % st.window.size();
   // Balanced feed-forward adder tree over the window contents, oldest first;
   // pairwise reduction order mirrors netlist::build_mwi_stage.
   std::vector<i64> terms;
-  terms.reserve(window_buf_.size());
-  std::size_t idx = head_;  // oldest element
-  for (std::size_t i = 0; i < window_buf_.size(); ++i) {
-    terms.push_back(window_buf_[idx]);
-    idx = (idx + 1) % window_buf_.size();
+  terms.reserve(st.window.size());
+  std::size_t idx = st.head;  // oldest element
+  for (std::size_t i = 0; i < st.window.size(); ++i) {
+    terms.push_back(st.window[idx]);
+    idx = (idx + 1) % st.window.size();
   }
   while (terms.size() > 1) {
     std::vector<i64> next;
@@ -177,13 +172,15 @@ i32 MwiStage::process(i32 x) {
   return static_cast<i32>(saturate_i32(terms[0] >> out_shift_));
 }
 
-std::vector<i32> MwiStage::process_block(std::span<const i32> x) {
+void MwiStage::process_chunk(MwiState& st, std::span<const i32> x, std::vector<i32>& y) {
   const std::size_t n = x.size();
-  const std::size_t w = window_buf_.size();
-  // Zero-prefixed input: for output i the window contents oldest-first are
-  // x[i-w+1..i], i.e. term k (k = 0..w-1) is padded[i + k] — the same
-  // zero-initialized window the streaming path starts from.
-  padded_.assign(n + w - 1, 0);
+  const std::size_t w = window_;
+  // History-prefixed input: for output i the window contents oldest-first
+  // are term k = padded[i + k] (k = 0..w-1); the first w-1 elements are the
+  // carried window samples oldest-first — the same window the streaming path
+  // continues from (all zeros for a fresh state).
+  padded_.resize(n + w - 1);
+  ring_history_prefix(st.window, st.head, padded_);
   for (std::size_t i = 0; i < n; ++i) padded_[w - 1 + i] = x[i];
 
   // The streaming path's pairwise tree, one add_n per pair per level. Terms
@@ -218,19 +215,47 @@ std::vector<i32> MwiStage::process_block(std::span<const i32> x) {
     parity ^= 1;
   }
 
-  std::vector<i32> y(n);
+  y.resize(n);
   const std::span<const i64> sum = terms.front();
   for (std::size_t i = 0; i < n; ++i) {
     y[i] = static_cast<i32>(saturate_i32(sum[i] >> out_shift_));
   }
 
-  // Leave the window as if the samples had been streamed.
+  ring_carry(st.window, st.head, x);
+}
+
+std::vector<i32> MwiStage::process_block(std::span<const i32> x) {
   reset();
-  for (std::size_t i = n > w ? n - w : 0; i < n; ++i) {
-    window_buf_[head_] = x[i];
-    head_ = (head_ + 1) % window_buf_.size();
+  return process_chunk(state_, x);
+}
+
+// ------------------------------------------------------------- StageProcessor
+
+namespace {
+
+std::variant<FirStage, SquarerStage, MwiStage> make_stage_impl(Stage s,
+                                                               arith::Kernel& kernel) {
+  switch (s) {
+    case Stage::Lpf: return FirStage(dsp::pt::kLpfTaps, dsp::pt::kLpfShift, kernel);
+    case Stage::Hpf: return FirStage(dsp::pt::kHpfTaps, dsp::pt::kHpfShift, kernel);
+    case Stage::Der: return FirStage(dsp::pt::kDerTaps, dsp::pt::kDerShift, kernel);
+    case Stage::Sqr: return SquarerStage(dsp::pt::kSqrShift, kernel);
+    case Stage::Mwi: return MwiStage(dsp::pt::kMwiWindow, dsp::pt::kMwiShift, kernel);
   }
-  return y;
+  throw std::invalid_argument("StageProcessor: unknown stage");
+}
+
+}  // namespace
+
+StageProcessor::StageProcessor(Stage s, arith::Kernel& kernel)
+    : stage_(s), impl_(make_stage_impl(s, kernel)) {}
+
+void StageProcessor::process_chunk(std::span<const i32> x, std::vector<i32>& out) {
+  std::visit([&](auto& stage) { stage.process_chunk(x, out); }, impl_);
+}
+
+void StageProcessor::reset() {
+  std::visit([](auto& stage) { stage.reset(); }, impl_);
 }
 
 }  // namespace xbs::pantompkins

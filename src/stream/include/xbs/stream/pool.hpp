@@ -1,0 +1,68 @@
+/// \file pool.hpp
+/// \brief The multi-session serving layer: N independent streaming sessions
+/// driven concurrently over shared immutable kernels/LUTs.
+///
+/// Thread safety is by construction: each worker thread owns a disjoint
+/// subset of sessions (a Session is a single-consumer object), and the only
+/// library state shared between threads is the process-wide
+/// multiplier/coefficient LUT caches, which are internally synchronized and
+/// hold immutable tables. The pool pre-warms those caches before any worker
+/// starts, so the hot path never builds a table inside a timed region.
+///
+/// Caveat: SessionSpec::sink is copied into every session, so during drive()
+/// it is invoked concurrently from all worker threads — a sink that touches
+/// shared state (including shared captures-by-reference) must synchronize
+/// internally. Sinks that only touch per-event data, or pools driven with
+/// threads == 1, need nothing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "xbs/stream/session.hpp"
+
+namespace xbs::stream {
+
+/// A fixed-size pool of identically configured sessions.
+class SessionPool {
+ public:
+  /// Builds \p n_sessions sessions from \p spec and pre-warms the shared
+  /// multiplier/coefficient LUTs for the spec's stage configurations.
+  SessionPool(SessionSpec spec, std::size_t n_sessions);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] Session& session(std::size_t i) { return sessions_[i]; }
+  [[nodiscard]] const Session& session(std::size_t i) const { return sessions_[i]; }
+
+  /// Aggregate outcome of one drive() run.
+  struct DriveStats {
+    u64 sessions = 0;
+    u64 samples = 0;        ///< total samples pushed across all sessions
+    u64 chunks = 0;         ///< total push() calls
+    u64 events = 0;         ///< detector decisions emitted
+    u64 beats = 0;          ///< accepted QRS events
+    unsigned threads = 0;
+    double wall_s = 0.0;
+    double p50_chunk_s = 0.0;  ///< median per-chunk push latency
+    double p99_chunk_s = 0.0;
+    double max_chunk_s = 0.0;
+
+    [[nodiscard]] double samples_per_sec() const noexcept {
+      return wall_s > 0.0 ? static_cast<double>(samples) / wall_s : 0.0;
+    }
+  };
+
+  /// Drive every session to completion over its feed (feeds.size() must
+  /// equal size()): each feed is split into chunk_size-sample pushes;
+  /// workers round-robin chunks across the sessions they own — N concurrent
+  /// long-lived streams, not one-record batch jobs — then flush. One-shot:
+  /// sessions remain available for inspection afterwards, but are flushed.
+  /// threads == 0 picks hardware concurrency (clamped to the session count).
+  DriveStats drive(std::span<const std::vector<i32>> feeds, std::size_t chunk_size,
+                   unsigned threads = 0);
+
+ private:
+  std::vector<Session> sessions_;
+};
+
+}  // namespace xbs::stream

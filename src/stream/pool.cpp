@@ -1,0 +1,115 @@
+#include "xbs/stream/pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace xbs::stream {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+SessionPool::SessionPool(SessionSpec spec, std::size_t n_sessions) {
+  // Pre-warm the process-wide LUT caches (multiplier models are built by the
+  // kernel constructors; coefficient product tables by a large-enough chunk)
+  // so worker threads only ever read published immutable tables.
+  {
+    SessionSpec warm_spec = spec;
+    warm_spec.sink = nullptr;
+    warm_spec.detection = false;
+    warm_spec.keep_signals = false;
+    Session warm(std::move(warm_spec));
+    const std::vector<i32> zeros(1024, 0);
+    (void)warm.push(zeros);
+  }
+  sessions_.reserve(n_sessions);
+  for (std::size_t i = 0; i < n_sessions; ++i) sessions_.emplace_back(spec);
+}
+
+SessionPool::DriveStats SessionPool::drive(std::span<const std::vector<i32>> feeds,
+                                           std::size_t chunk_size, unsigned threads) {
+  if (feeds.size() != sessions_.size()) {
+    throw std::invalid_argument("SessionPool::drive: one feed per session required");
+  }
+  if (chunk_size == 0) throw std::invalid_argument("SessionPool::drive: chunk_size == 0");
+  // drive() is one-shot: a second call would make push() throw inside the
+  // worker threads (uncaught -> std::terminate), so refuse it here instead.
+  // All sessions flush together, so checking one suffices.
+  if (!sessions_.empty() && sessions_.front().flushed()) {
+    throw std::logic_error("SessionPool::drive: sessions already driven");
+  }
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (threads == 0) threads = hw;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(sessions_.size(), 1)));
+
+  std::vector<std::vector<double>> latencies(threads);
+
+  auto worker = [&](unsigned t) {
+    std::vector<double>& lats = latencies[t];
+    std::vector<std::size_t> mine;  // sessions t, t+threads, ... (disjoint ownership)
+    for (std::size_t i = t; i < sessions_.size(); i += threads) mine.push_back(i);
+    std::vector<std::size_t> pos(mine.size(), 0);
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t k = 0; k < mine.size(); ++k) {
+        const std::vector<i32>& feed = feeds[mine[k]];
+        if (pos[k] >= feed.size()) continue;
+        const std::size_t len = std::min(chunk_size, feed.size() - pos[k]);
+        const Clock::time_point t0 = Clock::now();
+        (void)sessions_[mine[k]].push(std::span<const i32>(feed).subspan(pos[k], len));
+        lats.push_back(seconds_between(t0, Clock::now()));
+        pos[k] += len;
+        any = true;
+      }
+    }
+    for (const std::size_t i : mine) (void)sessions_[i].flush();
+  };
+
+  const Clock::time_point start = Clock::now();
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& th : pool) th.join();
+  }
+  const Clock::time_point stop = Clock::now();
+
+  DriveStats stats;
+  stats.sessions = sessions_.size();
+  stats.threads = threads;
+  stats.wall_s = seconds_between(start, stop);
+  std::vector<double> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end());
+  stats.chunks = all.size();
+  stats.p50_chunk_s = percentile(all, 0.50);
+  stats.p99_chunk_s = percentile(all, 0.99);
+  stats.max_chunk_s = all.empty() ? 0.0 : all.back();
+  for (const Session& s : sessions_) {
+    stats.samples += s.samples_pushed();
+    stats.events += s.events_emitted();
+    stats.beats += s.beats_detected();
+  }
+  return stats;
+}
+
+}  // namespace xbs::stream

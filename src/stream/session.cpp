@@ -1,0 +1,100 @@
+#include "xbs/stream/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xbs::stream {
+
+Session::Session(SessionSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.config.detector.valid()) {
+    throw std::invalid_argument("stream::Session: invalid DetectorParams");
+  }
+  stages_.reserve(pantompkins::kNumStages);
+  for (int s = 0; s < pantompkins::kNumStages; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    kernels_[su] = arith::make_kernel(spec_.config.stage[su]);
+    stages_.emplace_back(static_cast<pantompkins::Stage>(s), *kernels_[su]);
+  }
+  if (spec_.detection) {
+    detector_ = std::make_unique<pantompkins::OnlineDetector>(spec_.config.detector,
+                                                              spec_.keep_detection);
+  }
+}
+
+void Session::deliver(std::span<const pantompkins::PeakEvent> evs) {
+  const double fs = spec_.config.detector.fs_hz;
+  for (const pantompkins::PeakEvent& pe : evs) {
+    Event ev;
+    ev.peak = pe;
+    if (ev.is_beat()) {
+      const auto raw = static_cast<std::ptrdiff_t>(pe.raw_index);
+      ev.time_s = static_cast<double>(pe.raw_index) / fs;
+      if (last_beat_raw_ >= 0 && raw > last_beat_raw_) {
+        ev.rr_s = static_cast<double>(raw - last_beat_raw_) / fs;
+        ev.hr_bpm = ev.rr_s > 0.0 ? 60.0 / ev.rr_s : 0.0;
+      }
+      last_beat_raw_ = std::max(last_beat_raw_, raw);
+      ++beats_;
+    } else {
+      ev.time_s = static_cast<double>(pe.mwi_index) / fs;
+    }
+    ++events_;
+    if (spec_.sink) spec_.sink(ev);
+    fresh_.push_back(ev);
+  }
+}
+
+std::span<const Event> Session::push(std::span<const i32> chunk) {
+  if (flushed_) throw std::logic_error("stream::Session: push after flush");
+  fresh_.clear();
+  // One resumable chunk through each stage, in pipeline order, into reused
+  // per-session buffers. Every stage is one-in-one-out, so the chunk
+  // outputs stay index-aligned with the raw input — exactly the alignment
+  // the detector's lag constants assume.
+  stages_[0].process_chunk(chunk, chain_[0]);
+  for (int s = 1; s < pantompkins::kNumStages; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    stages_[su].process_chunk(chain_[su - 1], chain_[su]);
+  }
+  n_ += chunk.size();
+  if (spec_.keep_signals) {
+    for (int s = 0; s < pantompkins::kNumStages; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      signals_[su].insert(signals_[su].end(), chain_[su].begin(), chain_[su].end());
+    }
+  }
+  if (detector_) {
+    deliver(detector_->push(chain_[4], chain_[1], chunk));  // MWI, HPF, raw
+  }
+  return fresh_;
+}
+
+std::span<const Event> Session::flush() {
+  fresh_.clear();
+  if (flushed_) return fresh_;
+  flushed_ = true;
+  if (detector_) deliver(detector_->flush());
+  return fresh_;
+}
+
+const pantompkins::DetectionResult& Session::detection() const noexcept {
+  static const pantompkins::DetectionResult kEmpty;
+  return detector_ ? detector_->result() : kEmpty;
+}
+
+std::array<arith::OpCounts, pantompkins::kNumStages> Session::ops() const noexcept {
+  std::array<arith::OpCounts, pantompkins::kNumStages> out{};
+  for (int s = 0; s < pantompkins::kNumStages; ++s) {
+    const auto su = static_cast<std::size_t>(s);
+    out[su] = kernels_[su]->counts();
+  }
+  return out;
+}
+
+arith::OpCounts Session::total_ops() const noexcept {
+  arith::OpCounts total;
+  for (const auto& o : ops()) total += o;
+  return total;
+}
+
+}  // namespace xbs::stream

@@ -1,0 +1,327 @@
+// Streaming session API tests: chunk invariance (any chunking of a record
+// through stream::Session is bit-identical to the whole-record batch
+// pipeline), online event semantics, parameter validation, and the
+// multi-session SessionPool serving layer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/core/paper_configs.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/pantompkins/pipeline.hpp"
+#include "xbs/stream/pool.hpp"
+#include "xbs/stream/session.hpp"
+
+namespace xbs::stream {
+namespace {
+
+using pantompkins::PanTompkinsPipeline;
+using pantompkins::PipelineConfig;
+using pantompkins::PipelineResult;
+using pantompkins::Stage;
+
+/// Split sizes for a record: fixed size (0 = whole record) or, with
+/// randomize, a seeded sequence of ragged chunk lengths in [1, 97].
+std::vector<std::size_t> chunk_plan(std::size_t n, std::size_t fixed, u64 seed = 0) {
+  std::vector<std::size_t> plan;
+  if (fixed > 0) {
+    for (std::size_t at = 0; at < n; at += fixed) plan.push_back(std::min(fixed, n - at));
+    return plan;
+  }
+  if (seed == 0) {
+    plan.push_back(n);  // whole record as one chunk
+    return plan;
+  }
+  Rng rng(seed);
+  std::size_t at = 0;
+  while (at < n) {
+    const auto len = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniform_int(1, 97)), n - at);
+    plan.push_back(len);
+    at += len;
+  }
+  return plan;
+}
+
+/// Stream the record through a Session with the given chunk plan and return
+/// it in full-retention mode for comparison against the batch pipeline.
+Session stream_record(const PipelineConfig& cfg, std::span<const i32> adu,
+                      const std::vector<std::size_t>& plan) {
+  SessionSpec spec;
+  spec.config = cfg;
+  spec.keep_signals = true;
+  Session s(std::move(spec));
+  std::size_t at = 0;
+  for (const std::size_t len : plan) {
+    (void)s.push(adu.subspan(at, len));
+    at += len;
+  }
+  EXPECT_EQ(at, adu.size());
+  (void)s.flush();
+  return s;
+}
+
+void expect_bit_identical(const Session& s, const PipelineResult& batch,
+                          const std::string& what) {
+  EXPECT_EQ(s.stage_signal(Stage::Lpf), batch.lpf) << what;
+  EXPECT_EQ(s.stage_signal(Stage::Hpf), batch.hpf) << what;
+  EXPECT_EQ(s.stage_signal(Stage::Der), batch.der) << what;
+  EXPECT_EQ(s.stage_signal(Stage::Sqr), batch.sqr) << what;
+  EXPECT_EQ(s.stage_signal(Stage::Mwi), batch.mwi) << what;
+  EXPECT_EQ(s.detection().peaks, batch.detection.peaks) << what;
+  ASSERT_EQ(s.detection().trace.size(), batch.detection.trace.size()) << what;
+  for (std::size_t i = 0; i < batch.detection.trace.size(); ++i) {
+    EXPECT_EQ(s.detection().trace[i], batch.detection.trace[i]) << what << " trace[" << i << "]";
+  }
+  const auto ops = s.ops();
+  for (int st = 0; st < pantompkins::kNumStages; ++st) {
+    const auto su = static_cast<std::size_t>(st);
+    EXPECT_EQ(ops[su], batch.ops[su]) << what << " ops stage " << st;
+  }
+}
+
+TEST(StreamChunkInvariance, EveryPaperConfigAnyChunking) {
+  const auto rec = ecg::nsrdb_like_digitized(0, 3000);
+
+  std::vector<std::pair<std::string, PipelineConfig>> configs;
+  configs.emplace_back("accurate", PipelineConfig::accurate());
+  for (const auto& named : core::fig12_b_configs()) {
+    configs.emplace_back(std::string(named.name), PipelineConfig::from_lsbs(named.lsbs));
+  }
+
+  for (const auto& [name, cfg] : configs) {
+    const PipelineResult batch = PanTompkinsPipeline(cfg).run(rec.adu);
+    // Fixed sizes 1 / 7 / 64, the whole record as one chunk, and a seeded
+    // ragged split: all must reproduce the batch result bit for bit.
+    const std::array<std::pair<std::size_t, u64>, 5> plans = {
+        {{1, 0}, {7, 0}, {64, 0}, {0, 0}, {0, 1234}}};
+    for (const auto& [fixed, seed] : plans) {
+      const auto plan = chunk_plan(rec.adu.size(), fixed, seed);
+      const Session s = stream_record(cfg, rec.adu, plan);
+      expect_bit_identical(
+          s, batch, name + " chunks=" + std::to_string(fixed) + "/" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(StreamChunkInvariance, LongRecordWithHistoryTrimming) {
+  // Long enough that the detector's sliding-window trimming engages many
+  // times; results must still match the batch path exactly.
+  const auto rec = ecg::nsrdb_like_digitized(3, 20000);
+  const PipelineResult batch = PanTompkinsPipeline().run(rec.adu);
+  const Session s =
+      stream_record(PipelineConfig::accurate(), rec.adu, chunk_plan(rec.adu.size(), 0, 99));
+  expect_bit_identical(s, batch, "trimming");
+}
+
+namespace {
+
+/// Add a triangular peak of the given amplitude/half-width to a signal.
+void bump(std::vector<i32>& v, std::ptrdiff_t at, int amp, int halfwidth) {
+  for (std::ptrdiff_t i = at - halfwidth; i <= at + halfwidth; ++i) {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(v.size())) continue;
+    const int h = amp - static_cast<int>(amp * std::abs(i - at) / (halfwidth + 1));
+    if (h > v[static_cast<std::size_t>(i)]) v[static_cast<std::size_t>(i)] = h;
+  }
+}
+
+}  // namespace
+
+TEST(StreamChunkInvariance, SearchBackAndTWavePathsMatchBatch) {
+  // The NSRDB-like workloads never trigger the RR search-back or T-wave
+  // discrimination, so craft aligned (MWI, HPF, raw) triples that do: strong
+  // beats every 160 samples with gentle trailing T waves, plus two weak
+  // beats in a row (below threshold, tallest recovered by search-back when
+  // the gap exceeds the missed-beat limit).
+  const std::size_t n = 4000;
+  std::vector<i32> mwi(n, 0), hpf(n, 0), raw(n, 0);
+  int k = 0;
+  for (std::size_t p = 100; p + 60 < n; p += 160, ++k) {
+    const bool weak = (k == 10 || k == 11);
+    const auto at = static_cast<std::ptrdiff_t>(p);
+    bump(mwi, at, weak ? (k == 10 ? 260 : 180) : 1000, 8);
+    bump(hpf, at - 16, weak ? 250 : 500, 5);
+    bump(raw, at - 36, weak ? 400 : 800, 4);
+    if (!weak) {
+      bump(mwi, at + 50, 350, 24);  // T wave: above threshold, gentle slope
+      bump(hpf, at + 34, 150, 20);
+    }
+  }
+
+  const auto batch = pantompkins::detect_qrs(mwi, hpf, raw);
+  int searchback = 0, twave = 0;
+  for (const auto& ev : batch.trace) {
+    searchback += ev.decision == pantompkins::PeakDecision::SearchBackRecovered ? 1 : 0;
+    twave += ev.decision == pantompkins::PeakDecision::TWave ? 1 : 0;
+  }
+  ASSERT_GT(searchback, 0);  // the paths under test actually run
+  ASSERT_GT(twave, 0);
+
+  const std::array<std::pair<std::size_t, u64>, 5> plans = {
+      {{1, 0}, {7, 0}, {33, 0}, {0, 0}, {0, 77}}};
+  for (const auto& [fixed, seed] : plans) {
+    pantompkins::OnlineDetector det{pantompkins::DetectorParams{}};
+    std::size_t at = 0;
+    for (const std::size_t len : chunk_plan(n, fixed, seed)) {
+      (void)det.push(std::span<const i32>(mwi).subspan(at, len),
+                     std::span<const i32>(hpf).subspan(at, len),
+                     std::span<const i32>(raw).subspan(at, len));
+      at += len;
+    }
+    (void)det.flush();
+    EXPECT_EQ(det.result().peaks, batch.peaks) << "chunks=" << fixed << "/" << seed;
+    ASSERT_EQ(det.result().trace.size(), batch.trace.size()) << "chunks=" << fixed;
+    for (std::size_t i = 0; i < batch.trace.size(); ++i) {
+      EXPECT_EQ(det.result().trace[i], batch.trace[i]) << "trace[" << i << "]";
+    }
+  }
+}
+
+TEST(StreamSession, EventsMatchDetectionAndSinkSeesEverything) {
+  const auto rec = ecg::nsrdb_like_digitized(1, 6000);
+  SessionSpec spec;
+  std::vector<Event> sunk;
+  spec.sink = [&](const Event& ev) { sunk.push_back(ev); };
+  Session s(std::move(spec));
+
+  std::vector<Event> returned;
+  for (std::size_t at = 0; at < rec.adu.size(); at += 250) {
+    const auto len = std::min<std::size_t>(250, rec.adu.size() - at);
+    for (const Event& ev : s.push(std::span<const i32>(rec.adu).subspan(at, len))) {
+      returned.push_back(ev);
+    }
+  }
+  for (const Event& ev : s.flush()) returned.push_back(ev);
+
+  // The sink and the returned spans deliver the same event stream, which is
+  // exactly the cumulative detector trace.
+  ASSERT_EQ(returned.size(), sunk.size());
+  const auto& trace = s.detection().trace;
+  ASSERT_EQ(returned.size(), trace.size());
+  std::size_t beats = 0;
+  for (std::size_t i = 0; i < returned.size(); ++i) {
+    EXPECT_EQ(returned[i].peak, trace[i]);
+    EXPECT_EQ(returned[i].peak, sunk[i].peak);
+    if (returned[i].is_beat()) {
+      ++beats;
+      EXPECT_GT(returned[i].time_s, 0.0);
+    }
+  }
+  EXPECT_EQ(beats, s.beats_detected());
+  EXPECT_EQ(returned.size(), s.events_emitted());
+  EXPECT_GT(beats, 20u);  // ~30 s at ~70 bpm
+  EXPECT_EQ(s.samples_pushed(), rec.adu.size());
+}
+
+TEST(StreamSession, UnboundedServingModeKeepsNoCumulativeResult) {
+  const auto rec = ecg::nsrdb_like_digitized(2, 6000);
+  SessionSpec spec;
+  spec.keep_detection = false;
+  Session s(std::move(spec));
+  std::size_t beats = 0;
+  for (std::size_t at = 0; at < rec.adu.size(); at += 64) {
+    const auto len = std::min<std::size_t>(64, rec.adu.size() - at);
+    for (const Event& ev : s.push(std::span<const i32>(rec.adu).subspan(at, len))) {
+      beats += ev.is_beat() ? 1 : 0;
+    }
+  }
+  for (const Event& ev : s.flush()) beats += ev.is_beat() ? 1 : 0;
+  EXPECT_TRUE(s.detection().peaks.empty());
+  EXPECT_TRUE(s.detection().trace.empty());
+  // The event stream still carries every beat the batch path finds.
+  const auto batch = PanTompkinsPipeline().run(rec.adu);
+  EXPECT_EQ(beats, s.beats_detected());
+  std::size_t batch_beats = 0;
+  for (const auto& ev : batch.detection.trace) {
+    batch_beats += (ev.decision == pantompkins::PeakDecision::Accepted ||
+                    ev.decision == pantompkins::PeakDecision::SearchBackRecovered)
+                       ? 1
+                       : 0;
+  }
+  EXPECT_EQ(beats, batch_beats);
+}
+
+TEST(StreamSession, LifecycleAndValidation) {
+  Session s(SessionSpec{});
+  (void)s.push(std::vector<i32>(100, 0));
+  (void)s.flush();
+  EXPECT_TRUE(s.flushed());
+  EXPECT_TRUE(s.flush().empty());  // idempotent
+  EXPECT_THROW((void)s.push(std::vector<i32>(1, 0)), std::logic_error);
+
+  SessionSpec bad;
+  bad.config.detector.fs_hz = 0.0;
+  EXPECT_THROW(Session{std::move(bad)}, std::invalid_argument);
+}
+
+TEST(StreamSession, OpsAccountingMatchesBatch) {
+  const auto rec = ecg::nsrdb_like_digitized(0, 2000);
+  const auto cfg = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  const PipelineResult batch = PanTompkinsPipeline(cfg).run(rec.adu);
+  const Session s = stream_record(cfg, rec.adu, chunk_plan(rec.adu.size(), 128));
+  EXPECT_EQ(s.total_ops(), batch.total_ops());
+  EXPECT_GT(s.total_ops().adds, 0u);
+  EXPECT_GT(s.total_ops().mults, 0u);
+}
+
+TEST(SessionPool, ConcurrentSessionsBitIdenticalToBatch) {
+  constexpr std::size_t kSessions = 6;
+  std::vector<std::vector<i32>> feeds;
+  std::vector<std::vector<std::size_t>> expected_peaks;
+  SessionSpec spec;
+  spec.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  const PanTompkinsPipeline batch(spec.config);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    auto rec = ecg::nsrdb_like_digitized(static_cast<int>(i), 4000);
+    expected_peaks.push_back(batch.run(rec.adu).detection.peaks);
+    feeds.push_back(std::move(rec.adu));
+  }
+
+  SessionPool pool(spec, kSessions);
+  const auto stats = pool.drive(feeds, /*chunk_size=*/64, /*threads=*/3);
+
+  EXPECT_EQ(stats.sessions, kSessions);
+  EXPECT_EQ(stats.threads, 3u);
+  u64 total_samples = 0;
+  for (const auto& f : feeds) total_samples += f.size();
+  EXPECT_EQ(stats.samples, total_samples);
+  EXPECT_GT(stats.beats, 0u);
+  EXPECT_GE(stats.p99_chunk_s, stats.p50_chunk_s);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(pool.session(i).detection().peaks, expected_peaks[i]) << "session " << i;
+  }
+
+  // drive() is one-shot: a second call must refuse cleanly (not terminate
+  // inside a worker thread).
+  EXPECT_THROW((void)pool.drive(feeds, 64, 3), std::logic_error);
+}
+
+TEST(DetectorParamsValidation, RejectsNonPositiveRatesAndNegativeWindows) {
+  pantompkins::DetectorParams p;
+  EXPECT_TRUE(p.valid());
+  p.fs_hz = 0.0;
+  EXPECT_FALSE(p.valid());
+  p.fs_hz = -200.0;
+  EXPECT_FALSE(p.valid());
+  p = {};
+  p.t_wave_window_samples = -1;
+  EXPECT_FALSE(p.valid());
+  p = {};
+  p.hpf_search_halfwidth = -3;
+  EXPECT_FALSE(p.valid());
+  p = {};
+  p.refractory_samples = -40;
+  EXPECT_FALSE(p.valid());
+
+  std::vector<i32> sig(100, 0);
+  pantompkins::DetectorParams bad;
+  bad.fs_hz = 0.0;
+  EXPECT_THROW((void)pantompkins::detect_qrs(sig, sig, sig, bad), std::invalid_argument);
+  EXPECT_THROW(pantompkins::OnlineDetector{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xbs::stream
