@@ -2,6 +2,9 @@
 // acceptance bench). Streams a random 16-bit signal through the LPF stage
 // four ways — scalar/batched x exact/approximate — and emits one JSON object
 // so future PRs have a machine-readable perf baseline to regress against.
+// The `configs` array additionally reports the batched exact-vs-approximate
+// per-op gap for every elementary MultKind x ApproxPolicy combination, so
+// regressions in any table-compilation path are visible per configuration.
 //
 //   ./bench_micro_kernel [--samples N] [--iters K] [--lsbs L]
 //
@@ -121,6 +124,36 @@ int main(int argc, char** argv) {
   const double speedup_approx =
       batched_approx.samples_per_sec / scalar_approx.samples_per_sec;
 
+  // Per-configuration exact-vs-approx gap: every elementary multiplier kind
+  // under every LSB-selection policy, on the same batched FIR workload.
+  struct ConfigRow {
+    MultKind mult_kind;
+    ApproxPolicy policy;
+    double sps = 0.0;
+    double gap = 0.0;  ///< batched exact sps / batched approx sps
+    bool checksum_match = false;
+  };
+  std::vector<ConfigRow> rows;
+  for (const MultKind mk : kAllMultKinds) {
+    for (const ApproxPolicy pol :
+         {ApproxPolicy::Conservative, ApproxPolicy::Moderate, ApproxPolicy::Aggressive}) {
+      const arith::StageArithConfig cfg =
+          arith::StageArithConfig::uniform(lsbs, AdderKind::Approx5, mk, pol);
+      const std::unique_ptr<arith::Kernel> kernel = arith::make_kernel(cfg);
+      (void)run_batched(*kernel, x, 1);  // untimed table warm-up
+      const PathResult batched = run_batched(*kernel, x, iters);
+      arith::ApproxUnit unit(cfg);
+      ConfigRow row;
+      row.mult_kind = mk;
+      row.policy = pol;
+      row.sps = batched.samples_per_sec;
+      row.gap = batched_exact.samples_per_sec / batched.samples_per_sec;
+      // One scalar pass per config keeps the bit-identity check per row.
+      row.checksum_match = run_scalar(unit, x, 1).checksum == batched.checksum;
+      rows.push_back(row);
+    }
+  }
+
   std::printf(
       "{\n"
       "  \"bench\": \"micro_kernel\",\n"
@@ -135,17 +168,30 @@ int main(int argc, char** argv) {
       "  \"speedup_exact\": %.2f,\n"
       "  \"speedup_approx\": %.2f,\n"
       "  \"checksum_exact_match\": %s,\n"
-      "  \"checksum_approx_match\": %s\n"
-      "}\n",
+      "  \"checksum_approx_match\": %s,\n"
+      "  \"configs\": [\n",
       samples, iters, lsbs, scalar_exact.samples_per_sec, batched_exact.samples_per_sec,
       scalar_approx.samples_per_sec, batched_approx.samples_per_sec, speedup_exact,
       speedup_approx, scalar_exact.checksum == batched_exact.checksum ? "true" : "false",
       scalar_approx.checksum == batched_approx.checksum ? "true" : "false");
+  bool rows_match = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConfigRow& r = rows[i];
+    rows_match = rows_match && r.checksum_match;
+    std::printf(
+        "    {\"mult_kind\": \"%.*s\", \"policy\": \"%.*s\", "
+        "\"batched_approx_sps\": %.0f, \"exact_over_approx_gap\": %.2f, "
+        "\"checksum_match\": %s}%s\n",
+        static_cast<int>(to_string(r.mult_kind).size()), to_string(r.mult_kind).data(),
+        static_cast<int>(to_string(r.policy).size()), to_string(r.policy).data(), r.sps,
+        r.gap, r.checksum_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
 
   // Non-zero exit when the bit-identity invariant is violated, so CI smoke
   // runs catch it.
   return (scalar_exact.checksum == batched_exact.checksum &&
-          scalar_approx.checksum == batched_approx.checksum)
+          scalar_approx.checksum == batched_approx.checksum && rows_match)
              ? 0
              : 1;
 }

@@ -125,10 +125,30 @@ class Kernel {
   }
   /// Fused multiply-accumulate: acc[i] = add(acc[i], mul(c, x[i])).
   /// Counts one multiply and one add per element, like the scalar chain.
+  /// \p x must not alias \p acc.
   void mac_n(i64 c, std::span<const i64> x, std::span<i64> acc) {
     counts_.mults += acc.size();
     counts_.adds += acc.size();
     mac_n_impl(c, x, acc);
+  }
+
+  /// Whole FIR convolution over a history-prefixed input: with T = taps.size()
+  /// and n = acc.size(), `padded` holds T-1 carried samples followed by the n
+  /// new ones (padded.size() == n + T - 1), and tap j of output i reads
+  /// padded[T-1-j+i]. Per output sample the non-zero taps are multiplied in
+  /// tap order and accumulated through the chain
+  /// acc = add(acc, mul(c_j, x_j)) — exactly the per-tap mul_cn/mac_n
+  /// sequence, and counted identically (n multiplies per non-zero tap, n adds
+  /// per accumulation) — but exposed as one call so a backend can hoist
+  /// per-coefficient work out of the tap loop (ApproxKernel computes one
+  /// product row per *distinct* coefficient and turns the tap loop into pure
+  /// adds). \p padded must not alias \p acc.
+  void fir_n(std::span<const int> taps, std::span<const i64> padded, std::span<i64> acc) {
+    std::size_t nonzero = 0;
+    for (const int c : taps) nonzero += (c != 0);
+    counts_.mults += acc.size() * nonzero;
+    counts_.adds += acc.size() * (nonzero > 0 ? nonzero - 1 : 0);
+    fir_n_impl(taps, padded, acc);
   }
 
   [[nodiscard]] const OpCounts& counts() const noexcept { return counts_; }
@@ -143,6 +163,8 @@ class Kernel {
                           std::span<i64> out) const;
   virtual void mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const;
   virtual void mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const;
+  virtual void fir_n_impl(std::span<const int> taps, std::span<const i64> padded,
+                          std::span<i64> acc) const;
 
  private:
   OpCounts counts_;
@@ -167,21 +189,26 @@ class ExactKernel final : public Kernel {
   void mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const override;
 };
 
-/// Bit-accurate approximate backend for one stage configuration.
+/// Bit-accurate approximate backend for one stage configuration, compiled
+/// into branch-free table-driven inner loops.
 ///
 /// Hoisted out of the inner loops, once per kernel lifetime:
 ///  - the ripple-carry adder model (config decode + approx-region clamp),
 ///  - the recursive-multiplier behavioural model (its 4x4/8x8 LUTs),
-/// and, lazily per distinct coefficient magnitude, a full product table
-/// `P[m] = multiply_u(|c|, m)` covering every 16-bit operand magnitude — so
-/// the FIR-critical `mac_n` costs one table load, one sign fix and one
-/// (possibly approximate) add per sample instead of a recursive multiplier
-/// simulation. Tables are cached process-wide keyed by (MultiplierConfig,
-/// magnitude), matching the get_multiplier() cache idiom; both caches are
-/// internally synchronized, and the cached models/tables are immutable, so
-/// kernels in different threads (one per stream::SessionPool session) share
-/// them safely. A Kernel instance itself is single-consumer (mutable op
-/// counters and a per-kernel table cache) — give each session its own.
+/// and, lazily per distinct coefficient, a full *signed* product table
+/// `P[u] = mul1(c, sign_extend(u, w))` covering every w-bit operand pattern —
+/// so the FIR-critical `mul_cn`/`mac_n` are pure table walks: one masked
+/// load (plus one closed-form approximate add for the MAC) per sample, no
+/// sign fix, no multiplier simulation. The squaring pattern `mul_n` with
+/// `a.data() == b.data()` likewise resolves to a per-config 2^w-entry square
+/// table (`S[u] = mul1(x, x)`), turning the Pan-Tompkins SQR stage into one
+/// load per sample. Tables are cached process-wide keyed by
+/// (MultiplierConfig, coefficient), matching the get_multiplier() cache
+/// idiom; the caches are internally synchronized and the published tables
+/// immutable, so kernels in different threads (one per stream::SessionPool
+/// session) share them safely. A Kernel instance itself is single-consumer
+/// (mutable op counters and per-kernel table pointers) — give each session
+/// its own.
 class ApproxKernel final : public Kernel {
  public:
   explicit ApproxKernel(const StageArithConfig& cfg);
@@ -201,19 +228,32 @@ class ApproxKernel final : public Kernel {
                   std::span<i64> out) const override;
   void mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const override;
   void mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const override;
+  void fir_n_impl(std::span<const int> taps, std::span<const i64> padded,
+                  std::span<i64> acc) const override;
 
  private:
-  /// Product table of mul1(c, .) for one coefficient, indexed by the 16-bit
-  /// operand magnitude; `negate` folds in the coefficient's sign.
+  /// Signed product table of mul1(c, .) for one coefficient, indexed by the
+  /// w-bit operand pattern (sign already folded in — a pure walk).
   struct CoeffTable {
     i64 coeff = 0;
-    bool negate = false;
-    std::shared_ptr<const std::vector<i64>> products;  ///< [0, 2^(w-1)] entries
+    const i64* data = nullptr;  ///< hoisted raw pointer, 2^w entries
+    std::shared_ptr<const std::vector<i64>> owner;
   };
-  [[nodiscard]] const CoeffTable& coeff_table(i64 c) const;
-  /// The coefficient's table only if it is already warm (kernel-local or
-  /// process-wide); nullptr when using it would require a cold build.
-  [[nodiscard]] const CoeffTable* coeff_table_if_warm(i64 c) const;
+  /// Resolve the coefficient's table: always when `n` is large enough to
+  /// amortize a cold build, otherwise only if it is already warm
+  /// (kernel-local or process-wide); nullptr when using it would require a
+  /// cold build that cannot pay for itself.
+  [[nodiscard]] const i64* coeff_table(i64 c, std::size_t n) const;
+  /// Same policy for the per-config square table (mul_n with a == b).
+  [[nodiscard]] const i64* square_table(std::size_t n) const;
+
+  /// Branch-free loop bodies of the carry-free mirror-adder closed forms,
+  /// instantiated per AddFastPath so the path test never runs per element.
+  template <bool kSumIsB, bool kNegateB>
+  void wired_add_loop(const i64* a, const i64* b, i64* out, std::size_t n) const noexcept;
+  template <bool kSumIsB>
+  void wired_mac_loop(const i64* products, const i64* x, i64* acc,
+                      std::size_t n) const noexcept;
 
   /// Closed-form evaluation of the adder's approximate low region, decoded
   /// once at construction. AMA5 (Sum=B, Cout=A) and AMA4 (Sum=NOT A, Cout=A)
@@ -232,6 +272,11 @@ class ApproxKernel final : public Kernel {
   std::shared_ptr<const RecursiveMultiplier> mult_owner_;
   const RecursiveMultiplier* mult_;  ///< hoisted raw pointer for the loops
   mutable std::vector<CoeffTable> coeff_tables_;  ///< tiny per-kernel LRU-less cache
+  mutable const i64* square_ = nullptr;  ///< hoisted square-table pointer
+  mutable std::shared_ptr<const std::vector<i64>> square_owner_;
+  /// fir_n scratch: one product row per distinct coefficient (reused across
+  /// chunks; single-consumer like the op counters).
+  mutable std::vector<std::vector<i64>> fir_rows_;
 };
 
 /// Build the right backend for a stage configuration: the exact native kernel
@@ -239,14 +284,26 @@ class ApproxKernel final : public Kernel {
 /// otherwise.
 [[nodiscard]] std::unique_ptr<Kernel> make_kernel(const StageArithConfig& cfg);
 
-/// Process-wide cache of per-coefficient product tables (see ApproxKernel).
-/// Exposed for benches that want to pre-warm tables outside timed regions.
-[[nodiscard]] std::shared_ptr<const std::vector<i64>> get_coeff_products(
-    const MultiplierConfig& cfg, u64 magnitude);
+/// Process-wide cache of full signed per-coefficient product tables
+/// (see ApproxKernel): 2^width entries, `P[u] = mul1(c, sign_extend(u, w))`.
+/// Exposed so serving layers (stream::SessionPool) and benches can pre-warm
+/// tables outside timed regions — once warm, every kernel in the process
+/// walks them regardless of chunk size.
+[[nodiscard]] std::shared_ptr<const std::vector<i64>> get_signed_coeff_products(
+    const MultiplierConfig& cfg, i64 coeff);
 
 /// Cache peek: the table if it has already been built, nullptr otherwise.
 /// Lets small-block paths use a warm table without paying a cold build.
-[[nodiscard]] std::shared_ptr<const std::vector<i64>> peek_coeff_products(
-    const MultiplierConfig& cfg, u64 magnitude) noexcept;
+[[nodiscard]] std::shared_ptr<const std::vector<i64>> peek_signed_coeff_products(
+    const MultiplierConfig& cfg, i64 coeff) noexcept;
+
+/// Process-wide cache of per-config square tables: 2^width entries,
+/// `S[u] = mul1(x, x)` for `x = sign_extend(u, w)` — the SQR-stage kernel.
+[[nodiscard]] std::shared_ptr<const std::vector<i64>> get_square_products(
+    const MultiplierConfig& cfg);
+
+/// Cache peek for the square table (same policy as the coefficient peek).
+[[nodiscard]] std::shared_ptr<const std::vector<i64>> peek_square_products(
+    const MultiplierConfig& cfg) noexcept;
 
 }  // namespace xbs::arith

@@ -62,18 +62,23 @@ class RecursiveMultiplier {
   MultiplierConfig cfg_;
   // Memoized sub-multiplier functions keyed by base weight offset
   // (off_a + off_b); behaviour depends on offsets only through the base.
-  struct Lut4 {
-    int base = -1;
-    std::vector<u8> table;  // 256 entries
-  };
-  struct Lut8 {
-    int base = -1;
-    std::vector<u16> table;  // 65536 entries
-  };
-  std::vector<Lut4> lut4_;
-  std::vector<Lut8> lut8_;
-  [[nodiscard]] const Lut4* find_lut4(int base) const noexcept;
-  [[nodiscard]] const Lut8* find_lut8(int base) const noexcept;
+  // Base offsets are small and dense (0..2*width in steps of the sub size),
+  // so lookup is a direct index into a per-base pointer array instead of a
+  // linear scan — one load on the multiply hot path.
+  std::vector<std::vector<u8>> lut4_tables_;   // 256 entries each
+  std::vector<std::vector<u16>> lut8_tables_;  // 65536 entries each
+  std::vector<const u8*> lut4_by_base_;        // index = base, nullptr = none
+  std::vector<const u16*> lut8_by_base_;
+  [[nodiscard]] const u8* find_lut4(int base) const noexcept {
+    return static_cast<std::size_t>(base) < lut4_by_base_.size()
+               ? lut4_by_base_[static_cast<std::size_t>(base)]
+               : nullptr;
+  }
+  [[nodiscard]] const u16* find_lut8(int base) const noexcept {
+    return static_cast<std::size_t>(base) < lut8_by_base_.size()
+               ? lut8_by_base_[static_cast<std::size_t>(base)]
+               : nullptr;
+  }
 };
 
 /// Process-wide cache of multiplier behavioural models: exploration sweeps

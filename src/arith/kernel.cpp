@@ -9,10 +9,18 @@ namespace xbs::arith {
 namespace {
 
 /// Blocks shorter than this fall back to the scalar multiplier instead of
-/// building a per-coefficient product table (2^(w-1)+1 multiplies to fill):
-/// below the threshold the table cannot pay for itself within one process
-/// unless it is already cached.
+/// building a per-coefficient product/square table (2^w multiplies to fill):
+/// below the threshold a *cold* build cannot pay for itself within one call.
+/// Warm tables (pre-built by stream::SessionPool / pantompkins::warm_* or by
+/// any earlier large block) are used at every size, so the threshold is moot
+/// for long-running streaming processes.
 constexpr std::size_t kCoeffTableThreshold = 512;
+
+#if defined(_MSC_VER)
+#define XBS_RESTRICT __restrict
+#else
+#define XBS_RESTRICT __restrict__
+#endif
 
 }  // namespace
 
@@ -41,6 +49,26 @@ void Kernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = add1(acc[i], mul1(c, x[i]));
 }
 
+void Kernel::fir_n_impl(std::span<const int> taps, std::span<const i64> padded,
+                        std::span<i64> acc) const {
+  // Reference chain: one mul_cn for the first non-zero tap, one mac_n per
+  // subsequent one, in tap order — the scalar per-sample dataflow, batched.
+  const std::size_t T = taps.size();
+  const std::size_t n = acc.size();
+  bool first = true;
+  for (std::size_t j = 0; j < T; ++j) {
+    if (taps[j] == 0) continue;
+    const std::span<const i64> xs = padded.subspan(T - 1 - j, n);
+    if (first) {
+      mul_cn_impl(taps[j], xs, acc);
+      first = false;
+    } else {
+      mac_n_impl(taps[j], xs, acc);
+    }
+  }
+  if (first) std::fill(acc.begin(), acc.end(), i64{0});
+}
+
 // ----------------------------------------------------------------- ExactKernel
 
 i64 ExactKernel::add1(i64 a, i64 b) const {
@@ -57,40 +85,65 @@ i64 ExactKernel::mul1(i64 a, i64 b) const {
   return sa * sb;
 }
 
+// The exact loops avoid per-element helper calls: truncate-then-sign-extend
+// of the low 32 (16) bits is exactly a cast through i32 (i16) in C++20
+// two's-complement arithmetic, which the compiler auto-vectorizes.
+
 void ExactKernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
                              std::span<i64> out) const {
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = sign_extend(to_unsigned_bits(a[i] + b[i], 32), 32);
+  // No restrict: element-wise aliasing with `out` is part of the contract;
+  // out[i] depends only on index i, so the loop still vectorizes (the
+  // compiler versions it with a runtime overlap check).
+  const i64* pa = a.data();
+  const i64* pb = b.data();
+  i64* po = out.data();
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = static_cast<i32>(static_cast<u32>(pa[i] + pb[i]));
   }
 }
 
 void ExactKernel::sub_n_impl(std::span<const i64> a, std::span<const i64> b,
                              std::span<i64> out) const {
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = sign_extend(to_unsigned_bits(a[i] - b[i], 32), 32);
+  const i64* pa = a.data();
+  const i64* pb = b.data();
+  i64* po = out.data();
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = static_cast<i32>(static_cast<u32>(pa[i] - pb[i]));
   }
 }
 
 void ExactKernel::mul_n_impl(std::span<const i64> a, std::span<const i64> b,
                              std::span<i64> out) const {
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = sign_extend(to_unsigned_bits(a[i], 16), 16) *
-             sign_extend(to_unsigned_bits(b[i], 16), 16);
+  const i64* pa = a.data();
+  const i64* pb = b.data();
+  i64* po = out.data();  // may alias pa/pb element-wise (kernel contract)
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = static_cast<i64>(static_cast<i16>(static_cast<u16>(pa[i]))) *
+            static_cast<i64>(static_cast<i16>(static_cast<u16>(pb[i])));
   }
 }
 
 void ExactKernel::mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const {
-  const i64 sc = sign_extend(to_unsigned_bits(c, 16), 16);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = sc * sign_extend(to_unsigned_bits(x[i], 16), 16);
+  const i64 sc = static_cast<i16>(static_cast<u16>(c));
+  const i64* XBS_RESTRICT px = x.data();
+  i64* XBS_RESTRICT po = out.data();
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = sc * static_cast<i64>(static_cast<i16>(static_cast<u16>(px[i])));
   }
 }
 
 void ExactKernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const {
-  const i64 sc = sign_extend(to_unsigned_bits(c, 16), 16);
-  for (std::size_t i = 0; i < acc.size(); ++i) {
-    const i64 p = sc * sign_extend(to_unsigned_bits(x[i], 16), 16);
-    acc[i] = sign_extend(to_unsigned_bits(acc[i] + p, 32), 32);
+  const i64 sc = static_cast<i16>(static_cast<u16>(c));
+  const i64* XBS_RESTRICT px = x.data();
+  i64* XBS_RESTRICT pa = acc.data();
+  const std::size_t n = acc.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const i64 p = sc * static_cast<i64>(static_cast<i16>(static_cast<u16>(px[i])));
+    pa[i] = static_cast<i32>(static_cast<u32>(pa[i] + p));
   }
 }
 
@@ -148,88 +201,262 @@ i64 ApproxKernel::sub1(i64 a, i64 b) const { return adder_.sub_signed(a, b); }
 
 i64 ApproxKernel::mul1(i64 a, i64 b) const { return mult_->multiply_signed(a, b); }
 
+template <bool kSumIsB, bool kNegateB>
+void ApproxKernel::wired_add_loop(const i64* a, const i64* b, i64* out,
+                                  std::size_t n) const noexcept {
+  // Branch-free batched form of wired_add(): all configuration decoding
+  // (path, width, approx-region size) is resolved before the loop, and the
+  // body is pure bit arithmetic — no calls, no per-element branches — so it
+  // auto-vectorizes. Semantics are element-for-element identical to
+  // add_signed_fast()/sub_signed_fast() (asserted in
+  // tests/test_kernel_equivalence.cpp).
+  const int w = cfg_.adder.width;
+  const int k = approx_bits_;
+  const u64 wmask = low_mask(w);
+  const u64 sbit = u64{1} << (w - 1);
+  if (k >= w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 ua = static_cast<u64>(a[i]) & wmask;
+      u64 ub = static_cast<u64>(b[i]) & wmask;
+      if (kNegateB) ub = ~ub & wmask;
+      const u64 low = (kSumIsB ? ub : ~ua) & wmask;
+      out[i] = static_cast<i64>((low ^ sbit) - sbit);
+    }
+    return;
+  }
+  const u64 kmask = low_mask(k);
+  const u64 himask = low_mask(w - k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 ua = static_cast<u64>(a[i]) & wmask;
+    u64 ub = static_cast<u64>(b[i]) & wmask;
+    if (kNegateB) ub = ~ub & wmask;
+    const u64 low = (kSumIsB ? ub : ~ua) & kmask;
+    const u64 carry = (ua >> (k - 1)) & 1u;
+    const u64 hi = ((ua >> k) + (ub >> k) + carry) & himask;
+    const u64 r = (hi << k) | low;
+    out[i] = static_cast<i64>((r ^ sbit) - sbit);
+  }
+}
+
 void ApproxKernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = add_signed_fast(a[i], b[i]);
+  const std::size_t n = out.size();
+  switch (add_path_) {
+    case AddFastPath::SumIsB:
+      wired_add_loop<true, false>(a.data(), b.data(), out.data(), n);
+      return;
+    case AddFastPath::SumIsNotA:
+      wired_add_loop<false, false>(a.data(), b.data(), out.data(), n);
+      return;
+    case AddFastPath::Generic: break;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = adder_.add_signed(a[i], b[i]);
 }
 
 void ApproxKernel::sub_n_impl(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = sub_signed_fast(a[i], b[i]);
+  const std::size_t n = out.size();
+  switch (add_path_) {
+    case AddFastPath::SumIsB:
+      wired_add_loop<true, true>(a.data(), b.data(), out.data(), n);
+      return;
+    case AddFastPath::SumIsNotA:
+      wired_add_loop<false, true>(a.data(), b.data(), out.data(), n);
+      return;
+    case AddFastPath::Generic: break;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = adder_.sub_signed(a[i], b[i]);
 }
 
 void ApproxKernel::mul_n_impl(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = mult_->multiply_signed(a[i], b[i]);
+  const std::size_t n = out.size();
+  if (a.data() == b.data()) {
+    // The squaring pattern (SQR stage): one masked load per sample from the
+    // per-config square table. Full in-place aliasing with `out` is fine —
+    // out[i] is written strictly after a[i] is read.
+    if (const i64* XBS_RESTRICT sq = square_table(n)) {
+      const u64 mmask = low_mask(cfg_.mult.width);
+      const i64* pa = a.data();
+      i64* po = out.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        po[i] = sq[static_cast<u64>(pa[i]) & mmask];
+      }
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = mult_->multiply_signed(a[i], b[i]);
 }
 
-const ApproxKernel::CoeffTable& ApproxKernel::coeff_table(i64 c) const {
+const i64* ApproxKernel::coeff_table(i64 c, std::size_t n) const {
   for (const CoeffTable& t : coeff_tables_) {
-    if (t.coeff == c) return t;
+    if (t.coeff == c) return t.data;
   }
-  const int w = cfg_.mult.width;
-  const i64 sc = sign_extend(to_unsigned_bits(c, w), w);
-  const u64 mag = sc < 0 ? static_cast<u64>(-sc) : static_cast<u64>(sc);
-  CoeffTable t;
-  t.coeff = c;
-  t.negate = sc < 0;
-  t.products = get_coeff_products(cfg_.mult, mag);
-  coeff_tables_.push_back(std::move(t));
-  return coeff_tables_.back();
-}
-
-const ApproxKernel::CoeffTable* ApproxKernel::coeff_table_if_warm(i64 c) const {
-  for (const CoeffTable& t : coeff_tables_) {
-    if (t.coeff == c) return &t;
-  }
-  const int w = cfg_.mult.width;
-  const i64 sc = sign_extend(to_unsigned_bits(c, w), w);
-  const u64 mag = sc < 0 ? static_cast<u64>(-sc) : static_cast<u64>(sc);
-  auto products = peek_coeff_products(cfg_.mult, mag);
+  auto products = n >= kCoeffTableThreshold ? get_signed_coeff_products(cfg_.mult, c)
+                                            : peek_signed_coeff_products(cfg_.mult, c);
   if (products == nullptr) return nullptr;
   CoeffTable t;
   t.coeff = c;
-  t.negate = sc < 0;
-  t.products = std::move(products);
+  t.data = products->data();
+  t.owner = std::move(products);
   coeff_tables_.push_back(std::move(t));
-  return &coeff_tables_.back();
+  return coeff_tables_.back().data;
+}
+
+const i64* ApproxKernel::square_table(std::size_t n) const {
+  if (square_ != nullptr) return square_;
+  auto table = n >= kCoeffTableThreshold ? get_square_products(cfg_.mult)
+                                         : peek_square_products(cfg_.mult);
+  if (table == nullptr) return nullptr;
+  square_owner_ = std::move(table);
+  square_ = square_owner_->data();
+  return square_;
 }
 
 void ApproxKernel::mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out) const {
   // Below the threshold a cold table build cannot pay for itself, but a warm
-  // one (kernel-local or process-wide) is still the fast path.
-  const CoeffTable* t =
-      out.size() >= kCoeffTableThreshold ? &coeff_table(c) : coeff_table_if_warm(c);
-  if (t == nullptr) {
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] = mult_->multiply_signed(c, x[i]);
+  // one (kernel-local or process-wide) is still the fast path. The signed
+  // table folds the coefficient's and operand's signs in, so the walk is one
+  // masked load per sample. `out` must not alias `x` (FIR contract).
+  const std::size_t n = out.size();
+  const i64* XBS_RESTRICT prod = coeff_table(c, n);
+  if (prod == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = mult_->multiply_signed(c, x[i]);
     return;
   }
-  const std::vector<i64>& prod = *t->products;
-  const int w = cfg_.mult.width;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const i64 sx = sign_extend(to_unsigned_bits(x[i], w), w);
-    const u64 m = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
-    const i64 p = prod[m];
-    out[i] = (t->negate != (sx < 0)) ? -p : p;
+  const u64 mmask = low_mask(cfg_.mult.width);
+  const i64* XBS_RESTRICT px = x.data();
+  i64* XBS_RESTRICT po = out.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    po[i] = prod[static_cast<u64>(px[i]) & mmask];
+  }
+}
+
+template <bool kSumIsB>
+void ApproxKernel::wired_mac_loop(const i64* products, const i64* x, i64* acc,
+                                  std::size_t n) const noexcept {
+  // Fused table walk + carry-free approximate accumulate: load the signed
+  // product, then the wired-add closed form with the accumulator on the A
+  // port and the product on the B port — the same operand order as the
+  // scalar chain add(acc, mul(c, x)).
+  const u64 mmask = low_mask(cfg_.mult.width);
+  const int w = cfg_.adder.width;
+  const int k = approx_bits_;
+  const u64 wmask = low_mask(w);
+  const u64 sbit = u64{1} << (w - 1);
+  if (k >= w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 ua = static_cast<u64>(acc[i]) & wmask;
+      const u64 ub = static_cast<u64>(products[static_cast<u64>(x[i]) & mmask]) & wmask;
+      const u64 low = (kSumIsB ? ub : ~ua) & wmask;
+      acc[i] = static_cast<i64>((low ^ sbit) - sbit);
+    }
+    return;
+  }
+  const u64 kmask = low_mask(k);
+  const u64 himask = low_mask(w - k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 ua = static_cast<u64>(acc[i]) & wmask;
+    const u64 ub = static_cast<u64>(products[static_cast<u64>(x[i]) & mmask]) & wmask;
+    const u64 low = (kSumIsB ? ub : ~ua) & kmask;
+    const u64 carry = (ua >> (k - 1)) & 1u;
+    const u64 hi = ((ua >> k) + (ub >> k) + carry) & himask;
+    const u64 r = (hi << k) | low;
+    acc[i] = static_cast<i64>((r ^ sbit) - sbit);
+  }
+}
+
+void ApproxKernel::fir_n_impl(std::span<const int> taps, std::span<const i64> padded,
+                              std::span<i64> acc) const {
+  // Product-row compilation: the tap loop re-reads the same input samples
+  // once per tap, so gather the signed products P_c[x] once per *distinct*
+  // coefficient over the whole padded window and reduce the tap loop to pure
+  // carry-free adds over shifted row views. Bit-identical to the per-tap
+  // chain: the products are the same table loads, the adds the same wired
+  // closed forms, in the same tap order.
+  const std::size_t T = taps.size();
+  const std::size_t n = acc.size();
+  if (n == 0) return;
+
+  // Distinct non-zero coefficients, and each tap's row index.
+  i32 distinct[64];
+  std::size_t n_distinct = 0;
+  std::size_t nonzero = 0;
+  bool tables_ok = true;
+  for (std::size_t j = 0; j < T && tables_ok; ++j) {
+    const int c = taps[j];
+    if (c == 0) continue;
+    ++nonzero;
+    bool seen = false;
+    for (std::size_t d = 0; d < n_distinct; ++d) seen |= (distinct[d] == c);
+    if (!seen) {
+      if (n_distinct == 64 || coeff_table(c, n) == nullptr) {
+        tables_ok = false;  // cold table (or absurd tap set): take the chain
+        break;
+      }
+      distinct[n_distinct++] = c;
+    }
+  }
+  if (!tables_ok || nonzero == 0 || add_path_ == AddFastPath::Generic) {
+    Kernel::fir_n_impl(taps, padded, acc);
+    return;
+  }
+
+  const u64 mmask = low_mask(cfg_.mult.width);
+  fir_rows_.resize(n_distinct);
+  for (std::size_t d = 0; d < n_distinct; ++d) {
+    const i64* XBS_RESTRICT prod = coeff_table(distinct[d], n);
+    std::vector<i64>& row = fir_rows_[d];
+    row.resize(padded.size());
+    const i64* XBS_RESTRICT px = padded.data();
+    i64* XBS_RESTRICT pr = row.data();
+    for (std::size_t m = 0; m < padded.size(); ++m) {
+      pr[m] = prod[static_cast<u64>(px[m]) & mmask];
+    }
+  }
+  auto row_of = [&](int c) -> const i64* {
+    for (std::size_t d = 0; d < n_distinct; ++d) {
+      if (distinct[d] == c) return fir_rows_[d].data();
+    }
+    return nullptr;  // unreachable
+  };
+
+  bool first = true;
+  for (std::size_t j = 0; j < T; ++j) {
+    if (taps[j] == 0) continue;
+    const i64* row = row_of(taps[j]) + (T - 1 - j);
+    if (first) {
+      std::copy_n(row, n, acc.data());
+      first = false;
+    } else if (add_path_ == AddFastPath::SumIsB) {
+      wired_add_loop<true, false>(acc.data(), row, acc.data(), n);
+    } else {
+      wired_add_loop<false, false>(acc.data(), row, acc.data(), n);
+    }
   }
 }
 
 void ApproxKernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc) const {
-  const CoeffTable* t =
-      acc.size() >= kCoeffTableThreshold ? &coeff_table(c) : coeff_table_if_warm(c);
-  if (t == nullptr) {
-    for (std::size_t i = 0; i < acc.size(); ++i) {
+  const std::size_t n = acc.size();
+  const i64* prod = coeff_table(c, n);
+  if (prod == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
       acc[i] = add_signed_fast(acc[i], mult_->multiply_signed(c, x[i]));
     }
     return;
   }
-  const std::vector<i64>& prod = *t->products;
-  const int w = cfg_.mult.width;
-  for (std::size_t i = 0; i < acc.size(); ++i) {
-    const i64 sx = sign_extend(to_unsigned_bits(x[i], w), w);
-    const u64 m = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
-    const i64 p = prod[m];
-    acc[i] = add_signed_fast(acc[i], (t->negate != (sx < 0)) ? -p : p);
+  switch (add_path_) {
+    case AddFastPath::SumIsB:
+      wired_mac_loop<true>(prod, x.data(), acc.data(), n);
+      return;
+    case AddFastPath::SumIsNotA:
+      wired_mac_loop<false>(prod, x.data(), acc.data(), n);
+      return;
+    case AddFastPath::Generic: break;
+  }
+  const u64 mmask = low_mask(cfg_.mult.width);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = adder_.add_signed(acc[i], prod[static_cast<u64>(x[i]) & mmask]);
   }
 }
 
@@ -240,50 +467,58 @@ std::unique_ptr<Kernel> make_kernel(const StageArithConfig& cfg) {
   return std::make_unique<ApproxKernel>(cfg);
 }
 
-// ---------------------------------------------- coefficient product table cache
+// ------------------------------------------------- product table caches
 
 namespace {
 
-struct CoeffCacheEntry {
+/// Magnitude-indexed product rows M[m] = multiply_u(|c|, m) — the expensive
+/// build, shared between +c and -c (and reused for the square diagonal).
+struct MagnitudeCacheEntry {
   MultiplierConfig cfg;
   u64 magnitude;
   std::shared_ptr<const std::vector<i64>> table;
 };
 
-// The cache is shared by every kernel in the process and may now be hit from
-// the concurrent sessions of a stream::SessionPool, so reads and inserts are
-// serialized. The tables themselves are immutable once published.
-std::mutex& coeff_cache_mutex() {
-  static std::mutex m;
-  return m;
+/// Full signed per-coefficient tables P[u] = mul1(c, sign_extend(u, w)),
+/// keyed by the sign-extended coefficient value.
+struct SignedCacheEntry {
+  MultiplierConfig cfg;
+  i64 coeff;
+  std::shared_ptr<const std::vector<i64>> table;
+};
+
+/// Per-config square tables S[u] = mul1(x, x), x = sign_extend(u, w).
+struct SquareCacheEntry {
+  MultiplierConfig cfg;
+  std::shared_ptr<const std::vector<i64>> table;
+};
+
+// The caches are shared by every kernel in the process and are hit from the
+// concurrent sessions of a stream::SessionPool and the parallel exploration
+// workers, so reads and inserts are serialized. The tables themselves are
+// immutable once published; racing builders of the same table publish
+// equivalent duplicates (last one wins, both bit-identical).
+struct TableCaches {
+  std::mutex mutex;
+  std::vector<MagnitudeCacheEntry> magnitude;
+  std::vector<SignedCacheEntry> signed_coeff;
+  std::vector<SquareCacheEntry> square;
+};
+
+TableCaches& caches() {
+  static TableCaches c;
+  return c;
 }
 
-std::vector<CoeffCacheEntry>& coeff_cache() {
-  static std::vector<CoeffCacheEntry> cache;
-  return cache;
-}
-
-}  // namespace
-
-std::shared_ptr<const std::vector<i64>> peek_coeff_products(const MultiplierConfig& cfg,
-                                                            u64 magnitude) noexcept {
-  const std::lock_guard<std::mutex> lock(coeff_cache_mutex());
-  for (const CoeffCacheEntry& e : coeff_cache()) {
-    if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
-  }
-  return nullptr;
-}
-
-std::shared_ptr<const std::vector<i64>> get_coeff_products(const MultiplierConfig& cfg,
-                                                           u64 magnitude) {
+std::shared_ptr<const std::vector<i64>> get_magnitude_products(const MultiplierConfig& cfg,
+                                                               u64 magnitude) {
   {
-    const std::lock_guard<std::mutex> lock(coeff_cache_mutex());
-    for (const CoeffCacheEntry& e : coeff_cache()) {
+    const std::lock_guard<std::mutex> lock(caches().mutex);
+    for (const MagnitudeCacheEntry& e : caches().magnitude) {
       if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
     }
   }
-  // Build outside the lock (the fill is the expensive part); a racing
-  // builder of the same table just publishes an equivalent duplicate.
+  // Build outside the lock (the fill is the expensive part).
   const auto model = get_multiplier(cfg);
   // Operand magnitudes of a w-bit signed multiplier span [0, 2^(w-1)]
   // (the upper bound is the magnitude of the most negative value).
@@ -294,8 +529,77 @@ std::shared_ptr<const std::vector<i64>> get_coeff_products(const MultiplierConfi
     // the A port. Approximate arrays are not commutative, so this matters.
     (*table)[m] = static_cast<i64>(model->multiply_u(magnitude, static_cast<u64>(m)));
   }
-  const std::lock_guard<std::mutex> lock(coeff_cache_mutex());
-  coeff_cache().push_back(CoeffCacheEntry{cfg, magnitude, table});
+  const std::lock_guard<std::mutex> lock(caches().mutex);
+  caches().magnitude.push_back(MagnitudeCacheEntry{cfg, magnitude, table});
+  return table;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<i64>> peek_signed_coeff_products(
+    const MultiplierConfig& cfg, i64 coeff) noexcept {
+  const i64 sc = sign_extend(to_unsigned_bits(coeff, cfg.width), cfg.width);
+  const std::lock_guard<std::mutex> lock(caches().mutex);
+  for (const SignedCacheEntry& e : caches().signed_coeff) {
+    if (e.coeff == sc && e.cfg == cfg) return e.table;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const std::vector<i64>> get_signed_coeff_products(const MultiplierConfig& cfg,
+                                                                  i64 coeff) {
+  if (auto warm = peek_signed_coeff_products(cfg, coeff)) return warm;
+  const int w = cfg.width;
+  const i64 sc = sign_extend(to_unsigned_bits(coeff, w), w);
+  const bool neg = sc < 0;
+  const u64 mag = neg ? static_cast<u64>(-sc) : static_cast<u64>(sc);
+  // Derive the full signed table from the magnitude row: one load and one
+  // conditional negate per entry — cheap next to the row's multiply_u fill,
+  // and bit-identical to mul1(c, x) by the sign-magnitude wrapper identity.
+  const auto row = get_magnitude_products(cfg, mag);
+  const std::size_t n = std::size_t{1} << w;
+  auto table = std::make_shared<std::vector<i64>>(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const i64 sx = sign_extend(static_cast<u64>(u), w);
+    const u64 mx = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
+    const i64 p = (*row)[mx];
+    (*table)[u] = (neg != (sx < 0)) ? -p : p;
+  }
+  const std::lock_guard<std::mutex> lock(caches().mutex);
+  caches().signed_coeff.push_back(SignedCacheEntry{cfg, sc, table});
+  return table;
+}
+
+std::shared_ptr<const std::vector<i64>> peek_square_products(
+    const MultiplierConfig& cfg) noexcept {
+  const std::lock_guard<std::mutex> lock(caches().mutex);
+  for (const SquareCacheEntry& e : caches().square) {
+    if (e.cfg == cfg) return e.table;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const std::vector<i64>> get_square_products(const MultiplierConfig& cfg) {
+  if (auto warm = peek_square_products(cfg)) return warm;
+  const auto model = get_multiplier(cfg);
+  const int w = cfg.width;
+  // Square diagonal per magnitude, then spread over both sign halves: the
+  // sign-magnitude wrapper makes mul1(x, x) = +multiply_u(|x|, |x|) always.
+  const std::size_t half = (std::size_t{1} << (w - 1)) + 1;
+  std::vector<i64> diag(half);
+  for (std::size_t m = 0; m < half; ++m) {
+    diag[m] =
+        static_cast<i64>(model->multiply_u(static_cast<u64>(m), static_cast<u64>(m)));
+  }
+  const std::size_t n = std::size_t{1} << w;
+  auto table = std::make_shared<std::vector<i64>>(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const i64 sx = sign_extend(static_cast<u64>(u), w);
+    const u64 mx = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
+    (*table)[u] = diag[mx];
+  }
+  const std::lock_guard<std::mutex> lock(caches().mutex);
+  caches().square.push_back(SquareCacheEntry{cfg, table});
   return table;
 }
 

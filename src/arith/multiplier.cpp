@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <mutex>
-#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -15,17 +14,19 @@ namespace {
 
 /// Distinct base offsets (off_a + off_b) at which sub-multipliers of size
 /// \p sub occur inside a width-\p width recursive multiplier.
-std::set<int> sub_bases(int width, int sub) {
-  std::set<int> bases;
+std::vector<int> sub_bases(int width, int sub) {
+  std::vector<int> bases;
   const MultStructure s = compute_mult_structure(width);
   if (sub == 2) {
-    for (const auto& e : s.elems) bases.insert(e.out_offset);
+    for (const auto& e : s.elems) bases.push_back(e.out_offset);
   } else {
     // Sub-multipliers of size `sub` start at offsets that are multiples of
     // `sub` in each operand; their base offsets are the sums.
     for (int oa = 0; oa < width; oa += sub)
-      for (int ob = 0; ob < width; ob += sub) bases.insert(oa + ob);
+      for (int ob = 0; ob < width; ob += sub) bases.push_back(oa + ob);
   }
+  std::sort(bases.begin(), bases.end());
+  bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
   return bases;
 }
 
@@ -41,41 +42,36 @@ RecursiveMultiplier::RecursiveMultiplier(const MultiplierConfig& cfg) : cfg_(cfg
   }
   // Memoize 4x4 sub-multipliers (and, for width >= 16, 8x8) keyed by base
   // weight offset. Tables are built through the plain recursive simulation so
-  // they are bit-identical to the unmemoized path.
+  // they are bit-identical to the unmemoized path. Each level's pointer index
+  // is published only after all of its tables are built (the table vector
+  // must stop reallocating before addresses are taken), so the 8x8 builds run
+  // on top of the already-indexed 4x4 tables.
   if (cfg.width >= 4) {
-    for (const int base : sub_bases(cfg.width, 4)) {
-      Lut4 l;
-      l.base = base;
-      l.table.resize(256);
+    const std::vector<int> bases = sub_bases(cfg.width, 4);
+    for (const int base : bases) {
+      std::vector<u8>& t = lut4_tables_.emplace_back(256);
       for (u32 a = 0; a < 16; ++a)
         for (u32 b = 0; b < 16; ++b)
-          l.table[(a << 4) | b] = static_cast<u8>(simulate(4, a, b, base, 0));
-      lut4_.push_back(std::move(l));
+          t[(a << 4) | b] = static_cast<u8>(simulate(4, a, b, base, 0));
+    }
+    lut4_by_base_.assign(static_cast<std::size_t>(2 * cfg.width + 1), nullptr);
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      lut4_by_base_[static_cast<std::size_t>(bases[i])] = lut4_tables_[i].data();
     }
   }
   if (cfg.width >= 16) {
-    for (const int base : sub_bases(cfg.width, 8)) {
-      Lut8 l;
-      l.base = base;
-      l.table.resize(65536);
+    const std::vector<int> bases = sub_bases(cfg.width, 8);
+    for (const int base : bases) {
+      std::vector<u16>& t = lut8_tables_.emplace_back(65536);
       for (u32 a = 0; a < 256; ++a)
         for (u32 b = 0; b < 256; ++b)
-          l.table[(a << 8) | b] = static_cast<u16>(simulate(8, a, b, base, 0));
-      lut8_.push_back(std::move(l));
+          t[(a << 8) | b] = static_cast<u16>(simulate(8, a, b, base, 0));
+    }
+    lut8_by_base_.assign(static_cast<std::size_t>(2 * cfg.width + 1), nullptr);
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      lut8_by_base_[static_cast<std::size_t>(bases[i])] = lut8_tables_[i].data();
     }
   }
-}
-
-const RecursiveMultiplier::Lut4* RecursiveMultiplier::find_lut4(int base) const noexcept {
-  for (const auto& l : lut4_)
-    if (l.base == base) return &l;
-  return nullptr;
-}
-
-const RecursiveMultiplier::Lut8* RecursiveMultiplier::find_lut8(int base) const noexcept {
-  for (const auto& l : lut8_)
-    if (l.base == base) return &l;
-  return nullptr;
 }
 
 u64 RecursiveMultiplier::combine(int n, u64 ll, u64 hl, u64 lh, u64 hh,
@@ -104,13 +100,13 @@ u64 RecursiveMultiplier::simulate(int n, u64 a, u64 b, int off_a, int off_b) con
     return mult2(kind, static_cast<u32>(a), static_cast<u32>(b));
   }
   if (n == 8) {
-    if (const Lut8* l = find_lut8(base)) {
-      return l->table[(static_cast<std::size_t>(a) << 8) | b];
+    if (const u16* t = find_lut8(base)) {
+      return t[(static_cast<std::size_t>(a) << 8) | b];
     }
   }
   if (n == 4) {
-    if (const Lut4* l = find_lut4(base)) {
-      return l->table[(static_cast<std::size_t>(a) << 4) | b];
+    if (const u8* t = find_lut4(base)) {
+      return t[(static_cast<std::size_t>(a) << 4) | b];
     }
   }
   const int h = n / 2;

@@ -66,10 +66,16 @@ hwmodel::Cost StageEnergyModel::compute(Stage s, const arith::StageArithConfig& 
 }
 
 hwmodel::Cost StageEnergyModel::stage_cost(Stage s, const arith::StageArithConfig& cfg) const {
-  for (const auto& e : cache_) {
-    if (e.stage == s && e.cfg == cfg) return e.cost;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& e : cache_) {
+      if (e.stage == s && e.cfg == cfg) return e.cost;
+    }
   }
+  // Synthesize outside the lock; a racing duplicate insert is harmless (the
+  // cost is a pure function of the key, so both entries agree).
   const hwmodel::Cost c = compute(s, cfg);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   cache_.push_back(CacheEntry{s, cfg, c});
   return c;
 }

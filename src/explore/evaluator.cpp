@@ -15,18 +15,25 @@ std::vector<double> to_double(std::span<const i32> v) {
 
 }  // namespace
 
+SharedPsnrReference make_psnr_reference(const std::vector<ecg::DigitizedRecord>& records) {
+  // References come from a plain pipeline run so the memo caches stay primed
+  // for candidate configurations only.
+  const pantompkins::PanTompkinsPipeline accurate;
+  auto ref = std::make_shared<std::vector<std::vector<double>>>();
+  ref->reserve(records.size());
+  for (const ecg::DigitizedRecord& rec : records) {
+    ref->push_back(to_double(accurate.run_filters(rec.adu).hpf));
+  }
+  return ref;
+}
+
 struct PreprocPsnrEvaluator::Impl {
   MemoizedPipelineRunner runner;
-  std::vector<std::vector<double>> ref_hpf;  ///< accurate HPF output per record
+  SharedPsnrReference ref_hpf;  ///< accurate HPF output per record (shared)
 
-  explicit Impl(std::vector<ecg::DigitizedRecord> recs) : runner(std::move(recs)) {
-    // References come from a plain pipeline run so the memo cache stays
-    // primed for candidate configurations only.
-    const pantompkins::PanTompkinsPipeline accurate;
-    for (std::size_t i = 0; i < runner.num_records(); ++i) {
-      ref_hpf.push_back(to_double(accurate.run_filters(runner.record(i).adu).hpf));
-    }
-  }
+  Impl(SharedRecords recs, SharedPsnrReference ref)
+      : runner(std::move(recs)),
+        ref_hpf(ref != nullptr ? std::move(ref) : make_psnr_reference(*runner.records())) {}
 
   template <typename Metric>
   [[nodiscard]] double mean_metric(const Design& d, Metric metric) {
@@ -34,14 +41,17 @@ struct PreprocPsnrEvaluator::Impl {
     double total = 0.0;
     for (std::size_t i = 0; i < runner.num_records(); ++i) {
       const auto& out = runner.run_filters(i, cfg);
-      total += metric(ref_hpf[i], to_double(out.hpf));
+      total += metric((*ref_hpf)[i], to_double(out.hpf));
     }
     return total / static_cast<double>(runner.num_records());
   }
 };
 
 PreprocPsnrEvaluator::PreprocPsnrEvaluator(std::vector<ecg::DigitizedRecord> records)
-    : impl_(std::make_unique<Impl>(std::move(records))) {}
+    : PreprocPsnrEvaluator(share_records(std::move(records))) {}
+
+PreprocPsnrEvaluator::PreprocPsnrEvaluator(SharedRecords records, SharedPsnrReference reference)
+    : impl_(std::make_unique<Impl>(std::move(records), std::move(reference))) {}
 
 PreprocPsnrEvaluator::~PreprocPsnrEvaluator() = default;
 
@@ -66,11 +76,13 @@ struct AccuracyEvaluator::Impl {
   Design base;
   Counts last{};
 
-  Impl(std::vector<ecg::DigitizedRecord> recs, Design b)
-      : runner(std::move(recs)), base(std::move(b)) {}
+  Impl(SharedRecords recs, Design b) : runner(std::move(recs)), base(std::move(b)) {}
 };
 
 AccuracyEvaluator::AccuracyEvaluator(std::vector<ecg::DigitizedRecord> records, Design base)
+    : AccuracyEvaluator(share_records(std::move(records)), std::move(base)) {}
+
+AccuracyEvaluator::AccuracyEvaluator(SharedRecords records, Design base)
     : impl_(std::make_unique<Impl>(std::move(records), std::move(base))) {}
 
 AccuracyEvaluator::~AccuracyEvaluator() = default;

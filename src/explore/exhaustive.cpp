@@ -45,21 +45,35 @@ GridResult run_grid(const std::vector<StageSpace>& spaces, const ModuleLists& li
                     bool per_stage_modules, QualityEvaluator& evaluator,
                     const StageEnergyModel& energy, double quality_constraint) {
   GridResult result;
-  // The recursive enumeration varies the last stage in `spaces` fastest, so
-  // when the caller lists stages in pipeline order every inner-loop step
-  // changes only a suffix of the pipeline and the evaluator's stage cache
-  // serves the unchanged prefix without re-simulation.
+  // The enumeration varies the last stage in `spaces` fastest, so when the
+  // caller lists stages in pipeline order every inner-loop step changes only
+  // a suffix of the pipeline and the evaluator's stage cache serves the
+  // unchanged prefix without re-simulation.
   const StageCacheStats cache_before =
       evaluator.cache_stats() != nullptr ? *evaluator.cache_stats() : StageCacheStats{};
-  Design current;
-  const auto visit = [&](const Design& d) {
+  for (const Design& d : enumerate_grid_designs(spaces, lists, per_stage_modules)) {
     GridPoint p;
     p.design = d;
     p.quality = evaluator.evaluate(d);
     p.energy_reduction = energy.energy_reduction(d);
     p.satisfied = p.quality >= quality_constraint;
     result.points.push_back(std::move(p));
-  };
+  }
+  result.evaluations = static_cast<int>(result.points.size());
+  if (evaluator.cache_stats() != nullptr) {
+    result.cache = *evaluator.cache_stats() - cache_before;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Design> enumerate_grid_designs(const std::vector<StageSpace>& spaces,
+                                           const ModuleLists& lists,
+                                           bool per_stage_modules) {
+  std::vector<Design> designs;
+  Design current;
+  const auto visit = [&](const Design& d) { designs.push_back(d); };
   if (per_stage_modules) {
     enumerate(spaces, lists, true, 0, current, visit);
   } else {
@@ -71,14 +85,8 @@ GridResult run_grid(const std::vector<StageSpace>& spaces, const ModuleLists& li
       }
     }
   }
-  result.evaluations = static_cast<int>(result.points.size());
-  if (evaluator.cache_stats() != nullptr) {
-    result.cache = *evaluator.cache_stats() - cache_before;
-  }
-  return result;
+  return designs;
 }
-
-}  // namespace
 
 GridResult exhaustive_explore(const std::vector<StageSpace>& spaces, const ModuleLists& lists,
                               QualityEvaluator& evaluator, const StageEnergyModel& energy,

@@ -9,6 +9,7 @@
 /// (no optimization) is available for the ablation bench.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "xbs/explore/design.hpp"
@@ -63,6 +64,10 @@ class StageEnergyModel {
                                       const arith::StageArithConfig& cfg) const;
 
   Mode mode_;
+  /// The synthesis-cost memo is shared by the parallel exploration workers
+  /// (one model serves every shard), so lookups/inserts are serialized; the
+  /// costs themselves are deterministic pure functions of (stage, cfg).
+  mutable std::mutex cache_mutex_;
   mutable std::vector<CacheEntry> cache_;
 };
 

@@ -50,11 +50,26 @@ class QualityEvaluator {
   i64 evaluations_ = 0;
 };
 
+/// The accurate per-record HPF reference signals a PreprocPsnrEvaluator
+/// compares against — computed once and shared between the per-shard
+/// evaluators of a parallel exploration.
+using SharedPsnrReference = std::shared_ptr<const std::vector<std::vector<double>>>;
+
+/// Compute the accurate reference for a workload (one accurate pipeline run
+/// per record).
+[[nodiscard]] SharedPsnrReference make_psnr_reference(
+    const std::vector<ecg::DigitizedRecord>& records);
+
 /// Pre-processing quality stage: mean PSNR (dB) of the approximate HPF
 /// output against the accurate HPF output across the workload records.
 class PreprocPsnrEvaluator final : public QualityEvaluator {
  public:
   explicit PreprocPsnrEvaluator(std::vector<ecg::DigitizedRecord> records);
+  /// Shared-workload construction (parallel shards): records and the
+  /// accurate reference are shared immutably; pass a null reference to
+  /// compute it locally.
+  explicit PreprocPsnrEvaluator(SharedRecords records,
+                                SharedPsnrReference reference = nullptr);
   ~PreprocPsnrEvaluator() override;
 
   [[nodiscard]] std::string_view metric_name() const noexcept override { return "PSNR [dB]"; }
@@ -77,6 +92,10 @@ class PreprocPsnrEvaluator final : public QualityEvaluator {
 class AccuracyEvaluator final : public QualityEvaluator {
  public:
   AccuracyEvaluator(std::vector<ecg::DigitizedRecord> records, Design base = {});
+  /// Shared-workload construction (parallel shards): the records — including
+  /// the ground-truth r_peaks the accuracy is scored against — are shared
+  /// immutably across evaluators.
+  explicit AccuracyEvaluator(SharedRecords records, Design base = {});
   ~AccuracyEvaluator() override;
 
   [[nodiscard]] std::string_view metric_name() const noexcept override {

@@ -31,6 +31,16 @@ struct GridResult {
   [[nodiscard]] const GridPoint* best() const noexcept;
 };
 
+/// Materialize the grid a run would evaluate, in evaluation order (deepest
+/// stage varies fastest — the stage-cache-friendly order). `per_stage_modules
+/// = true` is the exhaustive grid (every module pair per stage);
+/// `false` is the heuristic grid (one global module pair per design). The
+/// parallel engine shards this list; the serial explorers walk it directly,
+/// so both evaluate the identical design sequence.
+[[nodiscard]] std::vector<Design> enumerate_grid_designs(
+    const std::vector<StageSpace>& spaces, const ModuleLists& lists,
+    bool per_stage_modules);
+
 /// Exhaustively evaluate the cross product of every stage's LSB list with
 /// the given module lists applied per stage (the 9x9 = 81-combination
 /// experiment of Table 2 when called with the two pre-processing stages and

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "xbs/common/types.hpp"
@@ -21,6 +22,18 @@
 #include "xbs/pantompkins/pipeline.hpp"
 
 namespace xbs::explore {
+
+/// A workload shared between runners/evaluators without copying: the records
+/// are immutable for the lifetime of every runner holding the pointer. The
+/// parallel exploration engine hands one SharedRecords to per-shard
+/// evaluators so N workers share a single in-memory copy of the (potentially
+/// large) record set and of its ground-truth annotations.
+using SharedRecords = std::shared_ptr<const std::vector<ecg::DigitizedRecord>>;
+
+/// Wrap a workload for sharing (one copy, then reference-counted).
+[[nodiscard]] inline SharedRecords share_records(std::vector<ecg::DigitizedRecord> records) {
+  return std::make_shared<const std::vector<ecg::DigitizedRecord>>(std::move(records));
+}
 
 /// Activity counters of a MemoizedPipelineRunner (per record-evaluation).
 struct StageCacheStats {
@@ -48,6 +61,15 @@ struct StageCacheStats {
                          a.detect_recomputes - b.detect_recomputes};
 }
 
+/// Counter aggregation (merging per-shard deltas of a parallel exploration).
+[[nodiscard]] constexpr StageCacheStats operator+(StageCacheStats a,
+                                                  StageCacheStats b) noexcept {
+  return StageCacheStats{a.runs + b.runs, a.stage_hits + b.stage_hits,
+                         a.stage_recomputes + b.stage_recomputes,
+                         a.detect_hits + b.detect_hits,
+                         a.detect_recomputes + b.detect_recomputes};
+}
+
 /// Owns a workload of digitized records and serves pipeline evaluations with
 /// per-stage prefix memoization. Results are bit-identical to a fresh
 /// PanTompkinsPipeline run (the stages are deterministic block transforms;
@@ -55,11 +77,16 @@ struct StageCacheStats {
 class MemoizedPipelineRunner {
  public:
   explicit MemoizedPipelineRunner(std::vector<ecg::DigitizedRecord> records);
+  /// Shared-workload construction: the runner keeps per-record caches of its
+  /// own but reads the records through the shared immutable pointer — the
+  /// form the parallel exploration workers use.
+  explicit MemoizedPipelineRunner(SharedRecords records);
 
-  [[nodiscard]] std::size_t num_records() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t num_records() const noexcept { return records_->size(); }
   [[nodiscard]] const ecg::DigitizedRecord& record(std::size_t i) const {
-    return records_[i];
+    return (*records_)[i];
   }
+  [[nodiscard]] const SharedRecords& records() const noexcept { return records_; }
 
   /// Filter-only evaluation. The returned reference is valid until the next
   /// run/run_filters call for the same record.
@@ -82,7 +109,7 @@ class MemoizedPipelineRunner {
     pantompkins::PipelineResult result;
   };
 
-  std::vector<ecg::DigitizedRecord> records_;
+  SharedRecords records_;
   std::vector<RecordCache> cache_;
   StageCacheStats stats_;
 };

@@ -1,0 +1,225 @@
+#include "xbs/explore/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace xbs::explore {
+
+// ------------------------------------------------------------------ WorkerPool
+
+struct WorkerPool::Impl {
+  unsigned nthreads = 1;
+  std::vector<std::thread> workers;
+
+  std::mutex m;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  bool stop = false;
+  u64 generation = 0;
+
+  // Current job (valid between a generation bump and the matching cv_done).
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::deque<std::size_t>> queues;          // one per worker
+  std::vector<std::unique_ptr<std::mutex>> queue_locks;  // one per worker
+  std::atomic<unsigned> workers_running{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr error;
+
+  bool pop_own(unsigned id, std::size_t& idx) {
+    const std::lock_guard<std::mutex> lock(*queue_locks[id]);
+    if (queues[id].empty()) return false;
+    idx = queues[id].back();  // LIFO on the owner side: freshest = most local
+    queues[id].pop_back();
+    return true;
+  }
+
+  bool steal(unsigned id, std::size_t& idx) {
+    for (unsigned off = 1; off < nthreads; ++off) {
+      const unsigned victim = (id + off) % nthreads;
+      const std::lock_guard<std::mutex> lock(*queue_locks[victim]);
+      if (queues[victim].empty()) continue;
+      idx = queues[victim].front();  // FIFO on the thief side: largest chunk of
+      queues[victim].pop_front();    // the victim's remaining range
+      return true;
+    }
+    return false;
+  }
+
+  void run_tasks(unsigned id) {
+    std::size_t idx = 0;
+    while (!abort.load(std::memory_order_relaxed)) {
+      if (!pop_own(id, idx) && !steal(id, idx)) break;
+      try {
+        (*fn)(idx);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(m);
+        if (error == nullptr) error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void worker_main(unsigned id) {
+    u64 seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv_start.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      run_tasks(id);
+      if (workers_running.fetch_sub(1) == 1) {
+        const std::lock_guard<std::mutex> lock(m);
+        cv_done.notify_all();
+      }
+    }
+  }
+};
+
+WorkerPool::WorkerPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  impl_->nthreads = threads == 0 ? hw : threads;
+  impl_->queues.resize(impl_->nthreads);
+  impl_->queue_locks.reserve(impl_->nthreads);
+  for (unsigned t = 0; t < impl_->nthreads; ++t) {
+    impl_->queue_locks.push_back(std::make_unique<std::mutex>());
+  }
+  impl_->workers.reserve(impl_->nthreads);
+  for (unsigned t = 0; t < impl_->nthreads; ++t) {
+    impl_->workers.emplace_back([this, t] { impl_->worker_main(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->cv_start.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+unsigned WorkerPool::size() const noexcept { return impl_->nthreads; }
+
+void WorkerPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  Impl& im = *impl_;
+  // Seed the deques in contiguous blocks (worker w owns a slice of the
+  // range); stealing rebalances from the front of a victim's remainder.
+  for (unsigned t = 0; t < im.nthreads; ++t) im.queues[t].clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    im.queues[(i * im.nthreads) / n].push_back(i);
+  }
+  im.fn = &fn;
+  im.error = nullptr;
+  im.abort.store(false, std::memory_order_relaxed);
+  im.workers_running.store(im.nthreads, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(im.m);
+    ++im.generation;
+  }
+  im.cv_start.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(im.m);
+    im.cv_done.wait(lock, [&] { return im.workers_running.load() == 0; });
+  }
+  im.fn = nullptr;
+  if (im.error != nullptr) std::rethrow_exception(im.error);
+}
+
+// ------------------------------------------------------------- grid sharding
+
+namespace {
+
+struct ShardResult {
+  std::vector<GridPoint> points;
+  StageCacheStats cache{};
+};
+
+GridResult run_grid_parallel(const std::vector<StageSpace>& spaces, const ModuleLists& lists,
+                             bool per_stage_modules, const EvaluatorFactory& factory,
+                             const StageEnergyModel& energy, double quality_constraint,
+                             const ParallelExploreOptions& opts) {
+  const std::vector<Design> designs =
+      enumerate_grid_designs(spaces, lists, per_stage_modules);
+  const std::size_t grain = std::max<std::size_t>(1, opts.shard_designs);
+  // Shard boundaries depend on the grain and the grid only — never on the
+  // thread count — so the merged result is bit-identical for any pool size.
+  const std::size_t n_shards = (designs.size() + grain - 1) / grain;
+  std::vector<ShardResult> shards(n_shards);
+
+  WorkerPool pool(opts.threads);
+  pool.parallel_for(n_shards, [&](std::size_t s) {
+    const std::size_t begin = s * grain;
+    const std::size_t end = std::min(designs.size(), begin + grain);
+    const std::unique_ptr<QualityEvaluator> evaluator = factory();
+    ShardResult& out = shards[s];
+    out.points.reserve(end - begin);
+    const StageCacheStats before =
+        evaluator->cache_stats() != nullptr ? *evaluator->cache_stats() : StageCacheStats{};
+    for (std::size_t i = begin; i < end; ++i) {
+      GridPoint p;
+      p.design = designs[i];
+      p.quality = evaluator->evaluate(designs[i]);
+      p.energy_reduction = energy.energy_reduction(designs[i]);
+      p.satisfied = p.quality >= quality_constraint;
+      out.points.push_back(std::move(p));
+    }
+    if (evaluator->cache_stats() != nullptr) {
+      out.cache = *evaluator->cache_stats() - before;
+    }
+  });
+
+  GridResult result;
+  result.points.reserve(designs.size());
+  for (ShardResult& s : shards) {
+    for (GridPoint& p : s.points) result.points.push_back(std::move(p));
+    result.cache = result.cache + s.cache;
+  }
+  result.evaluations = static_cast<int>(result.points.size());
+  return result;
+}
+
+}  // namespace
+
+GridResult exhaustive_explore_parallel(const std::vector<StageSpace>& spaces,
+                                       const ModuleLists& lists,
+                                       const EvaluatorFactory& factory,
+                                       const StageEnergyModel& energy,
+                                       double quality_constraint,
+                                       const ParallelExploreOptions& opts) {
+  return run_grid_parallel(spaces, lists, true, factory, energy, quality_constraint, opts);
+}
+
+GridResult heuristic_explore_parallel(const std::vector<StageSpace>& spaces,
+                                      const ModuleLists& lists,
+                                      const EvaluatorFactory& factory,
+                                      const StageEnergyModel& energy,
+                                      double quality_constraint,
+                                      const ParallelExploreOptions& opts) {
+  return run_grid_parallel(spaces, lists, false, factory, energy, quality_constraint, opts);
+}
+
+// ------------------------------------------------------- Algorithm 1 batches
+
+std::vector<Algorithm1Result> design_generation_batch(const std::vector<Algorithm1Job>& jobs,
+                                                      const EvaluatorFactory& factory,
+                                                      const StageEnergyModel& energy,
+                                                      unsigned threads) {
+  std::vector<Algorithm1Result> results(jobs.size());
+  WorkerPool pool(threads);
+  pool.parallel_for(jobs.size(), [&](std::size_t j) {
+    const std::unique_ptr<QualityEvaluator> evaluator = factory();
+    results[j] = design_generation(jobs[j].spaces, jobs[j].lists, *evaluator, energy,
+                                   jobs[j].quality_constraint);
+  });
+  return results;
+}
+
+}  // namespace xbs::explore

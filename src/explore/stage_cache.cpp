@@ -20,7 +20,10 @@ std::vector<i32>& mutable_signal(PipelineResult& r, int s) {
 }  // namespace
 
 MemoizedPipelineRunner::MemoizedPipelineRunner(std::vector<ecg::DigitizedRecord> records)
-    : records_(std::move(records)), cache_(records_.size()) {}
+    : MemoizedPipelineRunner(share_records(std::move(records))) {}
+
+MemoizedPipelineRunner::MemoizedPipelineRunner(SharedRecords records)
+    : records_(std::move(records)), cache_(records_->size()) {}
 
 const PipelineResult& MemoizedPipelineRunner::run_filters(
     std::size_t i, const pantompkins::PipelineConfig& cfg) {
@@ -40,7 +43,7 @@ const PipelineResult& MemoizedPipelineRunner::run_filters(
     for (int s = first_dirty; s < pantompkins::kNumStages; ++s) {
       const auto su = static_cast<std::size_t>(s);
       const std::span<const i32> input =
-          s == 0 ? std::span<const i32>(records_[i].adu)
+          s == 0 ? std::span<const i32>((*records_)[i].adu)
                  : std::span<const i32>(mutable_signal(rc.result, s - 1));
       mutable_signal(rc.result, s) =
           pantompkins::run_stage(static_cast<Stage>(s), cfg.stage[su], input,
@@ -60,7 +63,7 @@ const PipelineResult& MemoizedPipelineRunner::run(std::size_t i,
     ++stats_.detect_hits;
   } else {
     rc.result.detection =
-        pantompkins::detect_qrs(rc.result.mwi, rc.result.hpf, records_[i].adu, cfg.detector);
+        pantompkins::detect_qrs(rc.result.mwi, rc.result.hpf, (*records_)[i].adu, cfg.detector);
     rc.detect_valid = true;
     rc.detect_params = cfg.detector;
     ++stats_.detect_recomputes;

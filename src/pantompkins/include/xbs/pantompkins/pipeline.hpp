@@ -68,6 +68,19 @@ struct PipelineResult {
                                          std::span<const i32> input,
                                          arith::OpCounts* ops = nullptr);
 
+/// Pre-build every process-wide lookup table the given stage configuration
+/// can use — the multiplier behavioural model, the signed product table of
+/// each non-zero FIR tap, and (for the squarer) the square table — so
+/// subsequent kernels walk warm tables at any chunk size. Streaming serving
+/// layers call this outside their timed/latency-sensitive regions
+/// (stream::SessionPool warms every stage of its spec before the first
+/// session is built), making the cold-build block-size threshold inside the
+/// kernels moot for streaming. Exact configurations are no-ops.
+void warm_stage_tables(Stage s, const arith::StageArithConfig& cfg);
+
+/// warm_stage_tables for all five stages of a pipeline configuration.
+void warm_pipeline_tables(const PipelineConfig& cfg);
+
 /// The five-stage pipeline. Stages whose configuration is exact run on the
 /// native datapath; approximated stages run bit-accurately through the
 /// behavioural models. Records are processed as contiguous buffers: each

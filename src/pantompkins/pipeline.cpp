@@ -32,6 +32,39 @@ arith::OpCounts PipelineResult::total_ops() const noexcept {
   return total;
 }
 
+void warm_stage_tables(Stage s, const arith::StageArithConfig& cfg) {
+  if (cfg.is_exact()) return;
+  (void)arith::get_multiplier(cfg.mult);
+  switch (s) {
+    case Stage::Lpf:
+      for (const int c : dsp::pt::kLpfTaps) {
+        if (c != 0) (void)arith::get_signed_coeff_products(cfg.mult, c);
+      }
+      break;
+    case Stage::Hpf:
+      for (const int c : dsp::pt::kHpfTaps) {
+        if (c != 0) (void)arith::get_signed_coeff_products(cfg.mult, c);
+      }
+      break;
+    case Stage::Der:
+      for (const int c : dsp::pt::kDerTaps) {
+        if (c != 0) (void)arith::get_signed_coeff_products(cfg.mult, c);
+      }
+      break;
+    case Stage::Sqr:
+      (void)arith::get_square_products(cfg.mult);
+      break;
+    case Stage::Mwi:
+      break;  // adder-only: nothing to tabulate
+  }
+}
+
+void warm_pipeline_tables(const PipelineConfig& cfg) {
+  for (int s = 0; s < kNumStages; ++s) {
+    warm_stage_tables(static_cast<Stage>(s), cfg.stage[static_cast<std::size_t>(s)]);
+  }
+}
+
 std::vector<i32> run_stage(Stage s, const arith::StageArithConfig& cfg,
                            std::span<const i32> input, arith::OpCounts* ops) {
   const std::unique_ptr<arith::Kernel> kernel = arith::make_kernel(cfg);

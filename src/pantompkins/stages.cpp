@@ -73,22 +73,12 @@ void FirStage::process_chunk(FirState& st, std::span<const i32> x, std::vector<i
   padded_.resize(n + taps - 1);
   ring_history_prefix(st.delay, st.head, padded_);
   for (std::size_t i = 0; i < n; ++i) padded_[taps - 1 + i] = x[i];
-  acc_.assign(n, 0);
+  acc_.resize(n);
 
-  // One batched kernel call per non-zero tap, in tap order: the per-sample
-  // accumulation chain (operands and order) is identical to process().
-  bool first = true;
-  for (std::size_t j = 0; j < taps; ++j) {
-    const i32 c = taps_[j];
-    if (c == 0) continue;
-    const std::span<const i64> xs = std::span<const i64>(padded_).subspan(taps - 1 - j, n);
-    if (first) {
-      kernel_->mul_cn(c, xs, acc_);
-      first = false;
-    } else {
-      kernel_->mac_n(c, xs, acc_);
-    }
-  }
+  // One batched FIR call: the kernel runs the per-sample accumulation chain
+  // (operands and order identical to process()) and may hoist per-coefficient
+  // product rows out of the tap loop.
+  kernel_->fir_n(taps_, padded_, acc_);
 
   y.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

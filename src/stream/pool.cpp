@@ -23,18 +23,12 @@ double percentile(const std::vector<double>& sorted, double q) {
 }  // namespace
 
 SessionPool::SessionPool(SessionSpec spec, std::size_t n_sessions) {
-  // Pre-warm the process-wide LUT caches (multiplier models are built by the
-  // kernel constructors; coefficient product tables by a large-enough chunk)
-  // so worker threads only ever read published immutable tables.
-  {
-    SessionSpec warm_spec = spec;
-    warm_spec.sink = nullptr;
-    warm_spec.detection = false;
-    warm_spec.keep_signals = false;
-    Session warm(std::move(warm_spec));
-    const std::vector<i32> zeros(1024, 0);
-    (void)warm.push(zeros);
-  }
+  // Pre-warm the process-wide LUT caches — multiplier models, per-coefficient
+  // signed product tables and the squarer's square table — so worker threads
+  // only ever read published immutable tables and every push() walks warm
+  // tables regardless of chunk size (the kernels' cold-build threshold never
+  // triggers on the serving hot path).
+  pantompkins::warm_pipeline_tables(spec.config);
   sessions_.reserve(n_sessions);
   for (std::size_t i = 0; i < n_sessions; ++i) sessions_.emplace_back(spec);
 }

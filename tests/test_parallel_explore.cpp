@@ -1,0 +1,178 @@
+// Determinism of the multi-core exploration engine: the merged results —
+// points, evaluation counts AND stage-cache counters — must be bit-identical
+// for any thread count, and the parallel grids must agree point-for-point
+// with the serial explorers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/explore/parallel.hpp"
+
+namespace xbs::explore {
+namespace {
+
+using pantompkins::Stage;
+
+SharedRecords small_workload() {
+  std::vector<ecg::DigitizedRecord> recs = {ecg::nsrdb_like_digitized(0, 3000)};
+  return share_records(std::move(recs));
+}
+
+void expect_same_points(const GridResult& a, const GridResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].design, b.points[i].design) << "point " << i;
+    EXPECT_EQ(a.points[i].quality, b.points[i].quality) << "point " << i;
+    EXPECT_EQ(a.points[i].energy_reduction, b.points[i].energy_reduction) << "point " << i;
+    EXPECT_EQ(a.points[i].satisfied, b.points[i].satisfied) << "point " << i;
+  }
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable across calls.
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(WorkerPool, PropagatesTaskExceptions) {
+  WorkerPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed run.
+  std::atomic<int> n{0};
+  pool.parallel_for(4, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ParallelExhaustive, BitIdenticalAcrossThreadCounts) {
+  const SharedRecords recs = small_workload();
+  const EvaluatorFactory factory = [recs] {
+    return std::make_unique<AccuracyEvaluator>(recs);
+  };
+  const StageEnergyModel energy;
+  const std::vector<StageSpace> spaces = {
+      StageSpace{Stage::Lpf, {0, 8, 16}, 1.0},
+      StageSpace{Stage::Hpf, {0, 8, 16}, 1.0},
+      StageSpace{Stage::Der, {0, 2, 4}, 1.0},
+  };
+
+  ParallelExploreOptions opts;
+  opts.shard_designs = 4;  // force many shards
+  std::vector<GridResult> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    opts.threads = threads;
+    results.push_back(
+        exhaustive_explore_parallel(spaces, ModuleLists{}, factory, energy, 99.0, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_points(results[0], results[i]);
+    EXPECT_EQ(results[0].cache, results[i].cache) << "thread count " << i;
+  }
+
+  // Same design sequence and values as the serial explorer.
+  AccuracyEvaluator serial_eval(recs);
+  const GridResult serial =
+      exhaustive_explore(spaces, ModuleLists{}, serial_eval, energy, 99.0);
+  expect_same_points(serial, results[0]);
+}
+
+TEST(ParallelHeuristic, BitIdenticalAcrossThreadCounts) {
+  const SharedRecords recs = small_workload();
+  const SharedPsnrReference ref = make_psnr_reference(*recs);
+  const EvaluatorFactory factory = [recs, ref] {
+    return std::make_unique<PreprocPsnrEvaluator>(recs, ref);
+  };
+  const StageEnergyModel energy;
+  const std::vector<StageSpace> spaces = {
+      StageSpace{Stage::Lpf, {0, 8, 16}, 1.0},
+      StageSpace{Stage::Hpf, {0, 8, 16}, 1.0},
+  };
+  const ModuleLists lists{{AdderKind::Approx5, AdderKind::Approx2}, {MultKind::V1}};
+
+  ParallelExploreOptions opts;
+  opts.shard_designs = 3;
+  std::vector<GridResult> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    opts.threads = threads;
+    results.push_back(
+        heuristic_explore_parallel(spaces, lists, factory, energy, 20.0, opts));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    expect_same_points(results[0], results[i]);
+    EXPECT_EQ(results[0].cache, results[i].cache);
+  }
+
+  PreprocPsnrEvaluator serial_eval(recs);
+  const GridResult serial = heuristic_explore(spaces, lists, serial_eval, energy, 20.0);
+  expect_same_points(serial, results[0]);
+}
+
+void expect_same_alg1(const Algorithm1Result& a, const Algorithm1Result& b) {
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_quality, b.best_quality);
+  EXPECT_EQ(a.energy_reduction, b.energy_reduction);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_EQ(a.log[i].design, b.log[i].design) << "log " << i;
+    EXPECT_EQ(a.log[i].quality, b.log[i].quality) << "log " << i;
+    EXPECT_EQ(a.log[i].satisfied, b.log[i].satisfied) << "log " << i;
+    EXPECT_EQ(a.log[i].phase, b.log[i].phase) << "log " << i;
+  }
+  EXPECT_EQ(a.cache, b.cache);
+}
+
+TEST(DesignGenerationBatch, BitIdenticalAcrossThreadCountsAndToSerial) {
+  const SharedRecords recs = small_workload();
+  const EvaluatorFactory factory = [recs] {
+    return std::make_unique<AccuracyEvaluator>(recs);
+  };
+  const StageEnergyModel energy;
+
+  const auto space_of = [&](Stage s) {
+    return StageSpace{s, default_lsb_list(s),
+                      energy.stage_energy_reduction(
+                          s, StageDesign{s, default_lsb_list(s).back()}.arith_config())};
+  };
+  std::vector<Algorithm1Job> jobs;
+  for (const double constraint : {99.5, 99.0, 97.0}) {
+    jobs.push_back(Algorithm1Job{{space_of(Stage::Lpf), space_of(Stage::Hpf)},
+                                 ModuleLists{},
+                                 constraint});
+  }
+
+  std::vector<std::vector<Algorithm1Result>> runs;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    runs.push_back(design_generation_batch(jobs, factory, energy, threads));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[0].size(), runs[r].size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) expect_same_alg1(runs[0][j], runs[r][j]);
+  }
+
+  // Job order in the batch result matches serial execution of each job.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    AccuracyEvaluator serial_eval(recs);
+    const Algorithm1Result serial = design_generation(
+        jobs[j].spaces, jobs[j].lists, serial_eval, energy, jobs[j].quality_constraint);
+    expect_same_alg1(serial, runs[0][j]);
+  }
+}
+
+}  // namespace
+}  // namespace xbs::explore
