@@ -1,18 +1,22 @@
 // Streaming serving-layer throughput: N concurrent Sessions fed chunk by
-// chunk through a SessionPool (the ISSUE-2 acceptance bench). Measures
-// aggregate sessions x samples/sec and per-chunk push latency percentiles on
-// the exact datapath and on the paper's B9 approximate configuration, and
-// emits one JSON object so future PRs have a machine-readable baseline
-// (committed as BENCH_stream.json).
+// chunk through a SessionPool (the ISSUE-2 acceptance bench), plus a
+// session-churn scenario over the long-running StreamServer (the ISSUE-4
+// acceptance bench: slots closed, released and re-provisioned while every
+// other stream keeps flowing). Measures aggregate sessions x samples/sec and
+// per-chunk ingest latency percentiles on the exact datapath and on the
+// paper's B9 approximate configuration, and emits one JSON object so future
+// PRs have a machine-readable baseline (committed as BENCH_stream.json).
 //
 //   ./bench_stream_throughput [--sessions N] [--samples M] [--chunk C]
-//                             [--threads T] [--iters K]
+//                             [--threads T] [--iters K] [--rotations R]
 //
 // Each path reports the best of K drives (fresh sessions per drive; the
 // shared multiplier/coefficient LUTs are pre-warmed by the pool, as in any
 // long-running serving process). Beat counts are printed so the bench
-// doubles as an end-to-end sanity check of the online detector.
+// doubles as an end-to-end sanity check of the online detector; the churn
+// scenario additionally requires zero faults and a clean slot ledger.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +24,7 @@
 
 #include "xbs/ecg/dataset.hpp"
 #include "xbs/stream/pool.hpp"
+#include "xbs/stream/server.hpp"
 
 namespace {
 
@@ -44,6 +49,62 @@ stream::SessionPool::DriveStats best_of(const stream::SessionSpec& spec,
   return best;
 }
 
+struct ChurnResult {
+  double wall_s = 0.0;
+  stream::StreamServer::ServerStats stats{};
+
+  [[nodiscard]] double samples_per_sec() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(stats.samples) / wall_s : 0.0;
+  }
+};
+
+/// Session churn over a live server: every slot serves `rotations`
+/// consecutive connections — stream to end-of-record, close, release, open a
+/// fresh session on the freed slot — while all other slots keep streaming.
+/// This is the serving regime a fixed pool cannot express: lifecycle work on
+/// the control plane with the data plane hot.
+ChurnResult churn_run(const stream::SessionSpec& spec,
+                      std::span<const std::vector<i32>> feeds, std::size_t chunk,
+                      unsigned threads, int rotations) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t n = feeds.size();
+  stream::StreamServer server({.max_sessions = n,
+                               .queue_capacity_chunks = 32,
+                               .max_chunk_samples = 0,
+                               .workers = threads});
+  const Clock::time_point t0 = Clock::now();
+  std::vector<stream::SessionId> ids(n);
+  std::vector<std::size_t> pos(n, 0);
+  std::vector<int> served(n, 0);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = server.open(spec);
+  std::size_t live = n;
+  while (live > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (served[i] >= rotations) continue;
+      const std::vector<i32>& feed = feeds[i];
+      if (pos[i] >= feed.size()) {
+        // End of this connection: retire the slot and re-provision it.
+        (void)server.close(ids[i]);
+        (void)server.release(ids[i]);
+        if (++served[i] >= rotations) {
+          --live;
+          continue;
+        }
+        ids[i] = server.open(spec);
+        pos[i] = 0;
+        continue;
+      }
+      const std::size_t len = std::min(chunk, feed.size() - pos[i]);
+      (void)server.push(ids[i], std::span<const i32>(feed).subspan(pos[i], len));
+      pos[i] += len;
+    }
+  }
+  ChurnResult out;
+  out.stats = server.stats();  // all slots released: totals are retired
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +113,7 @@ int main(int argc, char** argv) {
   const auto chunk = static_cast<std::size_t>(std::max(1, arg_int(argc, argv, "--chunk", 64)));
   const auto threads = static_cast<unsigned>(std::max(0, arg_int(argc, argv, "--threads", 0)));
   const int iters = std::max(1, arg_int(argc, argv, "--iters", 3));
+  const int rotations = std::max(1, arg_int(argc, argv, "--rotations", 3));
 
   std::vector<std::vector<i32>> feeds;
   feeds.reserve(static_cast<std::size_t>(sessions));
@@ -68,6 +130,7 @@ int main(int argc, char** argv) {
 
   const auto exact = best_of(exact_spec, feeds, chunk, threads, iters);
   const auto b9 = best_of(b9_spec, feeds, chunk, threads, iters);
+  const ChurnResult churn = churn_run(b9_spec, feeds, chunk, threads, rotations);
 
   std::printf(
       "{\n"
@@ -89,7 +152,14 @@ int main(int argc, char** argv) {
       "  \"b9_chunk_max_us\": %.2f,\n"
       "  \"b9_beats\": %llu,\n"
       "  \"realtime_sessions_supported_exact\": %.0f,\n"
-      "  \"realtime_sessions_supported_b9\": %.0f\n"
+      "  \"realtime_sessions_supported_b9\": %.0f,\n"
+      "  \"churn_rotations_per_slot\": %d,\n"
+      "  \"churn_connections_served\": %llu,\n"
+      "  \"churn_b9_samples_per_sec\": %.0f,\n"
+      "  \"churn_beats\": %llu,\n"
+      "  \"churn_dropped_chunks\": %llu,\n"
+      "  \"churn_peak_queue_chunks\": %llu,\n"
+      "  \"churn_faulted_sessions\": %llu\n"
       "}\n",
       sessions, samples, chunk, exact.threads, iters, exact.samples_per_sec(),
       exact.p50_chunk_s * 1e6, exact.p99_chunk_s * 1e6, exact.max_chunk_s * 1e6,
@@ -97,9 +167,20 @@ int main(int argc, char** argv) {
       b9.p50_chunk_s * 1e6, b9.p99_chunk_s * 1e6, b9.max_chunk_s * 1e6,
       static_cast<unsigned long long>(b9.beats),
       exact.samples_per_sec() / 200.0,  // 200 Hz ECG streams
-      b9.samples_per_sec() / 200.0);
+      b9.samples_per_sec() / 200.0, rotations,
+      static_cast<unsigned long long>(churn.stats.sessions_released),
+      churn.samples_per_sec(), static_cast<unsigned long long>(churn.stats.beats),
+      static_cast<unsigned long long>(churn.stats.dropped_chunks),
+      static_cast<unsigned long long>(churn.stats.peak_queued_chunks),
+      static_cast<unsigned long long>(churn.stats.faulted));
 
-  // Non-zero exit when the online detector found no beats — the serving
-  // layer would be silently broken.
-  return (exact.beats > 0 && b9.beats > 0) ? 0 : 1;
+  // Non-zero exit when the online detector found no beats (the serving layer
+  // would be silently broken), when churn leaked a slot, or when lifecycle
+  // work faulted or dropped traffic on a lossless feed.
+  const bool churn_clean =
+      churn.stats.beats > 0 && churn.stats.faulted == 0 && churn.stats.open == 0 &&
+      churn.stats.dropped_chunks == 0 &&
+      churn.stats.sessions_released ==
+          static_cast<u64>(sessions) * static_cast<u64>(rotations);
+  return (exact.beats > 0 && b9.beats > 0 && churn_clean) ? 0 : 1;
 }

@@ -39,10 +39,29 @@ namespace xbs {
 }
 
 /// Arithmetic shift right with rounding-to-nearest (ties away from zero).
+/// A non-positive \p shift means a left shift by -shift, saturated to the
+/// i64 range. All intermediate arithmetic runs on u64 magnitudes: the naive
+/// forms (`v << -shift`, `v + bias`, `-v`) are signed-overflow UB at the
+/// range boundaries (e.g. INT64_MIN), which long-running streams will
+/// eventually feed through accumulated datapaths.
 [[nodiscard]] constexpr i64 shift_round(i64 v, int shift) noexcept {
-  if (shift <= 0) return v << -shift;
-  const i64 bias = i64{1} << (shift - 1);
-  return (v >= 0) ? ((v + bias) >> shift) : -((-v + bias) >> shift);
+  assert(shift > -64 && shift < 64);
+  constexpr i64 hi = std::numeric_limits<i64>::max();
+  constexpr i64 lo = std::numeric_limits<i64>::min();
+  if (shift <= 0) {
+    const int left = -shift;
+    if (v == 0 || left == 0) return v;
+    if (left >= 64 || v > (hi >> left) || v < (lo >> left)) return v > 0 ? hi : lo;
+    return static_cast<i64>(static_cast<u64>(v) << left);
+  }
+  if (shift >= 64) return 0;
+  // Round the magnitude in u64 (no overflow: |v| + bias <= 2^63 + 2^62),
+  // then restore the sign; the rounded magnitude never exceeds 2^62, so the
+  // cast back and the negation are in range.
+  u64 mag = static_cast<u64>(v);
+  if (v < 0) mag = u64{0} - mag;
+  const u64 r = (mag + (u64{1} << (shift - 1))) >> shift;
+  return v < 0 ? -static_cast<i64>(r) : static_cast<i64>(r);
 }
 
 /// Description of a Qm.n fixed-point format (m integer bits incl. sign, n

@@ -7,6 +7,7 @@
 /// oldest retained sample; a fresh state is all zeros with head == 0.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <span>
 
@@ -19,6 +20,14 @@ template <typename Ring, typename Sample>
 void ring_carry(Ring& ring, std::size_t& head, std::span<const Sample> x) {
   const std::size_t w = ring.size();
   const std::size_t n = x.size();
+  // A zero-width ring retains nothing: explicit no-op so the `% w` advance
+  // below can never divide by zero (reachable from a hand-built degenerate
+  // stage config; head stays pinned at its only valid value).
+  if (w == 0) {
+    head = 0;
+    return;
+  }
+  assert(head < w);
   if (n >= w) {
     for (std::size_t i = 0; i < w; ++i) ring[i] = x[n - w + i];
     head = 0;
@@ -37,6 +46,9 @@ void ring_carry(Ring& ring, std::size_t& head, std::span<const Sample> x) {
 template <typename Ring, typename Dst>
 void ring_history_prefix(const Ring& ring, std::size_t head, Dst& dst) {
   const std::size_t w = ring.size();
+  // Zero-width rings have no history (and `% w` must never run): no-op.
+  if (w == 0) return;
+  assert(head < w);
   for (std::size_t j = 0; j + 1 < w; ++j) dst[j] = ring[(head + 1 + j) % w];
 }
 

@@ -50,7 +50,7 @@ std::vector<double> FirFilter::filter(std::span<const double> x) {
   return filter_chunk(state_, x);
 }
 
-void FirFilter::reset() { state_ = make_state(); }
+void FirFilter::reset() { state_.reset(); }
 
 std::complex<double> frequency_response(std::span<const double> taps, double f_hz, double fs_hz) {
   const double w = 2.0 * std::numbers::pi * f_hz / fs_hz;

@@ -2,6 +2,7 @@
 /// \brief Double-precision FIR filtering (golden reference engine).
 #pragma once
 
+#include <algorithm>
 #include <complex>
 #include <span>
 #include <vector>
@@ -13,6 +14,12 @@ namespace xbs::dsp {
 struct FirFilterState {
   std::vector<double> delay;
   std::size_t head = 0;
+
+  /// Zero the delay line in place (no reallocation): a fresh-record state.
+  void reset() noexcept {
+    std::fill(delay.begin(), delay.end(), 0.0);
+    head = 0;
+  }
 };
 
 /// Direct-form FIR filter with a ring-buffer delay line. The tap set is

@@ -37,6 +37,9 @@ class PtRecursiveLpf {
     std::array<double, 12> x{};
     std::size_t head = 0;
     double y1 = 0.0, y2 = 0.0;
+
+    /// Back to the fresh-record state.
+    void reset() noexcept { *this = State{}; }
   };
 
   [[nodiscard]] static State make_state() noexcept { return State{}; }
@@ -55,6 +58,9 @@ class PtRecursiveHpf {
     std::array<double, 32> x{};
     std::size_t head = 0;
     double y1 = 0.0;
+
+    /// Back to the fresh-record state.
+    void reset() noexcept { *this = State{}; }
   };
 
   [[nodiscard]] static State make_state() noexcept { return State{}; }

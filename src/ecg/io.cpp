@@ -1,10 +1,51 @@
 #include "xbs/ecg/io.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace xbs::ecg {
+namespace {
+
+// Checked field parsers. std::stod/stoi are the wrong tool for untrusted
+// input: they throw std::invalid_argument/out_of_range instead of the
+// runtime_error this module's contract promises, accept trailing garbage
+// ("12abc" parses as 12), and stoi's int range silently depends on the
+// platform. Every malformed or out-of-range field must be a
+// std::runtime_error naming the offending text.
+
+[[noreturn]] void fail_field(const char* what, const std::string& text) {
+  throw std::runtime_error(std::string("read_csv: ") + what + ": '" + text + "'");
+}
+
+double parse_double_field(const std::string& s, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) fail_field(what, s);
+  return v;
+}
+
+i64 parse_i64_field(const std::string& s, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) fail_field(what, s);
+  return v;
+}
+
+i32 parse_i32_field(const std::string& s, const char* what) {
+  const i64 v = parse_i64_field(s, what);
+  if (v < std::numeric_limits<i32>::min() || v > std::numeric_limits<i32>::max()) {
+    fail_field(what, s);
+  }
+  return static_cast<i32>(v);
+}
+
+}  // namespace
 
 void write_csv(std::ostream& os, const DigitizedRecord& rec) {
   os << "# name," << rec.name << "\n";
@@ -27,35 +68,52 @@ DigitizedRecord read_csv(std::istream& is) {
   std::string line;
   bool header_done = false;
   while (std::getline(is, line)) {
+    // Tolerate CRLF records: getline leaves the '\r', which would otherwise
+    // fail the strict full-consumption field parsing below.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
+      // Header lines are exactly "# key,value": a truncated "#", a missing
+      // "# " prefix, or a comma inside the prefix is a malformed header, not
+      // a row to silently skip.
       const auto comma = line.find(',');
-      if (comma == std::string::npos) throw std::runtime_error("bad header line: " + line);
+      if (comma == std::string::npos || comma < 2 || line.compare(0, 2, "# ") != 0) {
+        throw std::runtime_error("read_csv: bad header line: '" + line + "'");
+      }
       const std::string key = line.substr(2, comma - 2);
       const std::string value = line.substr(comma + 1);
       if (key == "name") {
         rec.name = value;
       } else if (key == "fs_hz") {
-        rec.fs_hz = std::stod(value);
+        rec.fs_hz = parse_double_field(value, "bad fs_hz header value");
+        if (!(rec.fs_hz > 0.0)) fail_field("non-positive fs_hz", value);
       } else if (key == "gain_adu_per_mv") {
-        rec.gain_adu_per_mv = std::stod(value);
+        rec.gain_adu_per_mv = parse_double_field(value, "bad gain_adu_per_mv header value");
       }
       continue;
     }
     if (!header_done) {  // the column-title row
+      if (line != "index,adu,is_r_peak") {
+        throw std::runtime_error("read_csv: bad column-title row: '" + line + "'");
+      }
       header_done = true;
       continue;
     }
     std::istringstream row(line);
     std::string idx_s, adu_s, peak_s;
     if (!std::getline(row, idx_s, ',') || !std::getline(row, adu_s, ',') ||
-        !std::getline(row, peak_s)) {
-      throw std::runtime_error("bad data row: " + line);
+        !std::getline(row, peak_s) || peak_s.find(',') != std::string::npos) {
+      throw std::runtime_error("read_csv: bad data row: '" + line + "'");
     }
-    const auto idx = static_cast<std::size_t>(std::stoull(idx_s));
-    if (idx != rec.adu.size()) throw std::runtime_error("non-contiguous sample index");
-    rec.adu.push_back(std::stoi(adu_s));
-    if (std::stoi(peak_s) != 0) rec.r_peaks.push_back(idx);
+    const i64 idx_v = parse_i64_field(idx_s, "bad sample index");
+    if (idx_v < 0 || static_cast<std::size_t>(idx_v) != rec.adu.size()) {
+      throw std::runtime_error("read_csv: non-contiguous sample index: '" + idx_s + "'");
+    }
+    const auto idx = static_cast<std::size_t>(idx_v);
+    // adu is the 16/32-bit ADC word stream: anything a digitizer could never
+    // emit (non-numeric, outside i32) is a corrupt record, not a zero.
+    rec.adu.push_back(parse_i32_field(adu_s, "adu value out of i32 range or non-numeric"));
+    if (parse_i32_field(peak_s, "bad is_r_peak flag") != 0) rec.r_peaks.push_back(idx);
   }
   if (rec.adu.empty()) throw std::runtime_error("empty record");
   return rec;

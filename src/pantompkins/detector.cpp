@@ -308,6 +308,29 @@ std::span<const PeakEvent> OnlineDetector::push(std::span<const i32> mwi,
   return fresh_;
 }
 
+void OnlineDetector::reset() noexcept {
+  base_ = 0;
+  mwi_.clear();
+  hpf_.clear();
+  raw_.clear();
+  n_ = 0;
+  scan_ = 1;
+  have_cand_ = false;
+  cand_ = 0;
+  marks_.clear();
+  trained_ = false;
+  th_i_ = Thresholds{};
+  th_f_ = Thresholds{};
+  last_accept_ = -1;
+  last_slope_ = 0.0;
+  rr_history_.clear();
+  pending_ = PendingCandidate{};
+  result_.peaks.clear();
+  result_.trace.clear();
+  fresh_.clear();
+  flushed_ = false;
+}
+
 std::span<const PeakEvent> OnlineDetector::flush() {
   fresh_.clear();
   if (flushed_) return fresh_;

@@ -107,6 +107,12 @@ class OnlineDetector {
   /// push() after flush() throws.
   std::span<const PeakEvent> flush();
 
+  /// Re-arm for a fresh record: drops the sample window, thresholds, RR and
+  /// search-back state, any accumulated result, and the flushed flag —
+  /// observably identical to constructing a new detector with the same
+  /// params, but without re-deriving the wiring constants or reallocating.
+  void reset() noexcept;
+
   [[nodiscard]] const DetectorParams& params() const noexcept { return p_; }
   [[nodiscard]] bool flushed() const noexcept { return flushed_; }
   [[nodiscard]] u64 samples_seen() const noexcept { return n_; }

@@ -19,6 +19,7 @@
 /// sharing the immutable stage wiring and kernels.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <span>
@@ -69,16 +70,31 @@ struct StageInventory {
 struct FirState {
   std::vector<i32> delay;
   std::size_t head = 0;
+
+  /// Zero the delay line in place (no reallocation): the state of a fresh
+  /// record, reusable on the serving hot path (stream::Session::reset).
+  void reset() noexcept {
+    std::fill(delay.begin(), delay.end(), 0);
+    head = 0;
+  }
 };
 
 /// Carry-over state of the MWI stage: the window ring, same conventions.
 struct MwiState {
   std::vector<i32> window;
   std::size_t head = 0;
+
+  /// Zero the window in place (no reallocation).
+  void reset() noexcept {
+    std::fill(window.begin(), window.end(), 0);
+    head = 0;
+  }
 };
 
 /// The squarer is stateless; its state struct exists for API symmetry.
-struct SqrState {};
+struct SqrState {
+  void reset() noexcept {}
+};
 
 /// A fixed-point FIR stage: per-tap 16x16 multiplies by integer
 /// coefficients, a chain of 32-bit accumulations, then an arithmetic

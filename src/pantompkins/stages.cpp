@@ -37,7 +37,7 @@ FirStage::FirStage(std::span<const int> taps, int out_shift, arith::ArithmeticUn
   state_ = make_state();
 }
 
-void FirStage::reset() { state_ = make_state(); }
+void FirStage::reset() { state_.reset(); }
 
 i32 FirStage::process(FirState& st, i32 x) {
   st.delay[st.head] = x;
@@ -136,7 +136,7 @@ MwiStage::MwiStage(int window, int out_shift, arith::ArithmeticUnit& unit)
   validate_window(window);
 }
 
-void MwiStage::reset() { state_ = make_state(); }
+void MwiStage::reset() { state_.reset(); }
 
 i32 MwiStage::process(MwiState& st, i32 x) {
   st.window[st.head] = x;

@@ -1,21 +1,22 @@
 /// \file pool.hpp
-/// \brief The multi-session serving layer: N independent streaming sessions
-/// driven concurrently over shared immutable kernels/LUTs.
+/// \brief Fixed-size multi-session drive: N identically configured sessions
+/// fed to completion — now a thin compatibility wrapper over StreamServer.
 ///
-/// Thread safety is by construction: each worker thread owns a disjoint
-/// subset of sessions (a Session is a single-consumer object), and the only
-/// library state shared between threads is the process-wide
-/// multiplier/coefficient LUT caches, which are internally synchronized and
-/// hold immutable tables. The pool pre-warms those caches before any worker
-/// starts, so the hot path never builds a table inside a timed region.
+/// SessionPool predates the dynamic serving layer (server.hpp) and remains
+/// the convenient shape for benchmarks and batch-style comparisons: stamp N
+/// sessions from one spec, drive one feed through each, inspect the results.
+/// Since the drive runs on a StreamServer, it inherits the server's fault
+/// isolation — a throwing sink or a poisoned feed quarantines one session
+/// (surfaced in DriveStats::faulted_sessions) instead of terminating the
+/// process, which is what the pre-server implementation did.
 ///
-/// Caveat: SessionSpec::sink is copied into every session, so during drive()
-/// it is invoked concurrently from all worker threads — a sink that touches
-/// shared state (including shared captures-by-reference) must synchronize
-/// internally. Sinks that only touch per-event data, or pools driven with
-/// threads == 1, need nothing.
+/// Thread-safety caveat for sinks (also in README "Serving"): the spec's
+/// sink is copied into every session and invoked from server worker threads,
+/// so a sink touching state shared across sessions must synchronize
+/// internally.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,19 +32,23 @@ class SessionPool {
   SessionPool(SessionSpec spec, std::size_t n_sessions);
 
   [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
-  [[nodiscard]] Session& session(std::size_t i) { return sessions_[i]; }
-  [[nodiscard]] const Session& session(std::size_t i) const { return sessions_[i]; }
+  [[nodiscard]] Session& session(std::size_t i) { return *sessions_[i]; }
+  [[nodiscard]] const Session& session(std::size_t i) const { return *sessions_[i]; }
 
   /// Aggregate outcome of one drive() run.
   struct DriveStats {
     u64 sessions = 0;
     u64 samples = 0;        ///< total samples pushed across all sessions
-    u64 chunks = 0;         ///< total push() calls
+    u64 chunks = 0;         ///< total ingest attempts
     u64 events = 0;         ///< detector decisions emitted
     u64 beats = 0;          ///< accepted QRS events
+    u64 closed_sessions = 0;   ///< sessions that drained and flushed cleanly
+    u64 faulted_sessions = 0;  ///< sessions quarantined mid-drive
+    u64 dropped_chunks = 0;    ///< chunks never processed (fault discards + skips)
+    u64 peak_queue_chunks = 0; ///< deepest single-session ingest queue observed
     unsigned threads = 0;
     double wall_s = 0.0;
-    double p50_chunk_s = 0.0;  ///< median per-chunk push latency
+    double p50_chunk_s = 0.0;  ///< median per-chunk ingest latency (incl. backpressure)
     double p99_chunk_s = 0.0;
     double max_chunk_s = 0.0;
 
@@ -53,16 +58,18 @@ class SessionPool {
   };
 
   /// Drive every session to completion over its feed (feeds.size() must
-  /// equal size()): each feed is split into chunk_size-sample pushes;
-  /// workers round-robin chunks across the sessions they own — N concurrent
-  /// long-lived streams, not one-record batch jobs — then flush. One-shot:
-  /// sessions remain available for inspection afterwards, but are flushed.
-  /// threads == 0 picks hardware concurrency (clamped to the session count).
+  /// equal size()): sessions are adopted into a StreamServer with \p threads
+  /// workers, each feed is split into chunk_size-sample pushes delivered
+  /// round-robin with blocking backpressure, then every session is closed
+  /// and handed back. One-shot: sessions remain available for inspection
+  /// afterwards, but are flushed (or faulted). threads == 0 picks hardware
+  /// concurrency (clamped to the session count).
   DriveStats drive(std::span<const std::vector<i32>> feeds, std::size_t chunk_size,
                    unsigned threads = 0);
 
  private:
-  std::vector<Session> sessions_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  bool driven_ = false;  ///< drive() is one-shot; flushed() can't tell (a faulted session never flushes)
 };
 
 }  // namespace xbs::stream

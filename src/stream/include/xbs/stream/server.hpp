@@ -1,0 +1,246 @@
+/// \file server.hpp
+/// \brief The long-running serving layer: dynamic session lifecycle over a
+/// worker pool, bounded ingest queues with explicit backpressure, and
+/// per-session fault isolation.
+///
+/// A continuously deployed sensor-node service is not a batch job: streams
+/// connect, drop, reconnect and misbehave while every other stream keeps
+/// flowing. StreamServer owns a set of id-addressed session slots. Producers
+/// enqueue sample chunks (try_push for lossy feeds that prefer dropping over
+/// blocking, push for lossless feeds that accept backpressure); a pool of
+/// worker threads drains the queues through the sessions and delivers
+/// finalized events via each session's SessionSpec::sink.
+///
+/// Lifecycle: open() provisions a slot (re-using released ones),
+/// close() drains + flushes, reset() re-arms a slot mid-flight for a fresh
+/// record (dropping whatever was queued), release() hands the quiescent
+/// Session object back and frees the slot for the next tenant. Ids carry a
+/// provisioning generation, so a stale id held across release()/open()
+/// addresses nothing instead of the slot's new tenant.
+///
+/// Error isolation: anything a session throws inside a worker — a throwing
+/// user sink, a push on an adopted already-flushed session — and any
+/// protocol violation detected at ingest (a chunk over max_chunk_samples)
+/// quarantines *that* session: state becomes Faulted, the error text is
+/// captured in its stats, its queue is dropped, and pushes are refused until
+/// reset() re-arms or release() retires it. Workers never re-throw, so one
+/// bad stream can neither kill the process nor wedge its worker.
+///
+/// Thread safety: all public methods are safe to call concurrently from any
+/// thread. Per-session event order is preserved (a session is drained by at
+/// most one worker at a time); sinks run on worker threads, so a sink shared
+/// across sessions must synchronize internally (single-session sinks need
+/// nothing — see README "Serving").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xbs/stream/session.hpp"
+
+namespace xbs::stream {
+
+/// Lifecycle state of a server slot.
+enum class SessionState {
+  Empty,     ///< not provisioned (or released)
+  Open,      ///< streaming: accepts pushes, a worker drains its queue
+  Draining,  ///< close() requested: queued chunks flush through, no new pushes
+  Closed,    ///< flushed; Session retained for inspection until release()
+  Faulted,   ///< quarantined: error captured, queue dropped, pushes refused
+};
+
+[[nodiscard]] const char* to_string(SessionState s) noexcept;
+
+/// Outcome of an ingest attempt.
+enum class PushResult {
+  Ok,
+  QueueFull,      ///< try_push only: bounded queue at capacity, chunk not taken
+  Closed,         ///< session closed/closing: chunk refused
+  Faulted,        ///< session quarantined: chunk refused
+  NoSuchSession,  ///< unknown or stale id
+};
+
+[[nodiscard]] const char* to_string(PushResult r) noexcept;
+
+/// Opaque session address: slot index + provisioning generation.
+struct SessionId {
+  std::size_t slot = static_cast<std::size_t>(-1);
+  u64 generation = 0;
+
+  friend constexpr bool operator==(const SessionId&, const SessionId&) = default;
+};
+
+/// A long-running multi-session streaming server. See the file comment for
+/// the lifecycle / backpressure / isolation semantics.
+class StreamServer {
+ public:
+  struct Options {
+    /// Hard ceiling on concurrently provisioned slots; open() beyond it
+    /// throws std::runtime_error (admission control belongs to the caller).
+    std::size_t max_sessions = 64;
+
+    /// Per-session bounded ingest queue, in chunks: the high-water mark.
+    /// try_push returns QueueFull at capacity; push blocks until a worker
+    /// drains below it.
+    std::size_t queue_capacity_chunks = 32;
+
+    /// Protocol bound on one chunk, in samples (0 = unlimited). An oversize
+    /// chunk is a malformed stream: the session faults (it is not a
+    /// transient overload, so it is not a QueueFull).
+    std::size_t max_chunk_samples = 0;
+
+    /// Worker threads draining session queues (0 = hardware concurrency).
+    unsigned workers = 0;
+  };
+
+  /// Per-session live statistics (a consistent snapshot).
+  struct SessionStats {
+    SessionState state = SessionState::Empty;
+    u64 chunks_in = 0;         ///< chunks accepted into the queue
+    u64 chunks_processed = 0;  ///< chunks pushed through the Session
+    u64 dropped_chunks = 0;    ///< try_push rejects + chunks discarded on fault/reset
+    u64 queued_chunks = 0;     ///< current queue depth
+    u64 queued_samples = 0;
+    u64 samples = 0;           ///< samples processed
+    u64 events = 0;            ///< detector decisions delivered
+    u64 beats = 0;             ///< accepted QRS events
+    std::string error;         ///< why the session faulted (empty otherwise)
+  };
+
+  /// Aggregate live statistics across the server's lifetime.
+  struct ServerStats {
+    u64 open = 0;      ///< slots currently Open or Draining
+    u64 closed = 0;    ///< slots currently Closed (awaiting release)
+    u64 faulted = 0;   ///< slots currently quarantined
+    u64 sessions_opened = 0;   ///< lifetime open()/adopt() count
+    u64 sessions_released = 0; ///< lifetime release() count
+    u64 chunks_processed = 0;
+    u64 dropped_chunks = 0;
+    u64 queued_chunks = 0;     ///< current total queue depth
+    u64 peak_queued_chunks = 0;///< highest single-session depth ever observed
+    u64 samples = 0;
+    u64 events = 0;
+    u64 beats = 0;
+  };
+
+  StreamServer();  ///< default Options (a nested-class NSDMI cannot be a default argument)
+  explicit StreamServer(Options opts);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Provision a slot with a fresh Session built from \p spec. Reuses a
+  /// released slot when one exists; throws std::runtime_error at the
+  /// max_sessions ceiling and propagates Session construction failures
+  /// (e.g. invalid DetectorParams) without consuming a slot.
+  SessionId open(SessionSpec spec);
+
+  /// Provision a slot with an existing Session (the SessionPool
+  /// compatibility path). The server takes ownership; the session's
+  /// accumulated state is kept as-is (an already-flushed adoptee will fault
+  /// on its first pushed chunk — that is the push-after-flush quarantine).
+  SessionId adopt(std::unique_ptr<Session> session);
+
+  /// Non-blocking ingest: refuses with QueueFull at the high-water mark
+  /// (counted in dropped_chunks). The chunk is copied on acceptance.
+  PushResult try_push(SessionId id, std::span<const i32> chunk);
+
+  /// Blocking ingest: waits for queue space while the session stays Open.
+  /// Returns the refusal reason instead if the session closes, faults or is
+  /// released while waiting.
+  PushResult push(SessionId id, std::span<const i32> chunk);
+
+  /// Graceful end-of-stream: stops admitting pushes, lets the queue drain,
+  /// flushes the session, and waits for that to finish. Returns the final
+  /// state (Closed, or Faulted if the tail faulted; Empty for a stale id).
+  /// Safe to call twice.
+  SessionState close(SessionId id);
+
+  /// Re-arm a slot mid-flight for a fresh record: drops whatever is queued
+  /// (counted in dropped_chunks), waits out any in-flight chunk, resets the
+  /// Session (stage carry-overs, detector, counters) and returns the slot to
+  /// Open — including from Faulted (quarantine release) and Closed (slot
+  /// reuse without re-provisioning). False for a stale id. Other sessions
+  /// stream on, undisturbed, the whole time.
+  bool reset(SessionId id);
+
+  /// Retire a slot and hand its quiescent Session back (closing it first if
+  /// still streaming). The slot returns to Empty and becomes reusable by the
+  /// next open(); the id goes stale. Null for a stale id.
+  std::unique_ptr<Session> release(SessionId id);
+
+  /// Pause/resume the worker pool (a maintenance gate: ingest keeps
+  /// accepting until queues hit the high-water mark, nothing is processed
+  /// while paused). Used by tests to make backpressure deterministic.
+  void pause();
+  void resume();
+
+  /// Read-only view of a slot's Session. Stable while the id stays valid,
+  /// but concurrently mutated by workers while Open/Draining — inspect
+  /// results only once Closed or Faulted. Null for a stale id.
+  [[nodiscard]] const Session* session(SessionId id) const;
+
+  [[nodiscard]] SessionStats session_stats(SessionId id) const;
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] unsigned workers() const noexcept { return n_workers_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Session> session;
+    SessionState state = SessionState::Empty;
+    u64 generation = 0;
+    std::deque<std::vector<i32>> queue;
+    u64 queued_samples = 0;
+    bool busy = false;      ///< a worker is draining this slot right now
+    bool enqueued = false;  ///< slot is in the ready list
+    u64 chunks_in = 0;
+    u64 chunks_processed = 0;
+    u64 dropped_chunks = 0;
+    u64 samples = 0;
+    u64 events = 0;
+    u64 beats = 0;
+    std::string error;
+  };
+
+  // All private helpers expect mu_ held.
+  Slot* find(SessionId id);
+  const Slot* find(SessionId id) const;
+  SessionId provision(std::unique_ptr<Session> session);
+  PushResult refuse_reason(const Slot& s) const;
+  void enqueue_ready(std::size_t slot_index);
+  void drop_queue(Slot& s);
+  void fault(Slot& s, std::string why);
+  void worker_loop();
+  void drain_one(std::unique_lock<std::mutex>& lock, std::size_t slot_index);
+
+  Options opts_;
+  unsigned n_workers_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: ready list / stop / resume
+  std::condition_variable space_cv_;  ///< blocking push: queue space
+  std::condition_variable state_cv_;  ///< close/reset/release: state changes
+  std::vector<Slot> slots_;
+  std::deque<std::size_t> ready_;
+  bool stop_ = false;
+  bool paused_ = false;
+  u64 sessions_opened_ = 0;
+  u64 sessions_released_ = 0;
+  u64 retired_chunks_processed_ = 0;  ///< totals carried past release()
+  u64 retired_dropped_chunks_ = 0;
+  u64 retired_samples_ = 0;
+  u64 retired_events_ = 0;
+  u64 retired_beats_ = 0;
+  u64 peak_queued_chunks_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xbs::stream

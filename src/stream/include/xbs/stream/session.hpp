@@ -61,9 +61,10 @@ struct SessionSpec {
 
   /// Optional push-time event sink, invoked for every finalized decision (in
   /// addition to the events returned by push/flush). Called on whichever
-  /// thread drives the session — when a SessionPool stamps this spec into
-  /// many sessions, a sink sharing state across them must synchronize
-  /// internally (see pool.hpp).
+  /// thread drives the session — under a StreamServer/SessionPool that is a
+  /// worker thread, and a sink sharing state across sessions must
+  /// synchronize internally (see server.hpp and README "Serving"). A sink
+  /// that throws quarantines its session when driven by the server.
   std::function<void(const Event&)> sink;
 };
 
@@ -94,6 +95,14 @@ class Session {
   /// End-of-record: finalize and emit everything still pending. Idempotent;
   /// push() after flush() throws.
   std::span<const Event> flush();
+
+  /// Re-arm for a fresh record on the same wiring: resets every stage
+  /// carry-over (delay lines/window rings in place), the online detector,
+  /// retained signals, counters, kernel op counts and the flushed flag. The
+  /// session behaves exactly like a newly constructed one afterwards —
+  /// without rebuilding kernels or touching the shared LUT caches. This is
+  /// what lets a serving slot be reused across patient reconnects.
+  void reset();
 
   [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] bool flushed() const noexcept { return flushed_; }

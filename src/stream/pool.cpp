@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "xbs/stream/server.hpp"
+
 namespace xbs::stream {
 namespace {
 
@@ -30,7 +32,9 @@ SessionPool::SessionPool(SessionSpec spec, std::size_t n_sessions) {
   // triggers on the serving hot path).
   pantompkins::warm_pipeline_tables(spec.config);
   sessions_.reserve(n_sessions);
-  for (std::size_t i = 0; i < n_sessions; ++i) sessions_.emplace_back(spec);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    sessions_.push_back(std::make_unique<Session>(spec));
+  }
 }
 
 SessionPool::DriveStats SessionPool::drive(std::span<const std::vector<i32>> feeds,
@@ -39,12 +43,14 @@ SessionPool::DriveStats SessionPool::drive(std::span<const std::vector<i32>> fee
     throw std::invalid_argument("SessionPool::drive: one feed per session required");
   }
   if (chunk_size == 0) throw std::invalid_argument("SessionPool::drive: chunk_size == 0");
-  // drive() is one-shot: a second call would make push() throw inside the
-  // worker threads (uncaught -> std::terminate), so refuse it here instead.
-  // All sessions flush together, so checking one suffices.
-  if (!sessions_.empty() && sessions_.front().flushed()) {
+  // drive() is one-shot: the sessions are flushed (or faulted) afterwards,
+  // and a second drive would only quarantine all of them with push-after-
+  // flush faults. An explicit flag, not flushed(): a session that faulted
+  // mid-drive never flushed, so probing one session cannot tell.
+  if (driven_) {
     throw std::logic_error("SessionPool::drive: sessions already driven");
   }
+  driven_ = true;
 
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
@@ -52,56 +58,76 @@ SessionPool::DriveStats SessionPool::drive(std::span<const std::vector<i32>> fee
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(sessions_.size(), 1)));
 
-  std::vector<std::vector<double>> latencies(threads);
-
-  auto worker = [&](unsigned t) {
-    std::vector<double>& lats = latencies[t];
-    std::vector<std::size_t> mine;  // sessions t, t+threads, ... (disjoint ownership)
-    for (std::size_t i = t; i < sessions_.size(); i += threads) mine.push_back(i);
-    std::vector<std::size_t> pos(mine.size(), 0);
-    bool any = true;
-    while (any) {
-      any = false;
-      for (std::size_t k = 0; k < mine.size(); ++k) {
-        const std::vector<i32>& feed = feeds[mine[k]];
-        if (pos[k] >= feed.size()) continue;
-        const std::size_t len = std::min(chunk_size, feed.size() - pos[k]);
-        const Clock::time_point t0 = Clock::now();
-        (void)sessions_[mine[k]].push(std::span<const i32>(feed).subspan(pos[k], len));
-        lats.push_back(seconds_between(t0, Clock::now()));
-        pos[k] += len;
-        any = true;
-      }
-    }
-    for (const std::size_t i : mine) (void)sessions_[i].flush();
-  };
-
-  const Clock::time_point start = Clock::now();
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& th : pool) th.join();
-  }
-  const Clock::time_point stop = Clock::now();
-
   DriveStats stats;
   stats.sessions = sessions_.size();
   stats.threads = threads;
-  stats.wall_s = seconds_between(start, stop);
-  std::vector<double> all;
-  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
-  std::sort(all.begin(), all.end());
-  stats.chunks = all.size();
-  stats.p50_chunk_s = percentile(all, 0.50);
-  stats.p99_chunk_s = percentile(all, 0.99);
-  stats.max_chunk_s = all.empty() ? 0.0 : all.back();
-  for (const Session& s : sessions_) {
-    stats.samples += s.samples_pushed();
-    stats.events += s.events_emitted();
-    stats.beats += s.beats_detected();
+
+  std::vector<double> lats;
+  {
+    StreamServer server({.max_sessions = std::max<std::size_t>(sessions_.size(), 1),
+                         .queue_capacity_chunks = 64,
+                         .max_chunk_samples = 0,
+                         .workers = threads});
+    std::vector<SessionId> ids;
+    ids.reserve(sessions_.size());
+    for (auto& s : sessions_) ids.push_back(server.adopt(std::move(s)));
+
+    // The timed region is ingest through close-completion (all sessions
+    // drained and flushed) — worker spawn and session hand-back stay outside,
+    // as for any long-running serving process.
+    const Clock::time_point start = Clock::now();
+
+    // Round-robin ingest across all sessions — N concurrent long-lived
+    // streams, not one-record batch jobs. Blocking push supplies the
+    // backpressure; a session that faults mid-feed has the rest of its feed
+    // skipped (counted as dropped) while every other stream keeps flowing.
+    std::vector<std::size_t> pos(ids.size(), 0);
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const std::vector<i32>& feed = feeds[k];
+        if (pos[k] >= feed.size()) continue;
+        const std::size_t len = std::min(chunk_size, feed.size() - pos[k]);
+        const Clock::time_point t0 = Clock::now();
+        const PushResult r =
+            server.push(ids[k], std::span<const i32>(feed).subspan(pos[k], len));
+        lats.push_back(seconds_between(t0, Clock::now()));
+        ++stats.chunks;
+        if (r == PushResult::Ok) {
+          pos[k] += len;
+          any = true;
+        } else {
+          // Quarantined (or refused): skip the rest of this feed.
+          stats.dropped_chunks += (feed.size() - pos[k] + chunk_size - 1) / chunk_size;
+          pos[k] = feed.size();
+        }
+      }
+    }
+    for (const SessionId id : ids) {
+      const SessionState final_state = server.close(id);
+      if (final_state == SessionState::Faulted) {
+        ++stats.faulted_sessions;
+      } else {
+        ++stats.closed_sessions;
+      }
+    }
+    stats.wall_s = seconds_between(start, Clock::now());
+
+    const StreamServer::ServerStats ss = server.stats();
+    stats.dropped_chunks += ss.dropped_chunks;
+    stats.peak_queue_chunks = ss.peak_queued_chunks;
+    for (std::size_t k = 0; k < ids.size(); ++k) sessions_[k] = server.release(ids[k]);
+  }
+
+  std::sort(lats.begin(), lats.end());
+  stats.p50_chunk_s = percentile(lats, 0.50);
+  stats.p99_chunk_s = percentile(lats, 0.99);
+  stats.max_chunk_s = lats.empty() ? 0.0 : lats.back();
+  for (const auto& s : sessions_) {
+    stats.samples += s->samples_pushed();
+    stats.events += s->events_emitted();
+    stats.beats += s->beats_detected();
   }
   return stats;
 }

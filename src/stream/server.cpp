@@ -1,0 +1,458 @@
+#include "xbs/stream/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "xbs/pantompkins/pipeline.hpp"
+
+namespace xbs::stream {
+
+const char* to_string(SessionState s) noexcept {
+  switch (s) {
+    case SessionState::Empty: return "Empty";
+    case SessionState::Open: return "Open";
+    case SessionState::Draining: return "Draining";
+    case SessionState::Closed: return "Closed";
+    case SessionState::Faulted: return "Faulted";
+  }
+  return "?";
+}
+
+const char* to_string(PushResult r) noexcept {
+  switch (r) {
+    case PushResult::Ok: return "Ok";
+    case PushResult::QueueFull: return "QueueFull";
+    case PushResult::Closed: return "Closed";
+    case PushResult::Faulted: return "Faulted";
+    case PushResult::NoSuchSession: return "NoSuchSession";
+  }
+  return "?";
+}
+
+StreamServer::StreamServer() : StreamServer(Options{}) {}
+
+StreamServer::StreamServer(Options opts) : opts_(opts) {
+  if (opts_.max_sessions == 0) {
+    throw std::invalid_argument("StreamServer: max_sessions == 0");
+  }
+  if (opts_.queue_capacity_chunks == 0) {
+    throw std::invalid_argument("StreamServer: queue_capacity_chunks == 0");
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  n_workers_ = opts_.workers == 0 ? hw : opts_.workers;
+  workers_.reserve(n_workers_);
+  for (unsigned t = 0; t < n_workers_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+StreamServer::~StreamServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  state_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+// ----------------------------------------------------------- mu_-held helpers
+
+StreamServer::Slot* StreamServer::find(SessionId id) {
+  if (id.slot >= slots_.size()) return nullptr;
+  Slot& s = slots_[id.slot];
+  if (s.state == SessionState::Empty || s.generation != id.generation) return nullptr;
+  return &s;
+}
+
+const StreamServer::Slot* StreamServer::find(SessionId id) const {
+  return const_cast<StreamServer*>(this)->find(id);
+}
+
+SessionId StreamServer::provision(std::unique_ptr<Session> session) {
+  std::size_t idx = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].state == SessionState::Empty) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == slots_.size()) {
+    if (slots_.size() >= opts_.max_sessions) {
+      throw std::runtime_error("StreamServer: session limit reached (max_sessions)");
+    }
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.session = std::move(session);
+  s.state = SessionState::Open;
+  s.generation = ++sessions_opened_;  // monotonic: unique across all slots
+  s.queue.clear();
+  s.queued_samples = 0;
+  s.busy = false;
+  s.enqueued = false;
+  s.chunks_in = 0;
+  s.chunks_processed = 0;
+  s.dropped_chunks = 0;
+  s.samples = 0;
+  s.events = 0;
+  s.beats = 0;
+  s.error.clear();
+  return SessionId{idx, s.generation};
+}
+
+PushResult StreamServer::refuse_reason(const Slot& s) const {
+  switch (s.state) {
+    case SessionState::Open: return PushResult::Ok;
+    case SessionState::Draining:
+    case SessionState::Closed: return PushResult::Closed;
+    case SessionState::Faulted: return PushResult::Faulted;
+    case SessionState::Empty: return PushResult::NoSuchSession;
+  }
+  return PushResult::NoSuchSession;
+}
+
+void StreamServer::enqueue_ready(std::size_t slot_index) {
+  Slot& s = slots_[slot_index];
+  if (s.enqueued || s.busy) return;
+  s.enqueued = true;
+  ready_.push_back(slot_index);
+  work_cv_.notify_one();
+}
+
+void StreamServer::drop_queue(Slot& s) {
+  s.dropped_chunks += s.queue.size();
+  s.queue.clear();
+  s.queued_samples = 0;
+  space_cv_.notify_all();
+}
+
+void StreamServer::fault(Slot& s, std::string why) {
+  s.state = SessionState::Faulted;
+  s.error = std::move(why);
+  drop_queue(s);
+  state_cv_.notify_all();
+}
+
+// ------------------------------------------------------------------- workers
+
+void StreamServer::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || (!paused_ && !ready_.empty()); });
+    if (stop_) return;
+    const std::size_t idx = ready_.front();
+    ready_.pop_front();
+    slots_[idx].enqueued = false;
+    drain_one(lock, idx);
+  }
+}
+
+void StreamServer::drain_one(std::unique_lock<std::mutex>& lock, std::size_t slot_index) {
+  slots_[slot_index].busy = true;
+  while (true) {
+    Slot& s = slots_[slot_index];  // re-fetch: slots_ may have grown while unlocked
+    if (stop_ || paused_) {
+      // Hand the remainder back to the ready list so resume() (or another
+      // worker) picks it up; nothing is lost.
+      if (s.state == SessionState::Open || s.state == SessionState::Draining) {
+        s.busy = false;
+        enqueue_ready(slot_index);
+        state_cv_.notify_all();
+        return;
+      }
+      break;
+    }
+    if (s.state != SessionState::Open && s.state != SessionState::Draining) break;
+    if (s.queue.empty()) {
+      if (s.state != SessionState::Draining) break;
+      // close() requested and the queue is dry: flush outside the lock.
+      Session* sess = s.session.get();
+      lock.unlock();
+      std::string err;
+      u64 events = 0, beats = 0;
+      try {
+        for (const Event& ev : sess->flush()) {
+          ++events;
+          beats += ev.is_beat() ? 1 : 0;
+        }
+      } catch (const std::exception& e) {
+        err = e.what();
+      } catch (...) {
+        err = "unknown exception during flush";
+      }
+      lock.lock();
+      Slot& sl = slots_[slot_index];
+      sl.events += events;
+      sl.beats += beats;
+      if (!err.empty()) {
+        fault(sl, std::move(err));
+      } else {
+        sl.state = SessionState::Closed;
+        state_cv_.notify_all();
+      }
+      break;
+    }
+    std::vector<i32> chunk = std::move(s.queue.front());
+    s.queue.pop_front();
+    s.queued_samples -= chunk.size();
+    space_cv_.notify_all();
+    Session* sess = s.session.get();
+    lock.unlock();
+    std::string err;
+    u64 events = 0, beats = 0;
+    try {
+      for (const Event& ev : sess->push(chunk)) {
+        ++events;
+        beats += ev.is_beat() ? 1 : 0;
+      }
+    } catch (const std::exception& e) {
+      err = e.what();
+    } catch (...) {
+      err = "unknown exception during push";
+    }
+    lock.lock();
+    Slot& sl = slots_[slot_index];
+    if (!err.empty()) {
+      fault(sl, std::move(err));
+      break;
+    }
+    ++sl.chunks_processed;
+    sl.samples += chunk.size();
+    sl.events += events;
+    sl.beats += beats;
+  }
+  slots_[slot_index].busy = false;
+  state_cv_.notify_all();
+}
+
+// --------------------------------------------------------------- public API
+
+SessionId StreamServer::open(SessionSpec spec) {
+  // Session construction (and LUT warming) happens outside the lock: it can
+  // cold-build coefficient tables, and open() must not stall the data plane.
+  pantompkins::warm_pipeline_tables(spec.config);
+  auto session = std::make_unique<Session>(std::move(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  return provision(std::move(session));
+}
+
+SessionId StreamServer::adopt(std::unique_ptr<Session> session) {
+  if (!session) throw std::invalid_argument("StreamServer::adopt: null session");
+  std::lock_guard<std::mutex> lock(mu_);
+  return provision(std::move(session));
+}
+
+PushResult StreamServer::try_push(SessionId id, std::span<const i32> chunk) {
+  // The copy is built outside the lock: the server-wide mutex must never
+  // hold an O(chunk) allocation+memcpy, or every session's ingest and every
+  // worker serialize on it. Wasted work only on the (rare) refusal paths.
+  const bool oversize =
+      opts_.max_chunk_samples != 0 && chunk.size() > opts_.max_chunk_samples;
+  std::vector<i32> copy;
+  if (!oversize) copy.assign(chunk.begin(), chunk.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot* s = find(id);
+  if (s == nullptr) return PushResult::NoSuchSession;
+  if (s->state != SessionState::Open) return refuse_reason(*s);
+  if (oversize) {
+    ++s->dropped_chunks;  // the offending chunk itself
+    fault(*s, "protocol violation: chunk of " + std::to_string(chunk.size()) +
+                  " samples exceeds max_chunk_samples = " +
+                  std::to_string(opts_.max_chunk_samples));
+    return PushResult::Faulted;
+  }
+  if (s->queue.size() >= opts_.queue_capacity_chunks) {
+    ++s->dropped_chunks;
+    return PushResult::QueueFull;
+  }
+  s->queue.push_back(std::move(copy));
+  s->queued_samples += chunk.size();
+  ++s->chunks_in;
+  peak_queued_chunks_ = std::max<u64>(peak_queued_chunks_, s->queue.size());
+  enqueue_ready(id.slot);
+  return PushResult::Ok;
+}
+
+PushResult StreamServer::push(SessionId id, std::span<const i32> chunk) {
+  const bool oversize =
+      opts_.max_chunk_samples != 0 && chunk.size() > opts_.max_chunk_samples;
+  std::vector<i32> copy;  // built unlocked, moved in on acceptance (see try_push)
+  if (!oversize) copy.assign(chunk.begin(), chunk.end());
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) return PushResult::NoSuchSession;
+    Slot* s = find(id);
+    if (s == nullptr) return PushResult::NoSuchSession;
+    if (s->state != SessionState::Open) return refuse_reason(*s);
+    if (oversize) {
+      ++s->dropped_chunks;
+      fault(*s, "protocol violation: chunk of " + std::to_string(chunk.size()) +
+                    " samples exceeds max_chunk_samples = " +
+                    std::to_string(opts_.max_chunk_samples));
+      return PushResult::Faulted;
+    }
+    if (s->queue.size() < opts_.queue_capacity_chunks) {
+      s->queue.push_back(std::move(copy));
+      s->queued_samples += chunk.size();
+      ++s->chunks_in;
+      peak_queued_chunks_ = std::max<u64>(peak_queued_chunks_, s->queue.size());
+      enqueue_ready(id.slot);
+      return PushResult::Ok;
+    }
+    space_cv_.wait(lock);  // backpressure: high-water mark reached
+  }
+}
+
+SessionState StreamServer::close(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  {
+    Slot* s = find(id);
+    if (s == nullptr) return SessionState::Empty;
+    if (s->state == SessionState::Open) {
+      s->state = SessionState::Draining;
+      enqueue_ready(id.slot);  // even on an empty queue: a worker runs the flush
+    }
+  }
+  while (true) {
+    if (stop_) return SessionState::Empty;
+    Slot* s = find(id);
+    if (s == nullptr) return SessionState::Empty;
+    if (s->state == SessionState::Closed || s->state == SessionState::Faulted) {
+      return s->state;
+    }
+    state_cv_.wait(lock);
+  }
+}
+
+bool StreamServer::reset(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stop_) return false;
+    Slot* s = find(id);
+    if (s == nullptr) return false;
+    if (s->state == SessionState::Draining) {
+      // A close() is in flight; let it finish (the slot lands Closed or
+      // Faulted, both re-armable) instead of yanking its state from under it.
+      state_cv_.wait(lock);
+      continue;
+    }
+    drop_queue(*s);  // re-dropped each wait iteration: pushers may still land
+    if (s->busy) {
+      state_cv_.wait(lock);  // let the in-flight chunk / flush finish
+      continue;
+    }
+    // Quiescent: no worker owns the slot and the queue is empty. Re-arm.
+    s->session->reset();
+    s->state = SessionState::Open;
+    s->error.clear();
+    state_cv_.notify_all();
+    space_cv_.notify_all();
+    return true;
+  }
+}
+
+std::unique_ptr<Session> StreamServer::release(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  {
+    Slot* s = find(id);
+    if (s == nullptr) return nullptr;
+    if (s->state == SessionState::Open) {
+      s->state = SessionState::Draining;
+      enqueue_ready(id.slot);
+    }
+  }
+  while (true) {
+    if (stop_) return nullptr;
+    Slot* s = find(id);
+    if (s == nullptr) return nullptr;
+    if ((s->state == SessionState::Closed || s->state == SessionState::Faulted) && !s->busy) {
+      retired_chunks_processed_ += s->chunks_processed;
+      retired_dropped_chunks_ += s->dropped_chunks;
+      retired_samples_ += s->samples;
+      retired_events_ += s->events;
+      retired_beats_ += s->beats;
+      std::unique_ptr<Session> out = std::move(s->session);
+      s->state = SessionState::Empty;
+      s->queue.clear();
+      s->queued_samples = 0;
+      s->error.clear();
+      ++sessions_released_;
+      state_cv_.notify_all();
+      space_cv_.notify_all();  // pushers blocked on this id wake to NoSuchSession
+      return out;
+    }
+    state_cv_.wait(lock);
+  }
+}
+
+void StreamServer::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void StreamServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+const Session* StreamServer::session(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Slot* s = find(id);
+  return s == nullptr ? nullptr : s->session.get();
+}
+
+StreamServer::SessionStats StreamServer::session_stats(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats out;
+  const Slot* s = find(id);
+  if (s == nullptr) return out;  // state == Empty
+  out.state = s->state;
+  out.chunks_in = s->chunks_in;
+  out.chunks_processed = s->chunks_processed;
+  out.dropped_chunks = s->dropped_chunks;
+  out.queued_chunks = s->queue.size();
+  out.queued_samples = s->queued_samples;
+  out.samples = s->samples;
+  out.events = s->events;
+  out.beats = s->beats;
+  out.error = s->error;
+  return out;
+}
+
+StreamServer::ServerStats StreamServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats out;
+  out.sessions_opened = sessions_opened_;
+  out.sessions_released = sessions_released_;
+  out.peak_queued_chunks = peak_queued_chunks_;
+  out.chunks_processed = retired_chunks_processed_;
+  out.dropped_chunks = retired_dropped_chunks_;
+  out.samples = retired_samples_;
+  out.events = retired_events_;
+  out.beats = retired_beats_;
+  for (const Slot& s : slots_) {
+    switch (s.state) {
+      case SessionState::Open:
+      case SessionState::Draining: ++out.open; break;
+      case SessionState::Closed: ++out.closed; break;
+      case SessionState::Faulted: ++out.faulted; break;
+      case SessionState::Empty: continue;
+    }
+    out.chunks_processed += s.chunks_processed;
+    out.dropped_chunks += s.dropped_chunks;
+    out.queued_chunks += s.queue.size();
+    out.samples += s.samples;
+    out.events += s.events;
+    out.beats += s.beats;
+  }
+  return out;
+}
+
+}  // namespace xbs::stream

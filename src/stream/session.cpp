@@ -77,6 +77,19 @@ std::span<const Event> Session::flush() {
   return fresh_;
 }
 
+void Session::reset() {
+  for (pantompkins::StageProcessor& st : stages_) st.reset();
+  if (detector_) detector_->reset();
+  for (auto& k : kernels_) k->reset_counts();
+  for (auto& sig : signals_) sig.clear();
+  n_ = 0;
+  events_ = 0;
+  beats_ = 0;
+  last_beat_raw_ = -1;
+  fresh_.clear();
+  flushed_ = false;
+}
+
 const pantompkins::DetectionResult& Session::detection() const noexcept {
   static const pantompkins::DetectionResult kEmpty;
   return detector_ ? detector_->result() : kEmpty;

@@ -47,6 +47,57 @@ TEST(EcgIo, MalformedInputThrows) {
   EXPECT_THROW((void)read_csv(skipped_index), std::runtime_error);
 }
 
+TEST(EcgIo, MalformedInputMatrix) {
+  // Every corrupt record must surface as std::runtime_error — never a silent
+  // zero-fill, a std::invalid_argument/out_of_range leak from the numeric
+  // parsers, or a crash.
+  const char* const kTitle = "index,adu,is_r_peak\n";
+  const struct {
+    const char* what;
+    std::string text;
+  } cases[] = {
+      {"truncated header marker", "#\n" + std::string(kTitle) + "0,1,0\n"},
+      {"header missing space", "#name,r1\n" + std::string(kTitle) + "0,1,0\n"},
+      {"header without value", "# fs_hz\n" + std::string(kTitle) + "0,1,0\n"},
+      {"non-numeric fs_hz", "# fs_hz,fast\n" + std::string(kTitle) + "0,1,0\n"},
+      {"fs_hz trailing garbage", "# fs_hz,200Hz\n" + std::string(kTitle) + "0,1,0\n"},
+      {"non-positive fs_hz", "# fs_hz,0\n" + std::string(kTitle) + "0,1,0\n"},
+      {"non-numeric gain", "# gain_adu_per_mv,x\n" + std::string(kTitle) + "0,1,0\n"},
+      {"truncated column titles", "index,adu\n0,1,0\n"},
+      {"data row before titles", "0,1,0\n"},
+      {"non-numeric index", std::string(kTitle) + "zero,1,0\n"},
+      {"negative index", std::string(kTitle) + "-1,1,0\n"},
+      {"non-numeric adu", std::string(kTitle) + "0,abc,0\n"},
+      {"adu trailing garbage", std::string(kTitle) + "0,12abc,0\n"},
+      {"empty adu field", std::string(kTitle) + "0,,0\n"},
+      {"adu above i32 range", std::string(kTitle) + "0,2147483648,0\n"},
+      {"adu below i32 range", std::string(kTitle) + "0,-2147483649,0\n"},
+      {"adu out of i64 range", std::string(kTitle) + "0,99999999999999999999,0\n"},
+      {"non-numeric peak flag", std::string(kTitle) + "0,1,yes\n"},
+      {"extra column", std::string(kTitle) + "0,1,0,7\n"},
+  };
+  for (const auto& c : cases) {
+    std::stringstream ss(c.text);
+    EXPECT_THROW((void)read_csv(ss), std::runtime_error) << c.what;
+  }
+
+  // The i32 boundary values themselves are valid samples.
+  std::stringstream ok(std::string(kTitle) + "0,2147483647,0\n1,-2147483648,1\n");
+  const DigitizedRecord rec = read_csv(ok);
+  ASSERT_EQ(rec.adu.size(), 2u);
+  EXPECT_EQ(rec.adu[0], 2147483647);
+  EXPECT_EQ(rec.adu[1], -2147483647 - 1);
+  EXPECT_EQ(rec.r_peaks, (std::vector<std::size_t>{1}));
+
+  // CRLF records (Windows-written CSVs) load: the '\r' is stripped before
+  // the strict parsing, not rejected as trailing garbage.
+  std::stringstream crlf("# fs_hz,360\r\nindex,adu,is_r_peak\r\n0,5,0\r\n1,-7,1\r\n");
+  const DigitizedRecord rec2 = read_csv(crlf);
+  EXPECT_DOUBLE_EQ(rec2.fs_hz, 360.0);
+  EXPECT_EQ(rec2.adu, (std::vector<i32>{5, -7}));
+  EXPECT_EQ(rec2.r_peaks, (std::vector<std::size_t>{1}));
+}
+
 TEST(EcgIo, FileRoundTrip) {
   const DigitizedRecord rec = nsrdb_like_digitized(0, 500);
   const std::string path = "/tmp/xbs_io_test.csv";

@@ -42,6 +42,39 @@ TEST(ShiftRound, RoundsToNearest) {
 
 TEST(ShiftRound, NegativeShiftIsLeftShift) { EXPECT_EQ(shift_round(3, -2), 12); }
 
+TEST(ShiftRound, BoundaryValuesAreDefinedAndSaturating) {
+  constexpr i64 kMax = std::numeric_limits<i64>::max();
+  constexpr i64 kMin = std::numeric_limits<i64>::min();
+
+  // Shift 0 is the identity at both range ends.
+  EXPECT_EQ(shift_round(kMax, 0), kMax);
+  EXPECT_EQ(shift_round(kMin, 0), kMin);
+  EXPECT_EQ(shift_round(i64{0}, 0), 0);
+
+  // Left shifts of large magnitudes saturate instead of overflowing.
+  EXPECT_EQ(shift_round(kMax, -1), kMax);
+  EXPECT_EQ(shift_round(kMin, -1), kMin);
+  EXPECT_EQ(shift_round(kMax / 2 + 1, -1), kMax);
+  EXPECT_EQ(shift_round(i64{1}, -62), i64{1} << 62);
+  EXPECT_EQ(shift_round(i64{1}, -63), kMax);     // 2^63 is out of range
+  EXPECT_EQ(shift_round(i64{-1}, -63), kMin);    // -2^63 is exactly kMin
+  EXPECT_EQ(shift_round(i64{-2}, -63), kMin);    // saturates
+  EXPECT_EQ(shift_round(i64{0}, -63), 0);
+
+  // The exact-fit cases still shift rather than saturate.
+  EXPECT_EQ(shift_round(kMax / 2, -1), kMax - 1);
+  EXPECT_EQ(shift_round(kMin / 2, -1), kMin);
+
+  // Right shifts at the range ends round without intermediate overflow
+  // (the naive v + bias / -v forms are UB here).
+  EXPECT_EQ(shift_round(kMax, 1), i64{1} << 62);  // (2^63-1+1) >> 1
+  EXPECT_EQ(shift_round(kMin, 1), -(i64{1} << 62));
+  EXPECT_EQ(shift_round(kMax, 62), 2);  // 1.999... rounds to 2
+  EXPECT_EQ(shift_round(kMin, 62), -2);
+  EXPECT_EQ(shift_round(kMin, 63), -1);
+  EXPECT_EQ(shift_round(kMax, 63), 1);  // 0.999... rounds away to 1
+}
+
 TEST(QFormat, ScaleAndRange) {
   const QFormat q{1, 15};  // Q1.15
   EXPECT_EQ(q.total_bits(), 16);

@@ -1,11 +1,14 @@
 // Streaming session API tests: chunk invariance (any chunking of a record
 // through stream::Session is bit-identical to the whole-record batch
-// pipeline), online event semantics, parameter validation, and the
-// multi-session SessionPool serving layer.
+// pipeline), online event semantics, parameter validation, the multi-session
+// SessionPool drive, and the StreamServer serving layer (session lifecycle,
+// backpressure, fault isolation / quarantine).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "xbs/common/rng.hpp"
@@ -13,6 +16,7 @@
 #include "xbs/ecg/dataset.hpp"
 #include "xbs/pantompkins/pipeline.hpp"
 #include "xbs/stream/pool.hpp"
+#include "xbs/stream/server.hpp"
 #include "xbs/stream/session.hpp"
 
 namespace xbs::stream {
@@ -297,6 +301,415 @@ TEST(SessionPool, ConcurrentSessionsBitIdenticalToBatch) {
   // drive() is one-shot: a second call must refuse cleanly (not terminate
   // inside a worker thread).
   EXPECT_THROW((void)pool.drive(feeds, 64, 3), std::logic_error);
+}
+
+TEST(StreamSession, ResetBehavesLikeAFreshSession) {
+  const auto rec = ecg::nsrdb_like_digitized(4, 5000);
+  const auto cfg = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  const PipelineResult batch = PanTompkinsPipeline(cfg).run(rec.adu);
+
+  SessionSpec spec;
+  spec.config = cfg;
+  spec.keep_signals = true;
+  Session s(spec);
+  // Pollute every stage carry-over, the detector and the counters, flush —
+  // then reset must restore a bit-exact fresh session on the same wiring.
+  (void)s.push(std::span<const i32>(rec.adu).subspan(0, 1777));
+  (void)s.flush();
+  EXPECT_TRUE(s.flushed());
+  s.reset();
+  EXPECT_FALSE(s.flushed());
+  EXPECT_EQ(s.samples_pushed(), 0u);
+  EXPECT_EQ(s.events_emitted(), 0u);
+  EXPECT_EQ(s.total_ops(), arith::OpCounts{});
+
+  const auto plan = chunk_plan(rec.adu.size(), 0, 4321);
+  std::size_t at = 0;
+  for (const std::size_t len : plan) {
+    (void)s.push(std::span<const i32>(rec.adu).subspan(at, len));
+    at += len;
+  }
+  (void)s.flush();
+  expect_bit_identical(s, batch, "post-reset record");
+}
+
+/// Collects every event a server session delivers through its sink. The
+/// server drains one session from at most one worker at a time and close()
+/// synchronizes with the final state change, so no locking is needed as long
+/// as the vector is read only after close()/release().
+struct EventLog {
+  std::vector<Event> events;
+  [[nodiscard]] std::vector<std::size_t> beat_raw_indices() const {
+    std::vector<std::size_t> out;
+    for (const Event& ev : events) {
+      if (ev.is_beat()) out.push_back(ev.peak.raw_index);
+    }
+    return out;
+  }
+};
+
+/// One-shot reference run: the pre-server single-threaded path.
+std::vector<Event> one_shot_events(const SessionSpec& base, std::span<const i32> feed,
+                                   std::size_t chunk) {
+  std::vector<Event> out;
+  SessionSpec spec = base;
+  spec.sink = {};
+  Session s(std::move(spec));
+  for (std::size_t at = 0; at < feed.size(); at += chunk) {
+    const std::size_t len = std::min(chunk, feed.size() - at);
+    for (const Event& ev : s.push(feed.subspan(at, len))) out.push_back(ev);
+  }
+  for (const Event& ev : s.flush()) out.push_back(ev);
+  return out;
+}
+
+void expect_same_events(const std::vector<Event>& got, const std::vector<Event>& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].peak, want[i].peak) << what << " event " << i;
+    EXPECT_DOUBLE_EQ(got[i].time_s, want[i].time_s) << what << " event " << i;
+    EXPECT_DOUBLE_EQ(got[i].rr_s, want[i].rr_s) << what << " event " << i;
+    EXPECT_DOUBLE_EQ(got[i].hr_bpm, want[i].hr_bpm) << what << " event " << i;
+  }
+}
+
+TEST(StreamServer, OpenPushCloseBitIdenticalToOneShotPath) {
+  const auto rec = ecg::nsrdb_like_digitized(0, 5000);
+  SessionSpec spec;
+  spec.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+
+  const std::vector<Event> want = one_shot_events(spec, rec.adu, 64);
+  const PipelineResult batch = PanTompkinsPipeline(spec.config).run(rec.adu);
+
+  StreamServer server({.max_sessions = 4, .queue_capacity_chunks = 8, .workers = 2});
+  EventLog log;
+  spec.sink = [&log](const Event& ev) { log.events.push_back(ev); };
+  const SessionId id = server.open(spec);
+
+  for (std::size_t at = 0; at < rec.adu.size(); at += 64) {
+    const std::size_t len = std::min<std::size_t>(64, rec.adu.size() - at);
+    ASSERT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, len)),
+              PushResult::Ok);
+  }
+  ASSERT_EQ(server.close(id), SessionState::Closed);
+
+  expect_same_events(log.events, want, "server vs one-shot");
+  const Session* s = server.session(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->detection().peaks, batch.detection.peaks);
+
+  const auto st = server.session_stats(id);
+  EXPECT_EQ(st.state, SessionState::Closed);
+  EXPECT_EQ(st.samples, rec.adu.size());
+  EXPECT_EQ(st.events, log.events.size());
+  EXPECT_EQ(st.dropped_chunks, 0u);
+  EXPECT_EQ(st.queued_chunks, 0u);
+  EXPECT_TRUE(st.error.empty());
+
+  // close() is idempotent, and the released session comes back quiescent.
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+  std::unique_ptr<Session> back = server.release(id);
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(back->flushed());
+  EXPECT_EQ(back->detection().peaks, batch.detection.peaks);
+}
+
+TEST(StreamServer, ResetMidFlightStartsAFreshRecord) {
+  const auto rec = ecg::nsrdb_like_digitized(2, 5000);
+  SessionSpec spec;  // accurate config
+  const std::vector<Event> want = one_shot_events(spec, rec.adu, 128);
+
+  StreamServer server({.max_sessions = 2, .workers = 1});
+  EventLog log;
+  spec.sink = [&log](const Event& ev) { log.events.push_back(ev); };
+  const SessionId id = server.open(spec);
+
+  // Stream a partial record, abandon it mid-flight, then stream the full
+  // record through the same slot: events after reset must match a fresh run.
+  for (std::size_t at = 0; at < 2000; at += 128) {
+    ASSERT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, 128)),
+              PushResult::Ok);
+  }
+  ASSERT_TRUE(server.reset(id));
+  log.events.clear();  // reset waits out in-flight work: no sink call races this
+
+  for (std::size_t at = 0; at < rec.adu.size(); at += 128) {
+    const std::size_t len = std::min<std::size_t>(128, rec.adu.size() - at);
+    ASSERT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, len)),
+              PushResult::Ok);
+  }
+  ASSERT_EQ(server.close(id), SessionState::Closed);
+  expect_same_events(log.events, want, "post-reset record");
+}
+
+TEST(StreamServer, QuarantineIsolatesThrowingSinkAndMalformedChunk) {
+  // N sessions stream concurrently; one session's sink throws mid-stream and
+  // another's feed contains a protocol-violating oversized chunk. Both must
+  // quarantine (state Faulted, error captured) while every other session's
+  // event stream stays bit-identical to an undisturbed run.
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kChunk = 64;
+  SessionSpec base;
+  base.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+
+  std::vector<std::vector<i32>> feeds;
+  std::vector<std::vector<Event>> want(kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    feeds.push_back(ecg::nsrdb_like_digitized(static_cast<int>(i), 4000).adu);
+    want[i] = one_shot_events(base, feeds[i], kChunk);
+    ASSERT_GT(want[i].size(), 6u) << "workload must produce events for session " << i;
+  }
+
+  StreamServer server({.max_sessions = kSessions,
+                       .queue_capacity_chunks = 8,
+                       .max_chunk_samples = kChunk,
+                       .workers = 3});
+  std::vector<EventLog> logs(kSessions);
+  std::vector<SessionId> ids;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    SessionSpec spec = base;
+    EventLog& log = logs[i];
+    if (i == 0) {
+      // Session 0: user sink blows up on its third event.
+      spec.sink = [&log](const Event& ev) {
+        log.events.push_back(ev);
+        if (log.events.size() == 3) throw std::runtime_error("sink boom");
+      };
+    } else {
+      spec.sink = [&log](const Event& ev) { log.events.push_back(ev); };
+    }
+    ids.push_back(server.open(spec));
+  }
+
+  // Interleaved round-robin ingest, as a front-end fanning in N streams
+  // would deliver it. Session 1's 11th chunk violates the protocol bound.
+  std::vector<std::size_t> pos(kSessions, 0);
+  std::vector<PushResult> last(kSessions, PushResult::Ok);
+  bool any = true;
+  std::size_t round = 0;
+  while (any) {
+    any = false;
+    ++round;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      if (pos[i] >= feeds[i].size()) continue;
+      std::size_t len = std::min(kChunk, feeds[i].size() - pos[i]);
+      if (i == 1 && round == 11) {
+        len = std::min<std::size_t>(kChunk + 1, feeds[i].size() - pos[i]);  // oversized
+      }
+      last[i] = server.push(ids[i], std::span<const i32>(feeds[i]).subspan(pos[i], len));
+      if (last[i] != PushResult::Ok) {
+        pos[i] = feeds[i].size();  // quarantined: abandon the rest of the feed
+        continue;
+      }
+      pos[i] += len;
+      any = true;
+    }
+  }
+
+  // The malformed chunk is refused synchronously; the sink fault surfaces on
+  // whatever push follows the worker's discovery — close() always observes it.
+  EXPECT_EQ(last[1], PushResult::Faulted);
+  EXPECT_EQ(server.close(ids[0]), SessionState::Faulted);
+  EXPECT_EQ(server.close(ids[1]), SessionState::Faulted);
+  for (std::size_t i = 2; i < kSessions; ++i) {
+    EXPECT_EQ(server.close(ids[i]), SessionState::Closed) << "session " << i;
+  }
+
+  const auto st0 = server.session_stats(ids[0]);
+  EXPECT_EQ(st0.state, SessionState::Faulted);
+  EXPECT_NE(st0.error.find("sink boom"), std::string::npos) << st0.error;
+  EXPECT_EQ(logs[0].events.size(), 3u);  // delivered up to (and including) the bang
+
+  const auto st1 = server.session_stats(ids[1]);
+  EXPECT_EQ(st1.state, SessionState::Faulted);
+  EXPECT_NE(st1.error.find("protocol violation"), std::string::npos) << st1.error;
+
+  // The healthy majority is bit-identical to undisturbed runs.
+  for (std::size_t i = 2; i < kSessions; ++i) {
+    expect_same_events(logs[i].events, want[i], "session " + std::to_string(i));
+    const auto st = server.session_stats(ids[i]);
+    EXPECT_EQ(st.samples, feeds[i].size()) << "session " << i;
+    EXPECT_TRUE(st.error.empty()) << "session " << i;
+  }
+
+  const auto ss = server.stats();
+  EXPECT_EQ(ss.faulted, 2u);
+  EXPECT_EQ(ss.closed, kSessions - 2);
+  EXPECT_EQ(ss.open, 0u);
+  EXPECT_GT(ss.dropped_chunks, 0u);  // at least the protocol-violating chunk
+}
+
+TEST(StreamServer, BackpressureTryPushReportsQueueFull) {
+  StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 4, .workers = 1});
+  server.pause();  // deterministic: nothing drains until resume()
+
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId id = server.open(spec);
+  const std::vector<i32> chunk(32, 100);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.try_push(id, chunk), PushResult::Ok) << i;
+  }
+  // High-water mark reached: lossy ingest refuses (and counts the drop)
+  // instead of blocking or growing without bound.
+  EXPECT_EQ(server.try_push(id, chunk), PushResult::QueueFull);
+  EXPECT_EQ(server.try_push(id, chunk), PushResult::QueueFull);
+
+  auto st = server.session_stats(id);
+  EXPECT_EQ(st.queued_chunks, 4u);
+  EXPECT_EQ(st.queued_samples, 4u * 32u);
+  EXPECT_EQ(st.dropped_chunks, 2u);
+  EXPECT_EQ(st.chunks_processed, 0u);  // paused: nothing drained
+
+  server.resume();
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+  st = server.session_stats(id);
+  EXPECT_EQ(st.chunks_processed, 4u);
+  EXPECT_EQ(st.samples, 4u * 32u);
+  EXPECT_EQ(st.queued_chunks, 0u);
+
+  const auto ss = server.stats();
+  EXPECT_EQ(ss.peak_queued_chunks, 4u);
+  EXPECT_EQ(ss.dropped_chunks, 2u);
+}
+
+TEST(StreamServer, StaleIdsAndSlotReuse) {
+  StreamServer server({.max_sessions = 1, .workers = 1});
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId first = server.open(spec);
+  EXPECT_THROW((void)server.open(spec), std::runtime_error);  // at the ceiling
+
+  EXPECT_EQ(server.push(first, std::vector<i32>(16, 0)), PushResult::Ok);
+  EXPECT_EQ(server.close(first), SessionState::Closed);
+  std::unique_ptr<Session> released = server.release(first);
+  ASSERT_NE(released, nullptr);
+
+  // The id is stale everywhere now.
+  EXPECT_EQ(server.push(first, std::vector<i32>(16, 0)), PushResult::NoSuchSession);
+  EXPECT_EQ(server.try_push(first, std::vector<i32>(16, 0)), PushResult::NoSuchSession);
+  EXPECT_EQ(server.close(first), SessionState::Empty);
+  EXPECT_FALSE(server.reset(first));
+  EXPECT_EQ(server.session(first), nullptr);
+  EXPECT_EQ(server.release(first), nullptr);
+  EXPECT_EQ(server.session_stats(first).state, SessionState::Empty);
+
+  // The freed slot is reusable — and the old id still addresses nothing.
+  const SessionId second = server.open(spec);
+  EXPECT_EQ(second.slot, first.slot);
+  EXPECT_NE(second.generation, first.generation);
+  EXPECT_EQ(server.push(first, std::vector<i32>(16, 0)), PushResult::NoSuchSession);
+  EXPECT_EQ(server.push(second, std::vector<i32>(16, 0)), PushResult::Ok);
+  EXPECT_EQ(server.close(second), SessionState::Closed);
+}
+
+TEST(StreamServer, PushAfterFlushOnAdoptedSessionQuarantines) {
+  // An adopted session that was already flushed is the push-after-flush
+  // hazard: pre-server, Session::push would throw std::logic_error straight
+  // through a worker thread (std::terminate). Now it must quarantine.
+  auto session = std::make_unique<Session>(SessionSpec{});
+  (void)session->push(std::vector<i32>(64, 0));
+  (void)session->flush();
+
+  StreamServer server({.max_sessions = 1, .workers = 1});
+  const SessionId id = server.adopt(std::move(session));
+  EXPECT_EQ(server.push(id, std::vector<i32>(16, 0)), PushResult::Ok);  // queued
+  EXPECT_EQ(server.close(id), SessionState::Faulted);
+  const auto st = server.session_stats(id);
+  EXPECT_NE(st.error.find("push after flush"), std::string::npos) << st.error;
+
+  // reset() releases the quarantine: the same slot streams a fresh record.
+  ASSERT_TRUE(server.reset(id));
+  EXPECT_EQ(server.session_stats(id).state, SessionState::Open);
+  EXPECT_EQ(server.push(id, std::vector<i32>(64, 1)), PushResult::Ok);
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+  EXPECT_TRUE(server.session_stats(id).error.empty());
+}
+
+TEST(StreamServer, ChurnReprovisionsSlotsWhileOthersStream) {
+  // Three live streams; the middle one disconnects and its slot is released
+  // and re-provisioned for a new stream while the outer two keep flowing.
+  // Both survivors and the newcomer must be bit-identical to undisturbed runs.
+  SessionSpec base;
+  base.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  std::vector<std::vector<i32>> feeds;
+  for (int i = 0; i < 4; ++i) {
+    feeds.push_back(ecg::nsrdb_like_digitized(i, 3000).adu);
+  }
+  std::vector<std::vector<Event>> want;
+  for (const auto& f : feeds) want.push_back(one_shot_events(base, f, 100));
+
+  StreamServer server({.max_sessions = 3, .workers = 2});
+  std::vector<EventLog> logs(4);
+  auto open_with_log = [&](std::size_t i) {
+    SessionSpec spec = base;
+    EventLog& log = logs[i];
+    spec.sink = [&log](const Event& ev) { log.events.push_back(ev); };
+    return server.open(spec);
+  };
+  SessionId a = open_with_log(0), b = open_with_log(1), c = open_with_log(2);
+
+  auto push_some = [&](SessionId id, std::size_t feed, std::size_t from, std::size_t to) {
+    for (std::size_t at = from; at < to; at += 100) {
+      const std::size_t len = std::min<std::size_t>(100, to - at);
+      ASSERT_EQ(server.push(id, std::span<const i32>(feeds[feed]).subspan(at, len)),
+                PushResult::Ok);
+    }
+  };
+
+  push_some(a, 0, 0, 1500);
+  push_some(b, 1, 0, 1000);
+  push_some(c, 2, 0, 500);
+
+  // Stream 1 disconnects mid-record; its slot is retired and re-provisioned
+  // for stream 3 while streams 0 and 2 continue uninterrupted.
+  EXPECT_EQ(server.close(b), SessionState::Closed);
+  ASSERT_NE(server.release(b), nullptr);
+  const SessionId d = open_with_log(3);
+  EXPECT_EQ(d.slot, b.slot);
+
+  push_some(a, 0, 1500, feeds[0].size());
+  push_some(d, 3, 0, feeds[3].size());
+  push_some(c, 2, 500, feeds[2].size());
+
+  EXPECT_EQ(server.close(a), SessionState::Closed);
+  EXPECT_EQ(server.close(c), SessionState::Closed);
+  EXPECT_EQ(server.close(d), SessionState::Closed);
+
+  expect_same_events(logs[0].events, want[0], "survivor A");
+  expect_same_events(logs[2].events, want[2], "survivor C");
+  expect_same_events(logs[3].events, want[3], "newcomer D");
+
+  const auto ss = server.stats();
+  EXPECT_EQ(ss.sessions_opened, 4u);
+  EXPECT_EQ(ss.sessions_released, 1u);
+  EXPECT_EQ(ss.faulted, 0u);
+}
+
+TEST(SessionPool, DriveSurvivesAThrowingSinkEverywhere) {
+  // Pre-server, a throwing sink inside drive()'s workers was
+  // std::terminate. Now every session quarantines individually and drive()
+  // still returns with honest stats.
+  constexpr std::size_t kSessions = 3;
+  std::vector<std::vector<i32>> feeds;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    feeds.push_back(ecg::nsrdb_like_digitized(static_cast<int>(i), 3000).adu);
+  }
+  SessionSpec spec;
+  spec.sink = [](const Event&) { throw std::runtime_error("sink boom"); };
+  SessionPool pool(spec, kSessions);
+  const auto stats = pool.drive(feeds, /*chunk_size=*/64, /*threads=*/2);
+  EXPECT_EQ(stats.faulted_sessions, kSessions);
+  EXPECT_EQ(stats.closed_sessions, 0u);
+  EXPECT_GT(stats.dropped_chunks, 0u);
+  EXPECT_LT(stats.samples, 3u * 3000u);  // every feed was cut short
+
+  // The one-shot guard must hold even though no session ever flushed
+  // (faulted sessions don't): a second drive refuses instead of
+  // re-quarantining everything with push-after-flush noise.
+  EXPECT_THROW((void)pool.drive(feeds, 64, 2), std::logic_error);
 }
 
 TEST(DetectorParamsValidation, RejectsNonPositiveRatesAndNegativeWindows) {
