@@ -1,6 +1,8 @@
 // Streaming serving-layer throughput: N concurrent Sessions fed chunk by
-// chunk through a SessionPool (the ISSUE-2 acceptance bench), plus a
-// session-churn scenario over the long-running StreamServer (the ISSUE-4
+// chunk through a SessionPool (the ISSUE-2 acceptance bench), a zero-copy
+// loaned-buffer drive over the sharded StreamServer (the ISSUE-5 acceptance
+// bench: acquire_buffer -> fill in place -> commit, no per-chunk copy or
+// allocation anywhere), plus a session-churn scenario (the ISSUE-4
 // acceptance bench: slots closed, released and re-provisioned while every
 // other stream keeps flowing). Measures aggregate sessions x samples/sec and
 // per-chunk ingest latency percentiles on the exact datapath and on the
@@ -8,13 +10,15 @@
 // PRs have a machine-readable baseline (committed as BENCH_stream.json).
 //
 //   ./bench_stream_throughput [--sessions N] [--samples M] [--chunk C]
-//                             [--threads T] [--iters K] [--rotations R]
+//                             [--threads T] [--shards S] [--iters K]
+//                             [--rotations R]
 //
 // Each path reports the best of K drives (fresh sessions per drive; the
 // shared multiplier/coefficient LUTs are pre-warmed by the pool, as in any
 // long-running serving process). Beat counts are printed so the bench
-// doubles as an end-to-end sanity check of the online detector; the churn
-// scenario additionally requires zero faults and a clean slot ledger.
+// doubles as an end-to-end sanity check of the online detector; the
+// zero-copy and churn scenarios additionally require zero faults/rejects
+// and a clean slot ledger.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,6 +62,73 @@ struct ChurnResult {
   }
 };
 
+struct ZeroCopyResult {
+  double samples_per_sec = 0.0;
+  bool clean = true;       ///< no refusals, no faults, every ledger closed
+  unsigned shards = 0;     ///< resolved shard count (0 requested = auto)
+};
+
+/// Zero-copy drive: every chunk is acquired from the session's buffer ring,
+/// filled in place, and committed — the ingest path a memory-mapped ADC
+/// front-end would use. Best-of-iters samples/sec.
+ZeroCopyResult zerocopy_run(const stream::SessionSpec& spec,
+                            std::span<const std::vector<i32>> feeds, std::size_t chunk,
+                            unsigned threads, unsigned shards, int iters) {
+  using Clock = std::chrono::steady_clock;
+  ZeroCopyResult out;
+  bool& clean = out.clean;
+  double& best = out.samples_per_sec;
+  for (int it = 0; it < iters; ++it) {
+    stream::StreamServer server({.max_sessions = feeds.size(),
+                                 .queue_capacity_chunks = 64,
+                                 .max_chunk_samples = 0,
+                                 .workers = threads,
+                                 .shards = shards});
+    out.shards = server.shards();
+    std::vector<stream::SessionId> ids;
+    ids.reserve(feeds.size());
+    for (std::size_t i = 0; i < feeds.size(); ++i) ids.push_back(server.open(spec));
+
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::size_t> pos(feeds.size(), 0);
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const std::vector<i32>& feed = feeds[k];
+        if (pos[k] >= feed.size()) continue;
+        const std::size_t len = std::min(chunk, feed.size() - pos[k]);
+        stream::ChunkLoan loan;
+        if (server.acquire_buffer(ids[k], len, loan) != stream::PushResult::Ok) {
+          clean = false;
+          pos[k] = feed.size();
+          continue;
+        }
+        // "Fill in place": the producer writes straight into the loaned
+        // buffer (here a copy stands in for the ADC DMA write).
+        std::copy_n(feed.begin() + static_cast<std::ptrdiff_t>(pos[k]), len,
+                    loan.data().begin());
+        if (server.commit(loan) != stream::PushResult::Ok) clean = false;
+        pos[k] += len;
+        any = true;
+      }
+    }
+    u64 samples = 0;
+    for (const stream::SessionId id : ids) {
+      if (server.close(id) != stream::SessionState::Closed) clean = false;
+      const auto st = server.session_stats(id);
+      samples += st.samples;
+      if (st.beats == 0 || st.rejected_chunks != 0 || st.dropped_chunks != 0 ||
+          st.chunks_in != st.chunks_processed + st.queued_chunks + st.dropped_chunks) {
+        clean = false;
+      }
+    }
+    const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (wall > 0.0) best = std::max(best, static_cast<double>(samples) / wall);
+  }
+  return out;
+}
+
 /// Session churn over a live server: every slot serves `rotations`
 /// consecutive connections — stream to end-of-record, close, release, open a
 /// fresh session on the freed slot — while all other slots keep streaming.
@@ -65,13 +136,14 @@ struct ChurnResult {
 /// the control plane with the data plane hot.
 ChurnResult churn_run(const stream::SessionSpec& spec,
                       std::span<const std::vector<i32>> feeds, std::size_t chunk,
-                      unsigned threads, int rotations) {
+                      unsigned threads, unsigned shards, int rotations) {
   using Clock = std::chrono::steady_clock;
   const std::size_t n = feeds.size();
   stream::StreamServer server({.max_sessions = n,
                                .queue_capacity_chunks = 32,
                                .max_chunk_samples = 0,
-                               .workers = threads});
+                               .workers = threads,
+                               .shards = shards});
   const Clock::time_point t0 = Clock::now();
   std::vector<stream::SessionId> ids(n);
   std::vector<std::size_t> pos(n, 0);
@@ -112,6 +184,7 @@ int main(int argc, char** argv) {
   const int samples = std::max(1000, arg_int(argc, argv, "--samples", 20000));
   const auto chunk = static_cast<std::size_t>(std::max(1, arg_int(argc, argv, "--chunk", 64)));
   const auto threads = static_cast<unsigned>(std::max(0, arg_int(argc, argv, "--threads", 0)));
+  const auto shards = static_cast<unsigned>(std::max(0, arg_int(argc, argv, "--shards", 0)));
   const int iters = std::max(1, arg_int(argc, argv, "--iters", 3));
   const int rotations = std::max(1, arg_int(argc, argv, "--rotations", 3));
 
@@ -130,7 +203,9 @@ int main(int argc, char** argv) {
 
   const auto exact = best_of(exact_spec, feeds, chunk, threads, iters);
   const auto b9 = best_of(b9_spec, feeds, chunk, threads, iters);
-  const ChurnResult churn = churn_run(b9_spec, feeds, chunk, threads, rotations);
+  const ZeroCopyResult zc =
+      zerocopy_run(exact_spec, feeds, chunk, threads, shards, iters);
+  const ChurnResult churn = churn_run(b9_spec, feeds, chunk, threads, shards, rotations);
 
   std::printf(
       "{\n"
@@ -153,6 +228,8 @@ int main(int argc, char** argv) {
       "  \"b9_beats\": %llu,\n"
       "  \"realtime_sessions_supported_exact\": %.0f,\n"
       "  \"realtime_sessions_supported_b9\": %.0f,\n"
+      "  \"shards\": %u,\n"
+      "  \"exact_zerocopy_samples_per_sec\": %.0f,\n"
       "  \"churn_rotations_per_slot\": %d,\n"
       "  \"churn_connections_served\": %llu,\n"
       "  \"churn_b9_samples_per_sec\": %.0f,\n"
@@ -167,7 +244,7 @@ int main(int argc, char** argv) {
       b9.p50_chunk_s * 1e6, b9.p99_chunk_s * 1e6, b9.max_chunk_s * 1e6,
       static_cast<unsigned long long>(b9.beats),
       exact.samples_per_sec() / 200.0,  // 200 Hz ECG streams
-      b9.samples_per_sec() / 200.0, rotations,
+      b9.samples_per_sec() / 200.0, zc.shards, zc.samples_per_sec, rotations,
       static_cast<unsigned long long>(churn.stats.sessions_released),
       churn.samples_per_sec(), static_cast<unsigned long long>(churn.stats.beats),
       static_cast<unsigned long long>(churn.stats.dropped_chunks),
@@ -175,12 +252,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(churn.stats.faulted));
 
   // Non-zero exit when the online detector found no beats (the serving layer
-  // would be silently broken), when churn leaked a slot, or when lifecycle
-  // work faulted or dropped traffic on a lossless feed.
+  // would be silently broken), when the zero-copy drive refused a chunk or
+  // left a dirty ledger, when churn leaked a slot, or when lifecycle work
+  // faulted, rejected or dropped traffic on a lossless feed.
   const bool churn_clean =
       churn.stats.beats > 0 && churn.stats.faulted == 0 && churn.stats.open == 0 &&
-      churn.stats.dropped_chunks == 0 &&
+      churn.stats.dropped_chunks == 0 && churn.stats.rejected_chunks == 0 &&
       churn.stats.sessions_released ==
           static_cast<u64>(sessions) * static_cast<u64>(rotations);
-  return (exact.beats > 0 && b9.beats > 0 && churn_clean) ? 0 : 1;
+  return (exact.beats > 0 && b9.beats > 0 && zc.clean && churn_clean) ? 0 : 1;
 }

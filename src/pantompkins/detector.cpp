@@ -308,7 +308,7 @@ std::span<const PeakEvent> OnlineDetector::push(std::span<const i32> mwi,
   return fresh_;
 }
 
-void OnlineDetector::reset() noexcept {
+void OnlineDetector::reset(WarmStart warm) noexcept {
   base_ = 0;
   mwi_.clear();
   hpf_.clear();
@@ -318,17 +318,20 @@ void OnlineDetector::reset() noexcept {
   have_cand_ = false;
   cand_ = 0;
   marks_.clear();
-  trained_ = false;
-  th_i_ = Thresholds{};
-  th_f_ = Thresholds{};
+  // Indices restart at zero, so position-anchored state never carries — only
+  // the position-free threshold statistics may survive a warm reset.
   last_accept_ = -1;
-  last_slope_ = 0.0;
-  rr_history_.clear();
   pending_ = PendingCandidate{};
   result_.peaks.clear();
   result_.trace.clear();
   fresh_.clear();
   flushed_ = false;
+  if (warm == WarmStart::KeepThresholds) return;
+  trained_ = false;
+  th_i_ = Thresholds{};
+  th_f_ = Thresholds{};
+  last_slope_ = 0.0;
+  rr_history_.clear();
 }
 
 std::span<const PeakEvent> OnlineDetector::flush() {

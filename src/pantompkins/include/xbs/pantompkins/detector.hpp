@@ -52,6 +52,23 @@ struct DetectorParams {
   friend constexpr bool operator==(const DetectorParams&, const DetectorParams&) = default;
 };
 
+/// What a detector reset() carries over into the next record.
+///
+/// Cold is the default and the bit-identity contract: a cold-reset detector
+/// is observably identical to a freshly constructed one, including the two
+/// seconds of threshold training at the head of the new record.
+/// KeepThresholds is the reconnect warm start: the trained SPK/NPK estimates
+/// (both thresholds), the RR history and the last QRS slope survive, so a
+/// session re-armed after a link drop resumes detecting immediately instead
+/// of spending ~2 s retraining. A warm-started run is deliberately NOT
+/// bit-identical to a fresh one — its thresholds embed the previous
+/// episode — which is why it is opt-in. An untrained detector warm-resets
+/// to the same state as a cold reset (there is nothing to carry).
+enum class WarmStart {
+  Cold,            ///< full re-arm: bit-identical to a new detector
+  KeepThresholds,  ///< carry trained SPK/NPK + RR state across the reset
+};
+
 /// Why a candidate fiducial mark was or was not accepted (Fig. 13 analysis).
 enum class PeakDecision {
   Accepted,            ///< classified as a QRS complex
@@ -107,11 +124,14 @@ class OnlineDetector {
   /// push() after flush() throws.
   std::span<const PeakEvent> flush();
 
-  /// Re-arm for a fresh record: drops the sample window, thresholds, RR and
-  /// search-back state, any accumulated result, and the flushed flag —
-  /// observably identical to constructing a new detector with the same
-  /// params, but without re-deriving the wiring constants or reallocating.
-  void reset() noexcept;
+  /// Re-arm for a fresh record: drops the sample window, search-back state,
+  /// any accumulated result, and the flushed flag. WarmStart::Cold (the
+  /// default) also drops the trained thresholds and RR history — observably
+  /// identical to constructing a new detector with the same params, but
+  /// without re-deriving the wiring constants or reallocating.
+  /// WarmStart::KeepThresholds carries the trained SPK/NPK/RR state into the
+  /// next record (see the enum for the bit-identity contract).
+  void reset(WarmStart warm = WarmStart::Cold) noexcept;
 
   [[nodiscard]] const DetectorParams& params() const noexcept { return p_; }
   [[nodiscard]] bool flushed() const noexcept { return flushed_; }

@@ -44,7 +44,10 @@ class SessionPool {
     u64 beats = 0;          ///< accepted QRS events
     u64 closed_sessions = 0;   ///< sessions that drained and flushed cleanly
     u64 faulted_sessions = 0;  ///< sessions quarantined mid-drive
-    u64 dropped_chunks = 0;    ///< chunks never processed (fault discards + skips)
+    /// Chunks never processed: server-side discards + rejects (see the
+    /// StreamServer accounting contract) plus feed chunks skipped after a
+    /// session faulted mid-drive.
+    u64 dropped_chunks = 0;
     u64 peak_queue_chunks = 0; ///< deepest single-session ingest queue observed
     unsigned threads = 0;
     double wall_s = 0.0;

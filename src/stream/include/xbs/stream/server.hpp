@@ -1,22 +1,66 @@
 /// \file server.hpp
-/// \brief The long-running serving layer: dynamic session lifecycle over a
-/// worker pool, bounded ingest queues with explicit backpressure, and
-/// per-session fault isolation.
+/// \brief The long-running serving layer: a sharded session-slot table with
+/// per-shard worker pools, zero-copy loanable-buffer ingest, bounded queues
+/// with explicit backpressure, per-session fault isolation, and a pull-based
+/// event egress.
 ///
 /// A continuously deployed sensor-node service is not a batch job: streams
 /// connect, drop, reconnect and misbehave while every other stream keeps
-/// flowing. StreamServer owns a set of id-addressed session slots. Producers
-/// enqueue sample chunks (try_push for lossy feeds that prefer dropping over
-/// blocking, push for lossless feeds that accept backpressure); a pool of
-/// worker threads drains the queues through the sessions and delivers
-/// finalized events via each session's SessionSpec::sink.
+/// flowing. StreamServer owns a set of id-addressed session slots split
+/// across N independent *shards* — each shard has its own lock, ready list
+/// and worker set, and a session is pinned to the shard its id hashes to, so
+/// control-plane calls (open/close/reset/release) on one session never
+/// contend with ingest on another shard's sessions. Results are bit-identical
+/// for any shard count: a session's chunk sequence, events and op counts
+/// depend only on its own feed.
+///
+/// Ingest is allocation- and copy-free on the hot path. Producers either
+/// borrow a chunk buffer from the session's ring and fill it in place —
+///
+///   ChunkLoan loan;
+///   if (server.acquire_buffer(id, n, loan) == PushResult::Ok) {
+///     adc.read_into(loan.data());   // fill in place: no copy anywhere
+///     server.commit(loan);
+///   }
+///
+/// — or use push()/try_push(), thin wrappers that acquire, memcpy the
+/// caller's span and commit (one copy, still no allocation: the buffer comes
+/// from the ring). Buffer ownership: between acquire and commit/destruction
+/// the producer owns the buffer exclusively; commit() hands it to the
+/// server; a destroyed uncommitted loan returns the buffer and its reserved
+/// queue slot. Loans count toward the session's queue capacity and must not
+/// outlive the server. A session's chunk order is its commit order — one
+/// producer thread per session (the Session contract) keeps it meaningful.
+///
+/// Event egress happens two ways. SessionSpec::sink remains the push-model:
+/// invoked on worker threads, shared sinks must synchronize internally. With
+/// Options::event_queue_capacity > 0 the server additionally retains each
+/// session's finalized events in a per-session bounded queue that
+/// single-threaded consumers poll with drain_events(id) — no locking
+/// discipline needed, at the cost of the bound: when a consumer lags more
+/// than the capacity, the oldest undrained events are dropped (counted in
+/// SessionStats::events_dropped). reset() discards undrained events of the
+/// abandoned episode the same way. On a fault, the egress queue holds the
+/// events of fully processed chunks; a sink may additionally have observed
+/// part of the chunk that faulted.
 ///
 /// Lifecycle: open() provisions a slot (re-using released ones),
 /// close() drains + flushes, reset() re-arms a slot mid-flight for a fresh
-/// record (dropping whatever was queued), release() hands the quiescent
+/// record (dropping whatever was queued; optionally warm-starting the
+/// detector — see pantompkins::WarmStart), release() hands the quiescent
 /// Session object back and frees the slot for the next tenant. Ids carry a
 /// provisioning generation, so a stale id held across release()/open()
 /// addresses nothing instead of the slot's new tenant.
+///
+/// Accounting contract (the "clean ledger"): all SessionStats counters are
+/// cumulative over the slot's provisioning generation — open()/adopt()
+/// zeroes them, reset() carries them (and increments `resets`). chunks_in
+/// counts chunks accepted into the queue; rejected_chunks counts ingest
+/// refusals that never entered it (try_push at the high-water mark, protocol
+/// violations); dropped_chunks counts accepted chunks discarded before
+/// processing (fault/reset queue drops). Whenever a slot is quiescent (no
+/// worker mid-batch): chunks_in == chunks_processed + queued_chunks +
+/// dropped_chunks.
 ///
 /// Error isolation: anything a session throws inside a worker — a throwing
 /// user sink, a push on an adopted already-flushed session — and any
@@ -24,15 +68,19 @@
 /// quarantines *that* session: state becomes Faulted, the error text is
 /// captured in its stats, its queue is dropped, and pushes are refused until
 /// reset() re-arms or release() retires it. Workers never re-throw, so one
-/// bad stream can neither kill the process nor wedge its worker.
+/// bad stream can neither kill the process nor wedge its worker. A push()
+/// blocked at the high-water mark wakes and returns the refusal reason the
+/// moment its session closes, faults or is released — it never blocks on a
+/// session that can no longer accept.
 ///
 /// Thread safety: all public methods are safe to call concurrently from any
 /// thread. Per-session event order is preserved (a session is drained by at
-/// most one worker at a time); sinks run on worker threads, so a sink shared
-/// across sessions must synchronize internally (single-session sinks need
-/// nothing — see README "Serving").
+/// most one worker at a time). stats() aggregates shard-consistent
+/// snapshots; across shards the totals are a sum of per-shard snapshots
+/// taken in sequence.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -43,6 +91,7 @@
 #include <thread>
 #include <vector>
 
+#include "xbs/common/ring.hpp"
 #include "xbs/stream/session.hpp"
 
 namespace xbs::stream {
@@ -69,7 +118,9 @@ enum class PushResult {
 
 [[nodiscard]] const char* to_string(PushResult r) noexcept;
 
-/// Opaque session address: slot index + provisioning generation.
+/// Opaque session address: slot index + provisioning generation. The shard
+/// a session lives on is a pure function of the id (consistent hash), so no
+/// routing table is consulted on the ingest path.
 struct SessionId {
   std::size_t slot = static_cast<std::size_t>(-1);
   u64 generation = 0;
@@ -77,18 +128,53 @@ struct SessionId {
   friend constexpr bool operator==(const SessionId&, const SessionId&) = default;
 };
 
+class StreamServer;
+
+/// A chunk buffer on loan from a session's ring: the zero-copy ingest
+/// handle. Fill data() in place, then StreamServer::commit() it. Destroying
+/// an uncommitted loan returns the buffer and frees its reserved queue slot
+/// (the abandon path). Move-only; must not outlive its server.
+class ChunkLoan {
+ public:
+  ChunkLoan() = default;
+  ChunkLoan(ChunkLoan&& other) noexcept { *this = std::move(other); }
+  ChunkLoan& operator=(ChunkLoan&& other) noexcept;
+  ~ChunkLoan();
+
+  ChunkLoan(const ChunkLoan&) = delete;
+  ChunkLoan& operator=(const ChunkLoan&) = delete;
+
+  /// True between a successful acquire and commit/destruction.
+  [[nodiscard]] bool valid() const noexcept { return server_ != nullptr; }
+
+  /// The writable sample region (exactly the acquire()d length).
+  [[nodiscard]] std::span<i32> data() noexcept { return buf_; }
+
+  [[nodiscard]] SessionId id() const noexcept { return id_; }
+
+ private:
+  friend class StreamServer;
+  StreamServer* server_ = nullptr;
+  SessionId id_{};
+  u64 epoch_ = 0;  ///< the slot's reset epoch at acquire time (stale loans die)
+  std::vector<i32> buf_;
+};
+
 /// A long-running multi-session streaming server. See the file comment for
-/// the lifecycle / backpressure / isolation semantics.
+/// the sharding / ingest / lifecycle / backpressure / isolation semantics.
 class StreamServer {
  public:
   struct Options {
-    /// Hard ceiling on concurrently provisioned slots; open() beyond it
-    /// throws std::runtime_error (admission control belongs to the caller).
+    /// Hard ceiling on concurrently provisioned slots across all shards;
+    /// open() beyond it throws std::runtime_error (admission control
+    /// belongs to the caller).
     std::size_t max_sessions = 64;
 
-    /// Per-session bounded ingest queue, in chunks: the high-water mark.
-    /// try_push returns QueueFull at capacity; push blocks until a worker
-    /// drains below it.
+    /// Per-session bound on accepted-but-unprocessed chunks: the high-water
+    /// mark. Outstanding loans and the batch a worker is currently
+    /// processing both count toward it, so the bound is exact — memory and
+    /// worst-case ingest latency can be sized off it. try_push returns
+    /// QueueFull at capacity; push blocks until processing frees space.
     std::size_t queue_capacity_chunks = 32;
 
     /// Protocol bound on one chunk, in samples (0 = unlimited). An oversize
@@ -96,38 +182,68 @@ class StreamServer {
     /// transient overload, so it is not a QueueFull).
     std::size_t max_chunk_samples = 0;
 
-    /// Worker threads draining session queues (0 = hardware concurrency).
+    /// Worker threads draining session queues, in total across shards
+    /// (0 = hardware concurrency). Every shard runs at least one worker, so
+    /// the effective total is max(workers, shards).
     unsigned workers = 0;
+
+    /// Independent slot groups, each with its own lock, ready list and
+    /// workers (0 = auto: one shard per worker, capped at 8). Sessions hash
+    /// onto shards by id; results are bit-identical for any shard count.
+    unsigned shards = 0;
+
+    /// Per-session bound on the pull-egress event queue (0 = pull egress
+    /// disabled; events reach sinks only). When a drain_events() consumer
+    /// lags by more than this many events, the oldest undrained ones are
+    /// dropped and counted in SessionStats::events_dropped.
+    std::size_t event_queue_capacity = 0;
   };
 
-  /// Per-session live statistics (a consistent snapshot).
+  /// Per-session live statistics (a consistent snapshot; cumulative over the
+  /// slot's provisioning generation — see the accounting contract above).
   struct SessionStats {
     SessionState state = SessionState::Empty;
     u64 chunks_in = 0;         ///< chunks accepted into the queue
     u64 chunks_processed = 0;  ///< chunks pushed through the Session
-    u64 dropped_chunks = 0;    ///< try_push rejects + chunks discarded on fault/reset
-    u64 queued_chunks = 0;     ///< current queue depth
+    u64 rejected_chunks = 0;   ///< ingest refusals: try_push QueueFull + protocol violations
+    u64 dropped_chunks = 0;    ///< accepted chunks discarded on fault/reset
+    /// Current queue depth — excluding loans in producer hands and the batch
+    /// a worker is processing right now (those count toward the capacity
+    /// bound but surface in chunks_processed once done).
+    u64 queued_chunks = 0;
     u64 queued_samples = 0;
+    u64 peak_queued_chunks = 0;///< deepest queue this provisioning has seen
+    u64 resets = 0;            ///< reset() count this provisioning
     u64 samples = 0;           ///< samples processed
     u64 events = 0;            ///< detector decisions delivered
     u64 beats = 0;             ///< accepted QRS events
+    u64 events_queued = 0;     ///< pull-egress events awaiting drain_events()
+    u64 events_dropped = 0;    ///< egress events lost to the bound (or reset)
     std::string error;         ///< why the session faulted (empty otherwise)
   };
 
-  /// Aggregate live statistics across the server's lifetime.
+  /// Aggregate live statistics across the server's lifetime. Totals are a
+  /// sum of per-shard snapshots taken in sequence (each internally
+  /// consistent).
   struct ServerStats {
     u64 open = 0;      ///< slots currently Open or Draining
     u64 closed = 0;    ///< slots currently Closed (awaiting release)
     u64 faulted = 0;   ///< slots currently quarantined
-    u64 sessions_opened = 0;   ///< lifetime open()/adopt() count
+    /// Lifetime open()/adopt() count. Counts admissions, not completions:
+    /// an open() that passed admission but then failed slot allocation
+    /// (OOM) is included — the value is the generation counter, which must
+    /// never run backwards or stale ids could alias a later session.
+    u64 sessions_opened = 0;
     u64 sessions_released = 0; ///< lifetime release() count
     u64 chunks_processed = 0;
+    u64 rejected_chunks = 0;
     u64 dropped_chunks = 0;
     u64 queued_chunks = 0;     ///< current total queue depth
     u64 peak_queued_chunks = 0;///< highest single-session depth ever observed
     u64 samples = 0;
     u64 events = 0;
     u64 beats = 0;
+    u64 events_dropped = 0;
   };
 
   StreamServer();  ///< default Options (a nested-class NSDMI cannot be a default argument)
@@ -149,35 +265,73 @@ class StreamServer {
   /// on its first pushed chunk — that is the push-after-flush quarantine).
   SessionId adopt(std::unique_ptr<Session> session);
 
-  /// Non-blocking ingest: refuses with QueueFull at the high-water mark
-  /// (counted in dropped_chunks). The chunk is copied on acceptance.
+  /// Borrow a chunk buffer of \p n_samples from the session's ring, blocking
+  /// while the queue (plus outstanding loans) sits at the high-water mark.
+  /// Ok grants the loan; any other result means no loan was made (session
+  /// closed/faulted/released while waiting, or \p n_samples violates
+  /// max_chunk_samples — which faults the session, exactly like an oversize
+  /// push).
+  PushResult acquire_buffer(SessionId id, std::size_t n_samples, ChunkLoan& out);
+
+  /// Non-blocking acquire: QueueFull at the high-water mark (counted in
+  /// rejected_chunks), otherwise as acquire_buffer.
+  PushResult try_acquire_buffer(SessionId id, std::size_t n_samples, ChunkLoan& out);
+
+  /// Hand a filled loan to the server: the buffer enters the session's queue
+  /// without being copied. \p n_samples trims the committed length (npos =
+  /// everything acquired; more than acquired throws std::invalid_argument).
+  /// The loan is consumed either way; on refusal (the session closed,
+  /// faulted, was released — or was reset() since the acquire, in which case
+  /// the loan belongs to the abandoned episode and commits as Closed rather
+  /// than leaking stale samples into the fresh record) the samples are
+  /// discarded and the buffer recycled.
+  PushResult commit(ChunkLoan& loan, std::size_t n_samples = static_cast<std::size_t>(-1));
+
+  /// Non-blocking copying ingest: acquire + memcpy + commit in one call.
+  /// Refuses with QueueFull at the high-water mark (counted in
+  /// rejected_chunks). Allocation-free in steady state (ring buffers).
   PushResult try_push(SessionId id, std::span<const i32> chunk);
 
-  /// Blocking ingest: waits for queue space while the session stays Open.
-  /// Returns the refusal reason instead if the session closes, faults or is
-  /// released while waiting.
+  /// Blocking copying ingest: waits for queue space while the session stays
+  /// Open. Returns the refusal reason instead if the session closes, faults
+  /// or is released while waiting — including while already blocked.
   PushResult push(SessionId id, std::span<const i32> chunk);
+
+  /// Drain the session's pull-egress queue (Options::event_queue_capacity
+  /// must be > 0): appends every undrained finalized event to \p out in
+  /// delivery order and returns how many were appended. Non-blocking; safe
+  /// from any thread, though a single consumer per session is the intended
+  /// shape. Works on Closed/Faulted sessions too (the tail of a drained
+  /// record stays drainable until reset()/release()). 0 for a stale id.
+  std::size_t drain_events(SessionId id, std::vector<Event>& out);
 
   /// Graceful end-of-stream: stops admitting pushes, lets the queue drain,
   /// flushes the session, and waits for that to finish. Returns the final
   /// state (Closed, or Faulted if the tail faulted; Empty for a stale id).
-  /// Safe to call twice.
+  /// Safe to call twice. Wakes any producer blocked in push()/acquire_buffer.
+  /// A reset() racing this call may re-arm the slot the instant the drain
+  /// lands; close() still returns the state that drain reached (it observes
+  /// the completion itself, not just the slot's current state).
   SessionState close(SessionId id);
 
   /// Re-arm a slot mid-flight for a fresh record: drops whatever is queued
-  /// (counted in dropped_chunks), waits out any in-flight chunk, resets the
-  /// Session (stage carry-overs, detector, counters) and returns the slot to
-  /// Open — including from Faulted (quarantine release) and Closed (slot
-  /// reuse without re-provisioning). False for a stale id. Other sessions
-  /// stream on, undisturbed, the whole time.
-  bool reset(SessionId id);
+  /// (counted in dropped_chunks) and any undrained egress events (counted in
+  /// events_dropped), waits out in-flight work, resets the Session (stage
+  /// carry-overs, detector, counters) and returns the slot to Open —
+  /// including from Faulted (quarantine release) and Closed (slot reuse
+  /// without re-provisioning). \p warm optionally carries the detector's
+  /// trained thresholds across the reset (the reconnect warm start).
+  /// Outstanding loans go stale: they commit as Closed instead of leaking
+  /// the abandoned episode's samples into the fresh record. False for a
+  /// stale id. Other sessions stream on, undisturbed, the whole time.
+  bool reset(SessionId id, pantompkins::WarmStart warm = pantompkins::WarmStart::Cold);
 
   /// Retire a slot and hand its quiescent Session back (closing it first if
   /// still streaming). The slot returns to Empty and becomes reusable by the
   /// next open(); the id goes stale. Null for a stale id.
   std::unique_ptr<Session> release(SessionId id);
 
-  /// Pause/resume the worker pool (a maintenance gate: ingest keeps
+  /// Pause/resume every shard's workers (a maintenance gate: ingest keeps
   /// accepting until queues hit the high-water mark, nothing is processed
   /// while paused). Used by tests to make backpressure deterministic.
   void pause();
@@ -191,56 +345,94 @@ class StreamServer {
   [[nodiscard]] SessionStats session_stats(SessionId id) const;
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] unsigned workers() const noexcept { return n_workers_; }
+  [[nodiscard]] unsigned shards() const noexcept { return n_shards_; }
 
  private:
+  friend class ChunkLoan;
+
   struct Slot {
     std::unique_ptr<Session> session;
     SessionState state = SessionState::Empty;
     u64 generation = 0;
     std::deque<std::vector<i32>> queue;
     u64 queued_samples = 0;
-    bool busy = false;      ///< a worker is draining this slot right now
-    bool enqueued = false;  ///< slot is in the ready list
+    BufferRing<std::vector<i32>> ring;  ///< recycled chunk buffers (kept across tenants)
+    std::size_t loaned = 0;    ///< buffers in producer hands (reserve queue slots)
+    std::size_t inflight = 0;  ///< chunks in a worker's batch (still hold queue slots)
+    bool busy = false;         ///< a worker is draining this slot right now
+    bool enqueued = false;     ///< slot is in the shard's ready list
+    u64 final_seq = 0;         ///< bumped whenever a drain lands Closed/Faulted
+    SessionState final_state = SessionState::Empty;  ///< what that landing was
     u64 chunks_in = 0;
     u64 chunks_processed = 0;
+    u64 rejected_chunks = 0;
     u64 dropped_chunks = 0;
+    u64 peak_queued = 0;
+    u64 resets = 0;
+    u64 reset_epoch = 0;  ///< bumped by reset(): outstanding loans go stale
     u64 samples = 0;
     u64 events = 0;
     u64 beats = 0;
+    std::deque<Event> egress;  ///< pull-model event queue (bounded)
+    u64 events_dropped = 0;
     std::string error;
   };
 
-  // All private helpers expect mu_ held.
-  Slot* find(SessionId id);
-  const Slot* find(SessionId id) const;
+  /// One independent slot group: its own lock, cvs, ready list and workers.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable work_cv;   ///< workers: ready list / stop / resume
+    std::condition_variable space_cv;  ///< blocking acquire: queue space / state change
+    std::condition_variable state_cv;  ///< close/reset/release: state changes
+    std::vector<Slot> slots;
+    std::deque<std::size_t> ready;     ///< local slot indices with runnable work
+    bool stop = false;
+    bool paused = false;
+    int space_waiters = 0;             ///< gates space_cv notifies off the hot path
+    // Totals carried past release(), so ServerStats survives churn.
+    u64 retired_chunks_processed = 0;
+    u64 retired_rejected_chunks = 0;
+    u64 retired_dropped_chunks = 0;
+    u64 retired_samples = 0;
+    u64 retired_events = 0;
+    u64 retired_beats = 0;
+    u64 retired_events_dropped = 0;
+    u64 peak_queued = 0;               ///< shard-lifetime peak (incl. retired slots)
+    std::vector<std::thread> threads;
+  };
+
+  // Id <-> shard routing: shard = slot % n_shards, local index = slot / n_shards.
+  [[nodiscard]] Shard& shard_of(SessionId id) const noexcept {
+    return *shards_[id.slot % n_shards_];
+  }
+  [[nodiscard]] std::size_t local_index(SessionId id) const noexcept {
+    return id.slot / n_shards_;
+  }
+
+  // All private helpers below expect the owning shard's mu held.
+  Slot* find(Shard& sh, SessionId id);
+  const Slot* find(Shard& sh, SessionId id) const;
   SessionId provision(std::unique_ptr<Session> session);
   PushResult refuse_reason(const Slot& s) const;
-  void enqueue_ready(std::size_t slot_index);
-  void drop_queue(Slot& s);
-  void fault(Slot& s, std::string why);
-  void worker_loop();
-  void drain_one(std::unique_lock<std::mutex>& lock, std::size_t slot_index);
+  void enqueue_ready(Shard& sh, std::size_t local);
+  void drop_queue(Shard& sh, Slot& s);
+  void fault(Shard& sh, Slot& s, std::string why);
+  void append_egress(Slot& s, std::vector<Event>& evs);
+  PushResult acquire_impl(SessionId id, std::size_t n_samples, ChunkLoan& out, bool blocking);
+  void cancel_loan(SessionId id, std::vector<i32>&& buf) noexcept;
+  void worker_loop(Shard& sh);
+  void drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock, std::size_t local);
 
   Options opts_;
   unsigned n_workers_ = 0;
+  unsigned n_shards_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers: ready list / stop / resume
-  std::condition_variable space_cv_;  ///< blocking push: queue space
-  std::condition_variable state_cv_;  ///< close/reset/release: state changes
-  std::vector<Slot> slots_;
-  std::deque<std::size_t> ready_;
-  bool stop_ = false;
-  bool paused_ = false;
-  u64 sessions_opened_ = 0;
-  u64 sessions_released_ = 0;
-  u64 retired_chunks_processed_ = 0;  ///< totals carried past release()
-  u64 retired_dropped_chunks_ = 0;
-  u64 retired_samples_ = 0;
-  u64 retired_events_ = 0;
-  u64 retired_beats_ = 0;
-  u64 peak_queued_chunks_ = 0;
-  std::vector<std::thread> workers_;
+  // Cross-shard coordination stays lock-free: the generation counter doubles
+  // as the consistent hash, the provisioned count enforces max_sessions.
+  std::atomic<u64> sessions_opened_{0};
+  std::atomic<u64> sessions_released_{0};
+  std::atomic<std::size_t> provisioned_{0};
 };
 
 }  // namespace xbs::stream

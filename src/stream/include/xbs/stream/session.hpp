@@ -98,11 +98,15 @@ class Session {
 
   /// Re-arm for a fresh record on the same wiring: resets every stage
   /// carry-over (delay lines/window rings in place), the online detector,
-  /// retained signals, counters, kernel op counts and the flushed flag. The
-  /// session behaves exactly like a newly constructed one afterwards —
-  /// without rebuilding kernels or touching the shared LUT caches. This is
-  /// what lets a serving slot be reused across patient reconnects.
-  void reset();
+  /// retained signals, counters, kernel op counts and the flushed flag. With
+  /// WarmStart::Cold (the default) the session behaves exactly like a newly
+  /// constructed one afterwards — without rebuilding kernels or touching the
+  /// shared LUT caches. WarmStart::KeepThresholds carries the detector's
+  /// trained SPK/NPK/RR state across the reset (the reconnect warm start —
+  /// see pantompkins::WarmStart for the bit-identity contract); the filter
+  /// chain still restarts cold either way. This is what lets a serving slot
+  /// be reused across patient reconnects.
+  void reset(pantompkins::WarmStart warm = pantompkins::WarmStart::Cold);
 
   [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] bool flushed() const noexcept { return flushed_; }

@@ -115,7 +115,10 @@ SessionPool::DriveStats SessionPool::drive(std::span<const std::vector<i32>> fee
     stats.wall_s = seconds_between(start, Clock::now());
 
     const StreamServer::ServerStats ss = server.stats();
-    stats.dropped_chunks += ss.dropped_chunks;
+    // Server-side rejects (there are none on this blocking lossless drive
+    // unless a session faulted) and accepted-but-discarded chunks both count
+    // as "never processed" here.
+    stats.dropped_chunks += ss.dropped_chunks + ss.rejected_chunks;
     stats.peak_queue_chunks = ss.peak_queued_chunks;
     for (std::size_t k = 0; k < ids.size(); ++k) sessions_[k] = server.release(ids[k]);
   }

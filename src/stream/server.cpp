@@ -30,6 +30,26 @@ const char* to_string(PushResult r) noexcept {
   return "?";
 }
 
+// ------------------------------------------------------------------ ChunkLoan
+
+ChunkLoan& ChunkLoan::operator=(ChunkLoan&& other) noexcept {
+  if (this != &other) {
+    if (server_ != nullptr) server_->cancel_loan(id_, std::move(buf_));
+    server_ = other.server_;
+    id_ = other.id_;
+    epoch_ = other.epoch_;
+    buf_ = std::move(other.buf_);
+    other.server_ = nullptr;
+  }
+  return *this;
+}
+
+ChunkLoan::~ChunkLoan() {
+  if (server_ != nullptr) server_->cancel_loan(id_, std::move(buf_));
+}
+
+// ---------------------------------------------------------------- StreamServer
+
 StreamServer::StreamServer() : StreamServer(Options{}) {}
 
 StreamServer::StreamServer(Options opts) : opts_(opts) {
@@ -42,66 +62,114 @@ StreamServer::StreamServer(Options opts) : opts_(opts) {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   n_workers_ = opts_.workers == 0 ? hw : opts_.workers;
-  workers_.reserve(n_workers_);
-  for (unsigned t = 0; t < n_workers_; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+  n_shards_ = opts_.shards == 0 ? std::min<unsigned>(n_workers_, 8) : opts_.shards;
+  if (n_shards_ == 0) n_shards_ = 1;
+  shards_.reserve(n_shards_);
+  for (unsigned i = 0; i < n_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
+  // Spread the worker budget; every shard gets at least one (a worker-less
+  // shard would never drain), so the spawned total can exceed the request.
+  unsigned spawned = 0;
+  for (unsigned i = 0; i < n_shards_; ++i) {
+    unsigned k = n_workers_ / n_shards_ + (i < n_workers_ % n_shards_ ? 1u : 0u);
+    if (k == 0) k = 1;
+    Shard& sh = *shards_[i];
+    sh.threads.reserve(k);
+    for (unsigned t = 0; t < k; ++t) {
+      sh.threads.emplace_back([this, &sh] { worker_loop(sh); });
+    }
+    spawned += k;
+  }
+  n_workers_ = spawned;
 }
 
 StreamServer::~StreamServer() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  for (auto& shp : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shp->mu);
+      shp->stop = true;
+    }
+    shp->work_cv.notify_all();
+    shp->space_cv.notify_all();
+    shp->state_cv.notify_all();
   }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
-  state_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (auto& shp : shards_) {
+    for (std::thread& t : shp->threads) t.join();
+  }
 }
 
-// ----------------------------------------------------------- mu_-held helpers
+// ------------------------------------------------- shard-mu_-held helpers
 
-StreamServer::Slot* StreamServer::find(SessionId id) {
-  if (id.slot >= slots_.size()) return nullptr;
-  Slot& s = slots_[id.slot];
+StreamServer::Slot* StreamServer::find(Shard& sh, SessionId id) {
+  const std::size_t li = local_index(id);  // a stale/garbage slot lands out of range
+  if (li >= sh.slots.size()) return nullptr;
+  Slot& s = sh.slots[li];
   if (s.state == SessionState::Empty || s.generation != id.generation) return nullptr;
   return &s;
 }
 
-const StreamServer::Slot* StreamServer::find(SessionId id) const {
-  return const_cast<StreamServer*>(this)->find(id);
+const StreamServer::Slot* StreamServer::find(Shard& sh, SessionId id) const {
+  return const_cast<StreamServer*>(this)->find(sh, id);
 }
 
 SessionId StreamServer::provision(std::unique_ptr<Session> session) {
-  std::size_t idx = slots_.size();
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].state == SessionState::Empty) {
-      idx = i;
+  // Admission against the global ceiling stays lock-free across shards: the
+  // reservation is taken (and on failure returned) before any shard lock.
+  if (provisioned_.fetch_add(1, std::memory_order_relaxed) >= opts_.max_sessions) {
+    provisioned_.fetch_sub(1, std::memory_order_relaxed);
+    throw std::runtime_error("StreamServer: session limit reached (max_sessions)");
+  }
+  // The generation is globally monotonic and doubles as the consistent hash
+  // that pins the session to a shard for its whole life.
+  const u64 g = sessions_opened_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto si = static_cast<std::size_t>(g % n_shards_);
+  Shard& sh = *shards_[si];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  std::size_t li = sh.slots.size();
+  for (std::size_t i = 0; i < sh.slots.size(); ++i) {
+    if (sh.slots[i].state == SessionState::Empty) {
+      li = i;
       break;
     }
   }
-  if (idx == slots_.size()) {
-    if (slots_.size() >= opts_.max_sessions) {
-      throw std::runtime_error("StreamServer: session limit reached (max_sessions)");
+  if (li == sh.slots.size()) {
+    try {
+      sh.slots.emplace_back();
+    } catch (...) {
+      // Hand the admission reservation back, or a failed open under memory
+      // pressure would permanently shrink max_sessions.
+      provisioned_.fetch_sub(1, std::memory_order_relaxed);
+      throw;
     }
-    slots_.emplace_back();
   }
-  Slot& s = slots_[idx];
+  Slot& s = sh.slots[li];
   s.session = std::move(session);
   s.state = SessionState::Open;
-  s.generation = ++sessions_opened_;  // monotonic: unique across all slots
+  s.generation = g;
   s.queue.clear();
   s.queued_samples = 0;
+  s.ring.set_capacity(opts_.queue_capacity_chunks);  // buffers survive tenants
+  s.loaned = 0;
+  s.inflight = 0;
   s.busy = false;
   s.enqueued = false;
+  s.final_seq = 0;
+  s.final_state = SessionState::Empty;
   s.chunks_in = 0;
   s.chunks_processed = 0;
+  s.rejected_chunks = 0;
   s.dropped_chunks = 0;
+  s.peak_queued = 0;
+  s.resets = 0;
+  s.reset_epoch = 0;  // stale cross-tenant loans already die on the generation check
   s.samples = 0;
   s.events = 0;
   s.beats = 0;
+  s.egress.clear();
+  s.events_dropped = 0;
   s.error.clear();
-  return SessionId{idx, s.generation};
+  return SessionId{li * n_shards_ + si, g};
 }
 
 PushResult StreamServer::refuse_reason(const Slot& s) const {
@@ -115,53 +183,78 @@ PushResult StreamServer::refuse_reason(const Slot& s) const {
   return PushResult::NoSuchSession;
 }
 
-void StreamServer::enqueue_ready(std::size_t slot_index) {
-  Slot& s = slots_[slot_index];
+void StreamServer::enqueue_ready(Shard& sh, std::size_t local) {
+  Slot& s = sh.slots[local];
   if (s.enqueued || s.busy) return;
   s.enqueued = true;
-  ready_.push_back(slot_index);
-  work_cv_.notify_one();
+  sh.ready.push_back(local);
+  sh.work_cv.notify_one();
 }
 
-void StreamServer::drop_queue(Slot& s) {
+void StreamServer::drop_queue(Shard& sh, Slot& s) {
   s.dropped_chunks += s.queue.size();
-  s.queue.clear();
+  while (!s.queue.empty()) {
+    (void)s.ring.put(std::move(s.queue.front()));
+    s.queue.pop_front();
+  }
   s.queued_samples = 0;
-  space_cv_.notify_all();
+  if (sh.space_waiters > 0) sh.space_cv.notify_all();
 }
 
-void StreamServer::fault(Slot& s, std::string why) {
+void StreamServer::fault(Shard& sh, Slot& s, std::string why) {
   s.state = SessionState::Faulted;
   s.error = std::move(why);
-  drop_queue(s);
-  state_cv_.notify_all();
+  // Record the terminal landing as an edge: a close()/release() waiter must
+  // observe it even if a racing reset() re-arms the slot before they wake.
+  ++s.final_seq;
+  s.final_state = SessionState::Faulted;
+  drop_queue(sh, s);  // also wakes blocked producers: they surface Faulted
+  sh.state_cv.notify_all();
+}
+
+void StreamServer::append_egress(Slot& s, std::vector<Event>& evs) {
+  if (opts_.event_queue_capacity == 0 || evs.empty()) return;
+  for (Event& e : evs) s.egress.push_back(std::move(e));
+  while (s.egress.size() > opts_.event_queue_capacity) {
+    s.egress.pop_front();  // the consumer lags: shed oldest-first, keep counting
+    ++s.events_dropped;
+  }
+  evs.clear();
 }
 
 // ------------------------------------------------------------------- workers
 
-void StreamServer::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void StreamServer::worker_loop(Shard& sh) {
+  std::unique_lock<std::mutex> lock(sh.mu);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || (!paused_ && !ready_.empty()); });
-    if (stop_) return;
-    const std::size_t idx = ready_.front();
-    ready_.pop_front();
-    slots_[idx].enqueued = false;
-    drain_one(lock, idx);
+    sh.work_cv.wait(lock, [&sh] { return sh.stop || (!sh.paused && !sh.ready.empty()); });
+    if (sh.stop) return;
+    const std::size_t li = sh.ready.front();
+    sh.ready.pop_front();
+    sh.slots[li].enqueued = false;
+    drain_slot(sh, lock, li);
   }
 }
 
-void StreamServer::drain_one(std::unique_lock<std::mutex>& lock, std::size_t slot_index) {
-  slots_[slot_index].busy = true;
+void StreamServer::drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock,
+                              std::size_t local) {
+  sh.slots[local].busy = true;
+  // The whole queue is popped as one batch, processed unlocked, and the
+  // buffers recycled in bulk: lock traffic and producer wakeups amortize
+  // over the batch instead of ping-ponging per chunk (the single-core drive
+  // regression), and a blocked producer wakes once to refill a whole queue.
+  std::vector<std::vector<i32>> batch;
+  std::vector<Event> evbuf;
+  const bool egress_on = opts_.event_queue_capacity > 0;
   while (true) {
-    Slot& s = slots_[slot_index];  // re-fetch: slots_ may have grown while unlocked
-    if (stop_ || paused_) {
+    Slot& s = sh.slots[local];  // re-fetch: slots may have grown while unlocked
+    if (sh.stop || sh.paused) {
       // Hand the remainder back to the ready list so resume() (or another
       // worker) picks it up; nothing is lost.
       if (s.state == SessionState::Open || s.state == SessionState::Draining) {
         s.busy = false;
-        enqueue_ready(slot_index);
-        state_cv_.notify_all();
+        enqueue_ready(sh, local);
+        sh.state_cv.notify_all();
         return;
       }
       break;
@@ -174,10 +267,12 @@ void StreamServer::drain_one(std::unique_lock<std::mutex>& lock, std::size_t slo
       lock.unlock();
       std::string err;
       u64 events = 0, beats = 0;
+      evbuf.clear();
       try {
         for (const Event& ev : sess->flush()) {
           ++events;
           beats += ev.is_beat() ? 1 : 0;
+          if (egress_on) evbuf.push_back(ev);
         }
       } catch (const std::exception& e) {
         err = e.what();
@@ -185,272 +280,429 @@ void StreamServer::drain_one(std::unique_lock<std::mutex>& lock, std::size_t slo
         err = "unknown exception during flush";
       }
       lock.lock();
-      Slot& sl = slots_[slot_index];
+      Slot& sl = sh.slots[local];
       sl.events += events;
       sl.beats += beats;
+      append_egress(sl, evbuf);
       if (!err.empty()) {
-        fault(sl, std::move(err));
+        fault(sh, sl, std::move(err));
       } else {
         sl.state = SessionState::Closed;
-        state_cv_.notify_all();
+        ++sl.final_seq;  // the edge a racing reset() cannot erase
+        sl.final_state = SessionState::Closed;
+        sh.state_cv.notify_all();
+        if (sh.space_waiters > 0) sh.space_cv.notify_all();
       }
       break;
     }
-    std::vector<i32> chunk = std::move(s.queue.front());
-    s.queue.pop_front();
-    s.queued_samples -= chunk.size();
-    space_cv_.notify_all();
+    batch.clear();
+    // The popped batch still counts toward queue_capacity_chunks (inflight):
+    // the documented bound on accepted-but-unprocessed chunks stays exact,
+    // and producers wake once per *completed* batch, not per popped chunk.
+    // Capping the batch at half the capacity leaves producers refill room
+    // while the batch processes, so ingest and processing still pipeline.
+    const std::size_t max_batch = std::max<std::size_t>(1, opts_.queue_capacity_chunks / 2);
+    while (!s.queue.empty() && batch.size() < max_batch) {
+      s.queued_samples -= s.queue.front().size();
+      batch.push_back(std::move(s.queue.front()));
+      s.queue.pop_front();
+    }
+    s.inflight = batch.size();
     Session* sess = s.session.get();
     lock.unlock();
     std::string err;
-    u64 events = 0, beats = 0;
-    try {
-      for (const Event& ev : sess->push(chunk)) {
-        ++events;
-        beats += ev.is_beat() ? 1 : 0;
+    u64 events = 0, beats = 0, samples = 0;
+    std::size_t done = 0;
+    evbuf.clear();
+    for (; done < batch.size(); ++done) {
+      try {
+        for (const Event& ev : sess->push(batch[done])) {
+          ++events;
+          beats += ev.is_beat() ? 1 : 0;
+          if (egress_on) evbuf.push_back(ev);
+        }
+      } catch (const std::exception& e) {
+        err = e.what();
+        break;
+      } catch (...) {
+        err = "unknown exception during push";
+        break;
       }
-    } catch (const std::exception& e) {
-      err = e.what();
-    } catch (...) {
-      err = "unknown exception during push";
+      samples += batch[done].size();
     }
+    const std::size_t not_processed = batch.size() - done;
     lock.lock();
-    Slot& sl = slots_[slot_index];
-    if (!err.empty()) {
-      fault(sl, std::move(err));
-      break;
-    }
-    ++sl.chunks_processed;
-    sl.samples += chunk.size();
+    Slot& sl = sh.slots[local];
+    for (std::vector<i32>& b : batch) (void)sl.ring.put(std::move(b));
+    batch.clear();
+    sl.inflight = 0;
+    if (sh.space_waiters > 0) sh.space_cv.notify_all();
+    sl.chunks_processed += done;
+    sl.samples += samples;
     sl.events += events;
     sl.beats += beats;
+    append_egress(sl, evbuf);
+    if (!err.empty()) {
+      // The chunk that threw (and anything behind it in the batch) was
+      // accepted but never fully processed: dropped, so the ledger closes.
+      sl.dropped_chunks += not_processed;
+      fault(sh, sl, std::move(err));
+      break;
+    }
   }
-  slots_[slot_index].busy = false;
-  state_cv_.notify_all();
+  sh.slots[local].busy = false;
+  sh.state_cv.notify_all();
 }
 
 // --------------------------------------------------------------- public API
 
 SessionId StreamServer::open(SessionSpec spec) {
-  // Session construction (and LUT warming) happens outside the lock: it can
+  // Session construction (and LUT warming) happens outside any lock: it can
   // cold-build coefficient tables, and open() must not stall the data plane.
   pantompkins::warm_pipeline_tables(spec.config);
   auto session = std::make_unique<Session>(std::move(spec));
-  std::lock_guard<std::mutex> lock(mu_);
   return provision(std::move(session));
 }
 
 SessionId StreamServer::adopt(std::unique_ptr<Session> session) {
   if (!session) throw std::invalid_argument("StreamServer::adopt: null session");
-  std::lock_guard<std::mutex> lock(mu_);
   return provision(std::move(session));
 }
 
-PushResult StreamServer::try_push(SessionId id, std::span<const i32> chunk) {
-  // The copy is built outside the lock: the server-wide mutex must never
-  // hold an O(chunk) allocation+memcpy, or every session's ingest and every
-  // worker serialize on it. Wasted work only on the (rare) refusal paths.
+PushResult StreamServer::acquire_impl(SessionId id, std::size_t n_samples, ChunkLoan& out,
+                                      bool blocking) {
   const bool oversize =
-      opts_.max_chunk_samples != 0 && chunk.size() > opts_.max_chunk_samples;
-  std::vector<i32> copy;
-  if (!oversize) copy.assign(chunk.begin(), chunk.end());
-  std::lock_guard<std::mutex> lock(mu_);
-  Slot* s = find(id);
-  if (s == nullptr) return PushResult::NoSuchSession;
-  if (s->state != SessionState::Open) return refuse_reason(*s);
-  if (oversize) {
-    ++s->dropped_chunks;  // the offending chunk itself
-    fault(*s, "protocol violation: chunk of " + std::to_string(chunk.size()) +
+      opts_.max_chunk_samples != 0 && n_samples > opts_.max_chunk_samples;
+  Shard& sh = shard_of(id);
+  std::vector<i32> buf;
+  u64 epoch = 0;
+  {
+    std::unique_lock<std::mutex> lock(sh.mu);
+    while (true) {
+      if (sh.stop) return PushResult::NoSuchSession;
+      Slot* s = find(sh, id);
+      if (s == nullptr) return PushResult::NoSuchSession;
+      if (s->state != SessionState::Open) return refuse_reason(*s);
+      if (oversize) {
+        ++s->rejected_chunks;  // the offending chunk: refused, never queued
+        fault(sh, *s,
+              "protocol violation: chunk of " + std::to_string(n_samples) +
                   " samples exceeds max_chunk_samples = " +
                   std::to_string(opts_.max_chunk_samples));
-    return PushResult::Faulted;
+        return PushResult::Faulted;
+      }
+      if (s->queue.size() + s->loaned + s->inflight < opts_.queue_capacity_chunks) {
+        (void)s->ring.take(buf);  // recycled when available, fresh otherwise
+        ++s->loaned;
+        epoch = s->reset_epoch;
+        break;
+      }
+      if (!blocking) {
+        ++s->rejected_chunks;
+        return PushResult::QueueFull;
+      }
+      ++sh.space_waiters;  // backpressure: high-water mark reached
+      sh.space_cv.wait(lock);
+      --sh.space_waiters;
+    }
   }
-  if (s->queue.size() >= opts_.queue_capacity_chunks) {
-    ++s->dropped_chunks;
-    return PushResult::QueueFull;
-  }
-  s->queue.push_back(std::move(copy));
-  s->queued_samples += chunk.size();
-  ++s->chunks_in;
-  peak_queued_chunks_ = std::max<u64>(peak_queued_chunks_, s->queue.size());
-  enqueue_ready(id.slot);
+  // The (possible) allocation and the loan handoff stay off the shard lock.
+  // The loan handle is armed *before* the resize: if the resize throws
+  // (oversize request with no protocol bound set, transient bad_alloc), the
+  // handle's destructor returns the reservation instead of leaking it — a
+  // leaked reservation would permanently shrink the session's capacity.
+  // The region is *uninitialized* beyond what the producer writes — commit
+  // only what you filled.
+  ChunkLoan granted;
+  granted.server_ = this;
+  granted.id_ = id;
+  granted.epoch_ = epoch;
+  granted.buf_ = std::move(buf);
+  granted.buf_.resize(n_samples);
+  out = std::move(granted);  // move-assign cancels any loan the caller held in `out`
   return PushResult::Ok;
 }
 
-PushResult StreamServer::push(SessionId id, std::span<const i32> chunk) {
-  const bool oversize =
-      opts_.max_chunk_samples != 0 && chunk.size() > opts_.max_chunk_samples;
-  std::vector<i32> copy;  // built unlocked, moved in on acceptance (see try_push)
-  if (!oversize) copy.assign(chunk.begin(), chunk.end());
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    if (stop_) return PushResult::NoSuchSession;
-    Slot* s = find(id);
-    if (s == nullptr) return PushResult::NoSuchSession;
-    if (s->state != SessionState::Open) return refuse_reason(*s);
-    if (oversize) {
-      ++s->dropped_chunks;
-      fault(*s, "protocol violation: chunk of " + std::to_string(chunk.size()) +
-                    " samples exceeds max_chunk_samples = " +
-                    std::to_string(opts_.max_chunk_samples));
-      return PushResult::Faulted;
-    }
-    if (s->queue.size() < opts_.queue_capacity_chunks) {
-      s->queue.push_back(std::move(copy));
-      s->queued_samples += chunk.size();
-      ++s->chunks_in;
-      peak_queued_chunks_ = std::max<u64>(peak_queued_chunks_, s->queue.size());
-      enqueue_ready(id.slot);
-      return PushResult::Ok;
-    }
-    space_cv_.wait(lock);  // backpressure: high-water mark reached
+PushResult StreamServer::acquire_buffer(SessionId id, std::size_t n_samples, ChunkLoan& out) {
+  return acquire_impl(id, n_samples, out, /*blocking=*/true);
+}
+
+PushResult StreamServer::try_acquire_buffer(SessionId id, std::size_t n_samples,
+                                            ChunkLoan& out) {
+  return acquire_impl(id, n_samples, out, /*blocking=*/false);
+}
+
+PushResult StreamServer::commit(ChunkLoan& loan, std::size_t n_samples) {
+  constexpr auto kAll = static_cast<std::size_t>(-1);
+  if (!loan.valid()) return PushResult::NoSuchSession;
+  if (loan.server_ != this) {
+    throw std::invalid_argument("StreamServer::commit: loan from a different server");
   }
+  if (n_samples != kAll && n_samples > loan.buf_.size()) {
+    throw std::invalid_argument("StreamServer::commit: n_samples exceeds the loan");
+  }
+  const SessionId id = loan.id_;
+  std::vector<i32> buf = std::move(loan.buf_);
+  loan.server_ = nullptr;  // the loan is consumed from here on
+  if (n_samples != kAll) buf.resize(n_samples);
+
+  Shard& sh = shard_of(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  Slot* s = find(sh, id);
+  if (s == nullptr) return PushResult::NoSuchSession;  // retired slot: buffer dies
+  if (s->loaned > 0) --s->loaned;  // the reservation returns whatever happens next
+  if (s->state != SessionState::Open || s->reset_epoch != loan.epoch_) {
+    // Closed/faulted since the acquire — or the slot was reset() and this
+    // loan belongs to the abandoned episode, whose samples must never leak
+    // into the fresh record. Either way the samples are discarded (exactly
+    // like a push racing a close) and the buffer is recycled.
+    (void)s->ring.put(std::move(buf));
+    if (sh.space_waiters > 0) sh.space_cv.notify_all();
+    return s->state != SessionState::Open ? refuse_reason(*s) : PushResult::Closed;
+  }
+  s->queued_samples += buf.size();
+  s->queue.push_back(std::move(buf));
+  ++s->chunks_in;
+  s->peak_queued = std::max<u64>(s->peak_queued, s->queue.size());
+  sh.peak_queued = std::max(sh.peak_queued, s->peak_queued);
+  enqueue_ready(sh, local_index(id));
+  return PushResult::Ok;
+}
+
+void StreamServer::cancel_loan(SessionId id, std::vector<i32>&& buf) noexcept {
+  Shard& sh = shard_of(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  Slot* s = find(sh, id);
+  if (s == nullptr) return;  // slot retired since the acquire: the buffer dies
+  if (s->loaned > 0) --s->loaned;
+  (void)s->ring.put(std::move(buf));
+  if (sh.space_waiters > 0) sh.space_cv.notify_all();
+}
+
+PushResult StreamServer::try_push(SessionId id, std::span<const i32> chunk) {
+  ChunkLoan loan;
+  const PushResult r = try_acquire_buffer(id, chunk.size(), loan);
+  if (r != PushResult::Ok) return r;
+  std::copy(chunk.begin(), chunk.end(), loan.data().begin());
+  return commit(loan);
+}
+
+PushResult StreamServer::push(SessionId id, std::span<const i32> chunk) {
+  ChunkLoan loan;
+  const PushResult r = acquire_buffer(id, chunk.size(), loan);
+  if (r != PushResult::Ok) return r;
+  std::copy(chunk.begin(), chunk.end(), loan.data().begin());
+  return commit(loan);
+}
+
+std::size_t StreamServer::drain_events(SessionId id, std::vector<Event>& out) {
+  Shard& sh = shard_of(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  Slot* s = find(sh, id);
+  if (s == nullptr || s->egress.empty()) return 0;
+  const std::size_t n = s->egress.size();
+  out.insert(out.end(), std::make_move_iterator(s->egress.begin()),
+             std::make_move_iterator(s->egress.end()));
+  s->egress.clear();
+  return n;
 }
 
 SessionState StreamServer::close(SessionId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  Shard& sh = shard_of(id);
+  std::unique_lock<std::mutex> lock(sh.mu);
+  u64 seq0 = 0;
   {
-    Slot* s = find(id);
+    Slot* s = find(sh, id);
     if (s == nullptr) return SessionState::Empty;
+    seq0 = s->final_seq;
     if (s->state == SessionState::Open) {
       s->state = SessionState::Draining;
-      enqueue_ready(id.slot);  // even on an empty queue: a worker runs the flush
+      enqueue_ready(sh, local_index(id));  // even on an empty queue: a worker flushes
+      // Producers blocked at the high-water mark must not wait out the drain:
+      // wake them now so they surface Closed immediately.
+      if (sh.space_waiters > 0) sh.space_cv.notify_all();
     }
   }
   while (true) {
-    if (stop_) return SessionState::Empty;
-    Slot* s = find(id);
+    if (sh.stop) return SessionState::Empty;
+    Slot* s = find(sh, id);
     if (s == nullptr) return SessionState::Empty;
     if (s->state == SessionState::Closed || s->state == SessionState::Faulted) {
       return s->state;
     }
-    state_cv_.wait(lock);
+    // The drain landed but a racing reset() re-armed the slot before this
+    // waiter woke: the recorded edge still says how it landed.
+    if (s->final_seq != seq0) return s->final_state;
+    sh.state_cv.wait(lock);
   }
 }
 
-bool StreamServer::reset(SessionId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+bool StreamServer::reset(SessionId id, pantompkins::WarmStart warm) {
+  Shard& sh = shard_of(id);
+  std::unique_lock<std::mutex> lock(sh.mu);
   while (true) {
-    if (stop_) return false;
-    Slot* s = find(id);
+    if (sh.stop) return false;
+    Slot* s = find(sh, id);
     if (s == nullptr) return false;
     if (s->state == SessionState::Draining) {
       // A close() is in flight; let it finish (the slot lands Closed or
       // Faulted, both re-armable) instead of yanking its state from under it.
-      state_cv_.wait(lock);
+      sh.state_cv.wait(lock);
       continue;
     }
-    drop_queue(*s);  // re-dropped each wait iteration: pushers may still land
+    drop_queue(sh, *s);  // re-dropped each wait iteration: pushers may still land
     if (s->busy) {
-      state_cv_.wait(lock);  // let the in-flight chunk / flush finish
+      sh.state_cv.wait(lock);  // let the in-flight batch / flush finish
       continue;
     }
     // Quiescent: no worker owns the slot and the queue is empty. Re-arm.
-    s->session->reset();
+    s->session->reset(warm);
+    s->events_dropped += s->egress.size();  // the old episode's undrained tail
+    s->egress.clear();
+    ++s->resets;
+    ++s->reset_epoch;  // outstanding loans now commit as Closed, not into the fresh record
     s->state = SessionState::Open;
     s->error.clear();
-    state_cv_.notify_all();
-    space_cv_.notify_all();
+    sh.state_cv.notify_all();
+    if (sh.space_waiters > 0) sh.space_cv.notify_all();
     return true;
   }
 }
 
 std::unique_ptr<Session> StreamServer::release(SessionId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  {
-    Slot* s = find(id);
+  Shard& sh = shard_of(id);
+  std::unique_lock<std::mutex> lock(sh.mu);
+  while (true) {
+    if (sh.stop) return nullptr;
+    Slot* s = find(sh, id);
     if (s == nullptr) return nullptr;
     if (s->state == SessionState::Open) {
+      // First iteration, or a racing reset() re-armed the slot while we
+      // waited. Retirement is final: (re-)issue the drain so release()
+      // always makes progress, and wake blocked producers as in close().
       s->state = SessionState::Draining;
-      enqueue_ready(id.slot);
+      enqueue_ready(sh, local_index(id));
+      if (sh.space_waiters > 0) sh.space_cv.notify_all();
     }
-  }
-  while (true) {
-    if (stop_) return nullptr;
-    Slot* s = find(id);
-    if (s == nullptr) return nullptr;
-    if ((s->state == SessionState::Closed || s->state == SessionState::Faulted) && !s->busy) {
-      retired_chunks_processed_ += s->chunks_processed;
-      retired_dropped_chunks_ += s->dropped_chunks;
-      retired_samples_ += s->samples;
-      retired_events_ += s->events;
-      retired_beats_ += s->beats;
+    if ((s->state == SessionState::Closed || s->state == SessionState::Faulted) &&
+        !s->busy) {
+      // Undrained egress events die with the slot: counted, as everywhere
+      // else, so the events ledger still closes in the retired totals.
+      s->events_dropped += s->egress.size();
+      sh.retired_chunks_processed += s->chunks_processed;
+      sh.retired_rejected_chunks += s->rejected_chunks;
+      sh.retired_dropped_chunks += s->dropped_chunks;
+      sh.retired_samples += s->samples;
+      sh.retired_events += s->events;
+      sh.retired_beats += s->beats;
+      sh.retired_events_dropped += s->events_dropped;
       std::unique_ptr<Session> out = std::move(s->session);
       s->state = SessionState::Empty;
       s->queue.clear();
       s->queued_samples = 0;
+      s->egress.clear();
       s->error.clear();
-      ++sessions_released_;
-      state_cv_.notify_all();
-      space_cv_.notify_all();  // pushers blocked on this id wake to NoSuchSession
+      // Purge any stale ready-list entry (a fault can leave one behind with
+      // no worker ever popping it): the next tenant of this slot must not
+      // inherit it, or the deque could hold the index twice and two workers
+      // would drain the same Session concurrently.
+      if (s->enqueued) {
+        s->enqueued = false;
+        std::erase(sh.ready, local_index(id));
+      }
+      // The buffer ring stays: the next tenant starts on warm memory.
+      sessions_released_.fetch_add(1, std::memory_order_relaxed);
+      provisioned_.fetch_sub(1, std::memory_order_relaxed);
+      sh.state_cv.notify_all();
+      if (sh.space_waiters > 0) {
+        sh.space_cv.notify_all();  // blocked pushers wake to NoSuchSession
+      }
       return out;
     }
-    state_cv_.wait(lock);
+    sh.state_cv.wait(lock);
   }
 }
 
 void StreamServer::pause() {
-  std::lock_guard<std::mutex> lock(mu_);
-  paused_ = true;
+  for (auto& shp : shards_) {
+    std::lock_guard<std::mutex> lock(shp->mu);
+    shp->paused = true;
+  }
 }
 
 void StreamServer::resume() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    paused_ = false;
+  for (auto& shp : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shp->mu);
+      shp->paused = false;
+    }
+    shp->work_cv.notify_all();
   }
-  work_cv_.notify_all();
 }
 
 const Session* StreamServer::session(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const Slot* s = find(id);
+  Shard& sh = shard_of(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const Slot* s = find(sh, id);
   return s == nullptr ? nullptr : s->session.get();
 }
 
 StreamServer::SessionStats StreamServer::session_stats(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& sh = shard_of(id);
+  std::lock_guard<std::mutex> lock(sh.mu);
   SessionStats out;
-  const Slot* s = find(id);
+  const Slot* s = find(sh, id);
   if (s == nullptr) return out;  // state == Empty
   out.state = s->state;
   out.chunks_in = s->chunks_in;
   out.chunks_processed = s->chunks_processed;
+  out.rejected_chunks = s->rejected_chunks;
   out.dropped_chunks = s->dropped_chunks;
   out.queued_chunks = s->queue.size();
   out.queued_samples = s->queued_samples;
+  out.peak_queued_chunks = s->peak_queued;
+  out.resets = s->resets;
   out.samples = s->samples;
   out.events = s->events;
   out.beats = s->beats;
+  out.events_queued = s->egress.size();
+  out.events_dropped = s->events_dropped;
   out.error = s->error;
   return out;
 }
 
 StreamServer::ServerStats StreamServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   ServerStats out;
-  out.sessions_opened = sessions_opened_;
-  out.sessions_released = sessions_released_;
-  out.peak_queued_chunks = peak_queued_chunks_;
-  out.chunks_processed = retired_chunks_processed_;
-  out.dropped_chunks = retired_dropped_chunks_;
-  out.samples = retired_samples_;
-  out.events = retired_events_;
-  out.beats = retired_beats_;
-  for (const Slot& s : slots_) {
-    switch (s.state) {
-      case SessionState::Open:
-      case SessionState::Draining: ++out.open; break;
-      case SessionState::Closed: ++out.closed; break;
-      case SessionState::Faulted: ++out.faulted; break;
-      case SessionState::Empty: continue;
+  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  out.sessions_released = sessions_released_.load(std::memory_order_relaxed);
+  for (const auto& shp : shards_) {
+    const Shard& sh = *shp;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    out.peak_queued_chunks = std::max(out.peak_queued_chunks, sh.peak_queued);
+    out.chunks_processed += sh.retired_chunks_processed;
+    out.rejected_chunks += sh.retired_rejected_chunks;
+    out.dropped_chunks += sh.retired_dropped_chunks;
+    out.samples += sh.retired_samples;
+    out.events += sh.retired_events;
+    out.beats += sh.retired_beats;
+    out.events_dropped += sh.retired_events_dropped;
+    for (const Slot& s : sh.slots) {
+      switch (s.state) {
+        case SessionState::Open:
+        case SessionState::Draining: ++out.open; break;
+        case SessionState::Closed: ++out.closed; break;
+        case SessionState::Faulted: ++out.faulted; break;
+        case SessionState::Empty: continue;
+      }
+      out.chunks_processed += s.chunks_processed;
+      out.rejected_chunks += s.rejected_chunks;
+      out.dropped_chunks += s.dropped_chunks;
+      out.queued_chunks += s.queue.size();
+      out.samples += s.samples;
+      out.events += s.events;
+      out.beats += s.beats;
+      out.events_dropped += s.events_dropped;
     }
-    out.chunks_processed += s.chunks_processed;
-    out.dropped_chunks += s.dropped_chunks;
-    out.queued_chunks += s.queue.size();
-    out.samples += s.samples;
-    out.events += s.events;
-    out.beats += s.beats;
   }
   return out;
 }

@@ -77,9 +77,9 @@ std::span<const Event> Session::flush() {
   return fresh_;
 }
 
-void Session::reset() {
+void Session::reset(pantompkins::WarmStart warm) {
   for (pantompkins::StageProcessor& st : stages_) st.reset();
-  if (detector_) detector_->reset();
+  if (detector_) detector_->reset(warm);
   for (auto& k : kernels_) k->reset_counts();
   for (auto& sig : signals_) sig.clear();
   n_ = 0;

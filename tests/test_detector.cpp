@@ -99,5 +99,54 @@ TEST(Detector, AmplitudeStepAdapts) {
   EXPECT_GE(det_late, truth_late - 2);
 }
 
+TEST(Detector, ColdResetIsBitIdenticalToFreshWarmResetIsNot) {
+  // The reset contract at the detector layer: WarmStart::Cold reproduces a
+  // freshly constructed detector bit for bit; WarmStart::KeepThresholds
+  // skips the 2 s training window because the trained SPK/NPK survive.
+  const auto rec = ecg::nsrdb_like_digitized(1, 6000);
+  const PanTompkinsPipeline pipe;
+  const auto sig = pipe.run(rec.adu);
+
+  OnlineDetector det;
+  (void)det.push(sig.mwi, sig.hpf, rec.adu);
+  (void)det.flush();
+  ASSERT_FALSE(det.result().peaks.empty());
+
+  // Cold: the full record replays to the exact fresh-run result.
+  det.reset();  // WarmStart::Cold is the default
+  (void)det.push(sig.mwi, sig.hpf, rec.adu);
+  (void)det.flush();
+  const auto fresh = detect_qrs(sig.mwi, sig.hpf, rec.adu);
+  EXPECT_EQ(det.result().peaks, fresh.peaks);
+  ASSERT_EQ(det.result().trace.size(), fresh.trace.size());
+  for (std::size_t i = 0; i < fresh.trace.size(); ++i) {
+    EXPECT_EQ(det.result().trace[i], fresh.trace[i]) << "trace[" << i << "]";
+  }
+
+  // Warm: only the head of the record (inside the training window) arrives
+  // after the reset. A cold/fresh detector emits nothing there; the warm one
+  // detects beats immediately. The streamed prefix stays strictly below the
+  // 2 s training target so the comparison isolates the carried thresholds.
+  const std::size_t early = 300;
+  det.reset(WarmStart::KeepThresholds);
+  EXPECT_FALSE(det.flushed());
+  std::size_t warm_beats = 0;
+  for (const PeakEvent& ev : det.push(std::span<const i32>(sig.mwi).subspan(0, early),
+                                      std::span<const i32>(sig.hpf).subspan(0, early),
+                                      std::span<const i32>(rec.adu).subspan(0, early))) {
+    warm_beats += (ev.decision == PeakDecision::Accepted ||
+                   ev.decision == PeakDecision::SearchBackRecovered)
+                      ? 1
+                      : 0;
+  }
+  EXPECT_GT(warm_beats, 0u);
+
+  OnlineDetector cold;
+  const auto cold_evs = cold.push(std::span<const i32>(sig.mwi).subspan(0, early),
+                                  std::span<const i32>(sig.hpf).subspan(0, early),
+                                  std::span<const i32>(rec.adu).subspan(0, early));
+  EXPECT_TRUE(cold_evs.empty());  // untrained: still inside the 2 s window
+}
+
 }  // namespace
 }  // namespace xbs::pantompkins

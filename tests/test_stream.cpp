@@ -5,10 +5,14 @@
 // backpressure, fault isolation / quarantine).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "xbs/common/rng.hpp"
@@ -537,7 +541,15 @@ TEST(StreamServer, QuarantineIsolatesThrowingSinkAndMalformedChunk) {
   EXPECT_EQ(ss.faulted, 2u);
   EXPECT_EQ(ss.closed, kSessions - 2);
   EXPECT_EQ(ss.open, 0u);
-  EXPECT_GT(ss.dropped_chunks, 0u);  // at least the protocol-violating chunk
+  EXPECT_GT(ss.rejected_chunks, 0u);  // at least the protocol-violating chunk
+
+  // The faulted sessions' ledgers close too: every accepted chunk was either
+  // processed or explicitly dropped at the quarantine.
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto st = server.session_stats(ids[i]);
+    EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks)
+        << "session " << i;
+  }
 }
 
 TEST(StreamServer, BackpressureTryPushReportsQueueFull) {
@@ -560,7 +572,11 @@ TEST(StreamServer, BackpressureTryPushReportsQueueFull) {
   auto st = server.session_stats(id);
   EXPECT_EQ(st.queued_chunks, 4u);
   EXPECT_EQ(st.queued_samples, 4u * 32u);
-  EXPECT_EQ(st.dropped_chunks, 2u);
+  // The two refusals never entered the queue: they are rejects, not drops
+  // (the accounting contract separates the two so the ledger stays clean).
+  EXPECT_EQ(st.rejected_chunks, 2u);
+  EXPECT_EQ(st.dropped_chunks, 0u);
+  EXPECT_EQ(st.chunks_in, 4u);
   EXPECT_EQ(st.chunks_processed, 0u);  // paused: nothing drained
 
   server.resume();
@@ -569,10 +585,13 @@ TEST(StreamServer, BackpressureTryPushReportsQueueFull) {
   EXPECT_EQ(st.chunks_processed, 4u);
   EXPECT_EQ(st.samples, 4u * 32u);
   EXPECT_EQ(st.queued_chunks, 0u);
+  // Clean ledger at quiescence: everything accepted was processed.
+  EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks);
 
   const auto ss = server.stats();
   EXPECT_EQ(ss.peak_queued_chunks, 4u);
-  EXPECT_EQ(ss.dropped_chunks, 2u);
+  EXPECT_EQ(ss.rejected_chunks, 2u);
+  EXPECT_EQ(ss.dropped_chunks, 0u);
 }
 
 TEST(StreamServer, StaleIdsAndSlotReuse) {
@@ -682,10 +701,565 @@ TEST(StreamServer, ChurnReprovisionsSlotsWhileOthersStream) {
   expect_same_events(logs[2].events, want[2], "survivor C");
   expect_same_events(logs[3].events, want[3], "newcomer D");
 
+  // Clean ledgers across the churn: every accepted chunk is accounted for on
+  // every surviving slot, with nothing rejected or dropped on these lossless
+  // feeds (counters are cumulative per provisioning generation).
+  for (const SessionId id : {a, c, d}) {
+    const auto st = server.session_stats(id);
+    EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks);
+    EXPECT_EQ(st.rejected_chunks, 0u);
+    EXPECT_EQ(st.dropped_chunks, 0u);
+    EXPECT_EQ(st.resets, 0u);
+  }
+
   const auto ss = server.stats();
   EXPECT_EQ(ss.sessions_opened, 4u);
   EXPECT_EQ(ss.sessions_released, 1u);
   EXPECT_EQ(ss.faulted, 0u);
+  EXPECT_EQ(ss.rejected_chunks, 0u);
+  EXPECT_EQ(ss.dropped_chunks, 0u);
+}
+
+/// Everything a serving run leaves behind for one session, for cross-run
+/// bit-identity comparison (peak queue depth is scheduling noise and is
+/// deliberately not captured).
+struct SessionOutcome {
+  std::vector<Event> sunk;     ///< push-model egress (sink)
+  std::vector<Event> drained;  ///< pull-model egress (drain_events)
+  std::array<arith::OpCounts, pantompkins::kNumStages> ops{};
+  u64 chunks_in = 0, chunks_processed = 0, rejected = 0, dropped = 0;
+  u64 resets = 0, samples = 0, events = 0, beats = 0, events_dropped = 0;
+};
+
+TEST(StreamServerSharded, ShardCountIsObservablyInvariant) {
+  // The tentpole property: the same multi-session workload — interleaved
+  // ingest, a mid-run close+reset, periodic drain_events — produces
+  // bit-identical per-session events, ledgers and OpCounts on 1, 2 and 8
+  // shards. Sharding is a pure contention optimization.
+  constexpr std::size_t kSessions = 5;
+  constexpr std::size_t kChunk = 64;
+  SessionSpec base;
+  base.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  std::vector<std::vector<i32>> feeds;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    feeds.push_back(ecg::nsrdb_like_digitized(static_cast<int>(i), 3000).adu);
+  }
+
+  auto run = [&](unsigned shards) -> std::vector<SessionOutcome> {
+    StreamServer server({.max_sessions = kSessions,
+                         .queue_capacity_chunks = 8,
+                         .max_chunk_samples = 0,
+                         .workers = shards,
+                         .shards = shards,
+                         .event_queue_capacity = 4096});
+    EXPECT_EQ(server.shards(), shards);
+    std::vector<SessionOutcome> out(kSessions);
+    std::vector<SessionId> ids;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      SessionSpec spec = base;
+      std::vector<Event>& log = out[i].sunk;
+      spec.sink = [&log](const Event& ev) { log.push_back(ev); };
+      ids.push_back(server.open(spec));
+    }
+
+    std::vector<std::size_t> pos(kSessions, 0);
+    bool any = true;
+    std::size_t round = 0;
+    while (any) {
+      any = false;
+      ++round;
+      for (std::size_t i = 0; i < kSessions; ++i) {
+        if (pos[i] >= feeds[i].size()) continue;
+        if (i == 2 && round == 20) {
+          // Session 2's stream restarts mid-run: drain deterministically via
+          // close(), then re-arm the same slot for the rest of its feed.
+          EXPECT_EQ(server.close(ids[2]), SessionState::Closed);
+          EXPECT_TRUE(server.reset(ids[2]));
+        }
+        if (i == 1 && round % 13 == 0) {
+          (void)server.drain_events(ids[1], out[1].drained);
+        }
+        const std::size_t len = std::min(kChunk, feeds[i].size() - pos[i]);
+        EXPECT_EQ(server.push(ids[i], std::span<const i32>(feeds[i]).subspan(pos[i], len)),
+                  PushResult::Ok);
+        pos[i] += len;
+        any = true;
+      }
+    }
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      EXPECT_EQ(server.close(ids[i]), SessionState::Closed) << "session " << i;
+      (void)server.drain_events(ids[i], out[i].drained);
+      const auto st = server.session_stats(ids[i]);
+      out[i].chunks_in = st.chunks_in;
+      out[i].chunks_processed = st.chunks_processed;
+      out[i].rejected = st.rejected_chunks;
+      out[i].dropped = st.dropped_chunks;
+      out[i].resets = st.resets;
+      out[i].samples = st.samples;
+      out[i].events = st.events;
+      out[i].beats = st.beats;
+      out[i].events_dropped = st.events_dropped;
+      const Session* s = server.session(ids[i]);
+      if (s != nullptr) out[i].ops = s->ops();
+      EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks)
+          << "session " << i;
+    }
+    return out;
+  };
+
+  const auto one = run(1);
+  for (const unsigned shards : {2u, 8u}) {
+    const auto got = run(shards);
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      const std::string what = "shards=" + std::to_string(shards) + " session " +
+                               std::to_string(i);
+      expect_same_events(got[i].sunk, one[i].sunk, what + " sink");
+      expect_same_events(got[i].drained, one[i].drained, what + " drained");
+      for (std::size_t st = 0; st < one[i].ops.size(); ++st) {
+        EXPECT_EQ(got[i].ops[st], one[i].ops[st]) << what << " ops stage " << st;
+      }
+      EXPECT_EQ(got[i].chunks_in, one[i].chunks_in) << what;
+      EXPECT_EQ(got[i].chunks_processed, one[i].chunks_processed) << what;
+      EXPECT_EQ(got[i].rejected, one[i].rejected) << what;
+      EXPECT_EQ(got[i].dropped, one[i].dropped) << what;
+      EXPECT_EQ(got[i].resets, one[i].resets) << what;
+      EXPECT_EQ(got[i].samples, one[i].samples) << what;
+      EXPECT_EQ(got[i].events, one[i].events) << what;
+      EXPECT_EQ(got[i].beats, one[i].beats) << what;
+      EXPECT_EQ(got[i].events_dropped, one[i].events_dropped) << what;
+    }
+  }
+}
+
+TEST(StreamServer, LoanIngestBitIdenticalToCopyingPush) {
+  // Two sessions, same feed: one fed by copying push(), one by the zero-copy
+  // acquire/fill/commit loan path — with one abandoned loan and one partial
+  // commit thrown in (the partial re-chunks the stream, which the session
+  // API's chunk invariance must absorb). Events and totals must match.
+  const auto rec = ecg::nsrdb_like_digitized(1, 5000);
+  SessionSpec base;
+  base.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+
+  StreamServer server({.max_sessions = 2, .queue_capacity_chunks = 8, .workers = 2});
+  std::vector<Event> sunk_copy, sunk_loan;
+  SessionSpec spec_copy = base, spec_loan = base;
+  spec_copy.sink = [&sunk_copy](const Event& ev) { sunk_copy.push_back(ev); };
+  spec_loan.sink = [&sunk_loan](const Event& ev) { sunk_loan.push_back(ev); };
+  const SessionId a = server.open(spec_copy);
+  const SessionId b = server.open(spec_loan);
+
+  constexpr std::size_t kChunk = 64;
+  std::size_t at_b = 0;
+  for (std::size_t at = 0; at < rec.adu.size(); at += kChunk) {
+    const std::size_t len = std::min(kChunk, rec.adu.size() - at);
+    ASSERT_EQ(server.push(a, std::span<const i32>(rec.adu).subspan(at, len)),
+              PushResult::Ok);
+
+    if (at == 10 * kChunk) {
+      // An acquired-then-abandoned loan must be invisible to the stream.
+      ChunkLoan dropped;
+      ASSERT_EQ(server.acquire_buffer(b, kChunk, dropped), PushResult::Ok);
+      dropped = ChunkLoan{};  // abandon: buffer and queue slot return
+    }
+    ChunkLoan loan;
+    ASSERT_EQ(server.acquire_buffer(b, len, loan), PushResult::Ok);
+    ASSERT_EQ(loan.data().size(), len);
+    std::copy_n(rec.adu.begin() + static_cast<std::ptrdiff_t>(at), len,
+                loan.data().begin());
+    if (at == 20 * kChunk && len == kChunk) {
+      // Commit only half of what was acquired; the rest follows as its own
+      // chunk. Different chunking, same sample stream.
+      ASSERT_EQ(server.commit(loan, kChunk / 2), PushResult::Ok);
+      ChunkLoan rest;
+      ASSERT_EQ(server.acquire_buffer(b, kChunk / 2, rest), PushResult::Ok);
+      std::copy_n(rec.adu.begin() + static_cast<std::ptrdiff_t>(at + kChunk / 2),
+                  kChunk / 2, rest.data().begin());
+      ASSERT_EQ(server.commit(rest), PushResult::Ok);
+    } else {
+      ASSERT_EQ(server.commit(loan), PushResult::Ok);
+    }
+    at_b += len;
+  }
+  ASSERT_EQ(at_b, rec.adu.size());
+  ASSERT_EQ(server.close(a), SessionState::Closed);
+  ASSERT_EQ(server.close(b), SessionState::Closed);
+
+  expect_same_events(sunk_loan, sunk_copy, "loan vs copy");
+  const auto sa = server.session_stats(a);
+  const auto sb = server.session_stats(b);
+  EXPECT_EQ(sa.samples, rec.adu.size());
+  EXPECT_EQ(sb.samples, rec.adu.size());
+  EXPECT_EQ(sb.events, sa.events);
+  EXPECT_EQ(sb.beats, sa.beats);
+  EXPECT_EQ(sb.chunks_in, sa.chunks_in + 1);  // the split chunk, not the abandoned loan
+  EXPECT_EQ(sb.chunks_in, sb.chunks_processed + sb.queued_chunks + sb.dropped_chunks);
+}
+
+TEST(StreamServer, AbandonedLoanReturnsItsQueueSlot) {
+  StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 2, .workers = 1});
+  server.pause();  // nothing drains: capacity accounting is exact
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId id = server.open(spec);
+
+  // Outstanding loans reserve queue slots.
+  ChunkLoan l1, l2, l3;
+  ASSERT_EQ(server.acquire_buffer(id, 16, l1), PushResult::Ok);
+  ASSERT_EQ(server.acquire_buffer(id, 16, l2), PushResult::Ok);
+  EXPECT_EQ(server.try_acquire_buffer(id, 16, l3), PushResult::QueueFull);
+  EXPECT_FALSE(l3.valid());
+
+  l1 = ChunkLoan{};  // abandon: the slot frees without a commit
+  ASSERT_EQ(server.try_acquire_buffer(id, 16, l3), PushResult::Ok);
+
+  std::fill(l2.data().begin(), l2.data().end(), 1);
+  std::fill(l3.data().begin(), l3.data().end(), 2);
+  EXPECT_EQ(server.commit(l2), PushResult::Ok);
+  EXPECT_FALSE(l2.valid());  // consumed
+  EXPECT_EQ(server.commit(l3), PushResult::Ok);
+  EXPECT_EQ(server.commit(l3), PushResult::NoSuchSession);  // a consumed loan is inert
+
+  server.resume();
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+  const auto st = server.session_stats(id);
+  EXPECT_EQ(st.chunks_in, 2u);
+  EXPECT_EQ(st.rejected_chunks, 1u);  // the QueueFull refusal
+  EXPECT_EQ(st.samples, 32u);
+  EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks);
+}
+
+TEST(StreamServer, LoanAcquiredBeforeResetCannotPolluteTheFreshRecord) {
+  // A producer holds a loan across a reset(): its samples belong to the
+  // abandoned episode and must be discarded at commit (surfaced as Closed),
+  // not spliced into the new record.
+  StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 4, .workers = 1});
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId id = server.open(spec);
+
+  ChunkLoan stale;
+  ASSERT_EQ(server.acquire_buffer(id, 32, stale), PushResult::Ok);
+  std::fill(stale.data().begin(), stale.data().end(), 999);
+  ASSERT_TRUE(server.reset(id));
+  EXPECT_EQ(server.commit(stale), PushResult::Closed);
+
+  // The fresh record sees only what is pushed after the reset, and the
+  // stale loan's reservation was returned (all 4 slots usable again).
+  server.pause();
+  const std::vector<i32> chunk(16, 1);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(server.try_push(id, chunk), PushResult::Ok) << i;
+  EXPECT_EQ(server.try_push(id, chunk), PushResult::QueueFull);
+  server.resume();
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+  const auto st = server.session_stats(id);
+  EXPECT_EQ(st.samples, 4u * 16u);  // the 32 stale samples never landed
+  EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks);
+}
+
+TEST(StreamServer, DrainEventsDeliversExactlyTheSinkStream) {
+  // Pull egress: drain_events hands a single-threaded consumer the same
+  // event stream the sink saw (and the one-shot reference produced), with no
+  // locking discipline on the consumer side.
+  const auto rec = ecg::nsrdb_like_digitized(3, 6000);
+  SessionSpec spec;
+  spec.config = PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  const std::vector<Event> want = one_shot_events(spec, rec.adu, 64);
+
+  StreamServer server({.max_sessions = 2,
+                       .queue_capacity_chunks = 8,
+                       .workers = 2,
+                       .event_queue_capacity = 1024});
+  EventLog log;
+  spec.sink = [&log](const Event& ev) { log.events.push_back(ev); };
+  const SessionId id = server.open(spec);
+
+  std::vector<Event> drained;
+  for (std::size_t at = 0; at < rec.adu.size(); at += 64) {
+    const std::size_t len = std::min<std::size_t>(64, rec.adu.size() - at);
+    ASSERT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, len)),
+              PushResult::Ok);
+    if ((at / 64) % 7 == 0) (void)server.drain_events(id, drained);
+  }
+  ASSERT_EQ(server.close(id), SessionState::Closed);
+  (void)server.drain_events(id, drained);  // the tail stays drainable after close
+
+  expect_same_events(drained, want, "drained vs one-shot");
+  expect_same_events(log.events, want, "sink vs one-shot");
+  const auto st = server.session_stats(id);
+  EXPECT_EQ(st.events_dropped, 0u);
+  EXPECT_EQ(st.events_queued, 0u);
+}
+
+TEST(StreamServer, EgressBoundShedsOldestAndCountsIt) {
+  // A consumer that never drains loses exactly the oldest events beyond the
+  // bound — the newest stay available, and the loss is counted.
+  const auto rec = ecg::nsrdb_like_digitized(2, 5000);
+  SessionSpec spec;
+  const std::vector<Event> want = one_shot_events(spec, rec.adu, 100);
+  ASSERT_GT(want.size(), 6u);
+
+  constexpr std::size_t kCap = 4;
+  StreamServer server(
+      {.max_sessions = 1, .workers = 1, .event_queue_capacity = kCap});
+  const SessionId id = server.open(spec);
+  for (std::size_t at = 0; at < rec.adu.size(); at += 100) {
+    const std::size_t len = std::min<std::size_t>(100, rec.adu.size() - at);
+    ASSERT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, len)),
+              PushResult::Ok);
+  }
+  ASSERT_EQ(server.close(id), SessionState::Closed);
+
+  std::vector<Event> drained;
+  EXPECT_EQ(server.drain_events(id, drained), kCap);
+  const std::vector<Event> tail(want.end() - kCap, want.end());
+  expect_same_events(drained, tail, "bounded egress tail");
+  const auto st = server.session_stats(id);
+  EXPECT_EQ(st.events_dropped, want.size() - kCap);
+  EXPECT_EQ(st.events, want.size());
+}
+
+TEST(StreamServer, PullEgressDisabledByDefault) {
+  StreamServer server({.max_sessions = 1, .workers = 1});
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId id = server.open(spec);
+  ASSERT_EQ(server.push(id, std::vector<i32>(500, 5)), PushResult::Ok);
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+  std::vector<Event> drained;
+  EXPECT_EQ(server.drain_events(id, drained), 0u);
+  EXPECT_TRUE(drained.empty());
+}
+
+TEST(StreamServer, BlockedProducerWakesOnClose) {
+  // Regression (PR 4 deadlock): a push() blocked at the high-water mark on a
+  // paused server would sleep forever once the session was close()d, because
+  // nothing woke the space waiters on the state change. It must wake and
+  // surface Closed without a single chunk being drained.
+  using namespace std::chrono_literals;
+  StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 2, .workers = 1});
+  server.pause();
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId id = server.open(spec);
+  const std::vector<i32> chunk(16, 1);
+  ASSERT_EQ(server.push(id, chunk), PushResult::Ok);
+  ASSERT_EQ(server.push(id, chunk), PushResult::Ok);
+
+  auto blocked = std::async(std::launch::async, [&] { return server.push(id, chunk); });
+  ASSERT_EQ(blocked.wait_for(100ms), std::future_status::timeout);  // genuinely blocked
+
+  auto closer = std::async(std::launch::async, [&] { return server.close(id); });
+  // The producer wakes on the Open -> Draining transition alone: the server
+  // is still paused, so no drain can have freed space.
+  ASSERT_EQ(blocked.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(blocked.get(), PushResult::Closed);
+
+  server.resume();  // now let close() finish
+  EXPECT_EQ(closer.get(), SessionState::Closed);
+  const auto st = server.session_stats(id);
+  EXPECT_EQ(st.chunks_in, 2u);
+  EXPECT_EQ(st.chunks_processed, 2u);
+}
+
+TEST(StreamServer, BlockedProducerWakesOnFaultAndRelease) {
+  using namespace std::chrono_literals;
+  SessionSpec spec;
+  spec.keep_detection = false;
+
+  {
+    // Fault path: an oversize chunk from another thread quarantines the
+    // session; the blocked producer must wake with Faulted, not hang.
+    StreamServer server({.max_sessions = 1,
+                         .queue_capacity_chunks = 2,
+                         .max_chunk_samples = 16,
+                         .workers = 1});
+    server.pause();
+    const SessionId id = server.open(spec);
+    const std::vector<i32> chunk(16, 1);
+    ASSERT_EQ(server.push(id, chunk), PushResult::Ok);
+    ASSERT_EQ(server.push(id, chunk), PushResult::Ok);
+    auto blocked = std::async(std::launch::async, [&] { return server.push(id, chunk); });
+    ASSERT_EQ(blocked.wait_for(100ms), std::future_status::timeout);
+    EXPECT_EQ(server.try_push(id, std::vector<i32>(17, 0)), PushResult::Faulted);
+    ASSERT_EQ(blocked.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(blocked.get(), PushResult::Faulted);
+    server.resume();
+    EXPECT_EQ(server.close(id), SessionState::Faulted);
+    const auto st = server.session_stats(id);
+    EXPECT_EQ(st.dropped_chunks, 2u);   // the two queued chunks, discarded
+    EXPECT_EQ(st.rejected_chunks, 1u);  // the protocol violation
+    EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks);
+  }
+  {
+    // Release path: the producer wakes once the drain completes and the slot
+    // empties, surfacing NoSuchSession (its id went stale mid-block).
+    StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 2, .workers = 1});
+    const SessionId id = server.open(spec);
+    server.pause();
+    const std::vector<i32> chunk(16, 1);
+    ASSERT_EQ(server.push(id, chunk), PushResult::Ok);
+    ASSERT_EQ(server.push(id, chunk), PushResult::Ok);
+    auto blocked = std::async(std::launch::async, [&] { return server.push(id, chunk); });
+    ASSERT_EQ(blocked.wait_for(100ms), std::future_status::timeout);
+    auto releaser = std::async(std::launch::async, [&] { return server.release(id); });
+    // Draining under pause: the blocked producer must already have returned.
+    ASSERT_EQ(blocked.wait_for(5s), std::future_status::ready);
+    EXPECT_EQ(blocked.get(), PushResult::Closed);
+    server.resume();
+    EXPECT_NE(releaser.get(), nullptr);
+    EXPECT_EQ(server.push(id, chunk), PushResult::NoSuchSession);
+  }
+}
+
+TEST(StreamServer, FaultedThenReleasedSlotLeavesNoStaleReadyEntry) {
+  // Regression: a fault while chunks are queued (and no worker has popped
+  // the slot yet — paused here) leaves the slot's index in the shard's
+  // ready list. release() must purge it, or the slot's next tenant inherits
+  // a duplicate entry and two workers can drain the same Session at once
+  // (the duplicate-drain itself is what the TSan leg would flag; this pins
+  // the deterministic part: the reused slot streams cleanly).
+  StreamServer server({.max_sessions = 1,
+                       .queue_capacity_chunks = 4,
+                       .max_chunk_samples = 16,
+                       .workers = 2,
+                       .shards = 1});  // both workers on one shard: slot reuse is the point
+  SessionSpec spec;
+  spec.keep_detection = false;
+  server.pause();
+  const SessionId first = server.open(spec);
+  const std::vector<i32> chunk(16, 3);
+  ASSERT_EQ(server.push(first, chunk), PushResult::Ok);  // slot enters the ready list
+  ASSERT_EQ(server.push(first, chunk), PushResult::Ok);
+  ASSERT_EQ(server.try_push(first, std::vector<i32>(17, 0)), PushResult::Faulted);
+  ASSERT_NE(server.release(first), nullptr);  // Faulted + quiescent: retires while paused
+
+  const SessionId second = server.open(spec);
+  EXPECT_EQ(second.slot, first.slot);
+  ASSERT_EQ(server.push(second, chunk), PushResult::Ok);
+  server.resume();
+  EXPECT_EQ(server.close(second), SessionState::Closed);
+  const auto st = server.session_stats(second);
+  EXPECT_EQ(st.chunks_in, 1u);
+  EXPECT_EQ(st.chunks_processed, 1u);
+  EXPECT_EQ(st.samples, 16u);
+  EXPECT_EQ(st.chunks_in, st.chunks_processed + st.queued_chunks + st.dropped_chunks);
+}
+
+TEST(StreamServer, CloseRacingResetBothComplete) {
+  // Regression: close() waits for the drain it requested with a
+  // level-triggered check, so a reset() that won the post-drain wakeup and
+  // re-armed the slot to Open could make close() sleep forever. Both calls
+  // must complete in every interleaving: close() reports the state its
+  // drain landed in, reset() re-arms.
+  using namespace std::chrono_literals;
+  SessionSpec spec;
+  spec.keep_detection = false;
+  for (int it = 0; it < 20; ++it) {
+    StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 4, .workers = 1});
+    const SessionId id = server.open(spec);
+    ASSERT_EQ(server.push(id, std::vector<i32>(32, 1)), PushResult::Ok);
+    server.pause();  // hold the drain so both callers really overlap
+    ASSERT_EQ(server.push(id, std::vector<i32>(32, 1)), PushResult::Ok);
+    auto closer = std::async(std::launch::async, [&] { return server.close(id); });
+    auto resetter = std::async(std::launch::async, [&] { return server.reset(id); });
+    std::this_thread::sleep_for(2ms);
+    server.resume();
+    EXPECT_EQ(closer.get(), SessionState::Closed) << "iteration " << it;
+    EXPECT_TRUE(resetter.get()) << "iteration " << it;
+  }
+}
+
+TEST(StreamServer, ReleaseRacingResetAlwaysRetiresTheSlot) {
+  // Retirement is final: even if a reset() re-arms the slot mid-release,
+  // release() re-issues the drain and hands the session back.
+  using namespace std::chrono_literals;
+  SessionSpec spec;
+  spec.keep_detection = false;
+  for (int it = 0; it < 20; ++it) {
+    StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 4, .workers = 1});
+    const SessionId id = server.open(spec);
+    server.pause();
+    ASSERT_EQ(server.push(id, std::vector<i32>(32, 1)), PushResult::Ok);
+    auto releaser = std::async(std::launch::async, [&] { return server.release(id); });
+    auto resetter = std::async(std::launch::async, [&] { return server.reset(id); });
+    std::this_thread::sleep_for(2ms);
+    server.resume();
+    EXPECT_NE(releaser.get(), nullptr) << "iteration " << it;
+    (void)resetter.get();  // true or false: losing to the retirement is legal
+    EXPECT_EQ(server.push(id, std::vector<i32>(8, 0)), PushResult::NoSuchSession);
+  }
+}
+
+TEST(StreamServer, WarmStartResetCarriesTrainedThresholds) {
+  // The reconnect cold-start hole: a Cold reset() retrains the detector from
+  // zero, so the first ~2 s after a link re-pair detect nothing. An opt-in
+  // WarmStart::KeepThresholds reset carries the trained SPK/NPK/RR state and
+  // detects immediately. (Cold's bit-identity to a fresh session is pinned
+  // by StreamSession.ResetBehavesLikeAFreshSession and
+  // StreamServer.ResetMidFlightStartsAFreshRecord.)
+  const auto rec = ecg::nsrdb_like_digitized(4, 6000);
+  // 1.5 s at 200 Hz: inside the training window, where a cold detector is
+  // still blind but a warm one is live.
+  const std::size_t kEarly = 300;
+
+  auto beats_after_reset = [&](pantompkins::WarmStart warm) -> u64 {
+    using namespace std::chrono_literals;
+    StreamServer server({.max_sessions = 1, .workers = 1});
+    const SessionId id = server.open(SessionSpec{});
+    // Train on the first 4000 samples of the episode...
+    for (std::size_t at = 0; at < 4000; at += 100) {
+      EXPECT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, 100)),
+                PushResult::Ok);
+    }
+    // Let the whole first episode train the detector before the "drop":
+    // reset() discards whatever is still queued, which must not eat into
+    // the training material this test depends on.
+    for (int i = 0; i < 1000 && server.session_stats(id).chunks_processed < 40; ++i) {
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_EQ(server.session_stats(id).chunks_processed, 40u);
+    // ...link drops, slot re-arms (reset waits out all in-flight work, so
+    // the beat counter is stable here)...
+    EXPECT_TRUE(server.reset(id, warm));
+    const u64 before = server.session_stats(id).beats;
+    // ...and only the first 1.5 s of the new episode arrive. No close():
+    // a close would flush, and flush finalizes even an untrained record
+    // batch-style — the live question is what gets detected *online*.
+    EXPECT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(0, kEarly)),
+              PushResult::Ok);
+    for (int i = 0; i < 1000 && server.session_stats(id).chunks_processed < 41; ++i) {
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_EQ(server.session_stats(id).chunks_processed, 41u);  // 40 + the early chunk
+    return server.session_stats(id).beats - before;
+  };
+
+  const u64 cold = beats_after_reset(pantompkins::WarmStart::Cold);
+  const u64 warm = beats_after_reset(pantompkins::WarmStart::KeepThresholds);
+  EXPECT_EQ(cold, 0u);  // still training: the hole
+  EXPECT_GT(warm, 0u);  // trained thresholds carried: beats from the start
+}
+
+TEST(StreamSession, WarmStartVsColdResetAtTheSessionLevel) {
+  // Same contract one layer down, without a server in the way: cold reset is
+  // bit-identical to a fresh session (pinned elsewhere); warm keeps the
+  // detector trained through the reset.
+  const auto rec = ecg::nsrdb_like_digitized(0, 5000);
+  Session s{SessionSpec{}};
+  (void)s.push(std::span<const i32>(rec.adu).subspan(0, 4000));
+  s.reset(pantompkins::WarmStart::KeepThresholds);
+  std::size_t warm_beats = 0;
+  for (const Event& ev : s.push(std::span<const i32>(rec.adu).subspan(0, 300))) {
+    warm_beats += ev.is_beat() ? 1 : 0;
+  }
+  EXPECT_GT(warm_beats, 0u);
+
+  s.reset(pantompkins::WarmStart::Cold);
+  std::size_t cold_beats = 0;
+  for (const Event& ev : s.push(std::span<const i32>(rec.adu).subspan(0, 300))) {
+    cold_beats += ev.is_beat() ? 1 : 0;
+  }
+  EXPECT_EQ(cold_beats, 0u);  // back in the training window
 }
 
 TEST(SessionPool, DriveSurvivesAThrowingSinkEverywhere) {
