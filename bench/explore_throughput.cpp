@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "xbs/arith/isa.hpp"
 #include "xbs/ecg/dataset.hpp"
 #include "xbs/explore/parallel.hpp"
 
@@ -148,6 +149,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"explore_throughput\",\n"
+      "  \"isa\": \"%.*s\",\n"
       "  \"workload\": \"exhaustive_grid_plus_algorithm1_batch\",\n"
       "  \"records\": %d,\n"
       "  \"samples_per_record\": %d,\n"
@@ -168,6 +170,8 @@ int main(int argc, char** argv) {
       "  \"alg1_speedup_1_to_8\": %.2f,\n"
       "  \"alg1_identical_across_threads\": %s\n"
       "}\n",
+      static_cast<int>(to_string(arith::kernel_isa().selected).size()),
+      to_string(arith::kernel_isa().selected).data(),
       records, samples, std::thread::hardware_concurrency(), grids[0].evaluations, shard,
       iters, grid_wall[0], grid_wall[1], grid_wall[2], grid_wall[0] / grid_wall[2],
       grid_identical ? "true" : "false", grids[0].cache.stage_hit_rate(), jobs.size(),

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "xbs/arith/isa.hpp"
 #include "xbs/arith/kernel.hpp"
 #include "xbs/arith/unit.hpp"
 #include "xbs/common/rng.hpp"
@@ -45,6 +46,15 @@ u64 checksum_of(const std::vector<i32>& y) {
   u64 h = 1469598103934665603ull;
   for (const i32 v : y) {
     h ^= static_cast<u64>(static_cast<u32>(v));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+u64 checksum_of(const std::vector<i64>& y) {
+  u64 h = 1469598103934665603ull;
+  for (const i64 v : y) {
+    h ^= static_cast<u64>(v);
     h *= 1099511628211ull;
   }
   return h;
@@ -154,9 +164,95 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Per-(op x ISA) dispatch-table rows: each compiled-and-usable kernel tier
+  // runs the three raw dispatched loop shapes (table gather, wired add,
+  // fused gather-MAC) plus the whole batched LPF block, and is checksummed
+  // against the baseline tier — the bench doubles as a bit-identity check of
+  // every vector path it times.
+  struct IsaOpRow {
+    arith::Isa isa;
+    const char* op;
+    double sps = 0.0;
+    double speedup = 1.0;  ///< vs the baseline tier on the same op
+    u64 checksum = 0;
+    bool checksum_match = false;
+  };
+  std::vector<IsaOpRow> isa_rows;
+  {
+    const std::size_t n = x.size();
+    std::vector<i64> table(1u << 16);
+    for (i64& t : table) t = rng.uniform_int(-(1 << 30), 1 << 30);
+    const u64 mask = (1u << 16) - 1;
+    std::vector<i64> xi(n), a(n), b(n), out(n), acc(n);
+    for (i64& v : xi) v = rng.uniform_int(-(1 << 20), 1 << 20);
+    for (i64& v : a) v = rng.uniform_int(-2000000000, 2000000000);
+    for (i64& v : b) v = rng.uniform_int(-2000000000, 2000000000);
+    const arith::WiredAddParams wp{32, lsbs, true, false};
+
+    for (const arith::Isa isa : arith::kAllIsas) {
+      const arith::KernelOps* ops = arith::kernel_ops_for(isa);
+      if (ops == nullptr) continue;  // not compiled or no CPU support: no row
+
+      const auto time_op = [&](const char* op, auto&& body) {
+        double best = 1e300;
+        for (int it = 0; it < iters; ++it) {
+          const double t0 = now_s();
+          body();
+          best = std::min(best, now_s() - t0);
+        }
+        IsaOpRow row;
+        row.isa = isa;
+        row.op = op;
+        row.sps = static_cast<double>(n) / best;
+        return row;
+      };
+
+      IsaOpRow gather = time_op("gather_lut_n", [&] {
+        ops->gather_lut_n(table.data(), mask, xi.data(), out.data(), n);
+      });
+      gather.checksum = checksum_of(out);
+      isa_rows.push_back(gather);
+
+      IsaOpRow add = time_op("wired_add_n", [&] {
+        ops->wired_add_n(a.data(), b.data(), out.data(), n, wp);
+      });
+      add.checksum = checksum_of(out);
+      isa_rows.push_back(add);
+
+      IsaOpRow mac = time_op("wired_mac_n", [&] {
+        acc.assign(a.begin(), a.end());  // mac mutates: reset per iteration
+        ops->wired_mac_n(table.data(), mask, xi.data(), acc.data(), n, wp);
+      });
+      mac.checksum = checksum_of(acc);
+      isa_rows.push_back(mac);
+
+      // The whole batched FIR block under this tier (tables already warm).
+      (void)arith::force_kernel_isa(isa);
+      const PathResult fir = run_batched(*approx_kernel, x, iters);
+      IsaOpRow fir_row;
+      fir_row.isa = isa;
+      fir_row.op = "fir_lpf_block";
+      fir_row.sps = fir.samples_per_sec;
+      fir_row.checksum = fir.checksum;
+      isa_rows.push_back(fir_row);
+    }
+    (void)arith::force_kernel_isa_auto();
+
+    // Baseline is always first (kAllIsas order): resolve per-op references.
+    for (IsaOpRow& row : isa_rows) {
+      for (const IsaOpRow& ref : isa_rows) {
+        if (ref.isa == arith::Isa::Baseline && std::strcmp(ref.op, row.op) == 0) {
+          row.speedup = row.sps / ref.sps;
+          row.checksum_match = row.checksum == ref.checksum;
+        }
+      }
+    }
+  }
+
   std::printf(
       "{\n"
       "  \"bench\": \"micro_kernel\",\n"
+      "  \"isa\": \"%.*s\",\n"
       "  \"workload\": \"lpf_fir_11tap\",\n"
       "  \"samples\": %d,\n"
       "  \"iters\": %d,\n"
@@ -170,6 +266,8 @@ int main(int argc, char** argv) {
       "  \"checksum_exact_match\": %s,\n"
       "  \"checksum_approx_match\": %s,\n"
       "  \"configs\": [\n",
+      static_cast<int>(to_string(arith::kernel_isa().selected).size()),
+      to_string(arith::kernel_isa().selected).data(),
       samples, iters, lsbs, scalar_exact.samples_per_sec, batched_exact.samples_per_sec,
       scalar_approx.samples_per_sec, batched_approx.samples_per_sec, speedup_exact,
       speedup_approx, scalar_exact.checksum == batched_exact.checksum ? "true" : "false",
@@ -186,12 +284,26 @@ int main(int argc, char** argv) {
         static_cast<int>(to_string(r.policy).size()), to_string(r.policy).data(), r.sps,
         r.gap, r.checksum_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
   }
+  std::printf("  ],\n  \"isa_ops\": [\n");
+  bool isa_rows_match = true;
+  for (std::size_t i = 0; i < isa_rows.size(); ++i) {
+    const IsaOpRow& r = isa_rows[i];
+    isa_rows_match = isa_rows_match && r.checksum_match;
+    std::printf(
+        "    {\"isa\": \"%.*s\", \"op\": \"%s\", \"sps\": %.0f, "
+        "\"speedup_vs_baseline\": %.2f, \"checksum_match\": %s}%s\n",
+        static_cast<int>(to_string(r.isa).size()), to_string(r.isa).data(), r.op,
+        r.sps, r.speedup, r.checksum_match ? "true" : "false",
+        i + 1 < isa_rows.size() ? "," : "");
+  }
   std::printf("  ]\n}\n");
 
-  // Non-zero exit when the bit-identity invariant is violated, so CI smoke
-  // runs catch it.
+  // Non-zero exit when the bit-identity invariant is violated — between the
+  // scalar and batched paths, or between any vector tier and baseline — so
+  // CI smoke runs catch it.
   return (scalar_exact.checksum == batched_exact.checksum &&
-          scalar_approx.checksum == batched_approx.checksum && rows_match)
+          scalar_approx.checksum == batched_approx.checksum && rows_match &&
+          isa_rows_match)
              ? 0
              : 1;
 }

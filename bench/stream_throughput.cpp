@@ -26,6 +26,7 @@
 #include <cstring>
 #include <vector>
 
+#include "xbs/arith/isa.hpp"
 #include "xbs/ecg/dataset.hpp"
 #include "xbs/stream/pool.hpp"
 #include "xbs/stream/server.hpp"
@@ -210,6 +211,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\n"
       "  \"bench\": \"stream_throughput\",\n"
+      "  \"isa\": \"%.*s\",\n"
       "  \"workload\": \"nsrdb_like_full_pipeline_online_qrs\",\n"
       "  \"sessions\": %d,\n"
       "  \"samples_per_session\": %d,\n"
@@ -238,6 +240,8 @@ int main(int argc, char** argv) {
       "  \"churn_peak_queue_chunks\": %llu,\n"
       "  \"churn_faulted_sessions\": %llu\n"
       "}\n",
+      static_cast<int>(to_string(arith::kernel_isa().selected).size()),
+      to_string(arith::kernel_isa().selected).data(),
       sessions, samples, chunk, exact.threads, iters, exact.samples_per_sec(),
       exact.p50_chunk_s * 1e6, exact.p99_chunk_s * 1e6, exact.max_chunk_s * 1e6,
       static_cast<unsigned long long>(exact.beats), b9.samples_per_sec(),

@@ -19,12 +19,19 @@
 #include <span>
 #include <vector>
 
+#include "xbs/arith/isa.hpp"
 #include "xbs/arith/multiplier.hpp"
 #include "xbs/arith/rca.hpp"
+#include "xbs/common/aligned.hpp"
 #include "xbs/common/kinds.hpp"
 #include "xbs/common/types.hpp"
 
 namespace xbs::arith {
+
+/// Storage of the process-wide product/square tables: cache-line aligned so
+/// per-lane gathers (isa.hpp) start on a 64-byte boundary and the table head
+/// never false-shares with neighbouring allocations.
+using TableVec = std::vector<i64, AlignedAllocator<i64, 64>>;
 
 /// Datapath operation counters (shared vocabulary with the scalar units;
 /// reset between runs to attribute operations to stages).
@@ -202,7 +209,11 @@ class ExactKernel final : public Kernel {
 /// sign fix, no multiplier simulation. The squaring pattern `mul_n` with
 /// `a.data() == b.data()` likewise resolves to a per-config 2^w-entry square
 /// table (`S[u] = mul1(x, x)`), turning the Pan-Tompkins SQR stage into one
-/// load per sample. Tables are cached process-wide keyed by
+/// load per sample. The table walks and the wired-add loops run through the
+/// runtime-dispatched vector tier (isa.hpp): gathered LUT loads and 4/8-lane
+/// closed-form adds on AVX2/AVX-512 hardware, the scalar loops elsewhere —
+/// every tier bit-identical by construction. Tables are cached process-wide
+/// keyed by
 /// (MultiplierConfig, coefficient), matching the get_multiplier() cache
 /// idiom; the caches are internally synchronized and the published tables
 /// immutable, so kernels in different threads (one per stream::SessionPool
@@ -237,7 +248,7 @@ class ApproxKernel final : public Kernel {
   struct CoeffTable {
     i64 coeff = 0;
     const i64* data = nullptr;  ///< hoisted raw pointer, 2^w entries
-    std::shared_ptr<const std::vector<i64>> owner;
+    std::shared_ptr<const TableVec> owner;
   };
   /// Resolve the coefficient's table: always when `n` is large enough to
   /// amortize a cold build, otherwise only if it is already warm
@@ -246,14 +257,6 @@ class ApproxKernel final : public Kernel {
   [[nodiscard]] const i64* coeff_table(i64 c, std::size_t n) const;
   /// Same policy for the per-config square table (mul_n with a == b).
   [[nodiscard]] const i64* square_table(std::size_t n) const;
-
-  /// Branch-free loop bodies of the carry-free mirror-adder closed forms,
-  /// instantiated per AddFastPath so the path test never runs per element.
-  template <bool kSumIsB, bool kNegateB>
-  void wired_add_loop(const i64* a, const i64* b, i64* out, std::size_t n) const noexcept;
-  template <bool kSumIsB>
-  void wired_mac_loop(const i64* products, const i64* x, i64* acc,
-                      std::size_t n) const noexcept;
 
   /// Closed-form evaluation of the adder's approximate low region, decoded
   /// once at construction. AMA5 (Sum=B, Cout=A) and AMA4 (Sum=NOT A, Cout=A)
@@ -269,11 +272,14 @@ class ApproxKernel final : public Kernel {
   RippleCarryAdder adder_;
   AddFastPath add_path_ = AddFastPath::Generic;
   int approx_bits_ = 0;  ///< adder LSBs in the approximate region (clamped)
+  /// Decoded wired-add parameters handed to the dispatched vector loops
+  /// (valid only when add_path_ != Generic).
+  WiredAddParams wired_params_{};
   std::shared_ptr<const RecursiveMultiplier> mult_owner_;
   const RecursiveMultiplier* mult_;  ///< hoisted raw pointer for the loops
   mutable std::vector<CoeffTable> coeff_tables_;  ///< tiny per-kernel LRU-less cache
   mutable const i64* square_ = nullptr;  ///< hoisted square-table pointer
-  mutable std::shared_ptr<const std::vector<i64>> square_owner_;
+  mutable std::shared_ptr<const TableVec> square_owner_;
   /// fir_n scratch: one product row per distinct coefficient (reused across
   /// chunks; single-consumer like the op counters).
   mutable std::vector<std::vector<i64>> fir_rows_;
@@ -289,21 +295,38 @@ class ApproxKernel final : public Kernel {
 /// Exposed so serving layers (stream::SessionPool) and benches can pre-warm
 /// tables outside timed regions — once warm, every kernel in the process
 /// walks them regardless of chunk size.
-[[nodiscard]] std::shared_ptr<const std::vector<i64>> get_signed_coeff_products(
+[[nodiscard]] std::shared_ptr<const TableVec> get_signed_coeff_products(
     const MultiplierConfig& cfg, i64 coeff);
 
 /// Cache peek: the table if it has already been built, nullptr otherwise.
 /// Lets small-block paths use a warm table without paying a cold build.
-[[nodiscard]] std::shared_ptr<const std::vector<i64>> peek_signed_coeff_products(
+[[nodiscard]] std::shared_ptr<const TableVec> peek_signed_coeff_products(
     const MultiplierConfig& cfg, i64 coeff) noexcept;
 
 /// Process-wide cache of per-config square tables: 2^width entries,
 /// `S[u] = mul1(x, x)` for `x = sign_extend(u, w)` — the SQR-stage kernel.
-[[nodiscard]] std::shared_ptr<const std::vector<i64>> get_square_products(
+[[nodiscard]] std::shared_ptr<const TableVec> get_square_products(
     const MultiplierConfig& cfg);
 
 /// Cache peek for the square table (same policy as the coefficient peek).
-[[nodiscard]] std::shared_ptr<const std::vector<i64>> peek_square_products(
+[[nodiscard]] std::shared_ptr<const TableVec> peek_square_products(
     const MultiplierConfig& cfg) noexcept;
+
+/// Cumulative build counters of the process-wide table caches (plus the
+/// multiplier behavioural-model cache) — each counts actual cold builds,
+/// not cache hits. Serving layers warm tables outside their latency-
+/// sensitive regions; tests snapshot these counters around a streaming run
+/// to prove nothing is built lazily on the hot path
+/// (tests/test_kernel_dispatch.cpp).
+struct TableCacheStats {
+  u64 multiplier_models = 0;  ///< RecursiveMultiplier behavioural models
+  u64 magnitude_tables = 0;   ///< magnitude-indexed product rows
+  u64 signed_tables = 0;      ///< full signed per-coefficient tables
+  u64 square_tables = 0;      ///< per-config square tables
+
+  friend constexpr bool operator==(const TableCacheStats&,
+                                   const TableCacheStats&) = default;
+};
+[[nodiscard]] TableCacheStats table_cache_stats() noexcept;
 
 }  // namespace xbs::arith

@@ -88,4 +88,10 @@ class RecursiveMultiplier {
 [[nodiscard]] std::shared_ptr<const RecursiveMultiplier> get_multiplier(
     const MultiplierConfig& cfg);
 
+/// Cumulative count of behavioural models actually constructed by
+/// get_multiplier (cache misses, not hits) — one input of
+/// arith::table_cache_stats(), which tests snapshot to prove the streaming
+/// hot path never builds a model lazily.
+[[nodiscard]] u64 multiplier_model_builds() noexcept;
+
 }  // namespace xbs::arith

@@ -1,8 +1,10 @@
 #include "xbs/arith/kernel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 
+#include "xbs/arith/isa.hpp"
 #include "xbs/common/bitops.hpp"
 
 namespace xbs::arith {
@@ -162,6 +164,10 @@ ApproxKernel::ApproxKernel(const StageArithConfig& cfg)
     if (cfg.adder.kind == AdderKind::Approx5) add_path_ = AddFastPath::SumIsB;
     if (cfg.adder.kind == AdderKind::Approx4) add_path_ = AddFastPath::SumIsNotA;
   }
+  wired_params_.width = cfg.adder.width;
+  wired_params_.approx_bits = approx_bits_;
+  wired_params_.sum_is_b = add_path_ == AddFastPath::SumIsB;
+  wired_params_.negate_b = false;
 }
 
 i64 ApproxKernel::wired_add(u64 ua, u64 ub) const noexcept {
@@ -201,54 +207,17 @@ i64 ApproxKernel::sub1(i64 a, i64 b) const { return adder_.sub_signed(a, b); }
 
 i64 ApproxKernel::mul1(i64 a, i64 b) const { return mult_->multiply_signed(a, b); }
 
-template <bool kSumIsB, bool kNegateB>
-void ApproxKernel::wired_add_loop(const i64* a, const i64* b, i64* out,
-                                  std::size_t n) const noexcept {
-  // Branch-free batched form of wired_add(): all configuration decoding
-  // (path, width, approx-region size) is resolved before the loop, and the
-  // body is pure bit arithmetic — no calls, no per-element branches — so it
-  // auto-vectorizes. Semantics are element-for-element identical to
-  // add_signed_fast()/sub_signed_fast() (asserted in
-  // tests/test_kernel_equivalence.cpp).
-  const int w = cfg_.adder.width;
-  const int k = approx_bits_;
-  const u64 wmask = low_mask(w);
-  const u64 sbit = u64{1} << (w - 1);
-  if (k >= w) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const u64 ua = static_cast<u64>(a[i]) & wmask;
-      u64 ub = static_cast<u64>(b[i]) & wmask;
-      if (kNegateB) ub = ~ub & wmask;
-      const u64 low = (kSumIsB ? ub : ~ua) & wmask;
-      out[i] = static_cast<i64>((low ^ sbit) - sbit);
-    }
-    return;
-  }
-  const u64 kmask = low_mask(k);
-  const u64 himask = low_mask(w - k);
-  for (std::size_t i = 0; i < n; ++i) {
-    const u64 ua = static_cast<u64>(a[i]) & wmask;
-    u64 ub = static_cast<u64>(b[i]) & wmask;
-    if (kNegateB) ub = ~ub & wmask;
-    const u64 low = (kSumIsB ? ub : ~ua) & kmask;
-    const u64 carry = (ua >> (k - 1)) & 1u;
-    const u64 hi = ((ua >> k) + (ub >> k) + carry) & himask;
-    const u64 r = (hi << k) | low;
-    out[i] = static_cast<i64>((r ^ sbit) - sbit);
-  }
-}
+// The batched loop bodies live behind the runtime ISA dispatch (isa.hpp):
+// one atomic table-pointer load per *_n call selects the scalar baseline or
+// the AVX2/AVX-512 vector loops, all bit-identical to the closed forms
+// above (asserted per forced ISA in tests/test_kernel_dispatch.cpp).
 
 void ApproxKernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
   const std::size_t n = out.size();
-  switch (add_path_) {
-    case AddFastPath::SumIsB:
-      wired_add_loop<true, false>(a.data(), b.data(), out.data(), n);
-      return;
-    case AddFastPath::SumIsNotA:
-      wired_add_loop<false, false>(a.data(), b.data(), out.data(), n);
-      return;
-    case AddFastPath::Generic: break;
+  if (add_path_ != AddFastPath::Generic) {
+    kernel_ops().wired_add_n(a.data(), b.data(), out.data(), n, wired_params_);
+    return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = adder_.add_signed(a[i], b[i]);
 }
@@ -256,14 +225,11 @@ void ApproxKernel::add_n_impl(std::span<const i64> a, std::span<const i64> b,
 void ApproxKernel::sub_n_impl(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
   const std::size_t n = out.size();
-  switch (add_path_) {
-    case AddFastPath::SumIsB:
-      wired_add_loop<true, true>(a.data(), b.data(), out.data(), n);
-      return;
-    case AddFastPath::SumIsNotA:
-      wired_add_loop<false, true>(a.data(), b.data(), out.data(), n);
-      return;
-    case AddFastPath::Generic: break;
+  if (add_path_ != AddFastPath::Generic) {
+    WiredAddParams p = wired_params_;
+    p.negate_b = true;  // one's complement + injected carry (see wired_add)
+    kernel_ops().wired_add_n(a.data(), b.data(), out.data(), n, p);
+    return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = adder_.sub_signed(a[i], b[i]);
 }
@@ -272,16 +238,12 @@ void ApproxKernel::mul_n_impl(std::span<const i64> a, std::span<const i64> b,
                               std::span<i64> out) const {
   const std::size_t n = out.size();
   if (a.data() == b.data()) {
-    // The squaring pattern (SQR stage): one masked load per sample from the
-    // per-config square table. Full in-place aliasing with `out` is fine —
-    // out[i] is written strictly after a[i] is read.
-    if (const i64* XBS_RESTRICT sq = square_table(n)) {
-      const u64 mmask = low_mask(cfg_.mult.width);
-      const i64* pa = a.data();
-      i64* po = out.data();
-      for (std::size_t i = 0; i < n; ++i) {
-        po[i] = sq[static_cast<u64>(pa[i]) & mmask];
-      }
+    // The squaring pattern (SQR stage): one masked (per-lane gathered) load
+    // per sample from the per-config square table. Full in-place aliasing
+    // with `out` is fine — out[i] is written strictly after a[i] is read.
+    if (const i64* sq = square_table(n)) {
+      kernel_ops().gather_lut_n(sq, low_mask(cfg_.mult.width), a.data(),
+                                out.data(), n);
       return;
     }
   }
@@ -319,51 +281,12 @@ void ApproxKernel::mul_cn_impl(i64 c, std::span<const i64> x, std::span<i64> out
   // table folds the coefficient's and operand's signs in, so the walk is one
   // masked load per sample. `out` must not alias `x` (FIR contract).
   const std::size_t n = out.size();
-  const i64* XBS_RESTRICT prod = coeff_table(c, n);
+  const i64* prod = coeff_table(c, n);
   if (prod == nullptr) {
     for (std::size_t i = 0; i < n; ++i) out[i] = mult_->multiply_signed(c, x[i]);
     return;
   }
-  const u64 mmask = low_mask(cfg_.mult.width);
-  const i64* XBS_RESTRICT px = x.data();
-  i64* XBS_RESTRICT po = out.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    po[i] = prod[static_cast<u64>(px[i]) & mmask];
-  }
-}
-
-template <bool kSumIsB>
-void ApproxKernel::wired_mac_loop(const i64* products, const i64* x, i64* acc,
-                                  std::size_t n) const noexcept {
-  // Fused table walk + carry-free approximate accumulate: load the signed
-  // product, then the wired-add closed form with the accumulator on the A
-  // port and the product on the B port — the same operand order as the
-  // scalar chain add(acc, mul(c, x)).
-  const u64 mmask = low_mask(cfg_.mult.width);
-  const int w = cfg_.adder.width;
-  const int k = approx_bits_;
-  const u64 wmask = low_mask(w);
-  const u64 sbit = u64{1} << (w - 1);
-  if (k >= w) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const u64 ua = static_cast<u64>(acc[i]) & wmask;
-      const u64 ub = static_cast<u64>(products[static_cast<u64>(x[i]) & mmask]) & wmask;
-      const u64 low = (kSumIsB ? ub : ~ua) & wmask;
-      acc[i] = static_cast<i64>((low ^ sbit) - sbit);
-    }
-    return;
-  }
-  const u64 kmask = low_mask(k);
-  const u64 himask = low_mask(w - k);
-  for (std::size_t i = 0; i < n; ++i) {
-    const u64 ua = static_cast<u64>(acc[i]) & wmask;
-    const u64 ub = static_cast<u64>(products[static_cast<u64>(x[i]) & mmask]) & wmask;
-    const u64 low = (kSumIsB ? ub : ~ua) & kmask;
-    const u64 carry = (ua >> (k - 1)) & 1u;
-    const u64 hi = ((ua >> k) + (ub >> k) + carry) & himask;
-    const u64 r = (hi << k) | low;
-    acc[i] = static_cast<i64>((r ^ sbit) - sbit);
-  }
+  kernel_ops().gather_lut_n(prod, low_mask(cfg_.mult.width), x.data(), out.data(), n);
 }
 
 void ApproxKernel::fir_n_impl(std::span<const int> taps, std::span<const i64> padded,
@@ -403,16 +326,13 @@ void ApproxKernel::fir_n_impl(std::span<const int> taps, std::span<const i64> pa
   }
 
   const u64 mmask = low_mask(cfg_.mult.width);
+  const KernelOps& ops = kernel_ops();
   fir_rows_.resize(n_distinct);
   for (std::size_t d = 0; d < n_distinct; ++d) {
-    const i64* XBS_RESTRICT prod = coeff_table(distinct[d], n);
+    const i64* prod = coeff_table(distinct[d], n);
     std::vector<i64>& row = fir_rows_[d];
     row.resize(padded.size());
-    const i64* XBS_RESTRICT px = padded.data();
-    i64* XBS_RESTRICT pr = row.data();
-    for (std::size_t m = 0; m < padded.size(); ++m) {
-      pr[m] = prod[static_cast<u64>(px[m]) & mmask];
-    }
+    ops.gather_lut_n(prod, mmask, padded.data(), row.data(), padded.size());
   }
   auto row_of = [&](int c) -> const i64* {
     for (std::size_t d = 0; d < n_distinct; ++d) {
@@ -428,10 +348,9 @@ void ApproxKernel::fir_n_impl(std::span<const int> taps, std::span<const i64> pa
     if (first) {
       std::copy_n(row, n, acc.data());
       first = false;
-    } else if (add_path_ == AddFastPath::SumIsB) {
-      wired_add_loop<true, false>(acc.data(), row, acc.data(), n);
     } else {
-      wired_add_loop<false, false>(acc.data(), row, acc.data(), n);
+      // In-place accumulate (out aliases a element-wise — loop contract).
+      ops.wired_add_n(acc.data(), row, acc.data(), n, wired_params_);
     }
   }
 }
@@ -445,14 +364,13 @@ void ApproxKernel::mac_n_impl(i64 c, std::span<const i64> x, std::span<i64> acc)
     }
     return;
   }
-  switch (add_path_) {
-    case AddFastPath::SumIsB:
-      wired_mac_loop<true>(prod, x.data(), acc.data(), n);
-      return;
-    case AddFastPath::SumIsNotA:
-      wired_mac_loop<false>(prod, x.data(), acc.data(), n);
-      return;
-    case AddFastPath::Generic: break;
+  if (add_path_ != AddFastPath::Generic) {
+    // Fused gathered table walk + carry-free accumulate: the accumulator on
+    // the A port, the product on the B port — the same operand order as the
+    // scalar chain add(acc, mul(c, x)).
+    kernel_ops().wired_mac_n(prod, low_mask(cfg_.mult.width), x.data(), acc.data(),
+                             n, wired_params_);
+    return;
   }
   const u64 mmask = low_mask(cfg_.mult.width);
   for (std::size_t i = 0; i < n; ++i) {
@@ -471,38 +389,47 @@ std::unique_ptr<Kernel> make_kernel(const StageArithConfig& cfg) {
 
 namespace {
 
+// Cache entries are cache-line aligned: the process-wide caches are walked
+// concurrently by every stream::SessionPool / StreamServer worker, and a
+// 64-byte entry stride keeps one worker's entry (and the vector growth that
+// publishes a neighbour) from false-sharing another's hot line.
+
 /// Magnitude-indexed product rows M[m] = multiply_u(|c|, m) — the expensive
 /// build, shared between +c and -c (and reused for the square diagonal).
-struct MagnitudeCacheEntry {
+struct alignas(64) MagnitudeCacheEntry {
   MultiplierConfig cfg;
   u64 magnitude;
-  std::shared_ptr<const std::vector<i64>> table;
+  std::shared_ptr<const TableVec> table;
 };
 
 /// Full signed per-coefficient tables P[u] = mul1(c, sign_extend(u, w)),
 /// keyed by the sign-extended coefficient value.
-struct SignedCacheEntry {
+struct alignas(64) SignedCacheEntry {
   MultiplierConfig cfg;
   i64 coeff;
-  std::shared_ptr<const std::vector<i64>> table;
+  std::shared_ptr<const TableVec> table;
 };
 
 /// Per-config square tables S[u] = mul1(x, x), x = sign_extend(u, w).
-struct SquareCacheEntry {
+struct alignas(64) SquareCacheEntry {
   MultiplierConfig cfg;
-  std::shared_ptr<const std::vector<i64>> table;
+  std::shared_ptr<const TableVec> table;
 };
 
 // The caches are shared by every kernel in the process and are hit from the
 // concurrent sessions of a stream::SessionPool and the parallel exploration
 // workers, so reads and inserts are serialized. The tables themselves are
 // immutable once published; racing builders of the same table publish
-// equivalent duplicates (last one wins, both bit-identical).
+// equivalent duplicates (last one wins, both bit-identical). The build
+// counters count actual cold fills (not hits) and feed table_cache_stats().
 struct TableCaches {
   std::mutex mutex;
   std::vector<MagnitudeCacheEntry> magnitude;
   std::vector<SignedCacheEntry> signed_coeff;
   std::vector<SquareCacheEntry> square;
+  u64 magnitude_builds = 0;
+  u64 signed_builds = 0;
+  u64 square_builds = 0;
 };
 
 TableCaches& caches() {
@@ -510,8 +437,8 @@ TableCaches& caches() {
   return c;
 }
 
-std::shared_ptr<const std::vector<i64>> get_magnitude_products(const MultiplierConfig& cfg,
-                                                               u64 magnitude) {
+std::shared_ptr<const TableVec> get_magnitude_products(const MultiplierConfig& cfg,
+                                                       u64 magnitude) {
   {
     const std::lock_guard<std::mutex> lock(caches().mutex);
     for (const MagnitudeCacheEntry& e : caches().magnitude) {
@@ -523,7 +450,7 @@ std::shared_ptr<const std::vector<i64>> get_magnitude_products(const MultiplierC
   // Operand magnitudes of a w-bit signed multiplier span [0, 2^(w-1)]
   // (the upper bound is the magnitude of the most negative value).
   const std::size_t n = (std::size_t{1} << (cfg.width - 1)) + 1;
-  auto table = std::make_shared<std::vector<i64>>(n);
+  auto table = std::make_shared<TableVec>(n);
   for (std::size_t m = 0; m < n; ++m) {
     // Same operand order as multiply_signed(c, x): the coefficient drives
     // the A port. Approximate arrays are not commutative, so this matters.
@@ -531,12 +458,13 @@ std::shared_ptr<const std::vector<i64>> get_magnitude_products(const MultiplierC
   }
   const std::lock_guard<std::mutex> lock(caches().mutex);
   caches().magnitude.push_back(MagnitudeCacheEntry{cfg, magnitude, table});
+  ++caches().magnitude_builds;
   return table;
 }
 
 }  // namespace
 
-std::shared_ptr<const std::vector<i64>> peek_signed_coeff_products(
+std::shared_ptr<const TableVec> peek_signed_coeff_products(
     const MultiplierConfig& cfg, i64 coeff) noexcept {
   const i64 sc = sign_extend(to_unsigned_bits(coeff, cfg.width), cfg.width);
   const std::lock_guard<std::mutex> lock(caches().mutex);
@@ -546,8 +474,8 @@ std::shared_ptr<const std::vector<i64>> peek_signed_coeff_products(
   return nullptr;
 }
 
-std::shared_ptr<const std::vector<i64>> get_signed_coeff_products(const MultiplierConfig& cfg,
-                                                                  i64 coeff) {
+std::shared_ptr<const TableVec> get_signed_coeff_products(const MultiplierConfig& cfg,
+                                                          i64 coeff) {
   if (auto warm = peek_signed_coeff_products(cfg, coeff)) return warm;
   const int w = cfg.width;
   const i64 sc = sign_extend(to_unsigned_bits(coeff, w), w);
@@ -558,7 +486,7 @@ std::shared_ptr<const std::vector<i64>> get_signed_coeff_products(const Multipli
   // and bit-identical to mul1(c, x) by the sign-magnitude wrapper identity.
   const auto row = get_magnitude_products(cfg, mag);
   const std::size_t n = std::size_t{1} << w;
-  auto table = std::make_shared<std::vector<i64>>(n);
+  auto table = std::make_shared<TableVec>(n);
   for (std::size_t u = 0; u < n; ++u) {
     const i64 sx = sign_extend(static_cast<u64>(u), w);
     const u64 mx = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
@@ -567,10 +495,11 @@ std::shared_ptr<const std::vector<i64>> get_signed_coeff_products(const Multipli
   }
   const std::lock_guard<std::mutex> lock(caches().mutex);
   caches().signed_coeff.push_back(SignedCacheEntry{cfg, sc, table});
+  ++caches().signed_builds;
   return table;
 }
 
-std::shared_ptr<const std::vector<i64>> peek_square_products(
+std::shared_ptr<const TableVec> peek_square_products(
     const MultiplierConfig& cfg) noexcept {
   const std::lock_guard<std::mutex> lock(caches().mutex);
   for (const SquareCacheEntry& e : caches().square) {
@@ -579,7 +508,7 @@ std::shared_ptr<const std::vector<i64>> peek_square_products(
   return nullptr;
 }
 
-std::shared_ptr<const std::vector<i64>> get_square_products(const MultiplierConfig& cfg) {
+std::shared_ptr<const TableVec> get_square_products(const MultiplierConfig& cfg) {
   if (auto warm = peek_square_products(cfg)) return warm;
   const auto model = get_multiplier(cfg);
   const int w = cfg.width;
@@ -592,7 +521,7 @@ std::shared_ptr<const std::vector<i64>> get_square_products(const MultiplierConf
         static_cast<i64>(model->multiply_u(static_cast<u64>(m), static_cast<u64>(m)));
   }
   const std::size_t n = std::size_t{1} << w;
-  auto table = std::make_shared<std::vector<i64>>(n);
+  auto table = std::make_shared<TableVec>(n);
   for (std::size_t u = 0; u < n; ++u) {
     const i64 sx = sign_extend(static_cast<u64>(u), w);
     const u64 mx = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
@@ -600,7 +529,18 @@ std::shared_ptr<const std::vector<i64>> get_square_products(const MultiplierConf
   }
   const std::lock_guard<std::mutex> lock(caches().mutex);
   caches().square.push_back(SquareCacheEntry{cfg, table});
+  ++caches().square_builds;
   return table;
+}
+
+TableCacheStats table_cache_stats() noexcept {
+  TableCacheStats s;
+  s.multiplier_models = multiplier_model_builds();
+  const std::lock_guard<std::mutex> lock(caches().mutex);
+  s.magnitude_tables = caches().magnitude_builds;
+  s.signed_tables = caches().signed_builds;
+  s.square_tables = caches().square_builds;
+  return s;
 }
 
 }  // namespace xbs::arith

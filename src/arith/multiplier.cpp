@@ -1,6 +1,7 @@
 #include "xbs/arith/multiplier.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <mutex>
 #include <stdexcept>
@@ -144,6 +145,8 @@ struct MultCacheEntry {
   std::shared_ptr<const RecursiveMultiplier> model;
 };
 
+std::atomic<u64> g_model_builds{0};
+
 }  // namespace
 
 std::shared_ptr<const RecursiveMultiplier> get_multiplier(const MultiplierConfig& cfg) {
@@ -156,7 +159,12 @@ std::shared_ptr<const RecursiveMultiplier> get_multiplier(const MultiplierConfig
     if (e.cfg == cfg) return e.model;
   auto model = std::make_shared<const RecursiveMultiplier>(cfg);
   cache.push_back(MultCacheEntry{cfg, model});
+  g_model_builds.fetch_add(1, std::memory_order_relaxed);
   return model;
+}
+
+u64 multiplier_model_builds() noexcept {
+  return g_model_builds.load(std::memory_order_relaxed);
 }
 
 }  // namespace xbs::arith

@@ -1,0 +1,45 @@
+/// \file aligned.hpp
+/// \brief Minimal over-aligned allocator for table storage.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace xbs {
+
+/// std::allocator drop-in that over-aligns every allocation to \p Alignment
+/// bytes. The kernel LUTs use it at cache-line (64 B) alignment so per-lane
+/// gathers never split a line at the table head and adjacent heap blocks
+/// cannot share the table's first line.
+template <class T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no weaker than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  constexpr AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  template <class U>
+  friend constexpr bool operator==(const AlignedAllocator&,
+                                   const AlignedAllocator<U, Alignment>&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace xbs

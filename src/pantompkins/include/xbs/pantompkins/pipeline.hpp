@@ -75,7 +75,13 @@ struct PipelineResult {
 /// layers call this outside their timed/latency-sensitive regions
 /// (stream::SessionPool warms every stage of its spec before the first
 /// session is built), making the cold-build block-size threshold inside the
-/// kernels moot for streaming. Exact configurations are no-ops.
+/// kernels moot for streaming. The warmed tables are the layout every
+/// dispatched kernel tier walks — 64-byte-aligned i64 rows serve the scalar
+/// loads and the AVX2/AVX-512 gathers alike (arith::kernel_isa()), so a
+/// warm-up stays valid if the selected tier is forced afterwards, and the
+/// streaming hot path never builds a table lazily under any tier
+/// (arith::table_cache_stats(), asserted in test_kernel_dispatch). Exact
+/// configurations are no-ops.
 void warm_stage_tables(Stage s, const arith::StageArithConfig& cfg);
 
 /// warm_stage_tables for all five stages of a pipeline configuration.
