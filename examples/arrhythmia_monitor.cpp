@@ -1,16 +1,18 @@
 // Arrhythmia monitor — the paper's future-work direction ("extend to
-// ECG-based arrhythmia detection") as a *live* edge deployment: a
-// stream::StreamServer session consumes the ADC feed chunk by chunk
-// (half-second reads, as a wearable would deliver them), QRS events come
-// back online through the session sink, and an incremental RR classifier
-// flags rhythm anomalies (premature beats, compensatory pauses,
-// brady-/tachycardia) the moment the beat that reveals them is detected —
-// no whole-record buffering anywhere. Halfway through, the wearable's link
-// drops and re-pairs: server.reset(WarmStart::KeepThresholds) re-arms the
-// same slot for the new episode (in-flight chunks are lost, as they would be
-// over the air) while the detector's trained thresholds AND the classifier's
-// rhythm context survive the reconnect — a cold reset would spend the first
-// ~2 s of the new episode retraining and miss the beats in that window.
+// ECG-based arrhythmia detection") as a *live* edge deployment, now over the
+// wire: the wearable is a net::NetClient streaming half-second ADC reads as
+// XBSP CHUNK frames to a net::NetServer (the monitor), QRS events stream
+// back as EVENT frames, and an incremental RR classifier flags rhythm
+// anomalies (premature beats, compensatory pauses, brady-/tachycardia) the
+// moment the beat that reveals them arrives — no whole-record buffering
+// anywhere. Halfway through, the wearable's link drops for real: the TCP
+// connection closes, the server parks the session warm
+// (reset(WarmStart::KeepThresholds)), and the re-pair is a fresh connection
+// OPENing with the same token — acknowledged as Resumed, with the detector's
+// trained thresholds AND the classifier's rhythm context intact. A cold
+// reset would spend the first ~2 s of the new episode retraining and miss
+// the beats in that window. Post-reconnect events carry stream-local
+// indices; `base` rebases them onto the recording timeline.
 //
 // Build & run:  ./examples/arrhythmia_monitor
 #include <cstdio>
@@ -21,8 +23,9 @@
 #include "xbs/ecg/noise.hpp"
 #include "xbs/ecg/template_gen.hpp"
 #include "xbs/metrics/peaks.hpp"
+#include "xbs/net/client.hpp"
+#include "xbs/net/server.hpp"
 #include "xbs/pantompkins/arrhythmia.hpp"
-#include "xbs/stream/server.hpp"
 
 namespace {
 
@@ -80,64 +83,91 @@ int main() {
   ecg::add_standard_noise(analog, noise_rng);
   const ecg::DigitizedRecord rec = ecg::AdcFrontEnd{}.digitize(analog);
 
-  // Approximate streaming processor: the paper's B9 configuration, served
-  // from a long-running StreamServer slot. Events arrive via the session
-  // sink on the server's worker thread; `base` rebases post-reconnect
-  // stream-local indices onto the recording timeline. The sink only runs
-  // while a worker drains this one slot, and the main thread only changes
-  // `base` after reset() has quiesced it, so no locking is needed.
-  stream::SessionSpec spec;
-  spec.config = pantompkins::PipelineConfig::from_lsbs({10, 12, 2, 8, 16});
+  // The monitor: a NetServer wrapping one serving slot, B9 approximate
+  // datapath requested by the wearable at OPEN time.
+  net::NetServer::Options no;
+  no.stream.max_sessions = 1;
+  no.stream.queue_capacity_chunks = 8;
+  no.stream.workers = 1;
+  no.stream.event_queue_capacity = 1024;
+  net::NetServer server(no);
 
   OnlineRhythmClassifier classifier;
   std::size_t flagged = 0;
   std::size_t base = 0;  // samples streamed before the current episode
   std::vector<std::size_t> detected;  // online R peaks, recording timeline
-  spec.sink = [&](const stream::Event& ev) {
-    if (!ev.is_beat()) return;
-    detected.push_back(ev.peak.raw_index + base);
-    const double t = static_cast<double>(detected.back()) / rec.fs_hz;
-    for (const std::string& kind : classifier.on_beat(ev)) {
-      ++flagged;
-      std::printf("  t=%6.2f s  beat %3zu (HR %5.1f bpm): %s\n", t, classifier.beats(),
-                  ev.hr_bpm, kind.c_str());
+  std::vector<stream::Event> inbox;
+  const auto deliver = [&] {
+    for (const stream::Event& ev : inbox) {
+      if (!ev.is_beat()) continue;
+      detected.push_back(ev.peak.raw_index + base);
+      const double t = static_cast<double>(detected.back()) / rec.fs_hz;
+      for (const std::string& kind : classifier.on_beat(ev)) {
+        ++flagged;
+        std::printf("  t=%6.2f s  beat %3zu (HR %5.1f bpm): %s\n", t,
+                    classifier.beats(), ev.hr_bpm, kind.c_str());
+      }
     }
+    inbox.clear();
   };
 
-  stream::StreamServer server({.max_sessions = 1, .queue_capacity_chunks = 8, .workers = 1});
-  const stream::SessionId id = server.open(spec);
+  // The wearable pairs: OPEN carries its device token — the identity a later
+  // reconnect re-pairs on — and the paper's B9 configuration.
+  net::OpenFrame open;
+  open.token = 0xB10C0DE;
+  open.lsbs = {10, 12, 2, 8, 16};
+  net::NetClient wearable;
+  wearable.connect("127.0.0.1", server.port());
+  (void)wearable.open(open);
 
-  // The live feed: half-second ADC reads pushed as they "arrive". Halfway
-  // through, the link drops and the wearable re-pairs: reset() re-arms the
-  // slot for the new episode (whatever was still queued is lost in flight).
+  // The live feed: half-second ADC reads sent as they "arrive". Halfway
+  // through, the link drops — a real TCP disconnect — and the wearable
+  // re-pairs with the same token. Chunks still queued server-side at the
+  // drop are lost with the episode, as they would be over the air.
   const std::size_t chunk = static_cast<std::size_t>(rec.fs_hz / 2.0);
   const std::size_t reconnect_at = (rec.adu.size() / 2 / chunk) * chunk;
-  std::printf("Streaming %zu samples in %zu-sample chunks (B9 approximate datapath):\n\n",
+  std::printf("Streaming %zu samples in %zu-sample XBSP chunks over loopback "
+              "(B9 approximate datapath):\n\n",
               rec.adu.size(), chunk);
   for (std::size_t at = 0; at < rec.adu.size(); at += chunk) {
     if (at == reconnect_at) {
-      const auto before = server.session_stats(id);
-      // Warm start: the trained SPK/NPK thresholds ride across the reset, so
-      // the detector is live from the first post-reconnect beat instead of
-      // retraining for ~2 s (the opt-in trade: the new episode's detection
-      // is no longer bit-identical to a from-scratch run).
-      (void)server.reset(id, pantompkins::WarmStart::KeepThresholds);
-      const auto after = server.session_stats(id);
+      // On a real wearable the 60 s of reads before the drop were spread over
+      // 60 s, their events long since delivered; this loop replays that
+      // timeline compressed, so let the monitor catch up before the link
+      // dies (DRAIN acks carry the running ledger).
+      while (wearable.drain(50).chunks_processed < at / chunk) {
+      }
+      (void)wearable.take_events(inbox);
+      deliver();
+      wearable.disconnect();  // link lost: the server parks the session warm
+      wearable.connect("127.0.0.1", server.port());
+      // Same token: the server re-attaches the parked slot instead of
+      // provisioning a fresh one. SessionBusy just means the park has not
+      // landed yet — the retry window absorbs the race. Warm start: the
+      // trained SPK/NPK thresholds rode across the park, so the detector is
+      // live from the first post-reconnect beat instead of retraining for
+      // ~2 s (the opt-in trade: the new episode's detection is no longer
+      // bit-identical to a from-scratch run).
+      const net::StatsFrame ack =
+          wearable.open(open, /*busy_retry_for=*/std::chrono::seconds(2));
       base = at;  // the new episode's sample 0 is here on the recording timeline
-      std::printf("  t=%6.2f s  -- link lost, re-paired: slot re-armed warm, %llu queued "
-                  "chunk(s) lost in flight --\n",
+      std::printf("  t=%6.2f s  -- link lost, re-paired (%s, reset #%llu): "
+                  "slot re-armed warm, %llu queued chunk(s) lost in flight --\n",
                   static_cast<double>(at) / rec.fs_hz,
-                  static_cast<unsigned long long>(after.dropped_chunks -
-                                                  before.dropped_chunks));
+                  ack.ack == net::StatsAck::Resumed ? "ack=Resumed" : "ack=Open",
+                  static_cast<unsigned long long>(ack.resets),
+                  static_cast<unsigned long long>(ack.dropped_chunks));
     }
     const std::size_t len = std::min(chunk, rec.adu.size() - at);
-    if (server.push(id, std::span<const i32>(rec.adu).subspan(at, len)) !=
-        stream::PushResult::Ok) {
-      std::printf("  ingest refused -- session no longer open\n");
-      return 1;
-    }
+    wearable.send_chunk(std::span<const i32>(rec.adu).subspan(at, len));
+    (void)wearable.take_events(inbox);  // EVENT frames stream back unprompted
+    deliver();
   }
-  (void)server.close(id);  // drain + flush; sink has delivered everything
+  // End of record: CLOSE flushes the detector tail (the remaining EVENT
+  // frames arrive before the ack) and returns the session's final ledger.
+  const net::StatsFrame last = wearable.close_session();
+  (void)wearable.take_events(inbox);
+  deliver();
 
   // End-of-stream scorecard against the generator's ground truth. The warm
   // start carries the trained thresholds across the reconnect, so only the
@@ -152,11 +182,11 @@ int main() {
   const auto hrv = pantompkins::analyze_rhythm(detected, rec.fs_hz).hrv;
   std::printf("HRV over the streamed RR series: mean HR %.1f bpm, SDNN %.1f ms, RMSSD %.1f ms\n",
               hrv.mean_hr_bpm, hrv.sdnn_ms, hrv.rmssd_ms);
-  const auto stats = server.session_stats(id);
-  std::printf("\n%zu rhythm events flagged live; session slot served both episodes "
-              "(%llu chunks in, %llu dropped at the reconnect, state %s).\n",
-              flagged, static_cast<unsigned long long>(stats.chunks_in),
-              static_cast<unsigned long long>(stats.dropped_chunks),
-              stream::to_string(stats.state));
+  std::printf("\n%zu rhythm events flagged live; one session slot served both "
+              "episodes over two connections (%llu chunks in, %llu dropped at "
+              "the reconnect, state %s).\n",
+              flagged, static_cast<unsigned long long>(last.chunks_in),
+              static_cast<unsigned long long>(last.dropped_chunks),
+              stream::to_string(static_cast<stream::SessionState>(last.session_state)));
   return 0;
 }

@@ -1,0 +1,117 @@
+/// \file wire.hpp
+/// \brief Explicit little-endian wire encode/decode primitives.
+///
+/// The network framing protocol (xbs::net) defines its byte layout as
+/// little-endian regardless of host order; these helpers are the single
+/// place that contract is implemented. Encoding appends to a byte vector;
+/// decoding goes through a bounds-checked cursor (WireReader) that turns
+/// any overrun into a sticky `ok() == false` instead of UB — a truncated or
+/// hostile frame must never read past its payload.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::wire {
+
+inline void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+
+inline void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+
+inline void put_u32(std::vector<u8>& out, u32 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v >> 16));
+  out.push_back(static_cast<u8>(v >> 24));
+}
+
+inline void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+inline void put_i32(std::vector<u8>& out, i32 v) { put_u32(out, static_cast<u32>(v)); }
+inline void put_i64(std::vector<u8>& out, i64 v) { put_u64(out, static_cast<u64>(v)); }
+
+/// Doubles travel as their IEEE-754 bit pattern: bit-exact round trips, which
+/// the loopback bit-identity tests rely on.
+inline void put_f64(std::vector<u8>& out, double v) {
+  put_u64(out, std::bit_cast<u64>(v));
+}
+
+[[nodiscard]] inline u16 get_u16(const u8* p) {
+  return static_cast<u16>(static_cast<u16>(p[0]) | (static_cast<u16>(p[1]) << 8));
+}
+
+[[nodiscard]] inline u32 get_u32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+[[nodiscard]] inline u64 get_u64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Bounds-checked decode cursor. Every read past the end (or after a failed
+/// read) yields 0 and latches ok() to false; callers validate once at the
+/// end instead of guarding every field.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const u8> buf) : buf_(buf) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+  [[nodiscard]] u8 read_u8() {
+    if (!take(1)) return 0;
+    return buf_[pos_ - 1];
+  }
+  [[nodiscard]] u16 read_u16() {
+    if (!take(2)) return 0;
+    return get_u16(buf_.data() + pos_ - 2);
+  }
+  [[nodiscard]] u32 read_u32() {
+    if (!take(4)) return 0;
+    return get_u32(buf_.data() + pos_ - 4);
+  }
+  [[nodiscard]] u64 read_u64() {
+    if (!take(8)) return 0;
+    return get_u64(buf_.data() + pos_ - 8);
+  }
+  [[nodiscard]] i32 read_i32() { return static_cast<i32>(read_u32()); }
+  [[nodiscard]] i64 read_i64() { return static_cast<i64>(read_u64()); }
+  [[nodiscard]] double read_f64() { return std::bit_cast<double>(read_u64()); }
+
+  /// View of the next \p n raw bytes (empty + !ok() on underrun).
+  [[nodiscard]] std::span<const u8> read_bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return buf_.subspan(pos_ - n, n);
+  }
+
+  void skip(std::size_t n) { (void)take(n); }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > buf_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const u8> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace xbs::wire

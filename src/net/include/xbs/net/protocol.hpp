@@ -1,0 +1,237 @@
+/// \file protocol.hpp
+/// \brief The XBSP length-prefixed binary framing protocol.
+///
+/// The wire format the network ingest plane speaks (full grammar, versioning
+/// and backpressure semantics in docs/wire-protocol.md). Every frame is a
+/// fixed 12-byte header followed by `payload_len` bytes of payload, all
+/// fields explicit little-endian (xbs::wire):
+///
+///   offset  size  field
+///        0     4  magic   = 0x50534258 ("XBSP")
+///        4     1  type    (FrameType)
+///        5     1  flags   (must be 0 in version 1)
+///        6     2  reserved (must be 0 in version 1)
+///        8     4  payload_len
+///
+/// Client -> server: HELLO (version handshake, required first), OPEN
+/// (provision/re-attach a session), CHUNK (raw little-endian i32 samples —
+/// the server reads these straight into a StreamServer buffer loan), DRAIN
+/// (flush finalized events + stats ack), CLOSE (end of record), RESET
+/// (re-arm mid-stream). Server -> client: EVENT (batched finalized detector
+/// events), STATS (command acks + live counters), ERROR (refusal or protocol
+/// violation; fatal framing errors also close the connection).
+///
+/// This header owns encode/decode for every frame; the codec never trusts a
+/// length or enum from the wire — hostile payloads decode to WireError, not
+/// UB (fuzzed in tests/test_net.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xbs/pantompkins/pipeline.hpp"
+#include "xbs/stream/session.hpp"
+
+namespace xbs::net {
+
+inline constexpr u32 kMagic = 0x50534258u;  ///< "XBSP" little-endian
+inline constexpr u16 kProtoVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Default ceiling on one frame's payload; connections advertising more are
+/// a protocol violation (the header is rejected before anything is
+/// allocated or read).
+inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
+/// Encoded size of one Event on the wire.
+inline constexpr std::size_t kEventWireBytes = 72;
+
+enum class FrameType : u8 {
+  // client -> server
+  Hello = 0x01,
+  Open = 0x02,
+  Chunk = 0x03,
+  Drain = 0x04,
+  Close = 0x05,
+  Reset = 0x06,
+  // server -> client
+  Event = 0x81,
+  Stats = 0x82,
+  Error = 0x83,
+};
+
+[[nodiscard]] const char* to_string(FrameType t) noexcept;
+
+/// Wire-level refusal/violation codes carried by ERROR frames (and returned
+/// by the decoders). Codes < Malformed are framing-fatal: the server sends
+/// the ERROR and closes the connection. The rest are semantic refusals on a
+/// healthy connection.
+enum class WireError : u16 {
+  None = 0,
+  BadMagic = 1,       ///< header magic mismatch (fatal)
+  BadVersion = 2,     ///< HELLO version not supported (fatal)
+  BadHeader = 3,      ///< nonzero flags/reserved, bad length (fatal)
+  UnknownType = 4,    ///< unrecognized frame type (fatal)
+  Oversize = 5,       ///< payload_len over the negotiated bound (fatal)
+  Malformed = 6,      ///< payload failed validation (fatal)
+  HelloRequired = 7,  ///< first frame was not HELLO (fatal)
+  NoSession = 8,      ///< CHUNK/DRAIN/CLOSE/RESET with no session open
+  SessionExists = 9,  ///< OPEN on a connection that already has one
+  SessionBusy = 10,   ///< OPEN for a token attached to another live connection
+  SessionLimit = 11,  ///< admission failed and nothing was evictable
+  Refused = 12,       ///< session can no longer accept (closed/faulted/evicted)
+  Internal = 13,      ///< server-side failure opening the session
+};
+
+[[nodiscard]] const char* to_string(WireError e) noexcept;
+
+/// True for errors after which the server hangs up (see WireError).
+[[nodiscard]] constexpr bool is_fatal(WireError e) noexcept {
+  return e != WireError::None && static_cast<u16>(e) <= static_cast<u16>(WireError::HelloRequired);
+}
+
+struct FrameHeader {
+  FrameType type = FrameType::Hello;
+  u8 flags = 0;
+  std::size_t payload_len = 0;
+};
+
+/// Decode and validate a 12-byte header. \p max_payload bounds payload_len
+/// (use kDefaultMaxPayload unless negotiated otherwise).
+[[nodiscard]] WireError decode_header(std::span<const u8> hdr, FrameHeader& out,
+                                      std::size_t max_payload = kDefaultMaxPayload);
+
+/// Append a frame header for \p payload_len payload bytes.
+void put_header(std::vector<u8>& out, FrameType type, std::size_t payload_len);
+
+// --------------------------------------------------------------- payloads
+
+struct HelloFrame {
+  u16 version = kProtoVersion;
+};
+
+/// OPEN: provision a session (or re-attach to a parked one by token). The
+/// pipeline configuration travels in the paper's (LSB vector, adder,
+/// multiplier, policy) vocabulary; all-zero LSBs is the exact datapath.
+struct OpenFrame {
+  u64 token = 0;  ///< client/device identity: reconnects with the same token re-pair warm
+  AdderKind add_kind = AdderKind::Approx5;
+  MultKind mult_kind = MultKind::V1;
+  ApproxPolicy policy = ApproxPolicy::Moderate;
+  std::array<i32, pantompkins::kNumStages> lsbs{};
+
+  [[nodiscard]] pantompkins::PipelineConfig config() const;
+};
+
+struct DrainFrame {
+  u32 timeout_ms = 0;  ///< how long the server may wait for a first event
+};
+
+struct ResetFrame {
+  bool warm = false;  ///< true = WarmStart::KeepThresholds
+};
+
+/// What a STATS frame acknowledges.
+enum class StatsAck : u8 {
+  Hello = 1,
+  Open = 2,
+  Resumed = 3,  ///< OPEN re-attached a parked session (warm re-pair)
+  Drain = 4,
+  Close = 5,
+  Reset = 6,
+};
+
+struct StatsFrame {
+  u16 version = kProtoVersion;
+  StatsAck ack = StatsAck::Hello;
+  u8 session_state = 0;  ///< stream::SessionState as u8 (Empty when no session)
+  // Session counters (zero when no session is attached).
+  u64 chunks_in = 0;
+  u64 chunks_processed = 0;
+  u64 rejected_chunks = 0;
+  u64 dropped_chunks = 0;
+  u64 samples = 0;
+  u64 events = 0;
+  u64 beats = 0;
+  u64 events_queued = 0;
+  u64 events_dropped = 0;
+  u64 resets = 0;
+  // Connection counters.
+  u64 net_events_sent = 0;
+  u64 net_events_shed = 0;  ///< events dropped at the egress bound (slow reader)
+  u64 net_bytes_in = 0;
+  u64 net_bytes_out = 0;
+};
+
+struct ErrorFrame {
+  WireError code = WireError::None;
+  std::string message;
+};
+
+// --------------------------------------------------------------- encoders
+
+void encode_hello(std::vector<u8>& out, u16 version = kProtoVersion);
+void encode_open(std::vector<u8>& out, const OpenFrame& f);
+void encode_chunk(std::vector<u8>& out, std::span<const i32> samples);
+void encode_drain(std::vector<u8>& out, u32 timeout_ms);
+void encode_close(std::vector<u8>& out);
+void encode_reset(std::vector<u8>& out, bool warm);
+void encode_events(std::vector<u8>& out, std::span<const stream::Event> events);
+void encode_stats(std::vector<u8>& out, const StatsFrame& f);
+void encode_error(std::vector<u8>& out, WireError code, std::string_view message);
+
+// ------------------------------------------------- payload decoders
+// Each takes the payload (header already stripped) and returns
+// WireError::None on success; anything else means the payload is invalid
+// and `out` must not be used.
+
+[[nodiscard]] WireError decode_hello(std::span<const u8> p, HelloFrame& out);
+[[nodiscard]] WireError decode_open(std::span<const u8> p, OpenFrame& out);
+[[nodiscard]] WireError decode_drain(std::span<const u8> p, DrainFrame& out);
+[[nodiscard]] WireError decode_reset(std::span<const u8> p, ResetFrame& out);
+[[nodiscard]] WireError decode_events(std::span<const u8> p, std::vector<stream::Event>& out);
+[[nodiscard]] WireError decode_stats(std::span<const u8> p, StatsFrame& out);
+[[nodiscard]] WireError decode_error(std::span<const u8> p, ErrorFrame& out);
+
+/// CHUNK payloads are raw samples: decode in place (used by tests; the
+/// server instead lands the bytes directly in a loaned buffer and calls
+/// chunk_payload_to_samples on it).
+[[nodiscard]] WireError decode_chunk(std::span<const u8> p, std::vector<i32>& out);
+
+/// Convert a CHUNK payload that was received in place over an i32 buffer
+/// into host samples. On little-endian hosts this is a no-op (the zero-copy
+/// contract); on big-endian hosts it byte-swaps in place.
+void chunk_payload_to_samples(std::span<i32> samples) noexcept;
+
+// ----------------------------------------------------------- FrameDecoder
+
+/// Incremental frame extractor over a TCP byte stream: feed() arbitrary
+/// slices (torn anywhere, one byte at a time included), next() yields
+/// complete frames or a fatal framing error. Used by the client and the
+/// codec tests; the server's ingest state machine reads CHUNK payloads
+/// directly into buffer loans instead and only shares decode_header.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const u8> bytes);
+
+  enum class Next {
+    NeedMore,  ///< no complete frame buffered yet
+    Frame,     ///< hdr/payload filled with one complete frame
+    Error,     ///< fatal framing error (err filled); the stream is dead
+  };
+
+  [[nodiscard]] Next next(FrameHeader& hdr, std::vector<u8>& payload, WireError& err);
+
+ private:
+  std::vector<u8> buf_;
+  std::size_t pos_ = 0;
+  std::size_t max_payload_;
+  bool dead_ = false;
+};
+
+}  // namespace xbs::net

@@ -1,0 +1,367 @@
+#include "xbs/net/protocol.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "xbs/common/wire.hpp"
+
+namespace xbs::net {
+
+const char* to_string(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::Hello: return "HELLO";
+    case FrameType::Open: return "OPEN";
+    case FrameType::Chunk: return "CHUNK";
+    case FrameType::Drain: return "DRAIN";
+    case FrameType::Close: return "CLOSE";
+    case FrameType::Reset: return "RESET";
+    case FrameType::Event: return "EVENT";
+    case FrameType::Stats: return "STATS";
+    case FrameType::Error: return "ERROR";
+  }
+  return "?";
+}
+
+const char* to_string(WireError e) noexcept {
+  switch (e) {
+    case WireError::None: return "None";
+    case WireError::BadMagic: return "BadMagic";
+    case WireError::BadVersion: return "BadVersion";
+    case WireError::BadHeader: return "BadHeader";
+    case WireError::UnknownType: return "UnknownType";
+    case WireError::Oversize: return "Oversize";
+    case WireError::Malformed: return "Malformed";
+    case WireError::HelloRequired: return "HelloRequired";
+    case WireError::NoSession: return "NoSession";
+    case WireError::SessionExists: return "SessionExists";
+    case WireError::SessionBusy: return "SessionBusy";
+    case WireError::SessionLimit: return "SessionLimit";
+    case WireError::Refused: return "Refused";
+    case WireError::Internal: return "Internal";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] bool known_type(u8 t) noexcept {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::Hello:
+    case FrameType::Open:
+    case FrameType::Chunk:
+    case FrameType::Drain:
+    case FrameType::Close:
+    case FrameType::Reset:
+    case FrameType::Event:
+    case FrameType::Stats:
+    case FrameType::Error:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WireError decode_header(std::span<const u8> hdr, FrameHeader& out, std::size_t max_payload) {
+  if (hdr.size() < kHeaderBytes) return WireError::BadHeader;
+  if (wire::get_u32(hdr.data()) != kMagic) return WireError::BadMagic;
+  const u8 type = hdr[4];
+  const u8 flags = hdr[5];
+  const u16 reserved = wire::get_u16(hdr.data() + 6);
+  const u32 len = wire::get_u32(hdr.data() + 8);
+  if (!known_type(type)) return WireError::UnknownType;
+  // Version-1 frames carry zero flags/reserved; a nonzero value is either
+  // corruption or a future version this peer cannot speak.
+  if (flags != 0 || reserved != 0) return WireError::BadHeader;
+  if (len > max_payload) return WireError::Oversize;
+  out.type = static_cast<FrameType>(type);
+  out.flags = flags;
+  out.payload_len = len;
+  return WireError::None;
+}
+
+void put_header(std::vector<u8>& out, FrameType type, std::size_t payload_len) {
+  wire::put_u32(out, kMagic);
+  wire::put_u8(out, static_cast<u8>(type));
+  wire::put_u8(out, 0);
+  wire::put_u16(out, 0);
+  wire::put_u32(out, static_cast<u32>(payload_len));
+}
+
+// --------------------------------------------------------------- encoders
+
+void encode_hello(std::vector<u8>& out, u16 version) {
+  put_header(out, FrameType::Hello, 4);
+  wire::put_u16(out, version);
+  wire::put_u16(out, 0);
+}
+
+void encode_open(std::vector<u8>& out, const OpenFrame& f) {
+  put_header(out, FrameType::Open, 8 + 4 + 4 * pantompkins::kNumStages);
+  wire::put_u64(out, f.token);
+  wire::put_u8(out, static_cast<u8>(f.add_kind));
+  wire::put_u8(out, static_cast<u8>(f.mult_kind));
+  wire::put_u8(out, static_cast<u8>(f.policy));
+  wire::put_u8(out, 0);
+  for (const i32 l : f.lsbs) wire::put_i32(out, l);
+}
+
+void encode_chunk(std::vector<u8>& out, std::span<const i32> samples) {
+  put_header(out, FrameType::Chunk, samples.size() * 4);
+  for (const i32 s : samples) wire::put_i32(out, s);
+}
+
+void encode_drain(std::vector<u8>& out, u32 timeout_ms) {
+  put_header(out, FrameType::Drain, 4);
+  wire::put_u32(out, timeout_ms);
+}
+
+void encode_close(std::vector<u8>& out) { put_header(out, FrameType::Close, 0); }
+
+void encode_reset(std::vector<u8>& out, bool warm) {
+  put_header(out, FrameType::Reset, 4);
+  wire::put_u8(out, warm ? 1 : 0);
+  wire::put_u8(out, 0);
+  wire::put_u16(out, 0);
+}
+
+void encode_events(std::vector<u8>& out, std::span<const stream::Event> events) {
+  put_header(out, FrameType::Event, 8 + events.size() * kEventWireBytes);
+  wire::put_u32(out, static_cast<u32>(events.size()));
+  wire::put_u32(out, 0);
+  for (const stream::Event& e : events) {
+    wire::put_u64(out, static_cast<u64>(e.peak.raw_index));
+    wire::put_u64(out, static_cast<u64>(e.peak.mwi_index));
+    wire::put_u64(out, static_cast<u64>(e.peak.hpf_index));
+    wire::put_i64(out, e.peak.mwi_value);
+    wire::put_i64(out, e.peak.hpf_value);
+    wire::put_u8(out, static_cast<u8>(e.peak.decision));
+    for (int i = 0; i < 7; ++i) wire::put_u8(out, 0);
+    wire::put_f64(out, e.time_s);
+    wire::put_f64(out, e.rr_s);
+    wire::put_f64(out, e.hr_bpm);
+  }
+}
+
+void encode_stats(std::vector<u8>& out, const StatsFrame& f) {
+  put_header(out, FrameType::Stats, 4 + 14 * 8);
+  wire::put_u16(out, f.version);
+  wire::put_u8(out, static_cast<u8>(f.ack));
+  wire::put_u8(out, f.session_state);
+  wire::put_u64(out, f.chunks_in);
+  wire::put_u64(out, f.chunks_processed);
+  wire::put_u64(out, f.rejected_chunks);
+  wire::put_u64(out, f.dropped_chunks);
+  wire::put_u64(out, f.samples);
+  wire::put_u64(out, f.events);
+  wire::put_u64(out, f.beats);
+  wire::put_u64(out, f.events_queued);
+  wire::put_u64(out, f.events_dropped);
+  wire::put_u64(out, f.resets);
+  wire::put_u64(out, f.net_events_sent);
+  wire::put_u64(out, f.net_events_shed);
+  wire::put_u64(out, f.net_bytes_in);
+  wire::put_u64(out, f.net_bytes_out);
+}
+
+void encode_error(std::vector<u8>& out, WireError code, std::string_view message) {
+  // Error text is advisory: cap it so an ERROR frame always fits well below
+  // any sane payload bound.
+  const std::size_t n = std::min<std::size_t>(message.size(), 512);
+  put_header(out, FrameType::Error, 8 + n);
+  wire::put_u16(out, static_cast<u16>(code));
+  wire::put_u16(out, 0);
+  wire::put_u32(out, static_cast<u32>(n));
+  out.insert(out.end(), message.begin(), message.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+// --------------------------------------------------------------- decoders
+
+pantompkins::PipelineConfig OpenFrame::config() const {
+  pantompkins::LsbVector v{};
+  std::copy(lsbs.begin(), lsbs.end(), v.begin());
+  return pantompkins::PipelineConfig::from_lsbs(v, add_kind, mult_kind, policy);
+}
+
+WireError decode_hello(std::span<const u8> p, HelloFrame& out) {
+  wire::WireReader r(p);
+  out.version = r.read_u16();
+  const u16 reserved = r.read_u16();
+  if (!r.ok() || r.remaining() != 0 || reserved != 0) return WireError::Malformed;
+  if (out.version != kProtoVersion) return WireError::BadVersion;
+  return WireError::None;
+}
+
+WireError decode_open(std::span<const u8> p, OpenFrame& out) {
+  wire::WireReader r(p);
+  out.token = r.read_u64();
+  const u8 add = r.read_u8();
+  const u8 mult = r.read_u8();
+  const u8 policy = r.read_u8();
+  const u8 pad = r.read_u8();
+  for (i32& l : out.lsbs) l = r.read_i32();
+  if (!r.ok() || r.remaining() != 0 || pad != 0) return WireError::Malformed;
+  // Enum ranges are a trust boundary: an out-of-range kind from the wire
+  // must be a Malformed reply, never an out-of-range enum in the library.
+  if (add > static_cast<u8>(AdderKind::Approx5)) return WireError::Malformed;
+  if (mult > static_cast<u8>(MultKind::V2)) return WireError::Malformed;
+  if (policy > static_cast<u8>(ApproxPolicy::Aggressive)) return WireError::Malformed;
+  for (const i32 l : out.lsbs) {
+    if (l < 0 || l > 32) return WireError::Malformed;
+  }
+  out.add_kind = static_cast<AdderKind>(add);
+  out.mult_kind = static_cast<MultKind>(mult);
+  out.policy = static_cast<ApproxPolicy>(policy);
+  return WireError::None;
+}
+
+WireError decode_drain(std::span<const u8> p, DrainFrame& out) {
+  wire::WireReader r(p);
+  out.timeout_ms = r.read_u32();
+  if (!r.ok() || r.remaining() != 0) return WireError::Malformed;
+  return WireError::None;
+}
+
+WireError decode_reset(std::span<const u8> p, ResetFrame& out) {
+  wire::WireReader r(p);
+  const u8 warm = r.read_u8();
+  const u8 pad8 = r.read_u8();
+  const u16 pad16 = r.read_u16();
+  if (!r.ok() || r.remaining() != 0 || warm > 1 || pad8 != 0 || pad16 != 0) {
+    return WireError::Malformed;
+  }
+  out.warm = warm == 1;
+  return WireError::None;
+}
+
+WireError decode_events(std::span<const u8> p, std::vector<stream::Event>& out) {
+  wire::WireReader r(p);
+  const u32 count = r.read_u32();
+  const u32 reserved = r.read_u32();
+  if (!r.ok() || reserved != 0) return WireError::Malformed;
+  if (r.remaining() != static_cast<std::size_t>(count) * kEventWireBytes) {
+    return WireError::Malformed;
+  }
+  out.reserve(out.size() + count);
+  for (u32 i = 0; i < count; ++i) {
+    stream::Event e;
+    e.peak.raw_index = static_cast<std::size_t>(r.read_u64());
+    e.peak.mwi_index = static_cast<std::size_t>(r.read_u64());
+    e.peak.hpf_index = static_cast<std::size_t>(r.read_u64());
+    e.peak.mwi_value = r.read_i64();
+    e.peak.hpf_value = r.read_i64();
+    const u8 decision = r.read_u8();
+    r.skip(7);
+    e.time_s = r.read_f64();
+    e.rr_s = r.read_f64();
+    e.hr_bpm = r.read_f64();
+    if (!r.ok() ||
+        decision > static_cast<u8>(pantompkins::PeakDecision::SearchBackRecovered)) {
+      return WireError::Malformed;
+    }
+    e.peak.decision = static_cast<pantompkins::PeakDecision>(decision);
+    out.push_back(e);
+  }
+  return WireError::None;
+}
+
+WireError decode_stats(std::span<const u8> p, StatsFrame& out) {
+  wire::WireReader r(p);
+  out.version = r.read_u16();
+  const u8 ack = r.read_u8();
+  out.session_state = r.read_u8();
+  out.chunks_in = r.read_u64();
+  out.chunks_processed = r.read_u64();
+  out.rejected_chunks = r.read_u64();
+  out.dropped_chunks = r.read_u64();
+  out.samples = r.read_u64();
+  out.events = r.read_u64();
+  out.beats = r.read_u64();
+  out.events_queued = r.read_u64();
+  out.events_dropped = r.read_u64();
+  out.resets = r.read_u64();
+  out.net_events_sent = r.read_u64();
+  out.net_events_shed = r.read_u64();
+  out.net_bytes_in = r.read_u64();
+  out.net_bytes_out = r.read_u64();
+  if (!r.ok() || r.remaining() != 0) return WireError::Malformed;
+  if (ack < static_cast<u8>(StatsAck::Hello) || ack > static_cast<u8>(StatsAck::Reset)) {
+    return WireError::Malformed;
+  }
+  out.ack = static_cast<StatsAck>(ack);
+  return WireError::None;
+}
+
+WireError decode_error(std::span<const u8> p, ErrorFrame& out) {
+  wire::WireReader r(p);
+  const u16 code = r.read_u16();
+  const u16 reserved = r.read_u16();
+  const u32 len = r.read_u32();
+  if (!r.ok() || reserved != 0 || r.remaining() != len) return WireError::Malformed;
+  if (code == 0 || code > static_cast<u16>(WireError::Internal)) return WireError::Malformed;
+  const std::span<const u8> msg = r.read_bytes(len);
+  out.code = static_cast<WireError>(code);
+  out.message.assign(msg.begin(), msg.end());
+  return WireError::None;
+}
+
+WireError decode_chunk(std::span<const u8> p, std::vector<i32>& out) {
+  if (p.size() % 4 != 0) return WireError::Malformed;
+  out.resize(p.size() / 4);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<i32>(wire::get_u32(p.data() + 4 * i));
+  }
+  return WireError::None;
+}
+
+void chunk_payload_to_samples(std::span<i32> samples) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    (void)samples;  // wire layout == memory layout: the zero-copy fast path
+  } else {
+    for (i32& s : samples) {
+      u32 v = std::bit_cast<u32>(s);
+      v = ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+          ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+      s = std::bit_cast<i32>(v);
+    }
+  }
+}
+
+// ----------------------------------------------------------- FrameDecoder
+
+void FrameDecoder::feed(std::span<const u8> bytes) {
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so long-running connections don't grow the buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Next FrameDecoder::next(FrameHeader& hdr, std::vector<u8>& payload,
+                                      WireError& err) {
+  if (dead_) {
+    err = WireError::BadHeader;
+    return Next::Error;
+  }
+  if (buf_.size() - pos_ < kHeaderBytes) return Next::NeedMore;
+  const WireError he =
+      decode_header(std::span<const u8>(buf_).subspan(pos_, kHeaderBytes), hdr, max_payload_);
+  if (he != WireError::None) {
+    // A framing error is unrecoverable: without a trustworthy length there
+    // is no way to resynchronize the stream.
+    dead_ = true;
+    err = he;
+    return Next::Error;
+  }
+  if (buf_.size() - pos_ - kHeaderBytes < hdr.payload_len) return Next::NeedMore;
+  payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kHeaderBytes),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kHeaderBytes +
+                                                            hdr.payload_len));
+  pos_ += kHeaderBytes + hdr.payload_len;
+  return Next::Frame;
+}
+
+}  // namespace xbs::net

@@ -81,6 +81,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -305,6 +306,16 @@ class StreamServer {
   /// record stays drainable until reset()/release()). 0 for a stale id.
   std::size_t drain_events(SessionId id, std::vector<Event>& out);
 
+  /// Blocking drain: sleeps until at least one event is available (then
+  /// drains everything queued at that instant), the session reaches a state
+  /// that can produce no more events (Closed/Faulted with an empty queue,
+  /// released, server shutdown), or \p timeout expires — whichever comes
+  /// first. Returns how many events were appended (0 on timeout/terminal).
+  /// This is what sleeping consumers — and the network egress path — use
+  /// instead of spin-polling the non-blocking overload.
+  std::size_t drain_events(SessionId id, std::vector<Event>& out,
+                           std::chrono::milliseconds timeout);
+
   /// Graceful end-of-stream: stops admitting pushes, lets the queue drain,
   /// flushes the session, and waits for that to finish. Returns the final
   /// state (Closed, or Faulted if the tail faulted; Empty for a stale id).
@@ -384,11 +395,17 @@ class StreamServer {
     std::condition_variable work_cv;   ///< workers: ready list / stop / resume
     std::condition_variable space_cv;  ///< blocking acquire: queue space / state change
     std::condition_variable state_cv;  ///< close/reset/release: state changes
+    std::condition_variable egress_cv; ///< blocking drain_events: events / state
     std::vector<Slot> slots;
     std::deque<std::size_t> ready;     ///< local slot indices with runnable work
     bool stop = false;
     bool paused = false;
     int space_waiters = 0;             ///< gates space_cv notifies off the hot path
+    int egress_waiters = 0;            ///< gates egress_cv notifies off the hot path
+    /// Currently provisioned (non-Empty) slots on this shard: the
+    /// least-loaded placement signal read lock-free at open(). A hint, not
+    /// an invariant — a stale read just places one session suboptimally.
+    std::atomic<u32> live{0};
     // Totals carried past release(), so ServerStats survives churn.
     u64 retired_chunks_processed = 0;
     u64 retired_rejected_chunks = 0;
@@ -417,7 +434,7 @@ class StreamServer {
   void enqueue_ready(Shard& sh, std::size_t local);
   void drop_queue(Shard& sh, Slot& s);
   void fault(Shard& sh, Slot& s, std::string why);
-  void append_egress(Slot& s, std::vector<Event>& evs);
+  void append_egress(Shard& sh, Slot& s, std::vector<Event>& evs);
   PushResult acquire_impl(SessionId id, std::size_t n_samples, ChunkLoan& out, bool blocking);
   void cancel_loan(SessionId id, std::vector<i32>&& buf) noexcept;
   void worker_loop(Shard& sh);
@@ -428,8 +445,9 @@ class StreamServer {
   unsigned n_shards_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Cross-shard coordination stays lock-free: the generation counter doubles
-  // as the consistent hash, the provisioned count enforces max_sessions.
+  // Cross-shard coordination stays lock-free: the generation counter keeps
+  // ids unique across shards (the chosen shard is encoded in the slot index),
+  // the provisioned count enforces max_sessions.
   std::atomic<u64> sessions_opened_{0};
   std::atomic<u64> sessions_released_{0};
   std::atomic<std::size_t> provisioned_{0};

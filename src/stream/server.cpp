@@ -93,6 +93,7 @@ StreamServer::~StreamServer() {
     shp->work_cv.notify_all();
     shp->space_cv.notify_all();
     shp->state_cv.notify_all();
+    shp->egress_cv.notify_all();
   }
   for (auto& shp : shards_) {
     for (std::thread& t : shp->threads) t.join();
@@ -120,10 +121,23 @@ SessionId StreamServer::provision(std::unique_ptr<Session> session) {
     provisioned_.fetch_sub(1, std::memory_order_relaxed);
     throw std::runtime_error("StreamServer: session limit reached (max_sessions)");
   }
-  // The generation is globally monotonic and doubles as the consistent hash
-  // that pins the session to a shard for its whole life.
+  // The generation is globally monotonic; it keeps ids unique, while the
+  // chosen shard is encoded in the slot index, so placement is free policy.
   const u64 g = sessions_opened_.fetch_add(1, std::memory_order_relaxed) + 1;
-  const auto si = static_cast<std::size_t>(g % n_shards_);
+  // Least-loaded placement hint (carried ROADMAP item): put the session on
+  // the shard with the fewest provisioned slots, so one hot shard cannot
+  // fill while others idle. The counts are read lock-free — a stale read
+  // costs one suboptimal placement, never correctness. Ties keep the old
+  // round-robin spread (start the scan's incumbent at g % shards).
+  auto si = static_cast<std::size_t>(g % n_shards_);
+  u32 best = shards_[si]->live.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < n_shards_; ++k) {
+    const u32 l = shards_[k]->live.load(std::memory_order_relaxed);
+    if (l < best) {
+      best = l;
+      si = k;
+    }
+  }
   Shard& sh = *shards_[si];
   std::lock_guard<std::mutex> lock(sh.mu);
   std::size_t li = sh.slots.size();
@@ -169,6 +183,7 @@ SessionId StreamServer::provision(std::unique_ptr<Session> session) {
   s.egress.clear();
   s.events_dropped = 0;
   s.error.clear();
+  sh.live.fetch_add(1, std::memory_order_relaxed);
   return SessionId{li * n_shards_ + si, g};
 }
 
@@ -210,9 +225,11 @@ void StreamServer::fault(Shard& sh, Slot& s, std::string why) {
   s.final_state = SessionState::Faulted;
   drop_queue(sh, s);  // also wakes blocked producers: they surface Faulted
   sh.state_cv.notify_all();
+  // Terminal state: a blocking drain_events must wake and observe it.
+  if (sh.egress_waiters > 0) sh.egress_cv.notify_all();
 }
 
-void StreamServer::append_egress(Slot& s, std::vector<Event>& evs) {
+void StreamServer::append_egress(Shard& sh, Slot& s, std::vector<Event>& evs) {
   if (opts_.event_queue_capacity == 0 || evs.empty()) return;
   for (Event& e : evs) s.egress.push_back(std::move(e));
   while (s.egress.size() > opts_.event_queue_capacity) {
@@ -220,6 +237,7 @@ void StreamServer::append_egress(Slot& s, std::vector<Event>& evs) {
     ++s.events_dropped;
   }
   evs.clear();
+  if (sh.egress_waiters > 0) sh.egress_cv.notify_all();
 }
 
 // ------------------------------------------------------------------- workers
@@ -283,7 +301,7 @@ void StreamServer::drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock,
       Slot& sl = sh.slots[local];
       sl.events += events;
       sl.beats += beats;
-      append_egress(sl, evbuf);
+      append_egress(sh, sl, evbuf);
       if (!err.empty()) {
         fault(sh, sl, std::move(err));
       } else {
@@ -292,6 +310,8 @@ void StreamServer::drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock,
         sl.final_state = SessionState::Closed;
         sh.state_cv.notify_all();
         if (sh.space_waiters > 0) sh.space_cv.notify_all();
+        // Closed + dry queue can produce no more events: wake blocked drains.
+        if (sh.egress_waiters > 0) sh.egress_cv.notify_all();
       }
       break;
     }
@@ -341,7 +361,7 @@ void StreamServer::drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock,
     sl.samples += samples;
     sl.events += events;
     sl.beats += beats;
-    append_egress(sl, evbuf);
+    append_egress(sh, sl, evbuf);
     if (!err.empty()) {
       // The chunk that threw (and anything behind it in the batch) was
       // accepted but never fully processed: dropped, so the ledger closes.
@@ -507,6 +527,36 @@ std::size_t StreamServer::drain_events(SessionId id, std::vector<Event>& out) {
   return n;
 }
 
+std::size_t StreamServer::drain_events(SessionId id, std::vector<Event>& out,
+                                       std::chrono::milliseconds timeout) {
+  if (opts_.event_queue_capacity == 0) return 0;  // egress disabled: never waits
+  Shard& sh = shard_of(id);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(sh.mu);
+  while (true) {
+    if (sh.stop) return 0;
+    Slot* s = find(sh, id);
+    if (s == nullptr) return 0;  // released/stale: nothing will ever arrive
+    if (!s->egress.empty()) {
+      const std::size_t n = s->egress.size();
+      out.insert(out.end(), std::make_move_iterator(s->egress.begin()),
+                 std::make_move_iterator(s->egress.end()));
+      s->egress.clear();
+      return n;
+    }
+    // Terminal with a dry queue: no worker will ever append again (a reset()
+    // re-arms the slot and wakes this waiter, which then just keeps waiting
+    // on the fresh episode).
+    if (s->state == SessionState::Closed || s->state == SessionState::Faulted) {
+      return 0;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return 0;
+    ++sh.egress_waiters;
+    sh.egress_cv.wait_until(lock, deadline);
+    --sh.egress_waiters;
+  }
+}
+
 SessionState StreamServer::close(SessionId id) {
   Shard& sh = shard_of(id);
   std::unique_lock<std::mutex> lock(sh.mu);
@@ -565,6 +615,8 @@ bool StreamServer::reset(SessionId id, pantompkins::WarmStart warm) {
     s->error.clear();
     sh.state_cv.notify_all();
     if (sh.space_waiters > 0) sh.space_cv.notify_all();
+    // Blocked drains re-evaluate: the episode they were waiting on is gone.
+    if (sh.egress_waiters > 0) sh.egress_cv.notify_all();
     return true;
   }
 }
@@ -613,9 +665,13 @@ std::unique_ptr<Session> StreamServer::release(SessionId id) {
       // The buffer ring stays: the next tenant starts on warm memory.
       sessions_released_.fetch_add(1, std::memory_order_relaxed);
       provisioned_.fetch_sub(1, std::memory_order_relaxed);
+      sh.live.fetch_sub(1, std::memory_order_relaxed);
       sh.state_cv.notify_all();
       if (sh.space_waiters > 0) {
         sh.space_cv.notify_all();  // blocked pushers wake to NoSuchSession
+      }
+      if (sh.egress_waiters > 0) {
+        sh.egress_cv.notify_all();  // blocked drains wake to "session gone"
       }
       return out;
     }

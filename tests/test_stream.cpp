@@ -1240,6 +1240,89 @@ TEST(StreamServer, WarmStartResetCarriesTrainedThresholds) {
   EXPECT_GT(warm, 0u);  // trained thresholds carried: beats from the start
 }
 
+TEST(StreamServer, TimedDrainWakesOnEventArrivalInsteadOfTimingOut) {
+  // The blocking overload sleeps until the first event lands, then drains
+  // everything queued at that instant — the egress path's alternative to
+  // spin-polling.
+  const auto rec = ecg::nsrdb_like_digitized(4, 6000);
+  SessionSpec spec;
+  spec.keep_detection = false;
+  StreamServer server({.max_sessions = 1,
+                       .queue_capacity_chunks = 256,
+                       .workers = 1,
+                       .event_queue_capacity = 1024});
+  const SessionId id = server.open(spec);
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    for (std::size_t at = 0; at < rec.adu.size(); at += 100) {
+      const std::size_t len = std::min<std::size_t>(100, rec.adu.size() - at);
+      ASSERT_EQ(server.push(id, std::span<const i32>(rec.adu).subspan(at, len)),
+                PushResult::Ok);
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Event> out;
+  const std::size_t n = server.drain_events(id, out, std::chrono::seconds(30));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  producer.join();
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(out.size(), n);
+  EXPECT_LT(waited, std::chrono::seconds(10));  // woke on the event, not the deadline
+  EXPECT_EQ(server.close(id), SessionState::Closed);
+}
+
+TEST(StreamServer, TimedDrainTimesOutEmptyAndReturnsAtOnceOnTerminalStates) {
+  StreamServer server({.max_sessions = 1, .workers = 1, .event_queue_capacity = 64});
+  SessionSpec spec;
+  spec.keep_detection = false;
+  const SessionId id = server.open(spec);
+
+  // Nothing queued, nothing coming: the wait runs to its deadline and
+  // reports zero.
+  std::vector<Event> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(server.drain_events(id, out, std::chrono::milliseconds(60)), 0u);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(50));
+
+  // A session that can produce no more events must not burn the timeout.
+  ASSERT_EQ(server.push(id, std::vector<i32>(500, 5)), PushResult::Ok);
+  ASSERT_EQ(server.close(id), SessionState::Closed);
+  (void)server.drain_events(id, out);  // empty the queue first
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_EQ(server.drain_events(id, out, std::chrono::seconds(30)), 0u);
+  EXPECT_LT(std::chrono::steady_clock::now() - t1, std::chrono::seconds(10));
+
+  // Stale id: same immediate zero.
+  (void)server.release(id);
+  EXPECT_EQ(server.drain_events(id, out, std::chrono::seconds(30)), 0u);
+}
+
+TEST(StreamServer, OpenPlacesSessionsOnTheLeastLoadedShard) {
+  // Placement balances live sessions across shards instead of letting the
+  // round-robin generation counter pile tenants onto one shard as others
+  // free up. shard(id) == id.slot % shards.
+  StreamServer server({.max_sessions = 8, .workers = 2, .shards = 2});
+  ASSERT_EQ(server.shards(), 2u);
+  SessionSpec spec;
+  spec.keep_detection = false;
+
+  const SessionId a = server.open(spec);
+  const SessionId b = server.open(spec);
+  EXPECT_NE(a.slot % 2, b.slot % 2);  // an empty server spreads immediately
+
+  // Free one shard; the next open must land there, not follow the counter.
+  (void)server.release(b);
+  const SessionId c = server.open(spec);
+  EXPECT_EQ(c.slot % 2, b.slot % 2);
+
+  // With the table balanced 1-1 again, two more opens must end up one per
+  // shard — whichever the third lands on, the fourth takes the lighter side.
+  const SessionId d = server.open(spec);
+  const SessionId e = server.open(spec);
+  EXPECT_NE(d.slot % 2, e.slot % 2);
+}
+
 TEST(StreamSession, WarmStartVsColdResetAtTheSessionLevel) {
   // Same contract one layer down, without a server in the way: cold reset is
   // bit-identical to a fresh session (pinned elsewhere); warm keeps the
