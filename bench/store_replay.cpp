@@ -1,0 +1,270 @@
+// Record-store throughput: crash-safe write bandwidth, CRC32C scrub
+// bandwidth per implementation tier (portable slice-by-8 vs SSE4.2
+// hardware), raw CRC32C memory bandwidth, and the headline number — mmap
+// zero-copy replay of checksummed XBS1 records into the StreamServer's
+// loaned buffers, compared against the CSV ingest path it is bit-identical
+// to. Emits one JSON object (committed as BENCH_store.json) so future PRs
+// have a machine-readable baseline.
+//
+//   ./bench_store_replay [--records N] [--samples M] [--chunk C] [--iters K]
+//
+// Non-zero exit when the replay detects no beats (the path would be
+// silently broken), when replay and CSV disagree on event counts, or when a
+// scrub of a just-written file reports a fault.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xbs/arith/isa.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/ecg/io.hpp"
+#include "xbs/store/crc32c.hpp"
+#include "xbs/store/replay.hpp"
+#include "xbs/store/store.hpp"
+#include "xbs/stream/server.hpp"
+
+namespace {
+
+using namespace xbs;
+using Clock = std::chrono::steady_clock;
+
+int arg_int(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string bench_dir() {
+  const char* t = std::getenv("TMPDIR");
+  std::string dir = (t != nullptr && *t != '\0') ? t : "/tmp";
+  if (dir.back() != '/') dir += '/';
+  return dir + "xbs_bench_store_";
+}
+
+/// Raw CRC32C bandwidth over an in-memory buffer, best of \p iters.
+double crc_gbps(store::CrcImpl impl, const std::vector<u8>& buf, int iters) {
+  if (store::force_crc32c_impl(impl) != impl) return 0.0;
+  volatile u32 sink = 0;
+  double best = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const auto t0 = Clock::now();
+    sink = store::crc32c(0, buf.data(), buf.size());
+    const double dt = seconds_since(t0);
+    if (dt > 0.0) best = std::max(best, static_cast<double>(buf.size()) / dt / 1e9);
+  }
+  (void)sink;
+  store::force_crc32c_impl_auto();
+  return best;
+}
+
+/// Open + full scrub of every file, best-of-iters aggregate bytes/sec.
+double scrub_mbps(store::CrcImpl impl, const std::vector<std::string>& paths, int iters,
+                  bool* fault_seen) {
+  if (store::force_crc32c_impl(impl) != impl) return 0.0;
+  double best = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    u64 bytes = 0;
+    const auto t0 = Clock::now();
+    for (const std::string& p : paths) {
+      const store::RecordReader r(p);
+      if (!r.scrub().ok()) *fault_seen = true;
+      bytes += r.file_bytes();
+    }
+    const double dt = seconds_since(t0);
+    if (dt > 0.0) best = std::max(best, static_cast<double>(bytes) / dt / 1e6);
+  }
+  store::force_crc32c_impl_auto();
+  return best;
+}
+
+struct DriveOut {
+  double samples_per_sec = 0.0;
+  u64 events = 0;
+  u64 beats = 0;
+};
+
+/// Replay every record file through a fresh single-worker server.
+DriveOut replay_drive(const std::vector<std::string>& paths, std::size_t chunk, int iters) {
+  DriveOut best{};
+  for (int it = 0; it < iters; ++it) {
+    stream::StreamServer::Options opts;
+    opts.shards = 1;
+    opts.workers = 1;
+    stream::StreamServer server(opts);
+    u64 samples = 0;
+    const auto t0 = Clock::now();
+    std::vector<stream::SessionId> ids;
+    for (const std::string& p : paths) {
+      const stream::SessionId id = server.open(stream::SessionSpec{});
+      store::RecordReader reader(p);
+      const store::ReplayResult rr = store::replay_record(reader, server, id, chunk);
+      samples += rr.samples;
+      ids.push_back(id);
+    }
+    u64 events = 0, beats = 0;
+    for (const stream::SessionId id : ids) {
+      (void)server.close(id);
+      const auto st = server.session_stats(id);
+      events += st.events;
+      beats += st.beats;
+    }
+    const double dt = seconds_since(t0);
+    const double sps = dt > 0.0 ? static_cast<double>(samples) / dt : 0.0;
+    if (it == 0 || sps > best.samples_per_sec) best = {sps, events, beats};
+  }
+  return best;
+}
+
+/// The CSV path the replay is bit-identical to: parse + blocking push.
+DriveOut csv_drive(const std::vector<std::string>& csvs, std::size_t chunk, int iters) {
+  DriveOut best{};
+  for (int it = 0; it < iters; ++it) {
+    stream::StreamServer::Options opts;
+    opts.shards = 1;
+    opts.workers = 1;
+    stream::StreamServer server(opts);
+    u64 samples = 0;
+    const auto t0 = Clock::now();
+    std::vector<stream::SessionId> ids;
+    for (const std::string& text : csvs) {
+      std::istringstream is(text);
+      const ecg::DigitizedRecord rec = ecg::read_csv(is);
+      const stream::SessionId id = server.open(stream::SessionSpec{});
+      for (std::size_t at = 0; at < rec.adu.size(); at += chunk) {
+        const std::size_t n = std::min(chunk, rec.adu.size() - at);
+        (void)server.push(id, std::span<const i32>(rec.adu).subspan(at, n));
+      }
+      samples += rec.adu.size();
+      ids.push_back(id);
+    }
+    u64 events = 0, beats = 0;
+    for (const stream::SessionId id : ids) {
+      (void)server.close(id);
+      const auto st = server.session_stats(id);
+      events += st.events;
+      beats += st.beats;
+    }
+    const double dt = seconds_since(t0);
+    const double sps = dt > 0.0 ? static_cast<double>(samples) / dt : 0.0;
+    if (it == 0 || sps > best.samples_per_sec) best = {sps, events, beats};
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int records = std::max(1, arg_int(argc, argv, "--records", 8));
+  const int samples = std::max(1000, arg_int(argc, argv, "--samples", 20000));
+  const auto chunk =
+      static_cast<std::size_t>(std::max(1, arg_int(argc, argv, "--chunk", 1024)));
+  const int iters = std::max(1, arg_int(argc, argv, "--iters", 3));
+
+  std::vector<ecg::DigitizedRecord> recs;
+  for (int i = 0; i < records; ++i) {
+    recs.push_back(ecg::nsrdb_like_digitized(i % ecg::kNsrdbSubjects,
+                                             static_cast<std::size_t>(samples)));
+  }
+
+  // Crash-safe write bandwidth (tmp + fsync + rename per record).
+  const std::string dir = bench_dir();
+  std::vector<std::string> paths;
+  u64 file_bytes = 0;
+  double write_mbps = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    paths.clear();
+    file_bytes = 0;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < records; ++i) {
+      const std::string p = dir + std::to_string(i) + ".xbs";
+      store::write_record(p, recs[static_cast<std::size_t>(i)]);
+      paths.push_back(p);
+    }
+    for (const std::string& p : paths) file_bytes += store::RecordReader(p).file_bytes();
+    const double dt = seconds_since(t0);
+    if (dt > 0.0) write_mbps = std::max(write_mbps, static_cast<double>(file_bytes) / dt / 1e6);
+  }
+
+  // CRC tiers: raw in-memory bandwidth and full-file scrub bandwidth.
+  std::vector<u8> big(64u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<u8>(i * 2654435761u >> 24);
+  const bool sse42 = store::crc_impl_usable(store::CrcImpl::Sse42);
+  const double crc_portable = crc_gbps(store::CrcImpl::Portable, big, iters);
+  const double crc_sse42 = sse42 ? crc_gbps(store::CrcImpl::Sse42, big, iters) : 0.0;
+  bool fault_seen = false;
+  const double scrub_portable = scrub_mbps(store::CrcImpl::Portable, paths, iters, &fault_seen);
+  const double scrub_sse42 =
+      sse42 ? scrub_mbps(store::CrcImpl::Sse42, paths, iters, &fault_seen) : 0.0;
+
+  // The headline: mmap zero-copy replay vs the CSV ingest path.
+  const DriveOut replay = replay_drive(paths, chunk, iters);
+  std::vector<std::string> csvs;
+  for (const ecg::DigitizedRecord& r : recs) {
+    std::ostringstream os;
+    ecg::write_csv(os, r);
+    csvs.push_back(os.str());
+  }
+  const DriveOut csv = csv_drive(csvs, chunk, iters);
+
+  for (const std::string& p : paths) std::remove(p.c_str());
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"store_replay\",\n"
+      "  \"isa\": \"%.*s\",\n"
+      "  \"crc_impl\": \"%.*s\",\n"
+      "  \"workload\": \"nsrdb_like_xbs1_records\",\n"
+      "  \"records\": %d,\n"
+      "  \"samples_per_record\": %d,\n"
+      "  \"chunk_samples\": %zu,\n"
+      "  \"iters\": %d,\n"
+      "  \"file_bytes_total\": %llu,\n"
+      "  \"write_mbytes_per_sec\": %.1f,\n"
+      "  \"crc32c_portable_gbytes_per_sec\": %.2f,\n"
+      "  \"crc32c_sse42_gbytes_per_sec\": %.2f,\n"
+      "  \"scrub_portable_mbytes_per_sec\": %.1f,\n"
+      "  \"scrub_sse42_mbytes_per_sec\": %.1f,\n"
+      "  \"replay_samples_per_sec\": %.0f,\n"
+      "  \"csv_ingest_samples_per_sec\": %.0f,\n"
+      "  \"replay_events\": %llu,\n"
+      "  \"replay_beats\": %llu,\n"
+      "  \"realtime_streams_supported\": %.0f\n"
+      "}\n",
+      static_cast<int>(to_string(arith::kernel_isa().selected).size()),
+      to_string(arith::kernel_isa().selected).data(),
+      static_cast<int>(to_string(store::crc32c_impl()).size()),
+      to_string(store::crc32c_impl()).data(), records, samples, chunk, iters,
+      static_cast<unsigned long long>(file_bytes), write_mbps, crc_portable, crc_sse42,
+      scrub_portable, scrub_sse42, replay.samples_per_sec, csv.samples_per_sec,
+      static_cast<unsigned long long>(replay.events),
+      static_cast<unsigned long long>(replay.beats),
+      replay.samples_per_sec / 200.0);  // 200 Hz ECG streams
+
+  if (replay.beats == 0) {
+    std::fprintf(stderr, "FAIL: replay detected no beats\n");
+    return 1;
+  }
+  if (replay.events != csv.events || replay.beats != csv.beats) {
+    std::fprintf(stderr, "FAIL: replay/CSV event mismatch (%llu/%llu vs %llu/%llu)\n",
+                 static_cast<unsigned long long>(replay.events),
+                 static_cast<unsigned long long>(replay.beats),
+                 static_cast<unsigned long long>(csv.events),
+                 static_cast<unsigned long long>(csv.beats));
+    return 1;
+  }
+  if (fault_seen) {
+    std::fprintf(stderr, "FAIL: scrub reported a fault on a just-written file\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,248 @@
+// xbs_store_tool — inspect, verify, convert, corrupt and self-check XBS1
+// record files (the checksummed record store, src/store).
+//
+//   xbs_store_tool inspect  <file.xbs>
+//       print the verified header (a corrupt header refuses to open)
+//   xbs_store_tool verify   <file.xbs>
+//       full scrub: CRC-check every payload page; exit 1 on any fault
+//   xbs_store_tool convert  <in> <out>
+//       between formats by extension: .csv/.hea/.xbs in, .csv/.hea/.xbs out
+//   xbs_store_tool corrupt  <file.xbs> <page|header|truncate> [seed]
+//       deliberately damage a file IN PLACE (demos; pair with verify)
+//   xbs_store_tool make-sample <out.xbs> [record-index] [n-samples]
+//       write a deterministic NSRDB-like sample record
+//   xbs_store_tool selfcheck [iterations] [seed]
+//       in-memory corruption fuzz: every injected fault must be detected
+//       as a typed StoreError; exits 1 if anything slips through
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/dataset.hpp"
+#include "xbs/ecg/io.hpp"
+#include "xbs/store/store.hpp"
+#include "xbs/store/wfdb.hpp"
+
+namespace {
+
+using namespace xbs;
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+ecg::DigitizedRecord load_any(const std::string& path) {
+  if (ends_with(path, ".xbs")) return store::load_record(path);
+  if (ends_with(path, ".hea")) return store::read_wfdb(path);
+  if (ends_with(path, ".csv")) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    return ecg::read_csv(is);
+  }
+  throw std::runtime_error("unknown input format (want .xbs/.hea/.csv): " + path);
+}
+
+void save_any(const std::string& path, const ecg::DigitizedRecord& rec) {
+  if (ends_with(path, ".xbs")) {
+    store::write_record(path, rec);
+  } else if (ends_with(path, ".hea")) {
+    store::write_wfdb(path, rec);
+  } else if (ends_with(path, ".csv")) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot open " + path);
+    ecg::write_csv(os, rec);
+  } else {
+    throw std::runtime_error("unknown output format (want .xbs/.hea/.csv): " + path);
+  }
+}
+
+int cmd_inspect(const std::string& path) {
+  const store::RecordReader r(path);
+  const store::RecordHeader& h = r.header();
+  std::printf("file        %s\n", path.c_str());
+  std::printf("format      XBS1 v%u, %zu-byte pages\n", unsigned(store::kStoreVersion),
+              std::size_t{store::kPageBytes});
+  std::printf("name        %s\n", h.name.c_str());
+  std::printf("fs_hz       %.6g\n", h.fs_hz);
+  std::printf("gain        %.6g adu/mV\n", h.gain_adu_per_mv);
+  std::printf("samples     %llu (%.1f s)\n", static_cast<unsigned long long>(h.n_samples),
+              h.fs_hz > 0 ? static_cast<double>(h.n_samples) / h.fs_hz : 0.0);
+  std::printf("peaks       %llu\n", static_cast<unsigned long long>(h.n_peaks));
+  std::printf("pages       %llu payload pages, %llu file bytes\n",
+              static_cast<unsigned long long>(r.page_count()),
+              static_cast<unsigned long long>(r.file_bytes()));
+  return 0;
+}
+
+int cmd_verify(const std::string& path) {
+  const store::RecordReader r(path);
+  const store::ScrubReport rep = r.scrub();
+  if (rep.ok()) {
+    std::printf("%s: OK (%llu pages verified)\n", path.c_str(),
+                static_cast<unsigned long long>(rep.pages_total));
+    return 0;
+  }
+  for (const store::PageFault& f : rep.faults) {
+    std::fprintf(stderr, "%s: page %llu CORRUPT (stored crc32c %08x, computed %08x)\n",
+                 path.c_str(), static_cast<unsigned long long>(f.page), f.stored_crc,
+                 f.computed_crc);
+  }
+  return 1;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  const ecg::DigitizedRecord rec = load_any(in);
+  save_any(out, rec);
+  std::printf("%s -> %s (%zu samples, %zu peaks)\n", in.c_str(), out.c_str(),
+              rec.adu.size(), rec.r_peaks.size());
+  return 0;
+}
+
+int cmd_corrupt(const std::string& path, const std::string& what, u64 seed) {
+  std::vector<u8> img;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("cannot open " + path);
+    img.assign(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  Rng rng(seed);
+  if (what == "header") {
+    const auto off = static_cast<std::size_t>(rng.uniform_int(0, 67));
+    img[off] = static_cast<u8>(img[off] ^ 0x40u);
+    std::printf("%s: flipped header byte %zu\n", path.c_str(), off);
+  } else if (what == "page") {
+    if (img.size() <= store::kPageBytes) throw std::runtime_error("file has no payload");
+    const auto off = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<i64>(store::kPageBytes), static_cast<i64>(img.size()) - 1));
+    img[off] = static_cast<u8>(img[off] ^ 0x01u);
+    std::printf("%s: flipped bit at byte %zu\n", path.c_str(), off);
+  } else if (what == "truncate") {
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<i64>(img.size()) - 1));
+    img.resize(keep);
+    std::printf("%s: truncated to %zu bytes\n", path.c_str(), keep);
+  } else {
+    throw std::runtime_error("corrupt: want page|header|truncate, got " + what);
+  }
+  // Deliberately a plain in-place rewrite: this tool MAKES broken files.
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(img.data()),
+           static_cast<std::streamsize>(img.size()));
+  if (!os) throw std::runtime_error("rewrite failed: " + path);
+  return 0;
+}
+
+int cmd_make_sample(const std::string& out, int index, std::size_t n) {
+  const ecg::DigitizedRecord rec = ecg::nsrdb_like_digitized(index, n);
+  store::write_record(out, rec);
+  std::printf("%s: record %d, %zu samples, %zu peaks\n", out.c_str(), index, rec.adu.size(),
+              rec.r_peaks.size());
+  return 0;
+}
+
+/// In-memory corruption fuzz: every fault injected into a valid image must
+/// surface as a typed StoreError when the image is opened and scrubbed.
+int cmd_selfcheck(u64 iterations, u64 seed) {
+  const ecg::DigitizedRecord rec = ecg::nsrdb_like_digitized(3, 5000);
+  const std::string path = "/tmp/xbs_store_selfcheck.xbs";
+  const std::vector<u8> clean = store::encode_record(rec);
+  Rng rng(seed);
+  u64 detected = 0, skipped = 0;
+  for (u64 it = 0; it < iterations; ++it) {
+    std::vector<u8> img = clean;
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    if (kind == 0) {  // single bit flip anywhere
+      const auto off = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<i64>(img.size()) - 1));
+      img[off] = static_cast<u8>(img[off] ^ (1u << rng.uniform_int(0, 7)));
+    } else if (kind == 1) {  // truncation
+      img.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<i64>(img.size()) - 1)));
+    } else {  // torn zero tail
+      const auto cut = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<i64>(img.size()) - 1));
+      bool changed = false;
+      for (std::size_t i = cut; i < img.size(); ++i) {
+        changed = changed || img[i] != 0;
+        img[i] = 0;
+      }
+      if (!changed) {  // tail was already zero padding: not a corruption
+        ++skipped;
+        continue;
+      }
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(img.data()),
+             static_cast<std::streamsize>(img.size()));
+    os.close();
+    try {
+      const store::RecordReader r(path);
+      const store::ScrubReport rep = r.scrub();
+      if (!rep.ok()) {
+        ++detected;
+        continue;
+      }
+      std::fprintf(stderr, "selfcheck: iteration %llu fault UNDETECTED (kind %d)\n",
+                   static_cast<unsigned long long>(it), kind);
+      std::remove(path.c_str());
+      return 1;
+    } catch (const store::StoreError&) {
+      ++detected;
+    }
+  }
+  std::remove(path.c_str());
+  std::printf("selfcheck: %llu/%llu injected faults detected (%llu no-op skips)\n",
+              static_cast<unsigned long long>(detected),
+              static_cast<unsigned long long>(iterations - skipped),
+              static_cast<unsigned long long>(skipped));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xbs_store_tool inspect <file.xbs>\n"
+               "       xbs_store_tool verify <file.xbs>\n"
+               "       xbs_store_tool convert <in.{xbs,hea,csv}> <out.{xbs,hea,csv}>\n"
+               "       xbs_store_tool corrupt <file.xbs> <page|header|truncate> [seed]\n"
+               "       xbs_store_tool make-sample <out.xbs> [record-index] [n-samples]\n"
+               "       xbs_store_tool selfcheck [iterations] [seed]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (cmd == "verify" && argc == 3) return cmd_verify(argv[2]);
+    if (cmd == "convert" && argc == 4) return cmd_convert(argv[2], argv[3]);
+    if (cmd == "corrupt" && (argc == 4 || argc == 5)) {
+      return cmd_corrupt(argv[2], argv[3], argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1);
+    }
+    if (cmd == "make-sample" && argc >= 3 && argc <= 5) {
+      const int index = argc >= 4 ? std::atoi(argv[3]) : 0;
+      const std::size_t n = argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 6000;
+      return cmd_make_sample(argv[2], index, n);
+    }
+    if (cmd == "selfcheck" && argc <= 4) {
+      const u64 iters = argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 200;
+      const u64 seed = argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 42;
+      return cmd_selfcheck(iters, seed);
+    }
+  } catch (const store::StoreError& e) {
+    std::fprintf(stderr, "xbs_store_tool: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xbs_store_tool: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

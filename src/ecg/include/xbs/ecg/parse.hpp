@@ -1,0 +1,32 @@
+/// \file parse.hpp
+/// \brief Checked numeric field parsing for untrusted record input.
+///
+/// One tested rejection path shared by every loader that faces external
+/// bytes: the CSV reader (io.cpp), the WFDB converter (xbs::store) and the
+/// store tool. std::stod/stoi are the wrong tool for untrusted input: they
+/// throw std::invalid_argument/out_of_range instead of the runtime_error the
+/// loaders' contracts promise, accept trailing garbage ("12abc" parses as
+/// 12), and stoi's int range silently depends on the platform. These helpers
+/// demand full consumption, reject ERANGE, and fail with a runtime_error
+/// naming the caller's context and the offending text.
+#pragma once
+
+#include <string>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::ecg {
+
+/// Throw the canonical malformed-field error: "<ctx>: <what>: '<text>'".
+[[noreturn]] void fail_field(const char* ctx, const char* what, const std::string& text);
+
+/// Parse a double; the whole string must be consumed and in range.
+double parse_double_field(const std::string& s, const char* ctx, const char* what);
+
+/// Parse a base-10 signed 64-bit integer; full consumption, no overflow.
+i64 parse_i64_field(const std::string& s, const char* ctx, const char* what);
+
+/// parse_i64_field plus an explicit i32 range check (platform-independent).
+i32 parse_i32_field(const std::string& s, const char* ctx, const char* what);
+
+}  // namespace xbs::ecg

@@ -1,48 +1,34 @@
 #include "xbs/ecg/io.hpp"
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "xbs/ecg/parse.hpp"
 
 namespace xbs::ecg {
 namespace {
 
-// Checked field parsers. std::stod/stoi are the wrong tool for untrusted
-// input: they throw std::invalid_argument/out_of_range instead of the
-// runtime_error this module's contract promises, accept trailing garbage
-// ("12abc" parses as 12), and stoi's int range silently depends on the
-// platform. Every malformed or out-of-range field must be a
-// std::runtime_error naming the offending text.
+// Checked field parsing lives in xbs/ecg/parse.hpp, shared with the WFDB
+// converter and the store loaders so all external-input paths reject
+// malformed fields through one tested implementation. This module's error
+// prefix is "read_csv".
+constexpr const char* kCtx = "read_csv";
 
 [[noreturn]] void fail_field(const char* what, const std::string& text) {
-  throw std::runtime_error(std::string("read_csv: ") + what + ": '" + text + "'");
+  ecg::fail_field(kCtx, what, text);
 }
 
 double parse_double_field(const std::string& s, const char* what) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0' || errno == ERANGE) fail_field(what, s);
-  return v;
+  return ecg::parse_double_field(s, kCtx, what);
 }
 
 i64 parse_i64_field(const std::string& s, const char* what) {
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0' || errno == ERANGE) fail_field(what, s);
-  return v;
+  return ecg::parse_i64_field(s, kCtx, what);
 }
 
 i32 parse_i32_field(const std::string& s, const char* what) {
-  const i64 v = parse_i64_field(s, what);
-  if (v < std::numeric_limits<i32>::min() || v > std::numeric_limits<i32>::max()) {
-    fail_field(what, s);
-  }
-  return static_cast<i32>(v);
+  return ecg::parse_i32_field(s, kCtx, what);
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+/// \file parse.cpp
+/// \brief Shared checked field parsers (see parse.hpp for the contract).
+#include "xbs/ecg/parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace xbs::ecg {
+
+void fail_field(const char* ctx, const char* what, const std::string& text) {
+  throw std::runtime_error(std::string(ctx) + ": " + what + ": '" + text + "'");
+}
+
+double parse_double_field(const std::string& s, const char* ctx, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) fail_field(ctx, what, s);
+  return v;
+}
+
+i64 parse_i64_field(const std::string& s, const char* ctx, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) fail_field(ctx, what, s);
+  return v;
+}
+
+i32 parse_i32_field(const std::string& s, const char* ctx, const char* what) {
+  const i64 v = parse_i64_field(s, ctx, what);
+  if (v < std::numeric_limits<i32>::min() || v > std::numeric_limits<i32>::max()) {
+    fail_field(ctx, what, s);
+  }
+  return static_cast<i32>(v);
+}
+
+}  // namespace xbs::ecg

@@ -1,0 +1,41 @@
+/// \file crc32c_sse42.cpp
+/// \brief Hardware CRC32C: the only TU compiled with -msse4.2.
+///
+/// The `crc32` instruction implements exactly the Castagnoli polynomial the
+/// portable tables implement, so the two tiers agree bit-for-bit on every
+/// input (pinned in tests/test_store.cpp). Dispatch guarantees this code is
+/// only reached when CPUID reports SSE4.2.
+#if !defined(__SSE4_2__)
+#error "crc32c_sse42.cpp must be compiled with -msse4.2 (see src/CMakeLists.txt)"
+#endif
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+#include "xbs/store/crc32c.hpp"
+
+namespace xbs::store::detail {
+
+u32 crc32c_sse42(u32 crc, const void* data, std::size_t n) noexcept {
+  const u8* p = static_cast<const u8*>(data);
+  u64 c = ~crc;
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(static_cast<u32>(c), *p++);
+    --n;
+  }
+  while (n >= 8) {
+    u64 w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = _mm_crc32_u8(static_cast<u32>(c), *p++);
+    --n;
+  }
+  return ~static_cast<u32>(c);
+}
+
+}  // namespace xbs::store::detail

@@ -1,0 +1,72 @@
+/// \file crc32c.hpp
+/// \brief CRC32C (Castagnoli) with runtime hardware dispatch.
+///
+/// The record store tags every payload page with a CRC32C so silent bit-rot
+/// is detected instead of served (docs/record-store.md). CRC32C rather than
+/// plain CRC32 because x86 has carried a dedicated instruction for it since
+/// SSE4.2 (`crc32`), which turns page verification into ~1 byte/cycle work —
+/// cheap enough to run on every read path, not just scrubs.
+///
+/// Dispatch follows the kernel-ISA pattern (xbs/arith/isa.hpp): the SSE4.2
+/// implementation lives in its own translation unit (the only one compiled
+/// with -msse4.2), the portable slice-by-8 table implementation is always
+/// available, and the tier is selected once at startup from CPUID —
+/// overridable with the `XBS_CRC32C` environment variable
+/// (`portable` | `sse42`) for testing, with an unusable request falling back
+/// visibly. Both tiers produce identical digests by definition of the CRC;
+/// tests/test_store.cpp pins them against each other and against published
+/// check vectors.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::store {
+
+/// Implementation tiers, fastest last.
+enum class CrcImpl { Portable = 0, Sse42 = 1 };
+
+[[nodiscard]] constexpr std::string_view to_string(CrcImpl impl) noexcept {
+  switch (impl) {
+    case CrcImpl::Portable: return "portable";
+    case CrcImpl::Sse42: return "sse42";
+  }
+  return "portable";  // unreachable
+}
+
+/// Parse an implementation name (the XBS_CRC32C vocabulary). Nullopt on
+/// anything else — the caller decides whether that is a fallback or an error.
+[[nodiscard]] std::optional<CrcImpl> parse_crc_impl(std::string_view name) noexcept;
+
+/// Whether hardware CRC code for \p impl was compiled into this binary.
+[[nodiscard]] bool crc_impl_compiled(CrcImpl impl) noexcept;
+
+/// compiled-in AND executable on this CPU — i.e. selectable.
+[[nodiscard]] bool crc_impl_usable(CrcImpl impl) noexcept;
+
+/// The tier the process resolved at startup (XBS_CRC32C if set and usable,
+/// otherwise the fastest usable tier; unusable/unknown requests fall back
+/// with one stderr note).
+[[nodiscard]] CrcImpl crc32c_impl() noexcept;
+
+/// Force a tier (tests/benches). Returns the tier actually selected — an
+/// unusable request falls back exactly like the env path. Setup-time knob:
+/// call only while no other thread is hashing.
+CrcImpl force_crc32c_impl(CrcImpl impl) noexcept;
+
+/// Re-run startup resolution (XBS_CRC32C / CPUID) — lets tests restore the
+/// default after forcing tiers.
+CrcImpl force_crc32c_impl_auto() noexcept;
+
+/// Incremental CRC32C: extend \p crc (0 for a fresh digest) over \p n bytes.
+/// Composable: crc32c(crc32c(0, a, la), b, lb) == crc32c(0, a+b, la+lb).
+[[nodiscard]] u32 crc32c(u32 crc, const void* data, std::size_t n) noexcept;
+
+/// The portable reference implementation, independent of the selected tier
+/// (the digest every hardware tier must reproduce bit-for-bit).
+[[nodiscard]] u32 crc32c_portable(u32 crc, const void* data, std::size_t n) noexcept;
+
+}  // namespace xbs::store

@@ -1,0 +1,115 @@
+/// \file format.hpp
+/// \brief The XBS1 checksummed record container: layout constants, header
+/// fields and the typed corruption-reporting vocabulary.
+///
+/// Full layout specification in docs/record-store.md. In one line: a
+/// fixed-size header page, a CRC32C tag table (one u32 per payload page),
+/// then the payload pages (LE i32 samples followed by LE u64 R-peak
+/// indices, zero-padded to a page boundary). Every byte of the file is
+/// covered by exactly one checksum — the header by `header_crc`, the tag
+/// table by `tag_table_crc` (itself a header field), each payload page by
+/// its tag — so any single corrupted byte is detectable, padding included.
+///
+/// The design follows the XrdOssCsi per-page integrity model: pages are
+/// checksummed on write, verified on read (lazily, page-granular), and a
+/// corrupt page is *reported* as a typed error carrying the page index and
+/// both CRCs — never silently served, and never fatal to the process.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::store {
+
+/// File magic: "XBS1", little-endian u32 at offset 0.
+inline constexpr u32 kStoreMagic = 0x31534258u;
+
+/// Format version this library reads and writes.
+inline constexpr u16 kStoreVersion = 1;
+
+/// Page size: checksum granularity AND the header/tag-table alignment unit.
+/// 4096 matches the mmap granularity on every supported platform, so a page
+/// verify touches exactly one file-cache page.
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// Samples that fit one payload page (the replay driver's natural chunk).
+inline constexpr std::size_t kSamplesPerPage = kPageBytes / sizeof(i32);
+
+/// Bound on the record-name field (a header sanity limit, not a payload).
+inline constexpr std::size_t kMaxNameLen = 256;
+
+/// Fixed header field block (everything before the name bytes), in bytes.
+/// Layout, all little-endian (see docs/record-store.md for the table):
+///   [0,4)   magic            [4,6)   version        [6,8)   reserved (0)
+///   [8,12)  page_bytes       [12,16) name_len
+///   [16,24) fs_hz (f64 bits) [24,32) gain_adu_per_mv (f64 bits)
+///   [32,40) n_samples        [40,48) n_peaks
+///   [48,56) payload_bytes    [56,60) page_count
+///   [60,64) tag_table_crc    [64,68) header_crc (computed with this = 0)
+///   [68,..) name bytes, then zero padding to kPageBytes
+inline constexpr std::size_t kHeaderFixedBytes = 68;
+
+/// Decoded header of an open record file.
+struct RecordHeader {
+  double fs_hz = 0.0;
+  double gain_adu_per_mv = 0.0;
+  u64 n_samples = 0;
+  u64 n_peaks = 0;
+  u64 payload_bytes = 0;
+  u32 page_count = 0;
+  u32 tag_table_crc = 0;
+  u32 header_crc = 0;
+  std::string name;
+};
+
+/// What went wrong, precisely. Everything above `WriteFailed` is a
+/// *corruption or format* verdict about the file's bytes; `OpenFailed` /
+/// `WriteFailed` are environmental I/O failures.
+enum class StoreErrc {
+  OpenFailed,    ///< open/stat/mmap failed (errno in the message)
+  WriteFailed,   ///< write/fsync/rename failed (errno in the message)
+  TruncatedFile, ///< file shorter than its header claims: a torn write
+  BadMagic,      ///< not an XBS1 record file
+  BadVersion,    ///< a version this library does not read
+  BadHeader,     ///< header CRC mismatch or impossible header fields
+  BadTagTable,   ///< tag-table CRC mismatch: page tags untrustworthy
+  PageCorrupt,   ///< payload page CRC mismatch (page/stored/computed filled)
+  BadPayload,    ///< pages verify but decoded content is invalid (e.g. peaks
+                 ///< out of order or past n_samples): a forged/buggy writer
+  InvalidRecord, ///< the caller's record cannot be written (e.g. empty)
+};
+
+[[nodiscard]] const char* to_string(StoreErrc e) noexcept;
+
+/// The typed store error. For PageCorrupt, `page` is the zero-based payload
+/// page index and `stored_crc`/`computed_crc` carry both sides of the
+/// mismatch — the caller can log exactly which 4 KiB went bad and what the
+/// file claimed. `page == npos` for non-page-scoped errors.
+class StoreError : public std::runtime_error {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  StoreError(StoreErrc errc, std::string message, std::size_t page = npos,
+             u32 stored_crc = 0, u32 computed_crc = 0)
+      : std::runtime_error(std::move(message)),
+        errc_(errc),
+        page_(page),
+        stored_crc_(stored_crc),
+        computed_crc_(computed_crc) {}
+
+  [[nodiscard]] StoreErrc errc() const noexcept { return errc_; }
+  [[nodiscard]] std::size_t page() const noexcept { return page_; }
+  [[nodiscard]] u32 stored_crc() const noexcept { return stored_crc_; }
+  [[nodiscard]] u32 computed_crc() const noexcept { return computed_crc_; }
+
+ private:
+  StoreErrc errc_;
+  std::size_t page_;
+  u32 stored_crc_;
+  u32 computed_crc_;
+};
+
+}  // namespace xbs::store

@@ -1,0 +1,46 @@
+/// \file replay.hpp
+/// \brief mmap'd record replay into a StreamServer session — the disk end
+/// of the zero-copy loan contract.
+///
+/// The net plane (PR 7) moves bytes socket → ChunkLoan → commit with one
+/// copy; replay extends the same contract to storage: the record file is
+/// memory-mapped (RecordReader), each chunk's pages are CRC-verified lazily,
+/// and the verified samples are copied file-cache → loan buffer → commit —
+/// one copy, no intermediate staging, no allocation in steady state (loan
+/// buffers come from the session's ring). Because the loan API is the same
+/// one live producers use, a replayed record is processed bit-identically to
+/// a live-streamed or CSV-ingested one (pinned in tests/test_store_replay).
+///
+/// Corruption behaves like the reader: a bad page throws StoreError mid-
+/// replay with the partial chunk never committed — the session sees a clean
+/// prefix, the record is quarantined, and the server (and every sibling
+/// session) keeps running.
+#pragma once
+
+#include <cstddef>
+
+#include "xbs/store/format.hpp"
+#include "xbs/store/store.hpp"
+#include "xbs/stream/server.hpp"
+
+namespace xbs::store {
+
+/// What a replay accomplished. `status` is Ok after a full replay; any other
+/// value is the server's refusal on the chunk numbered `chunks` (refusals
+/// are a server-side outcome — corrupt pages throw instead).
+struct ReplayResult {
+  std::size_t chunks = 0;        ///< chunks committed
+  u64 samples = 0;               ///< samples committed
+  stream::PushResult status = stream::PushResult::Ok;
+};
+
+/// Stream \p reader's samples into session \p id in \p chunk_samples-sized
+/// chunks (default: one payload page per chunk, the mmap-natural size) via
+/// blocking acquire_buffer/commit. Verifies covering pages before any byte
+/// of a chunk is committed; throws StoreError on corruption. Does not
+/// close() the session — the caller owns the lifecycle.
+ReplayResult replay_record(RecordReader& reader, stream::StreamServer& server,
+                           stream::SessionId id,
+                           std::size_t chunk_samples = kSamplesPerPage);
+
+}  // namespace xbs::store

@@ -1,0 +1,126 @@
+/// \file store.hpp
+/// \brief Crash-safe writer and mmap'd verifying reader for XBS1 record
+/// files (format.hpp; full spec in docs/record-store.md).
+///
+/// Write path: the record is serialized and checksummed in memory, written
+/// to `<path>.tmp`, fsync'd, atomically renamed over `<path>`, and the
+/// parent directory fsync'd — a crash at any point leaves either the old
+/// file or the new file, never a torn hybrid. A leftover tmp from a crashed
+/// writer is never adopted by the reader (wrong name, and a truncated rename
+/// target fails the exact-size check).
+///
+/// Read path: the file is memory-mapped; the header and tag table are
+/// verified eagerly on open, payload pages lazily on first access. A page
+/// CRC mismatch throws a `StoreError{PageCorrupt, page, stored, computed}`
+/// and latches the reader corrupt — every subsequent access re-throws, so a
+/// bad record is quarantined without poisoning the process or any sibling
+/// session (the PR 4 fault-quarantine philosophy applied to storage).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xbs/common/types.hpp"
+#include "xbs/ecg/record.hpp"
+#include "xbs/store/format.hpp"
+
+namespace xbs::store {
+
+/// Serialize \p rec to \p path crash-safely (tmp + fsync + rename + dir
+/// fsync). Throws StoreError{InvalidRecord} for an unwritable record (empty,
+/// oversized name, non-positive/non-finite fs, unsorted or out-of-range
+/// R-peaks) and StoreError{WriteFailed} on I/O failure (tmp file removed).
+void write_record(const std::string& path, const ecg::DigitizedRecord& rec);
+
+/// Serialize \p rec to the in-memory image write_record would produce —
+/// the fault-injection seam: tests corrupt this image byte-for-byte and
+/// assert the reader's verdict.
+[[nodiscard]] std::vector<u8> encode_record(const ecg::DigitizedRecord& rec);
+
+/// One page that failed verification during a scrub.
+struct PageFault {
+  std::size_t page = 0;
+  u32 stored_crc = 0;
+  u32 computed_crc = 0;
+};
+
+/// Result of a full-file verification pass.
+struct ScrubReport {
+  std::size_t pages_total = 0;
+  std::vector<PageFault> faults;
+  [[nodiscard]] bool ok() const noexcept { return faults.empty(); }
+};
+
+/// Memory-mapped verifying reader. Move-only; the mapping lives for the
+/// reader's lifetime, and spans returned by samples() are valid only while
+/// the reader is alive and un-moved.
+class RecordReader {
+ public:
+  /// Open and eagerly verify magic, version, header CRC, header-field
+  /// consistency, exact file size, and the tag-table CRC. Throws StoreError
+  /// (OpenFailed / TruncatedFile / BadMagic / BadVersion / BadHeader /
+  /// BadTagTable) — a torn or foreign file is rejected here, before any
+  /// payload byte is trusted.
+  explicit RecordReader(const std::string& path);
+  ~RecordReader();
+
+  RecordReader(RecordReader&& other) noexcept;
+  RecordReader& operator=(RecordReader&& other) noexcept;
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  [[nodiscard]] const RecordHeader& header() const noexcept { return header_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t file_bytes() const noexcept { return map_bytes_; }
+  [[nodiscard]] std::size_t page_count() const noexcept { return header_.page_count; }
+
+  /// Number of samples stored in payload page \p page (kSamplesPerPage for
+  /// every page that lies fully inside the sample region; less for the page
+  /// where samples end; 0 for pure R-peak/padding pages).
+  [[nodiscard]] std::size_t page_samples(std::size_t page) const;
+
+  /// Whether a previous access detected corruption (the quarantine latch).
+  [[nodiscard]] bool quarantined() const noexcept { return quarantined_; }
+
+  /// Samples [first, first+n) as a span into the mapping, verifying the
+  /// covering pages first (each page at most once per reader). Zero-copy on
+  /// little-endian hosts; on big-endian hosts the samples are byte-swapped
+  /// into an internal buffer (valid until the next samples() call). Throws
+  /// StoreError{PageCorrupt} — and latches — on a bad page;
+  /// std::out_of_range on a range outside [0, n_samples).
+  [[nodiscard]] std::span<const i32> samples(std::size_t first, std::size_t n);
+
+  /// Decode the whole record (verifies every page, validates the R-peak
+  /// index list). Throws StoreError{PageCorrupt|BadPayload}.
+  [[nodiscard]] ecg::DigitizedRecord record();
+
+  /// Verify every payload page and report, without throwing and without
+  /// latching the quarantine — the diagnostics pass behind
+  /// `xbs_store_tool verify/scrub`.
+  [[nodiscard]] ScrubReport scrub() const;
+
+ private:
+  [[nodiscard]] const u8* payload_base() const noexcept;
+  [[nodiscard]] u32 stored_tag(std::size_t page) const noexcept;
+  void verify_page(std::size_t page);
+  [[noreturn]] void rethrow_quarantined() const;
+
+  std::string path_;
+  RecordHeader header_;
+  const u8* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t tag_pages_ = 0;
+  std::vector<bool> page_verified_;
+  bool quarantined_ = false;
+  PageFault fault_{};  // the latched mismatch, for rethrow
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+  std::vector<i32> swap_buf_;
+#endif
+};
+
+/// Convenience: open, fully verify and decode (load_csv's binary sibling).
+[[nodiscard]] ecg::DigitizedRecord load_record(const std::string& path);
+
+}  // namespace xbs::store

@@ -1,0 +1,39 @@
+/// \file wfdb.hpp
+/// \brief WFDB (MIT-BIH) record converter: `.hea` header + format-212
+/// signal file + MIT-format `.atr` annotation file → ecg::DigitizedRecord.
+///
+/// This is the ingestion bridge for the paper's actual evaluation corpus:
+/// every Fig. 8–13 number is reported on MIT-BIH records, which PhysioNet
+/// distributes in WFDB form. Only what MIT-BIH needs is implemented —
+/// single-segment records, format 212 (two 12-bit two's-complement samples
+/// packed in 3 bytes), and the standard annotation atom stream (SKIP / NUM /
+/// SUB / CHN / AUX escapes, beat codes mapped to R-peaks). Anything else is
+/// a strict, typed rejection through the shared xbs/ecg/parse.hpp helpers —
+/// the same malformed-input discipline as read_csv.
+///
+/// A writer is provided too (round-trip testing without PhysioNet data, and
+/// generating fixture corpora): it emits a single-signal 212 record with a
+/// NORMAL beat annotation per R-peak.
+#pragma once
+
+#include <string>
+
+#include "xbs/ecg/record.hpp"
+
+namespace xbs::store {
+
+/// Load a WFDB record from its `.hea` header path. Signal \p signal of the
+/// 212-format `.dat` becomes the sample stream; a sibling `.atr` annotation
+/// file (optional) provides R-peak ground truth via the standard beat codes.
+/// Throws std::runtime_error ("read_wfdb: ...") on malformed or unsupported
+/// input.
+[[nodiscard]] ecg::DigitizedRecord read_wfdb(const std::string& hea_path,
+                                             std::size_t signal = 0);
+
+/// Write \p rec as a WFDB trio next to \p hea_path (`<base>.hea`,
+/// `<base>.dat` in format 212, `<base>.atr` with one NORMAL beat per
+/// R-peak). Samples must fit 12-bit two's complement ([-2048, 2047]);
+/// anything else throws std::runtime_error.
+void write_wfdb(const std::string& hea_path, const ecg::DigitizedRecord& rec);
+
+}  // namespace xbs::store

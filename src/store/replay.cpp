@@ -1,0 +1,35 @@
+/// \file replay.cpp
+/// \brief Record-file replay through the loanable-buffer ingest path.
+#include "xbs/store/replay.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace xbs::store {
+
+ReplayResult replay_record(RecordReader& reader, stream::StreamServer& server,
+                           stream::SessionId id, std::size_t chunk_samples) {
+  if (chunk_samples == 0) throw std::invalid_argument("replay_record: chunk_samples == 0");
+
+  ReplayResult result;
+  const auto n_samples = static_cast<std::size_t>(reader.header().n_samples);
+  for (std::size_t first = 0; first < n_samples; first += chunk_samples) {
+    const std::size_t n = std::min(chunk_samples, n_samples - first);
+    // Verify-then-loan: the chunk's pages are checked before a buffer is
+    // even borrowed, so a corrupt page aborts with nothing half-committed.
+    const std::span<const i32> src = reader.samples(first, n);
+
+    stream::ChunkLoan loan;
+    result.status = server.acquire_buffer(id, n, loan);
+    if (result.status != stream::PushResult::Ok) return result;
+    std::memcpy(loan.data().data(), src.data(), n * sizeof(i32));
+    result.status = server.commit(loan);
+    if (result.status != stream::PushResult::Ok) return result;
+    ++result.chunks;
+    result.samples += n;
+  }
+  return result;
+}
+
+}  // namespace xbs::store

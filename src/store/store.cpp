@@ -1,0 +1,505 @@
+/// \file store.cpp
+/// \brief XBS1 record serialization, crash-safe persistence and the
+/// mmap'd verifying reader (contract in store.hpp / docs/record-store.md).
+#include "xbs/store/store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "xbs/store/crc32c.hpp"
+
+namespace xbs::store {
+
+namespace {
+
+// ---- little-endian field access (memcpy keeps every access aligned) ------
+
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+inline u16 to_le(u16 v) noexcept { return __builtin_bswap16(v); }
+inline u32 to_le(u32 v) noexcept { return __builtin_bswap32(v); }
+inline u64 to_le(u64 v) noexcept { return __builtin_bswap64(v); }
+#else
+inline u16 to_le(u16 v) noexcept { return v; }
+inline u32 to_le(u32 v) noexcept { return v; }
+inline u64 to_le(u64 v) noexcept { return v; }
+#endif
+
+template <typename T>
+inline void put_le(u8* p, T v) noexcept {
+  const T le = to_le(v);
+  std::memcpy(p, &le, sizeof(T));
+}
+
+template <typename T>
+inline T get_le(const u8* p) noexcept {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return to_le(v);
+}
+
+inline u64 f64_bits(double v) noexcept {
+  u64 b;
+  std::memcpy(&b, &v, 8);
+  return b;
+}
+
+inline double f64_from_bits(u64 b) noexcept {
+  double v;
+  std::memcpy(&v, &b, 8);
+  return v;
+}
+
+// ---- error helpers -------------------------------------------------------
+
+[[noreturn]] void fail(StoreErrc errc, const std::string& path, const std::string& detail,
+                       std::size_t page = StoreError::npos, u32 stored = 0, u32 computed = 0) {
+  throw StoreError(errc, std::string("xbs::store: ") + to_string(errc) + ": " + path +
+                             (detail.empty() ? "" : ": " + detail),
+                   page, stored, computed);
+}
+
+[[noreturn]] void fail_errno(StoreErrc errc, const std::string& path, const char* op) {
+  fail(errc, path, std::string(op) + ": " + std::strerror(errno));
+}
+
+// Field offsets inside the header page (layout table in format.hpp).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffReserved = 6;
+constexpr std::size_t kOffPageBytes = 8;
+constexpr std::size_t kOffNameLen = 12;
+constexpr std::size_t kOffFsHz = 16;
+constexpr std::size_t kOffGain = 24;
+constexpr std::size_t kOffNSamples = 32;
+constexpr std::size_t kOffNPeaks = 40;
+constexpr std::size_t kOffPayloadBytes = 48;
+constexpr std::size_t kOffPageCount = 56;
+constexpr std::size_t kOffTagTableCrc = 60;
+constexpr std::size_t kOffHeaderCrc = 64;
+
+// Sanity bound on header-declared element counts: generous (10^12 samples)
+// but small enough that every size expression below provably cannot
+// overflow u64. A hostile header past this is rejected before arithmetic.
+constexpr u64 kMaxElements = u64{1} << 40;
+
+inline std::size_t tag_pages_for(std::size_t page_count) noexcept {
+  return (page_count * sizeof(u32) + kPageBytes - 1) / kPageBytes;
+}
+
+// write(2) the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, const u8* data, std::size_t n) noexcept {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+const char* to_string(StoreErrc e) noexcept {
+  switch (e) {
+    case StoreErrc::OpenFailed: return "open failed";
+    case StoreErrc::WriteFailed: return "write failed";
+    case StoreErrc::TruncatedFile: return "truncated file";
+    case StoreErrc::BadMagic: return "bad magic";
+    case StoreErrc::BadVersion: return "unsupported version";
+    case StoreErrc::BadHeader: return "bad header";
+    case StoreErrc::BadTagTable: return "bad tag table";
+    case StoreErrc::PageCorrupt: return "page corrupt";
+    case StoreErrc::BadPayload: return "bad payload";
+    case StoreErrc::InvalidRecord: return "invalid record";
+  }
+  return "unknown error";
+}
+
+// ---- encoding ------------------------------------------------------------
+
+std::vector<u8> encode_record(const ecg::DigitizedRecord& rec) {
+  if (rec.adu.empty()) fail(StoreErrc::InvalidRecord, rec.name, "record has no samples");
+  if (rec.name.size() > kMaxNameLen) {
+    fail(StoreErrc::InvalidRecord, rec.name, "record name longer than 256 bytes");
+  }
+  if (!std::isfinite(rec.fs_hz) || rec.fs_hz <= 0.0) {
+    fail(StoreErrc::InvalidRecord, rec.name, "non-positive or non-finite fs_hz");
+  }
+  if (!std::isfinite(rec.gain_adu_per_mv)) {
+    fail(StoreErrc::InvalidRecord, rec.name, "non-finite gain_adu_per_mv");
+  }
+  for (std::size_t i = 0; i < rec.r_peaks.size(); ++i) {
+    const bool ordered = i == 0 || rec.r_peaks[i] > rec.r_peaks[i - 1];
+    if (!ordered || rec.r_peaks[i] >= rec.adu.size()) {
+      fail(StoreErrc::InvalidRecord, rec.name, "r_peaks not strictly increasing in-range");
+    }
+  }
+
+  const u64 n_samples = rec.adu.size();
+  const u64 n_peaks = rec.r_peaks.size();
+  const u64 payload_bytes = n_samples * sizeof(i32) + n_peaks * sizeof(u64);
+  const std::size_t page_count = static_cast<std::size_t>((payload_bytes + kPageBytes - 1) / kPageBytes);
+  const std::size_t tag_pages = tag_pages_for(page_count);
+  const std::size_t payload_off = (1 + tag_pages) * kPageBytes;
+  std::vector<u8> image(payload_off + page_count * kPageBytes, u8{0});
+
+  // Payload: LE i32 samples, then LE u64 R-peak indices, then zero padding.
+  u8* payload = image.data() + payload_off;
+  for (std::size_t i = 0; i < rec.adu.size(); ++i) {
+    put_le<u32>(payload + i * sizeof(i32), static_cast<u32>(rec.adu[i]));
+  }
+  u8* peaks = payload + n_samples * sizeof(i32);
+  for (std::size_t i = 0; i < rec.r_peaks.size(); ++i) {
+    put_le<u64>(peaks + i * sizeof(u64), static_cast<u64>(rec.r_peaks[i]));
+  }
+
+  // Per-page tags (padding included: every payload byte is covered).
+  u8* tags = image.data() + kPageBytes;
+  for (std::size_t p = 0; p < page_count; ++p) {
+    put_le<u32>(tags + p * sizeof(u32), crc32c(0, payload + p * kPageBytes, kPageBytes));
+  }
+  const u32 tag_table_crc = crc32c(0, tags, tag_pages * kPageBytes);
+
+  // Header page; header_crc is computed over the page with its field zero.
+  u8* h = image.data();
+  put_le<u32>(h + kOffMagic, kStoreMagic);
+  put_le<u16>(h + kOffVersion, kStoreVersion);
+  put_le<u16>(h + kOffReserved, 0);
+  put_le<u32>(h + kOffPageBytes, static_cast<u32>(kPageBytes));
+  put_le<u32>(h + kOffNameLen, static_cast<u32>(rec.name.size()));
+  put_le<u64>(h + kOffFsHz, f64_bits(rec.fs_hz));
+  put_le<u64>(h + kOffGain, f64_bits(rec.gain_adu_per_mv));
+  put_le<u64>(h + kOffNSamples, n_samples);
+  put_le<u64>(h + kOffNPeaks, n_peaks);
+  put_le<u64>(h + kOffPayloadBytes, payload_bytes);
+  put_le<u32>(h + kOffPageCount, static_cast<u32>(page_count));
+  put_le<u32>(h + kOffTagTableCrc, tag_table_crc);
+  std::memcpy(h + kHeaderFixedBytes, rec.name.data(), rec.name.size());
+  put_le<u32>(h + kOffHeaderCrc, crc32c(0, h, kPageBytes));
+  return image;
+}
+
+void write_record(const std::string& path, const ecg::DigitizedRecord& rec) {
+  const std::vector<u8> image = encode_record(rec);
+  const std::string tmp = path + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail_errno(StoreErrc::WriteFailed, tmp, "open");
+  if (!write_all(fd, image.data(), image.size()) || ::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail_errno(StoreErrc::WriteFailed, tmp, "write/fsync");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail_errno(StoreErrc::WriteFailed, path, "rename");
+  }
+  // Persist the rename itself: fsync the parent directory. Failure here is
+  // reported — the data is intact but its durability is not yet proven.
+  const std::string dir = parent_dir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) fail_errno(StoreErrc::WriteFailed, dir, "open parent dir");
+  if (::fsync(dfd) != 0) {
+    const int saved = errno;
+    ::close(dfd);
+    errno = saved;
+    fail_errno(StoreErrc::WriteFailed, dir, "fsync parent dir");
+  }
+  ::close(dfd);
+}
+
+// ---- reading -------------------------------------------------------------
+
+RecordReader::RecordReader(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail_errno(StoreErrc::OpenFailed, path, "open");
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno(StoreErrc::OpenFailed, path, "fstat");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+
+  // Distinguish "not our file" from "our file, torn": check the magic via
+  // pread before requiring a full header page.
+  if (size >= sizeof(u32)) {
+    u8 m[sizeof(u32)];
+    if (::pread(fd, m, sizeof(m), 0) == static_cast<ssize_t>(sizeof(m)) &&
+        get_le<u32>(m) != kStoreMagic) {
+      ::close(fd);
+      fail(StoreErrc::BadMagic, path, "not an XBS1 record file");
+    }
+  }
+  if (size < kPageBytes) {
+    ::close(fd);
+    fail(StoreErrc::TruncatedFile, path, "shorter than one header page");
+  }
+
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail_errno(StoreErrc::OpenFailed, path, "mmap");
+  }
+  ::close(fd);  // the mapping keeps the file alive
+  map_ = static_cast<const u8*>(map);
+  map_bytes_ = size;
+
+  // The reader owns the mapping from here on: any validation failure must
+  // release it, so route rejects through a helper lambda.
+  const auto reject = [this](StoreErrc errc, const std::string& detail,
+                             std::size_t page = StoreError::npos, u32 stored = 0,
+                             u32 computed = 0) {
+    const std::string p = path_;
+    ::munmap(const_cast<u8*>(map_), map_bytes_);
+    map_ = nullptr;
+    map_bytes_ = 0;
+    fail(errc, p, detail, page, stored, computed);
+  };
+
+  const u8* h = map_;
+  if (get_le<u32>(h + kOffMagic) != kStoreMagic) reject(StoreErrc::BadMagic, "not an XBS1 record file");
+  const u16 version = get_le<u16>(h + kOffVersion);
+  if (version != kStoreVersion) {
+    reject(StoreErrc::BadVersion, "format version " + std::to_string(version));
+  }
+
+  // Header CRC before trusting any other field: compute over the header
+  // page with the crc field zeroed.
+  {
+    u8 page[kPageBytes];
+    std::memcpy(page, h, kPageBytes);
+    std::memset(page + kOffHeaderCrc, 0, sizeof(u32));
+    const u32 stored = get_le<u32>(h + kOffHeaderCrc);
+    const u32 computed = crc32c(0, page, kPageBytes);
+    if (stored != computed) {
+      reject(StoreErrc::BadHeader, "header CRC mismatch", StoreError::npos, stored, computed);
+    }
+    header_.header_crc = stored;
+  }
+
+  if (get_le<u16>(h + kOffReserved) != 0) reject(StoreErrc::BadHeader, "nonzero reserved field");
+  if (get_le<u32>(h + kOffPageBytes) != kPageBytes) {
+    reject(StoreErrc::BadHeader, "unsupported page size");
+  }
+  const u32 name_len = get_le<u32>(h + kOffNameLen);
+  if (name_len > kMaxNameLen) reject(StoreErrc::BadHeader, "record name longer than 256 bytes");
+
+  header_.fs_hz = f64_from_bits(get_le<u64>(h + kOffFsHz));
+  header_.gain_adu_per_mv = f64_from_bits(get_le<u64>(h + kOffGain));
+  if (!std::isfinite(header_.fs_hz) || header_.fs_hz <= 0.0) {
+    reject(StoreErrc::BadHeader, "non-positive or non-finite fs_hz");
+  }
+  if (!std::isfinite(header_.gain_adu_per_mv)) {
+    reject(StoreErrc::BadHeader, "non-finite gain_adu_per_mv");
+  }
+
+  header_.n_samples = get_le<u64>(h + kOffNSamples);
+  header_.n_peaks = get_le<u64>(h + kOffNPeaks);
+  header_.payload_bytes = get_le<u64>(h + kOffPayloadBytes);
+  header_.page_count = get_le<u32>(h + kOffPageCount);
+  header_.tag_table_crc = get_le<u32>(h + kOffTagTableCrc);
+  // Bound counts before any size arithmetic: a CRC proves integrity, not
+  // honesty, and a forged header must not be able to overflow u64 below.
+  if (header_.n_samples == 0 || header_.n_samples > kMaxElements ||
+      header_.n_peaks > kMaxElements) {
+    reject(StoreErrc::BadHeader, "implausible element counts");
+  }
+  if (header_.payload_bytes !=
+      header_.n_samples * sizeof(i32) + header_.n_peaks * sizeof(u64)) {
+    reject(StoreErrc::BadHeader, "payload_bytes inconsistent with element counts");
+  }
+  const u64 expect_pages = (header_.payload_bytes + kPageBytes - 1) / kPageBytes;
+  if (header_.page_count != expect_pages) {
+    reject(StoreErrc::BadHeader, "page_count inconsistent with payload_bytes");
+  }
+  tag_pages_ = tag_pages_for(header_.page_count);
+  const u64 expect_size = (1 + tag_pages_ + u64{header_.page_count}) * kPageBytes;
+  if (map_bytes_ < expect_size) {
+    reject(StoreErrc::TruncatedFile,
+           "have " + std::to_string(map_bytes_) + " bytes, header claims " +
+               std::to_string(expect_size));
+  }
+  if (map_bytes_ > expect_size) {
+    reject(StoreErrc::BadHeader, "file larger than header claims");
+  }
+
+  // Tag-table CRC: page tags are only trustworthy once the table itself is.
+  {
+    const u32 computed = crc32c(0, map_ + kPageBytes, tag_pages_ * kPageBytes);
+    if (computed != header_.tag_table_crc) {
+      reject(StoreErrc::BadTagTable, "tag table CRC mismatch", StoreError::npos,
+             header_.tag_table_crc, computed);
+    }
+  }
+
+  header_.name.assign(reinterpret_cast<const char*>(h + kHeaderFixedBytes), name_len);
+  page_verified_.assign(header_.page_count, false);
+}
+
+RecordReader::~RecordReader() {
+  if (map_ != nullptr) ::munmap(const_cast<u8*>(map_), map_bytes_);
+}
+
+RecordReader::RecordReader(RecordReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      header_(std::move(other.header_)),
+      map_(std::exchange(other.map_, nullptr)),
+      map_bytes_(std::exchange(other.map_bytes_, 0)),
+      tag_pages_(other.tag_pages_),
+      page_verified_(std::move(other.page_verified_)),
+      quarantined_(other.quarantined_),
+      fault_(other.fault_) {}
+
+RecordReader& RecordReader::operator=(RecordReader&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(const_cast<u8*>(map_), map_bytes_);
+    path_ = std::move(other.path_);
+    header_ = std::move(other.header_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_bytes_ = std::exchange(other.map_bytes_, 0);
+    tag_pages_ = other.tag_pages_;
+    page_verified_ = std::move(other.page_verified_);
+    quarantined_ = other.quarantined_;
+    fault_ = other.fault_;
+  }
+  return *this;
+}
+
+const u8* RecordReader::payload_base() const noexcept {
+  return map_ + (1 + tag_pages_) * kPageBytes;
+}
+
+u32 RecordReader::stored_tag(std::size_t page) const noexcept {
+  return get_le<u32>(map_ + kPageBytes + page * sizeof(u32));
+}
+
+std::size_t RecordReader::page_samples(std::size_t page) const {
+  if (page >= header_.page_count) throw std::out_of_range("xbs::store: page index out of range");
+  const u64 sample_bytes = header_.n_samples * sizeof(i32);
+  const u64 lo = page * u64{kPageBytes};
+  const u64 hi = lo + kPageBytes;
+  if (lo >= sample_bytes) return 0;
+  return static_cast<std::size_t>((std::min(hi, sample_bytes) - lo) / sizeof(i32));
+}
+
+void RecordReader::rethrow_quarantined() const {
+  throw StoreError(StoreErrc::PageCorrupt,
+                   "xbs::store: page corrupt: " + path_ + ": record quarantined (page " +
+                       std::to_string(fault_.page) + " failed verification)",
+                   fault_.page, fault_.stored_crc, fault_.computed_crc);
+}
+
+void RecordReader::verify_page(std::size_t page) {
+  if (page_verified_[page]) return;
+  const u32 stored = stored_tag(page);
+  const u32 computed = crc32c(0, payload_base() + page * kPageBytes, kPageBytes);
+  if (stored != computed) {
+    quarantined_ = true;
+    fault_ = PageFault{page, stored, computed};
+    fail(StoreErrc::PageCorrupt, path_,
+         "page " + std::to_string(page) + " CRC mismatch (stored " + std::to_string(stored) +
+             ", computed " + std::to_string(computed) + ")",
+         page, stored, computed);
+  }
+  page_verified_[page] = true;
+}
+
+std::span<const i32> RecordReader::samples(std::size_t first, std::size_t n) {
+  if (quarantined_) rethrow_quarantined();
+  if (first > header_.n_samples || n > header_.n_samples - first) {
+    throw std::out_of_range("xbs::store: sample range out of bounds");
+  }
+  if (n == 0) return {};
+  const std::size_t p0 = first * sizeof(i32) / kPageBytes;
+  const std::size_t p1 = ((first + n) * sizeof(i32) - 1) / kPageBytes;
+  for (std::size_t p = p0; p <= p1; ++p) verify_page(p);
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+  // Big-endian fallback: decode into a reusable buffer (not zero-copy).
+  swap_buf_.resize(n);
+  const u8* base = payload_base() + first * sizeof(i32);
+  for (std::size_t i = 0; i < n; ++i) {
+    swap_buf_[i] = static_cast<i32>(get_le<u32>(base + i * sizeof(i32)));
+  }
+  return {swap_buf_.data(), n};
+#else
+  // payload pages are kPageBytes-aligned in the mapping, so the i32 view is
+  // aligned; the sample region is contiguous across pages by construction.
+  return {reinterpret_cast<const i32*>(payload_base()) + first, n};
+#endif
+}
+
+ecg::DigitizedRecord RecordReader::record() {
+  if (quarantined_) rethrow_quarantined();
+  for (std::size_t p = 0; p < header_.page_count; ++p) verify_page(p);
+
+  ecg::DigitizedRecord rec;
+  rec.name = header_.name;
+  rec.fs_hz = header_.fs_hz;
+  rec.gain_adu_per_mv = header_.gain_adu_per_mv;
+
+  const std::span<const i32> s = samples(0, static_cast<std::size_t>(header_.n_samples));
+  rec.adu.assign(s.begin(), s.end());
+
+  const u8* peaks = payload_base() + header_.n_samples * sizeof(i32);
+  rec.r_peaks.reserve(static_cast<std::size_t>(header_.n_peaks));
+  u64 prev = 0;
+  for (u64 i = 0; i < header_.n_peaks; ++i) {
+    const u64 v = get_le<u64>(peaks + i * sizeof(u64));
+    const bool ordered = i == 0 || v > prev;
+    if (!ordered || v >= header_.n_samples) {
+      // Pages verified, so this is a writer bug or a forged-but-rehashed
+      // file — either way a typed rejection, not a crash downstream.
+      fail(StoreErrc::BadPayload, path_, "r_peaks not strictly increasing in-range");
+    }
+    rec.r_peaks.push_back(static_cast<std::size_t>(v));
+    prev = v;
+  }
+  return rec;
+}
+
+ScrubReport RecordReader::scrub() const {
+  ScrubReport report;
+  report.pages_total = header_.page_count;
+  for (std::size_t p = 0; p < header_.page_count; ++p) {
+    const u32 stored = stored_tag(p);
+    const u32 computed = crc32c(0, payload_base() + p * kPageBytes, kPageBytes);
+    if (stored != computed) report.faults.push_back(PageFault{p, stored, computed});
+  }
+  return report;
+}
+
+ecg::DigitizedRecord load_record(const std::string& path) {
+  RecordReader reader(path);
+  return reader.record();
+}
+
+}  // namespace xbs::store

@@ -1,0 +1,294 @@
+/// \file wfdb.cpp
+/// \brief WFDB reader/writer (scope and contract in wfdb.hpp).
+#include "xbs/store/wfdb.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "xbs/common/types.hpp"
+#include "xbs/ecg/parse.hpp"
+
+namespace xbs::store {
+
+namespace {
+
+constexpr const char* kCtx = "read_wfdb";
+
+[[noreturn]] void fail(const std::string& detail) {
+  throw std::runtime_error(std::string(kCtx) + ": " + detail);
+}
+
+// MIT annotation atom codes (ecgcodes.h vocabulary).
+constexpr u16 kAnnSkip = 59;
+constexpr u16 kAnnNum = 60;
+constexpr u16 kAnnSub = 61;
+constexpr u16 kAnnChn = 62;
+constexpr u16 kAnnAux = 63;
+
+/// The standard "is this annotation a QRS complex" set: beat codes
+/// NORMAL..UNKNOWN (1–13) plus BBB (25), AESC (34), SVESC (35), PFUS (38).
+bool is_beat_code(u16 code) noexcept {
+  return (code >= 1 && code <= 13) || code == 25 || code == 34 || code == 35 || code == 38;
+}
+
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+std::string strip_hea(const std::string& hea_path) {
+  constexpr std::string_view kExt = ".hea";
+  if (hea_path.size() <= kExt.size() ||
+      hea_path.compare(hea_path.size() - kExt.size(), kExt.size(), kExt) != 0) {
+    fail("header path must end in .hea: '" + hea_path + "'");
+  }
+  return hea_path.substr(0, hea_path.size() - kExt.size());
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::vector<u8> read_binary(const std::string& path, bool required) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (required) fail("cannot open: " + path);
+    return {};
+  }
+  return std::vector<u8>(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+}
+
+struct HeaderInfo {
+  std::string dat_name;
+  std::size_t n_signals = 0;
+  double fs_hz = 0.0;
+  u64 n_samples = 0;
+  double gain = 200.0;  // the WFDB default when the field is absent or 0
+};
+
+HeaderInfo parse_header(const std::string& hea_path, std::size_t signal,
+                        std::string* record_name) {
+  std::ifstream is(hea_path);
+  if (!is) fail("cannot open: " + hea_path);
+
+  HeaderInfo info;
+  std::string line;
+  bool record_line_done = false;
+  std::size_t signals_seen = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tok = split_ws(line);
+    if (!record_line_done) {
+      // Record line: name nsig fs nsamples [btime [bdate]]. Multi-segment
+      // records (name/nseg) and headers without an explicit sample count
+      // are out of scope — reject, don't guess.
+      if (tok.size() < 4) fail("bad record line: '" + line + "'");
+      if (tok[0].find('/') != std::string::npos) {
+        fail("multi-segment records are unsupported: '" + tok[0] + "'");
+      }
+      *record_name = tok[0];
+      const i64 nsig = ecg::parse_i64_field(tok[1], kCtx, "bad signal count");
+      if (nsig < 1 || nsig > 32) fail("bad signal count: '" + tok[1] + "'");
+      info.n_signals = static_cast<std::size_t>(nsig);
+      info.fs_hz = ecg::parse_double_field(tok[2], kCtx, "bad sampling frequency");
+      if (!(info.fs_hz > 0.0)) fail("non-positive sampling frequency: '" + tok[2] + "'");
+      const i64 ns = ecg::parse_i64_field(tok[3], kCtx, "bad sample count");
+      if (ns < 1) fail("non-positive sample count: '" + tok[3] + "'");
+      info.n_samples = static_cast<u64>(ns);
+      record_line_done = true;
+      continue;
+    }
+    if (signals_seen == info.n_signals) break;  // past the signal block
+    // Signal line: filename format [gain[(baseline)][/units] [...]]. Only
+    // plain format 212 is supported (no xN / :skew / +offset modifiers).
+    if (tok.size() < 2) fail("bad signal line: '" + line + "'");
+    if (tok[1] != "212") fail("unsupported signal format: '" + tok[1] + "' (only 212)");
+    if (signals_seen == 0) {
+      info.dat_name = tok[0];
+    } else if (tok[0] != info.dat_name) {
+      fail("signals split across files are unsupported: '" + tok[0] + "'");
+    }
+    if (signals_seen == signal && tok.size() >= 3) {
+      // Gain may carry "(baseline)" and "/units" suffixes; the number is
+      // everything before either.
+      const std::string g = tok[2].substr(0, tok[2].find_first_of("(/"));
+      const double gain = ecg::parse_double_field(g, kCtx, "bad signal gain");
+      if (gain < 0.0) fail("negative signal gain: '" + tok[2] + "'");
+      if (gain > 0.0) info.gain = gain;
+    }
+    ++signals_seen;
+  }
+  if (!record_line_done) fail("no record line in: " + hea_path);
+  if (signals_seen < info.n_signals) fail("fewer signal lines than the declared count");
+  if (signal >= info.n_signals) {
+    fail("signal index " + std::to_string(signal) + " out of range (record has " +
+         std::to_string(info.n_signals) + ")");
+  }
+  return info;
+}
+
+/// Decode format 212: successive 12-bit two's-complement values packed two
+/// per 3 bytes, interleaved across signals frame by frame. Returns the
+/// values of one signal.
+std::vector<i32> decode_212(const std::vector<u8>& dat, u64 n_samples, std::size_t n_signals,
+                            std::size_t signal) {
+  const u64 total = n_samples * n_signals;
+  const u64 pairs = total / 2;
+  const u64 need = pairs * 3 + (total % 2 != 0 ? 2 : 0);
+  // Exact by default; tolerate a single pad byte closing an odd final pair.
+  if (dat.size() != need && dat.size() != need + 1) {
+    fail("212 signal file has " + std::to_string(dat.size()) + " bytes, expected " +
+         std::to_string(need));
+  }
+  std::vector<i32> out;
+  out.reserve(static_cast<std::size_t>(n_samples));
+  for (u64 v = 0; v < total; ++v) {
+    const u64 pair = v / 2;
+    const u8* b = dat.data() + pair * 3;
+    u32 raw = (v % 2 == 0) ? (u32{b[0]} | (u32{b[1]} & 0x0Fu) << 8)
+                           : (u32{b[2]} | (u32{b[1]} & 0xF0u) << 4);
+    const i32 s = raw >= 2048u ? static_cast<i32>(raw) - 4096 : static_cast<i32>(raw);
+    if (v % n_signals == signal) out.push_back(s);
+  }
+  return out;
+}
+
+/// Decode a MIT-format annotation stream into R-peak sample indices: 2-byte
+/// LE atoms, code = A >> 10, delta-time = A & 0x3FF, with the standard
+/// escape codes handled and beat codes kept.
+std::vector<std::size_t> decode_annotations(const std::vector<u8>& atr, u64 n_samples) {
+  std::vector<std::size_t> peaks;
+  u64 t = 0;
+  std::size_t i = 0;
+  const auto need = [&](std::size_t n) {
+    if (atr.size() - i < n) fail("annotation stream truncated mid-atom");
+  };
+  while (i + 1 < atr.size()) {
+    const u16 atom = static_cast<u16>(u16{atr[i]} | u16{atr[i + 1]} << 8);
+    i += 2;
+    const u16 code = atom >> 10;
+    const u16 field = atom & 0x3FFu;
+    if (atom == 0) break;  // EOF atom
+    switch (code) {
+      case kAnnSkip: {
+        // Interval in the next two words: high 16 bits first, then low.
+        need(4);
+        const u32 hi = u32{atr[i]} | u32{atr[i + 1]} << 8;
+        const u32 lo = u32{atr[i + 2]} | u32{atr[i + 3]} << 8;
+        i += 4;
+        t += (u64{hi} << 16) | lo;
+        break;
+      }
+      case kAnnNum:
+      case kAnnSub:
+      case kAnnChn:
+        break;  // modifier atoms: value in `field`, no time advance
+      case kAnnAux: {
+        const std::size_t len = field + (field % 2);  // aux bytes, even-padded
+        need(len);
+        i += len;
+        break;
+      }
+      default: {
+        t += field;
+        if (is_beat_code(code)) {
+          if (t >= n_samples) fail("annotation time past the end of the record");
+          peaks.push_back(static_cast<std::size_t>(t));
+        }
+        break;
+      }
+    }
+  }
+  return peaks;
+}
+
+std::string base_name(const std::string& base_path) {
+  const auto slash = base_path.find_last_of('/');
+  return slash == std::string::npos ? base_path : base_path.substr(slash + 1);
+}
+
+}  // namespace
+
+ecg::DigitizedRecord read_wfdb(const std::string& hea_path, std::size_t signal) {
+  std::string record_name;
+  const HeaderInfo info = parse_header(hea_path, signal, &record_name);
+
+  const std::vector<u8> dat = read_binary(dir_of(hea_path) + info.dat_name, /*required=*/true);
+  ecg::DigitizedRecord rec;
+  rec.name = record_name;
+  rec.fs_hz = info.fs_hz;
+  rec.gain_adu_per_mv = info.gain;
+  rec.adu = decode_212(dat, info.n_samples, info.n_signals, signal);
+
+  const std::vector<u8> atr = read_binary(strip_hea(hea_path) + ".atr", /*required=*/false);
+  if (!atr.empty()) rec.r_peaks = decode_annotations(atr, info.n_samples);
+  return rec;
+}
+
+void write_wfdb(const std::string& hea_path, const ecg::DigitizedRecord& rec) {
+  if (rec.adu.empty()) fail("cannot write an empty record");
+  for (const i32 s : rec.adu) {
+    if (s < -2048 || s > 2047) {
+      fail("sample out of 12-bit range for format 212: " + std::to_string(s));
+    }
+  }
+  const std::string base = strip_hea(hea_path);
+  const std::string name = base_name(base);
+
+  {
+    std::ofstream os(hea_path);
+    if (!os) fail("cannot open for writing: " + hea_path);
+    os << name << " 1 " << rec.fs_hz << " " << rec.adu.size() << "\n";
+    os << name << ".dat 212 " << rec.gain_adu_per_mv << " 12 0\n";
+    if (!os) fail("write failed: " + hea_path);
+  }
+  {
+    std::ofstream os(base + ".dat", std::ios::binary);
+    if (!os) fail("cannot open for writing: " + base + ".dat");
+    for (std::size_t i = 0; i < rec.adu.size(); i += 2) {
+      const u32 a = static_cast<u32>(rec.adu[i]) & 0xFFFu;
+      const u32 b = (i + 1 < rec.adu.size() ? static_cast<u32>(rec.adu[i + 1]) : 0u) & 0xFFFu;
+      const u8 bytes[3] = {static_cast<u8>(a & 0xFFu),
+                           static_cast<u8>(((a >> 8) & 0x0Fu) | ((b >> 4) & 0xF0u)),
+                           static_cast<u8>(b & 0xFFu)};
+      os.write(reinterpret_cast<const char*>(bytes), 3);
+    }
+    if (!os) fail("write failed: " + base + ".dat");
+  }
+  {
+    std::ofstream os(base + ".atr", std::ios::binary);
+    if (!os) fail("cannot open for writing: " + base + ".atr");
+    const auto put_atom = [&os](u16 code, u16 field) {
+      const u16 atom = static_cast<u16>(code << 10 | (field & 0x3FFu));
+      const u8 bytes[2] = {static_cast<u8>(atom & 0xFFu), static_cast<u8>(atom >> 8)};
+      os.write(reinterpret_cast<const char*>(bytes), 2);
+    };
+    u64 prev = 0;
+    for (const std::size_t peak : rec.r_peaks) {
+      u64 delta = peak - prev;
+      if (delta > 0x3FFu) {  // too far for one atom: emit a SKIP interval
+        put_atom(kAnnSkip, 0);
+        const u32 d32 = static_cast<u32>(delta);
+        const u8 words[4] = {static_cast<u8>((d32 >> 16) & 0xFFu), static_cast<u8>(d32 >> 24),
+                             static_cast<u8>(d32 & 0xFFu), static_cast<u8>((d32 >> 8) & 0xFFu)};
+        os.write(reinterpret_cast<const char*>(words), 4);
+        delta = 0;
+      }
+      put_atom(/*NORMAL=*/1, static_cast<u16>(delta));
+      prev = peak;
+    }
+    put_atom(0, 0);  // EOF
+    if (!os) fail("write failed: " + base + ".atr");
+  }
+}
+
+}  // namespace xbs::store

@@ -372,6 +372,7 @@ class StreamServer {
     std::size_t inflight = 0;  ///< chunks in a worker's batch (still hold queue slots)
     bool busy = false;         ///< a worker is draining this slot right now
     bool enqueued = false;     ///< slot is in the shard's ready list
+    u64 ready_stamp = 0;       ///< when the slot entered the ready list (pop priority)
     u64 final_seq = 0;         ///< bumped whenever a drain lands Closed/Faulted
     SessionState final_state = SessionState::Empty;  ///< what that landing was
     u64 chunks_in = 0;
@@ -398,6 +399,7 @@ class StreamServer {
     std::condition_variable egress_cv; ///< blocking drain_events: events / state
     std::vector<Slot> slots;
     std::deque<std::size_t> ready;     ///< local slot indices with runnable work
+    u64 ready_seq = 0;                 ///< monotonic ready_stamp source
     bool stop = false;
     bool paused = false;
     int space_waiters = 0;             ///< gates space_cv notifies off the hot path

@@ -202,6 +202,7 @@ void StreamServer::enqueue_ready(Shard& sh, std::size_t local) {
   Slot& s = sh.slots[local];
   if (s.enqueued || s.busy) return;
   s.enqueued = true;
+  s.ready_stamp = ++sh.ready_seq;
   sh.ready.push_back(local);
   sh.work_cv.notify_one();
 }
@@ -247,8 +248,15 @@ void StreamServer::worker_loop(Shard& sh) {
   while (true) {
     sh.work_cv.wait(lock, [&sh] { return sh.stop || (!sh.paused && !sh.ready.empty()); });
     if (sh.stop) return;
-    const std::size_t li = sh.ready.front();
-    sh.ready.pop_front();
+    // Oldest-stamp-first pop: deadline-aware service order. A session that
+    // yielded mid-backlog re-enters with a fresh stamp, behind every session
+    // that has been waiting — so service round-robins under contention.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < sh.ready.size(); ++i) {
+      if (sh.slots[sh.ready[i]].ready_stamp < sh.slots[sh.ready[best]].ready_stamp) best = i;
+    }
+    const std::size_t li = sh.ready[best];
+    sh.ready.erase(sh.ready.begin() + static_cast<std::ptrdiff_t>(best));
     sh.slots[li].enqueued = false;
     drain_slot(sh, lock, li);
   }
@@ -368,6 +376,17 @@ void StreamServer::drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock,
       sl.dropped_chunks += not_processed;
       fault(sh, sl, std::move(err));
       break;
+    }
+    // Fairness yield: a deep session must not hold this worker for its whole
+    // backlog while other sessions wait. If anyone else is ready, hand the
+    // remainder back (fresh stamp: behind every current waiter) and return
+    // to the pop loop instead of taking another batch.
+    if (!sh.ready.empty() && !sl.queue.empty() &&
+        (sl.state == SessionState::Open || sl.state == SessionState::Draining)) {
+      sl.busy = false;
+      enqueue_ready(sh, local);
+      sh.state_cv.notify_all();
+      return;
     }
   }
   sh.slots[local].busy = false;

@@ -1,0 +1,142 @@
+/// \file fault_inject.hpp
+/// \brief Deterministic byte-level fault injection for robustness property
+/// tests.
+///
+/// Works on an in-memory file image (std::vector<u8>) so the same harness
+/// corrupts anything that is ultimately a byte stream: XBS1 record files
+/// (test_store) and net-protocol frame streams (test_net). Every fault is
+/// drawn from a seeded xbs::Rng and returns a Fault descriptor, so a failing
+/// property test prints exactly which corruption slipped through and the run
+/// reproduces from its seed.
+///
+/// Fault classes:
+///   - flip_bit      silent media bit-rot: one bit, anywhere (or in-range)
+///   - truncate      a torn write that lost the tail (shorter file)
+///   - torn_write    a same-size torn overwrite: the tail reverts to stale
+///                   bytes (old contents or zeros), as when a non-atomic
+///                   in-place writer died mid-file
+///   - mangle_header a corrupted byte confined to a declared header region
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "xbs/common/rng.hpp"
+#include "xbs/common/types.hpp"
+
+namespace xbs::testing {
+
+enum class FaultKind { BitFlip, Truncate, TornWrite, HeaderMangle };
+
+/// What was injected, for failure messages and dedup.
+struct Fault {
+  FaultKind kind = FaultKind::BitFlip;
+  std::size_t offset = 0;  ///< byte offset (BitFlip/HeaderMangle), or the cut point
+  unsigned bit = 0;        ///< bit index within the byte (BitFlip only)
+
+  [[nodiscard]] std::string describe() const {
+    switch (kind) {
+      case FaultKind::BitFlip:
+        return "bit flip at byte " + std::to_string(offset) + " bit " + std::to_string(bit);
+      case FaultKind::Truncate:
+        return "truncated to " + std::to_string(offset) + " bytes";
+      case FaultKind::TornWrite:
+        return "torn write: stale tail from byte " + std::to_string(offset);
+      case FaultKind::HeaderMangle:
+        return "header byte mangled at offset " + std::to_string(offset);
+    }
+    return "unknown fault";
+  }
+};
+
+/// Seeded source of the fault classes above. One injector per test (or per
+/// property-test iteration) keeps runs reproducible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(u64 seed) : rng_(seed) {}
+
+  /// Flip one uniformly random bit in [lo, hi) (whole image by default).
+  Fault flip_bit(std::vector<u8>& image, std::size_t lo = 0,
+                 std::size_t hi = static_cast<std::size_t>(-1)) {
+    hi = std::min(hi, image.size());
+    if (lo >= hi) throw std::invalid_argument("flip_bit: empty range");
+    Fault f;
+    f.kind = FaultKind::BitFlip;
+    f.offset = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<i64>(lo), static_cast<i64>(hi) - 1));
+    f.bit = static_cast<unsigned>(rng_.uniform_int(0, 7));
+    image[f.offset] = static_cast<u8>(image[f.offset] ^ (1u << f.bit));
+    return f;
+  }
+
+  /// Chop the image to a uniformly random strictly smaller size (possibly 0).
+  Fault truncate(std::vector<u8>& image) {
+    if (image.empty()) throw std::invalid_argument("truncate: empty image");
+    Fault f;
+    f.kind = FaultKind::Truncate;
+    f.offset = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<i64>(image.size()) - 1));
+    image.resize(f.offset);
+    return f;
+  }
+
+  /// Same-size torn overwrite: bytes from a random cut point onward revert
+  /// to \p stale (padded with zeros when stale is shorter) — the failure
+  /// shape of a crashed in-place writer, which the atomic-rename discipline
+  /// exists to prevent and the reader must still detect when it meets one.
+  Fault torn_write(std::vector<u8>& image, const std::vector<u8>& stale = {}) {
+    if (image.empty()) throw std::invalid_argument("torn_write: empty image");
+    Fault f;
+    f.kind = FaultKind::TornWrite;
+    f.offset = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<i64>(image.size()) - 1));
+    for (std::size_t i = f.offset; i < image.size(); ++i) {
+      image[i] = i < stale.size() ? stale[i] : u8{0};
+    }
+    return f;
+  }
+
+  /// Overwrite one random byte in [0, header_bytes) with a different value.
+  Fault mangle_header(std::vector<u8>& image, std::size_t header_bytes) {
+    header_bytes = std::min(header_bytes, image.size());
+    if (header_bytes == 0) throw std::invalid_argument("mangle_header: empty header");
+    Fault f;
+    f.kind = FaultKind::HeaderMangle;
+    f.offset = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<i64>(header_bytes) - 1));
+    const u8 old = image[f.offset];
+    u8 neu = old;
+    while (neu == old) neu = static_cast<u8>(rng_.uniform_int(0, 255));
+    image[f.offset] = neu;
+    return f;
+  }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// Plain (deliberately non-crash-safe) byte dump — the fixture path for
+/// planting a corrupted image on disk.
+inline void write_file(const std::string& path, const std::vector<u8>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("fault_inject: cannot open " + path);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("fault_inject: write failed " + path);
+}
+
+/// Slurp a file back (verifying round-trips in tests).
+inline std::vector<u8> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("fault_inject: cannot open " + path);
+  return std::vector<u8>(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+}
+
+}  // namespace xbs::testing

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault_inject.hpp"
 #include "xbs/common/rng.hpp"
 #include "xbs/ecg/dataset.hpp"
 #include "xbs/net/client.hpp"
@@ -665,6 +666,166 @@ TEST(NetHostile, OversizeChunkClosesConnectionWithoutFaultingSession) {
   const auto ack = cli2.open(f, /*busy_retry_for=*/2s);
   EXPECT_EQ(ack.ack, StatsAck::Resumed);
   EXPECT_EQ(server.stream().stats().faulted, 0u);
+}
+
+// ------------------------------------------------------- corruption fuzzing
+//
+// The shared fault-injection harness (tests/fault_inject.hpp, also used
+// against the record store) drives the frame decoder with corrupted copies
+// of a valid multi-frame stream. Frames carry no checksums, so a payload
+// bit flip may legally decode — the properties under test are the decoder's
+// survival guarantees, not detection:
+//   - no crash, hang, or sanitizer report on any corrupted stream;
+//   - a fatal framing error is sticky: once Error, always Error, no matter
+//     what is fed afterwards (the stream is dead);
+//   - whatever frames do come out decode through the typed payload decoders
+//     without crashing (they may return Malformed — that's a valid outcome).
+
+/// One valid wire stream exercising every frame type (seeded variation in
+/// the chunk payload so different iterations corrupt different images).
+std::vector<u8> valid_stream(u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> wire;
+  encode_hello(wire);
+  OpenFrame open;
+  open.token = rng.next_u64();
+  open.lsbs = kB9Lsbs;
+  encode_open(wire, open);
+  std::vector<i32> samples(static_cast<std::size_t>(rng.uniform_int(1, 600)));
+  for (i32& s : samples) s = static_cast<i32>(rng.uniform_int(-40000, 40000));
+  encode_chunk(wire, samples);
+  encode_drain(wire, 250);
+  std::vector<stream::Event> evs(2);
+  evs[0].time_s = 1.25;
+  evs[0].hr_bpm = 71.0;
+  evs[1].peak.decision = pantompkins::PeakDecision::TWave;
+  encode_events(wire, evs);
+  encode_stats(wire, StatsFrame{});
+  encode_error(wire, WireError::Refused, "busy");
+  encode_reset(wire, false);
+  encode_close(wire);
+  return wire;
+}
+
+/// Feed \p wire to \p dec in ragged slices, draining after every slice.
+/// Returns the first fatal error (None if the stream decoded cleanly) and
+/// runs every extracted frame through its typed payload decoder.
+WireError pump(FrameDecoder& dec, const std::vector<u8>& wire, Rng& rng,
+               std::size_t* frames_out = nullptr) {
+  WireError fatal = WireError::None;
+  std::size_t frames = 0;
+  std::size_t at = 0;
+  while (at < wire.size()) {
+    const auto len =
+        std::min<std::size_t>(static_cast<std::size_t>(rng.uniform_int(1, 97)),
+                              wire.size() - at);
+    dec.feed(std::span<const u8>(wire).subspan(at, len));
+    at += len;
+    FrameHeader h;
+    std::vector<u8> p;
+    WireError e = WireError::None;
+    FrameDecoder::Next n;
+    while ((n = dec.next(h, p, e)) == FrameDecoder::Next::Frame) {
+      ++frames;
+      // Typed decode of whatever came out: must not crash; Malformed is fine.
+      HelloFrame hf;
+      OpenFrame of;
+      DrainFrame df;
+      ResetFrame rf;
+      StatsFrame sf;
+      ErrorFrame ef;
+      std::vector<stream::Event> evs;
+      std::vector<i32> chunk;
+      switch (h.type) {
+        case FrameType::Hello: (void)decode_hello(p, hf); break;
+        case FrameType::Open: (void)decode_open(p, of); break;
+        case FrameType::Chunk: (void)decode_chunk(p, chunk); break;
+        case FrameType::Drain: (void)decode_drain(p, df); break;
+        case FrameType::Reset: (void)decode_reset(p, rf); break;
+        case FrameType::Event: (void)decode_events(p, evs); break;
+        case FrameType::Stats: (void)decode_stats(p, sf); break;
+        case FrameType::Error: (void)decode_error(p, ef); break;
+        default: break;
+      }
+    }
+    if (n == FrameDecoder::Next::Error) {
+      EXPECT_NE(e, WireError::None);
+      fatal = e;
+      break;
+    }
+  }
+  if (frames_out != nullptr) *frames_out = frames;
+  return fatal;
+}
+
+/// Once fatal, the decoder must stay fatal regardless of later input.
+void expect_sticky_dead(FrameDecoder& dec, Rng& rng) {
+  const std::vector<u8> more = valid_stream(rng.next_u64());
+  dec.feed(more);
+  FrameHeader h;
+  std::vector<u8> p;
+  WireError e = WireError::None;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(dec.next(h, p, e), FrameDecoder::Next::Error) << "decoder revived after fatal";
+    EXPECT_NE(e, WireError::None);
+  }
+}
+
+TEST(NetFuzz, BitFlippedStreamsNeverCrashAndFatalErrorsAreSticky) {
+  std::size_t fatals = 0;
+  for (u64 iter = 0; iter < 300; ++iter) {
+    xbs::testing::FaultInjector inj(0xF1E1D000 + iter);
+    std::vector<u8> wire = valid_stream(iter);
+    const xbs::testing::Fault f = inj.flip_bit(wire);
+    FrameDecoder dec;
+    const WireError fatal = pump(dec, wire, inj.rng());
+    if (fatal != WireError::None) {
+      ++fatals;
+      expect_sticky_dead(dec, inj.rng());
+    }
+    SCOPED_TRACE(f.describe());
+  }
+  // Header flips must be hitting the fatal path some of the time; payload
+  // flips may legally decode, so not every iteration is fatal.
+  EXPECT_GT(fatals, 0u);
+}
+
+TEST(NetFuzz, TruncatedAndTornStreamsNeverCrash) {
+  for (u64 iter = 0; iter < 200; ++iter) {
+    xbs::testing::FaultInjector inj(0xBADC0DE + iter);
+    std::vector<u8> wire = valid_stream(iter);
+    const std::vector<u8> stale = valid_stream(iter + 1000);
+    if (iter % 2 == 0) {
+      (void)inj.truncate(wire);
+    } else {
+      (void)inj.torn_write(wire, stale);
+    }
+    FrameDecoder dec;
+    const WireError fatal = pump(dec, wire, inj.rng());
+    if (fatal != WireError::None) expect_sticky_dead(dec, inj.rng());
+    // A clean truncation mid-frame just leaves the decoder waiting for more
+    // bytes — NeedMore forever is the correct, crash-free outcome.
+  }
+}
+
+TEST(NetFuzz, HeaderMangledStreamsErrorOrResyncButNeverCrash) {
+  std::size_t fatals = 0;
+  for (u64 iter = 0; iter < 200; ++iter) {
+    xbs::testing::FaultInjector inj(0x5EED + iter);
+    std::vector<u8> wire = valid_stream(iter);
+    // Mangle a byte inside the first frame header (12 bytes): magic, type,
+    // flags, or length — the highest-leverage corruption for a framer.
+    (void)inj.mangle_header(wire, 12);
+    FrameDecoder dec;
+    const WireError fatal = pump(dec, wire, inj.rng());
+    if (fatal != WireError::None) {
+      ++fatals;
+      expect_sticky_dead(dec, inj.rng());
+    }
+  }
+  // Nearly every header mangle is fatal (a length mangle that still parses
+  // can shift framing instead); the fatal path must dominate.
+  EXPECT_GT(fatals, 150u);
 }
 
 }  // namespace

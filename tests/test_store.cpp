@@ -1,0 +1,504 @@
+// Checksummed record store tests: CRC32C tiers and check vectors, XBS1
+// round-trips, crash-safety discipline, strict open-time validation, and the
+// fault-injection property suite — every injected corruption (bit flips,
+// truncations, torn writes, header mangling) must surface as a typed
+// StoreError, never a silently served sample and never a crash. Plus the
+// WFDB converter (format 212 + MIT annotations) and the shared strict-parse
+// helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault_inject.hpp"
+#include "xbs/common/rng.hpp"
+#include "xbs/ecg/parse.hpp"
+#include "xbs/ecg/record.hpp"
+#include "xbs/store/crc32c.hpp"
+#include "xbs/store/format.hpp"
+#include "xbs/store/store.hpp"
+#include "xbs/store/wfdb.hpp"
+
+namespace xbs::store {
+namespace {
+
+using testing::FaultInjector;
+
+std::string tmp_path(const std::string& name) { return ::testing::TempDir() + name; }
+
+/// A synthetic record with peaks, sized in samples. Values span the full
+/// i32-adu range the CSV path accepts.
+ecg::DigitizedRecord make_rec(std::size_t n, u64 seed, i32 amplitude = 30000) {
+  ecg::DigitizedRecord rec;
+  rec.name = "synthetic-" + std::to_string(seed);
+  rec.fs_hz = 200.0;
+  rec.gain_adu_per_mv = 18000.0;
+  Rng rng(seed);
+  rec.adu.resize(n);
+  for (auto& s : rec.adu) s = static_cast<i32>(rng.uniform_int(-amplitude, amplitude));
+  for (std::size_t p = 17; p < n; p += 150) rec.r_peaks.push_back(p);
+  return rec;
+}
+
+void expect_equal_records(const ecg::DigitizedRecord& a, const ecg::DigitizedRecord& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.fs_hz, b.fs_hz);
+  EXPECT_EQ(a.gain_adu_per_mv, b.gain_adu_per_mv);
+  EXPECT_EQ(a.adu, b.adu);
+  EXPECT_EQ(a.r_peaks, b.r_peaks);
+}
+
+/// Run \p fn expecting a StoreError; return it for field assertions.
+template <typename Fn>
+StoreError expect_store_error(Fn&& fn, const char* what) {
+  try {
+    fn();
+  } catch (const StoreError& e) {
+    return e;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << ": threw non-StoreError: " << e.what();
+    return StoreError(StoreErrc::OpenFailed, "wrong exception type");
+  }
+  ADD_FAILURE() << what << ": no StoreError thrown";
+  return StoreError(StoreErrc::OpenFailed, "nothing thrown");
+}
+
+// Little-endian field pokes into a raw image (offsets per format.hpp).
+u32 rd32(const std::vector<u8>& b, std::size_t off) {
+  return u32{b[off]} | u32{b[off + 1]} << 8 | u32{b[off + 2]} << 16 | u32{b[off + 3]} << 24;
+}
+void wr32(std::vector<u8>& b, std::size_t off, u32 v) {
+  for (int i = 0; i < 4; ++i) b[off + static_cast<std::size_t>(i)] = static_cast<u8>(v >> (8 * i));
+}
+void wr64(std::vector<u8>& b, std::size_t off, u64 v) {
+  for (int i = 0; i < 8; ++i) b[off + static_cast<std::size_t>(i)] = static_cast<u8>(v >> (8 * i));
+}
+
+constexpr std::size_t kOffVersion = 4;
+constexpr std::size_t kOffPageCount = 56;
+constexpr std::size_t kOffTagTableCrc = 60;
+constexpr std::size_t kOffHeaderCrc = 64;
+
+std::size_t payload_offset(const std::vector<u8>& img) {
+  const u32 page_count = rd32(img, kOffPageCount);
+  const std::size_t tag_pages = (page_count * sizeof(u32) + kPageBytes - 1) / kPageBytes;
+  return (1 + tag_pages) * kPageBytes;
+}
+
+/// Recompute every checksum of a hand-patched image — the "forged but
+/// rehashed" adversary the payload validation layer exists for.
+void rehash(std::vector<u8>& img) {
+  const u32 page_count = rd32(img, kOffPageCount);
+  const std::size_t tag_pages = (page_count * sizeof(u32) + kPageBytes - 1) / kPageBytes;
+  const std::size_t payload = (1 + tag_pages) * kPageBytes;
+  for (u32 p = 0; p < page_count; ++p) {
+    wr32(img, kPageBytes + p * sizeof(u32), crc32c(0, img.data() + payload + p * kPageBytes, kPageBytes));
+  }
+  wr32(img, kOffTagTableCrc, crc32c(0, img.data() + kPageBytes, tag_pages * kPageBytes));
+  wr32(img, kOffHeaderCrc, 0);
+  wr32(img, kOffHeaderCrc, crc32c(0, img.data(), kPageBytes));
+}
+
+// ---------------------------------------------------------------- CRC32C
+
+TEST(Crc32c, PublishedCheckVectors) {
+  // CRC-32C check value (every catalog lists it).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c_portable(0, s, 9), 0xE3069283u);
+  EXPECT_EQ(crc32c(0, s, 9), 0xE3069283u);
+  // RFC 3720 (iSCSI) appendix test patterns.
+  std::vector<u8> buf(32, u8{0});
+  EXPECT_EQ(crc32c(0, buf.data(), buf.size()), 0x8A9136AAu);
+  buf.assign(32, u8{0xFF});
+  EXPECT_EQ(crc32c(0, buf.data(), buf.size()), 0x62A8AB43u);
+  for (u32 i = 0; i < 32; ++i) buf[i] = static_cast<u8>(i);
+  EXPECT_EQ(crc32c(0, buf.data(), buf.size()), 0x46DD794Eu);
+  EXPECT_EQ(crc32c(0, nullptr, 0), 0u);
+}
+
+TEST(Crc32c, TiersAgreeOnAllSizesAndAlignments) {
+  Rng rng(7);
+  std::vector<u8> buf(kPageBytes + 64);
+  for (auto& b : buf) b = static_cast<u8>(rng.uniform_int(0, 255));
+  for (const std::size_t off : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7}}) {
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+          std::size_t{63}, std::size_t{255}, std::size_t{4096}}) {
+      EXPECT_EQ(crc32c(0, buf.data() + off, len), crc32c_portable(0, buf.data() + off, len))
+          << "off=" << off << " len=" << len;
+    }
+  }
+}
+
+TEST(Crc32c, IncrementalCompositionMatchesOneShot) {
+  Rng rng(11);
+  std::vector<u8> buf(1000);
+  for (auto& b : buf) b = static_cast<u8>(rng.uniform_int(0, 255));
+  const u32 whole = crc32c(0, buf.data(), buf.size());
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{8}, std::size_t{500}, std::size_t{999}}) {
+    const u32 part = crc32c(crc32c(0, buf.data(), cut), buf.data() + cut, buf.size() - cut);
+    EXPECT_EQ(part, whole) << "cut=" << cut;
+  }
+}
+
+TEST(Crc32c, TierForcingAndVocabulary) {
+  EXPECT_EQ(parse_crc_impl("portable"), CrcImpl::Portable);
+  EXPECT_EQ(parse_crc_impl("sse42"), CrcImpl::Sse42);
+  EXPECT_EQ(parse_crc_impl("avx"), std::nullopt);
+  EXPECT_TRUE(crc_impl_usable(CrcImpl::Portable));
+
+  EXPECT_EQ(force_crc32c_impl(CrcImpl::Portable), CrcImpl::Portable);
+  EXPECT_EQ(crc32c_impl(), CrcImpl::Portable);
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(0, s, 9), 0xE3069283u);
+  // Forcing an unusable tier falls back instead of selecting it.
+  const CrcImpl got = force_crc32c_impl(CrcImpl::Sse42);
+  if (crc_impl_usable(CrcImpl::Sse42)) {
+    EXPECT_EQ(got, CrcImpl::Sse42);
+    EXPECT_EQ(crc32c(0, s, 9), 0xE3069283u);
+  } else {
+    EXPECT_EQ(got, CrcImpl::Portable);
+  }
+  (void)force_crc32c_impl_auto();
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(StoreFormat, RoundTripAcrossPageBoundaries) {
+  u64 seed = 100;
+  for (const std::size_t n :
+       {std::size_t{1}, kSamplesPerPage - 1, kSamplesPerPage, kSamplesPerPage + 1,
+        3 * kSamplesPerPage + 17}) {
+    const ecg::DigitizedRecord rec = make_rec(n, seed++);
+    const std::string path = tmp_path("rt_" + std::to_string(n) + ".xbs");
+    write_record(path, rec);
+    expect_equal_records(load_record(path), rec);
+
+    RecordReader reader(path);
+    EXPECT_EQ(reader.header().n_samples, n);
+    EXPECT_EQ(reader.header().name, rec.name);
+    EXPECT_EQ(reader.file_bytes() % kPageBytes, 0u);
+    EXPECT_TRUE(reader.scrub().ok());
+    // Sliced reads agree with the record everywhere, including page seams.
+    const auto span = reader.samples(0, n);
+    ASSERT_EQ(span.size(), n);
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), rec.adu.begin()));
+    if (n > 2) {
+      const auto tail = reader.samples(n - 2, 2);
+      EXPECT_EQ(tail[1], rec.adu[n - 1]);
+    }
+  }
+}
+
+TEST(StoreFormat, EncodeIsDeterministicAndWriteLeavesNoTmp) {
+  const ecg::DigitizedRecord rec = make_rec(3000, 5);
+  EXPECT_EQ(encode_record(rec), encode_record(rec));
+
+  const std::string path = tmp_path("atomic.xbs");
+  write_record(path, rec);
+  write_record(path, make_rec(500, 6));  // overwrite in place is atomic too
+  expect_equal_records(load_record(path), make_rec(500, 6));
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "crash-safe writer must not leave " << path << ".tmp";
+}
+
+TEST(StoreFormat, WriterRejectsInvalidRecords) {
+  ecg::DigitizedRecord rec;  // empty
+  EXPECT_THROW((void)encode_record(rec), StoreError);
+  rec = make_rec(100, 1);
+  rec.name.assign(kMaxNameLen + 1, 'x');
+  EXPECT_THROW((void)encode_record(rec), StoreError);
+  rec = make_rec(100, 1);
+  rec.fs_hz = 0.0;
+  EXPECT_THROW((void)encode_record(rec), StoreError);
+  rec = make_rec(100, 1);
+  rec.r_peaks = {5, 5};  // not strictly increasing
+  EXPECT_THROW((void)encode_record(rec), StoreError);
+  rec = make_rec(100, 1);
+  rec.r_peaks = {100};  // out of range
+  const StoreError e = expect_store_error([&] { (void)encode_record(rec); }, "bad peak");
+  EXPECT_EQ(e.errc(), StoreErrc::InvalidRecord);
+}
+
+TEST(StoreFormat, RejectsForeignTornAndFutureFiles) {
+  const std::string path = tmp_path("reject.xbs");
+
+  testing::write_file(path, {u8{'h'}, u8{'i'}, u8{'!'}, u8{'\n'}, u8{'x'}});
+  EXPECT_EQ(expect_store_error([&] { RecordReader r(path); }, "foreign").errc(),
+            StoreErrc::BadMagic);
+
+  testing::write_file(path, {});
+  EXPECT_EQ(expect_store_error([&] { RecordReader r(path); }, "empty").errc(),
+            StoreErrc::TruncatedFile);
+
+  const std::vector<u8> image = encode_record(make_rec(2 * kSamplesPerPage, 2));
+  std::vector<u8> torn(image.begin(), image.end() - 123);
+  testing::write_file(path, torn);
+  EXPECT_EQ(expect_store_error([&] { RecordReader r(path); }, "torn").errc(),
+            StoreErrc::TruncatedFile);
+
+  std::vector<u8> longer = image;
+  longer.resize(longer.size() + kPageBytes, u8{0});
+  testing::write_file(path, longer);
+  EXPECT_EQ(expect_store_error([&] { RecordReader r(path); }, "longer").errc(),
+            StoreErrc::BadHeader);
+
+  std::vector<u8> future = image;
+  future[kOffVersion] = 2;
+  rehash(future);  // valid checksums, unknown version: still refused
+  testing::write_file(path, future);
+  EXPECT_EQ(expect_store_error([&] { RecordReader r(path); }, "future").errc(),
+            StoreErrc::BadVersion);
+
+  EXPECT_EQ(expect_store_error([&] { RecordReader r(tmp_path("missing.xbs")); }, "missing").errc(),
+            StoreErrc::OpenFailed);
+}
+
+// ------------------------------------------------- fault-injection properties
+
+TEST(StoreFault, HeaderMangleAlwaysDetectedOnOpen) {
+  const std::vector<u8> clean = encode_record(make_rec(3 * kSamplesPerPage, 21));
+  const std::string path = tmp_path("mangle.xbs");
+  FaultInjector inject(101);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<u8> img = clean;
+    const testing::Fault f = inject.mangle_header(img, kPageBytes);
+    testing::write_file(path, img);
+    (void)expect_store_error([&] { RecordReader r(path); }, f.describe().c_str());
+  }
+}
+
+TEST(StoreFault, SingleBitFlipAnywhereAlwaysDetected) {
+  const std::vector<u8> clean = encode_record(make_rec(3 * kSamplesPerPage + 100, 22));
+  const std::string path = tmp_path("flip.xbs");
+  FaultInjector inject(202);
+  int detected_at_open = 0, detected_at_read = 0;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<u8> img = clean;
+    const testing::Fault f = inject.flip_bit(img);
+    testing::write_file(path, img);
+    try {
+      RecordReader reader(path);
+      // Open passed, so the flip is in the payload: the full read must trip
+      // on it, and scrub must locate it without latching anything.
+      EXPECT_FALSE(reader.scrub().ok()) << f.describe();
+      const StoreError e =
+          expect_store_error([&] { (void)reader.record(); }, f.describe().c_str());
+      EXPECT_EQ(e.errc(), StoreErrc::PageCorrupt) << f.describe();
+      EXPECT_NE(e.stored_crc(), e.computed_crc()) << f.describe();
+      EXPECT_LT(e.page(), reader.page_count()) << f.describe();
+      ++detected_at_read;
+    } catch (const StoreError&) {
+      ++detected_at_open;
+    }
+  }
+  EXPECT_EQ(detected_at_open + detected_at_read, 300);  // 100% detection
+  EXPECT_GT(detected_at_open, 0);  // the corpus exercised both layers
+  EXPECT_GT(detected_at_read, 0);
+}
+
+TEST(StoreFault, TruncationAlwaysDetectedOnOpen) {
+  const std::vector<u8> clean = encode_record(make_rec(2 * kSamplesPerPage + 9, 23));
+  const std::string path = tmp_path("trunc.xbs");
+  FaultInjector inject(303);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<u8> img = clean;
+    const testing::Fault f = inject.truncate(img);
+    testing::write_file(path, img);
+    (void)expect_store_error([&] { RecordReader r(path); }, f.describe().c_str());
+  }
+}
+
+TEST(StoreFault, TornWriteDetectedWheneverBytesChanged) {
+  // Same-size torn overwrite with two stale-tail flavors: zeros, and the
+  // previous tenant of the path (an old record of identical length).
+  const std::vector<u8> clean = encode_record(make_rec(2 * kSamplesPerPage, 24));
+  const std::vector<u8> stale = encode_record(make_rec(2 * kSamplesPerPage, 25));
+  ASSERT_EQ(clean.size(), stale.size());
+  const std::string path = tmp_path("tornw.xbs");
+  FaultInjector inject(404);
+  int detected = 0, noop = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<u8> img = clean;
+    (void)(i % 2 == 0 ? inject.torn_write(img) : inject.torn_write(img, stale));
+    if (img == clean) {
+      ++noop;  // the cut landed where stale bytes equal live ones: no fault
+      continue;
+    }
+    testing::write_file(path, img);
+    bool ok = false;
+    try {
+      RecordReader reader(path);
+      (void)reader.record();
+      ok = true;
+    } catch (const StoreError&) {
+      ++detected;
+    }
+    EXPECT_FALSE(ok) << "iteration " << i << ": changed bytes served as valid";
+  }
+  EXPECT_EQ(detected + noop, 100);
+  EXPECT_GT(detected, 50);
+}
+
+TEST(StoreFault, CorruptPageQuarantinesTheReaderNotTheProcess) {
+  const std::size_t n = 5 * kSamplesPerPage;
+  const ecg::DigitizedRecord rec = make_rec(n, 31);
+  std::vector<u8> img = encode_record(rec);
+  const std::size_t target_page = 2;
+  img[payload_offset(img) + target_page * kPageBytes + 137] ^= u8{0x10};
+  const std::string path = tmp_path("quarantine.xbs");
+  testing::write_file(path, img);
+
+  RecordReader reader(path);  // header and tag table are fine
+  // Pages before the corruption read normally (lazy verification).
+  const auto head = reader.samples(0, kSamplesPerPage);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), rec.adu.begin()));
+  EXPECT_FALSE(reader.quarantined());
+
+  // Touching the bad page throws the fully-typed error...
+  const StoreError e = expect_store_error(
+      [&] { (void)reader.samples(target_page * kSamplesPerPage, 10); }, "bad page");
+  EXPECT_EQ(e.errc(), StoreErrc::PageCorrupt);
+  EXPECT_EQ(e.page(), target_page);
+  EXPECT_NE(e.stored_crc(), e.computed_crc());
+
+  // ...and latches the reader: even previously-good ranges now refuse.
+  EXPECT_TRUE(reader.quarantined());
+  const StoreError again =
+      expect_store_error([&] { (void)reader.samples(0, 1); }, "latched");
+  EXPECT_EQ(again.errc(), StoreErrc::PageCorrupt);
+  EXPECT_EQ(again.page(), target_page);
+
+  // The process (and a fresh reader on the same file) is unaffected: clean
+  // prefixes stay readable, scrub pinpoints exactly the injected page.
+  RecordReader fresh(path);
+  EXPECT_EQ(fresh.samples(0, 4)[0], rec.adu[0]);
+  const ScrubReport report = fresh.scrub();
+  ASSERT_EQ(report.faults.size(), 1u);
+  EXPECT_EQ(report.faults[0].page, target_page);
+  EXPECT_EQ(report.pages_total, fresh.page_count());
+}
+
+TEST(StoreFault, ForgedButRehashedPayloadIsStillRejected) {
+  // CRC proves integrity, not honesty: a forged peak list with fixed-up
+  // checksums must fall to the payload validation layer, typed.
+  const ecg::DigitizedRecord rec = make_rec(kSamplesPerPage, 32);
+  ASSERT_FALSE(rec.r_peaks.empty());
+  std::vector<u8> img = encode_record(rec);
+  wr64(img, payload_offset(img) + rec.adu.size() * sizeof(i32), rec.adu.size() + 7);
+  rehash(img);
+  const std::string path = tmp_path("forged.xbs");
+  testing::write_file(path, img);
+  RecordReader reader(path);  // checksums all pass...
+  const StoreError e = expect_store_error([&] { (void)reader.record(); }, "forged peaks");
+  EXPECT_EQ(e.errc(), StoreErrc::BadPayload);  // ...content still rejected
+}
+
+// -------------------------------------------------------------------- WFDB
+
+TEST(Wfdb, RoundTripWithSkipIntervalsAndNegatives) {
+  ecg::DigitizedRecord rec = make_rec(9000, 41, /*amplitude=*/2000);
+  rec.name = "w100";
+  rec.fs_hz = 360.0;
+  rec.gain_adu_per_mv = 200.0;
+  rec.r_peaks = {0, 3, 900, 8999};  // deltas both sides of the 1023 atom limit
+  const std::string hea = tmp_path("w100.hea");
+  write_wfdb(hea, rec);
+  expect_equal_records(read_wfdb(hea), rec);
+
+  // Odd-length record: the final 212 pair is half-used.
+  ecg::DigitizedRecord odd = make_rec(777, 42, 2000);
+  odd.name = "wodd";
+  const std::string hea_odd = tmp_path("wodd.hea");
+  write_wfdb(hea_odd, odd);
+  expect_equal_records(read_wfdb(hea_odd), odd);
+
+  // Annotations are optional: without the .atr there are just no peaks.
+  std::remove((tmp_path("wodd") + ".atr").c_str());
+  const ecg::DigitizedRecord no_ann = read_wfdb(hea_odd);
+  EXPECT_TRUE(no_ann.r_peaks.empty());
+  EXPECT_EQ(no_ann.adu, odd.adu);
+}
+
+TEST(Wfdb, TwoSignalInterleaveDecodesEitherSignal) {
+  // Hand-built two-signal 212 file: frame i carries (sig0[i], sig1[i]).
+  // sig0 = {100, -5, 2047}, sig1 = {-2048, 7, -1}.
+  const std::vector<i32> sig0 = {100, -5, 2047};
+  const std::vector<i32> sig1 = {-2048, 7, -1};
+  std::vector<u8> dat;
+  for (std::size_t i = 0; i < sig0.size(); ++i) {
+    const u32 a = static_cast<u32>(sig0[i]) & 0xFFFu;
+    const u32 b = static_cast<u32>(sig1[i]) & 0xFFFu;
+    dat.push_back(static_cast<u8>(a & 0xFFu));
+    dat.push_back(static_cast<u8>(((a >> 8) & 0x0Fu) | ((b >> 4) & 0xF0u)));
+    dat.push_back(static_cast<u8>(b & 0xFFu));
+  }
+  testing::write_file(tmp_path("two.dat"), dat);
+  {
+    std::ofstream os(tmp_path("two.hea"));
+    os << "two 2 360 3\n";
+    os << "two.dat 212 200(1024)/mV 12 0\n";
+    os << "two.dat 212 150/mV 12 0\n";
+  }
+  const ecg::DigitizedRecord r0 = read_wfdb(tmp_path("two.hea"), 0);
+  const ecg::DigitizedRecord r1 = read_wfdb(tmp_path("two.hea"), 1);
+  EXPECT_EQ(r0.adu, sig0);
+  EXPECT_EQ(r1.adu, sig1);
+  EXPECT_EQ(r0.gain_adu_per_mv, 200.0);
+  EXPECT_EQ(r1.gain_adu_per_mv, 150.0);
+  EXPECT_EQ(r0.fs_hz, 360.0);
+}
+
+TEST(Wfdb, StrictRejectionOfMalformedInput) {
+  const auto hea = [&](const std::string& text) {
+    std::ofstream os(tmp_path("bad.hea"));
+    os << text;
+  };
+  hea("bad 1 360 100\nbad.dat 16 200\n");  // unsupported format
+  EXPECT_THROW((void)read_wfdb(tmp_path("bad.hea")), std::runtime_error);
+  hea("bad/4 1 360 100\nbad.dat 212 200\n");  // multi-segment
+  EXPECT_THROW((void)read_wfdb(tmp_path("bad.hea")), std::runtime_error);
+  hea("bad 2 360 100\nbad.dat 212 200\n");  // fewer signal lines than declared
+  EXPECT_THROW((void)read_wfdb(tmp_path("bad.hea")), std::runtime_error);
+  hea("bad 1 0 100\nbad.dat 212 200\n");  // non-positive fs
+  EXPECT_THROW((void)read_wfdb(tmp_path("bad.hea")), std::runtime_error);
+  hea("bad 1 360 1x0\nbad.dat 212 200\n");  // trailing garbage in a number
+  EXPECT_THROW((void)read_wfdb(tmp_path("bad.hea")), std::runtime_error);
+
+  // Signal file shorter than the header's sample count.
+  hea("bad 1 360 100\nbad.dat 212 200\n");
+  testing::write_file(tmp_path("bad.dat"), std::vector<u8>(30, u8{0}));
+  EXPECT_THROW((void)read_wfdb(tmp_path("bad.hea")), std::runtime_error);
+
+  // Signal index beyond the record.
+  ecg::DigitizedRecord rec = make_rec(100, 43, 2000);
+  rec.name = "ok";
+  write_wfdb(tmp_path("ok.hea"), rec);
+  EXPECT_THROW((void)read_wfdb(tmp_path("ok.hea"), 1), std::runtime_error);
+
+  // Truncated annotation stream (an atom promising absent aux bytes).
+  testing::write_file(tmp_path("ok.atr"), {u8{0x05}, u8{0xFC}});  // AUX, len 5, no bytes
+  EXPECT_THROW((void)read_wfdb(tmp_path("ok.hea")), std::runtime_error);
+}
+
+// ------------------------------------------------- shared parse helpers
+
+TEST(EcgParse, SharedHelpersNameTheCallerContext) {
+  EXPECT_EQ(ecg::parse_i32_field("-42", "ctx", "w"), -42);
+  EXPECT_EQ(ecg::parse_double_field("2.5", "ctx", "w"), 2.5);
+  try {
+    (void)ecg::parse_i32_field("12abc", "my_loader", "bad adu");
+    FAIL() << "no throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "my_loader: bad adu: '12abc'");
+  }
+  EXPECT_THROW((void)ecg::parse_i32_field("99999999999", "c", "w"), std::runtime_error);
+  EXPECT_THROW((void)ecg::parse_double_field("", "c", "w"), std::runtime_error);
+  EXPECT_THROW((void)ecg::parse_i64_field("1 2", "c", "w"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xbs::store

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -1391,6 +1392,99 @@ TEST(DetectorParamsValidation, RejectsNonPositiveRatesAndNegativeWindows) {
   bad.fs_hz = 0.0;
   EXPECT_THROW((void)pantompkins::detect_qrs(sig, sig, sig, bad), std::invalid_argument);
   EXPECT_THROW(pantompkins::OnlineDetector{bad}, std::invalid_argument);
+}
+
+TEST(StreamServer, DeepSessionCannotMonopolizeAWorker) {
+  // One worker, one shard, prefilled queues while paused: the service order
+  // is fully deterministic. A "deep" session arrives first with 16 queued
+  // chunks (two max-size drain batches); three "shallow" sessions arrive
+  // after it with one chunk each. The deadline-aware ready list must yield
+  // between the deep session's batches so every shallow session is served
+  // before the deep back half — instead of the deep session monopolizing the
+  // worker until its queue runs dry.
+  constexpr std::size_t kChunk = 1000;
+  constexpr std::size_t kDeepChunks = 16;
+  const ecg::DigitizedRecord deep_rec = ecg::nsrdb_like_digitized(7, kDeepChunks * kChunk);
+  const ecg::DigitizedRecord shallow_rec = ecg::nsrdb_like_digitized(8, 4000);
+
+  // Ground truth from a plain Session: the deep feed must emit events in its
+  // back half (so "before the last deep push event" is a real constraint) and
+  // the shallow feed must emit at least one event during its single push.
+  std::size_t deep_push_events = 0;
+  std::size_t deep_first_half_events = 0;
+  {
+    Session deep(SessionSpec{});
+    for (std::size_t c = 0; c < kDeepChunks; ++c) {
+      deep_push_events +=
+          deep.push(std::span<const i32>(deep_rec.adu).subspan(c * kChunk, kChunk)).size();
+      if (c == kDeepChunks / 2 - 1) deep_first_half_events = deep_push_events;
+    }
+    Session shallow(SessionSpec{});
+    ASSERT_GT(shallow.push(shallow_rec.adu).size(), 0u);
+  }
+  ASSERT_GT(deep_push_events, deep_first_half_events)
+      << "feed must produce events in the deep session's second drain batch";
+
+  StreamServer::Options opts;
+  opts.workers = 1;
+  opts.shards = 1;
+  opts.queue_capacity_chunks = kDeepChunks;
+  StreamServer server(opts);
+  server.pause();
+
+  std::mutex order_mu;
+  std::vector<char> order;  // global event arrival order: 'D' deep, 'S' shallow
+  const auto tag_sink = [&order_mu, &order](char tag) {
+    return [&order_mu, &order, tag](const Event&) {
+      const std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(tag);
+    };
+  };
+
+  SessionSpec deep_spec;
+  deep_spec.sink = tag_sink('D');
+  const SessionId deep_id = server.open(std::move(deep_spec));
+  std::array<SessionId, 3> shallow_ids{};
+  for (SessionId& id : shallow_ids) {
+    SessionSpec spec;
+    spec.sink = tag_sink('S');
+    id = server.open(std::move(spec));
+  }
+
+  // Enqueue while paused: deep first (16 chunks, exactly at capacity), then
+  // the shallow sessions. Ready order at resume: deep, s1, s2, s3.
+  for (std::size_t c = 0; c < kDeepChunks; ++c) {
+    ASSERT_EQ(server.try_push(
+                  deep_id, std::span<const i32>(deep_rec.adu).subspan(c * kChunk, kChunk)),
+              PushResult::Ok)
+        << "chunk " << c;
+  }
+  for (const SessionId id : shallow_ids) {
+    ASSERT_EQ(server.try_push(id, shallow_rec.adu), PushResult::Ok);
+  }
+  server.resume();
+  for (const SessionId id : shallow_ids) {
+    EXPECT_EQ(server.close(id), SessionState::Closed);
+  }
+  EXPECT_EQ(server.close(deep_id), SessionState::Closed);
+  EXPECT_EQ(server.session_stats(deep_id).chunks_processed, kDeepChunks);
+
+  // The first deep_push_events 'D's are the deep session's push-phase events
+  // (its flush events can only come later). At least one shallow event must
+  // land before the last of them.
+  const std::lock_guard<std::mutex> lock(order_mu);
+  std::size_t first_shallow = order.size();
+  std::size_t last_deep_push = order.size();
+  std::size_t deep_seen = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 'S' && first_shallow == order.size()) first_shallow = i;
+    if (order[i] == 'D' && ++deep_seen == deep_push_events) last_deep_push = i;
+  }
+  ASSERT_LT(first_shallow, order.size()) << "shallow sessions produced no events";
+  ASSERT_LT(last_deep_push, order.size());
+  EXPECT_LT(first_shallow, last_deep_push)
+      << "a deep session monopolized the worker: all " << deep_push_events
+      << " deep push events were served before any shallow session";
 }
 
 }  // namespace
