@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 namespace xbs::explore {
 
@@ -125,12 +126,18 @@ void WorkerPool::parallel_for(std::size_t n, const std::function<void(std::size_
     ++im.generation;
   }
   im.cv_start.notify_all();
+  // The error slot is written by workers under the pool mutex; collect it
+  // inside the same critical section that observes completion instead of
+  // reading it after the lock is dropped (correct before only via a
+  // transitive happens-before through the final worker's decrement).
+  std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(im.m);
     im.cv_done.wait(lock, [&] { return im.workers_running.load() == 0; });
+    error = std::exchange(im.error, nullptr);
+    im.fn = nullptr;
   }
-  im.fn = nullptr;
-  if (im.error != nullptr) std::rethrow_exception(im.error);
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 // ------------------------------------------------------------- grid sharding

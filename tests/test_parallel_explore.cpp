@@ -58,6 +58,25 @@ TEST(WorkerPool, PropagatesTaskExceptions) {
   EXPECT_EQ(n.load(), 4);
 }
 
+TEST(WorkerPool, ExceptionHandoffIsRaceFreeUnderChurn) {
+  // Regression for the error-slot handoff: parallel_for must collect the
+  // exception inside the completion critical section, so a throw landing on
+  // the very last task of a run can never be read torn or leak into the next
+  // run. Alternate failing and clean runs to catch cross-run contamination.
+  WorkerPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t fail_at = static_cast<std::size_t>(round % 8);
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [&](std::size_t i) {
+                                     if (i == fail_at) throw std::runtime_error("churn");
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> n{0};
+    pool.parallel_for(8, [&](std::size_t) { ++n; });
+    EXPECT_EQ(n.load(), 8);
+  }
+}
+
 TEST(ParallelExhaustive, BitIdenticalAcrossThreadCounts) {
   const SharedRecords recs = small_workload();
   const EvaluatorFactory factory = [recs] {
