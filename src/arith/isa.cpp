@@ -5,9 +5,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "isa_ops.hpp"
+#include "xbs/common/sync.hpp"
 
 namespace xbs::arith {
 namespace {
@@ -17,9 +17,10 @@ namespace {
 // pointer. kernel_isa()'s returned reference is stable storage — callers
 // that force tiers concurrently with readers get torn notes, which is why
 // forcing is documented as a setup-time knob.
-std::mutex g_mutex;
-IsaSelection g_selection;  // NOLINT(cert-err58-cpp) — trivial until first use
-bool g_resolved = false;
+// Rank kTableCache: process-wide dispatch state, a leaf like the LUT caches.
+common::Mutex g_mutex{common::LockRank::kTableCache};
+IsaSelection g_selection XBS_GUARDED_BY(g_mutex);  // NOLINT(cert-err58-cpp) — trivial until first use
+bool g_resolved XBS_GUARDED_BY(g_mutex) = false;
 std::atomic<const KernelOps*> g_ops{nullptr};
 
 const KernelOps* compiled_ops(Isa isa) noexcept {
@@ -64,7 +65,7 @@ IsaSelection resolve_request(Isa requested, bool from_env) {
 /// Publish a selection: swap the dispatch table and make the fallback
 /// visible on stderr (once per publication, i.e. once at startup for the
 /// env path).
-const IsaSelection& apply_locked(IsaSelection s) {
+const IsaSelection& apply_locked(IsaSelection s) XBS_REQUIRES(g_mutex) {
   g_selection = std::move(s);
   g_resolved = true;
   g_ops.store(compiled_ops(g_selection.selected), std::memory_order_release);
@@ -134,18 +135,18 @@ Isa best_isa() noexcept {
 }
 
 const IsaSelection& kernel_isa() {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const common::MutexLock lock(g_mutex);
   if (!g_resolved) return apply_locked(resolve_auto());
   return g_selection;
 }
 
 IsaSelection force_kernel_isa(Isa isa) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const common::MutexLock lock(g_mutex);
   return apply_locked(resolve_request(isa, /*from_env=*/false));
 }
 
 IsaSelection force_kernel_isa_auto() {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const common::MutexLock lock(g_mutex);
   return apply_locked(resolve_auto());
 }
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 #include "xbs/arith/isa.hpp"
 #include "xbs/common/bitops.hpp"
+#include "xbs/common/sync.hpp"
 
 namespace xbs::arith {
 namespace {
@@ -422,14 +422,16 @@ struct alignas(64) SquareCacheEntry {
 // immutable once published; racing builders of the same table publish
 // equivalent duplicates (last one wins, both bit-identical). The build
 // counters count actual cold fills (not hits) and feed table_cache_stats().
+// Rank kTableCache: a leaf — table fills run *outside* the lock, and nothing
+// else is ever acquired under it.
 struct TableCaches {
-  std::mutex mutex;
-  std::vector<MagnitudeCacheEntry> magnitude;
-  std::vector<SignedCacheEntry> signed_coeff;
-  std::vector<SquareCacheEntry> square;
-  u64 magnitude_builds = 0;
-  u64 signed_builds = 0;
-  u64 square_builds = 0;
+  common::Mutex mutex{common::LockRank::kTableCache};
+  std::vector<MagnitudeCacheEntry> magnitude XBS_GUARDED_BY(mutex);
+  std::vector<SignedCacheEntry> signed_coeff XBS_GUARDED_BY(mutex);
+  std::vector<SquareCacheEntry> square XBS_GUARDED_BY(mutex);
+  u64 magnitude_builds XBS_GUARDED_BY(mutex) = 0;
+  u64 signed_builds XBS_GUARDED_BY(mutex) = 0;
+  u64 square_builds XBS_GUARDED_BY(mutex) = 0;
 };
 
 TableCaches& caches() {
@@ -440,8 +442,9 @@ TableCaches& caches() {
 std::shared_ptr<const TableVec> get_magnitude_products(const MultiplierConfig& cfg,
                                                        u64 magnitude) {
   {
-    const std::lock_guard<std::mutex> lock(caches().mutex);
-    for (const MagnitudeCacheEntry& e : caches().magnitude) {
+    TableCaches& tc = caches();
+    const common::MutexLock lock(tc.mutex);
+    for (const MagnitudeCacheEntry& e : tc.magnitude) {
       if (e.magnitude == magnitude && e.cfg == cfg) return e.table;
     }
   }
@@ -456,9 +459,10 @@ std::shared_ptr<const TableVec> get_magnitude_products(const MultiplierConfig& c
     // the A port. Approximate arrays are not commutative, so this matters.
     (*table)[m] = static_cast<i64>(model->multiply_u(magnitude, static_cast<u64>(m)));
   }
-  const std::lock_guard<std::mutex> lock(caches().mutex);
-  caches().magnitude.push_back(MagnitudeCacheEntry{cfg, magnitude, table});
-  ++caches().magnitude_builds;
+  TableCaches& tc = caches();
+  const common::MutexLock lock(tc.mutex);
+  tc.magnitude.push_back(MagnitudeCacheEntry{cfg, magnitude, table});
+  ++tc.magnitude_builds;
   return table;
 }
 
@@ -467,8 +471,9 @@ std::shared_ptr<const TableVec> get_magnitude_products(const MultiplierConfig& c
 std::shared_ptr<const TableVec> peek_signed_coeff_products(
     const MultiplierConfig& cfg, i64 coeff) noexcept {
   const i64 sc = sign_extend(to_unsigned_bits(coeff, cfg.width), cfg.width);
-  const std::lock_guard<std::mutex> lock(caches().mutex);
-  for (const SignedCacheEntry& e : caches().signed_coeff) {
+  TableCaches& tc = caches();
+  const common::MutexLock lock(tc.mutex);
+  for (const SignedCacheEntry& e : tc.signed_coeff) {
     if (e.coeff == sc && e.cfg == cfg) return e.table;
   }
   return nullptr;
@@ -493,16 +498,18 @@ std::shared_ptr<const TableVec> get_signed_coeff_products(const MultiplierConfig
     const i64 p = (*row)[mx];
     (*table)[u] = (neg != (sx < 0)) ? -p : p;
   }
-  const std::lock_guard<std::mutex> lock(caches().mutex);
-  caches().signed_coeff.push_back(SignedCacheEntry{cfg, sc, table});
-  ++caches().signed_builds;
+  TableCaches& tc = caches();
+  const common::MutexLock lock(tc.mutex);
+  tc.signed_coeff.push_back(SignedCacheEntry{cfg, sc, table});
+  ++tc.signed_builds;
   return table;
 }
 
 std::shared_ptr<const TableVec> peek_square_products(
     const MultiplierConfig& cfg) noexcept {
-  const std::lock_guard<std::mutex> lock(caches().mutex);
-  for (const SquareCacheEntry& e : caches().square) {
+  TableCaches& tc = caches();
+  const common::MutexLock lock(tc.mutex);
+  for (const SquareCacheEntry& e : tc.square) {
     if (e.cfg == cfg) return e.table;
   }
   return nullptr;
@@ -527,19 +534,21 @@ std::shared_ptr<const TableVec> get_square_products(const MultiplierConfig& cfg)
     const u64 mx = sx < 0 ? static_cast<u64>(-sx) : static_cast<u64>(sx);
     (*table)[u] = diag[mx];
   }
-  const std::lock_guard<std::mutex> lock(caches().mutex);
-  caches().square.push_back(SquareCacheEntry{cfg, table});
-  ++caches().square_builds;
+  TableCaches& tc = caches();
+  const common::MutexLock lock(tc.mutex);
+  tc.square.push_back(SquareCacheEntry{cfg, table});
+  ++tc.square_builds;
   return table;
 }
 
 TableCacheStats table_cache_stats() noexcept {
   TableCacheStats s;
   s.multiplier_models = multiplier_model_builds();
-  const std::lock_guard<std::mutex> lock(caches().mutex);
-  s.magnitude_tables = caches().magnitude_builds;
-  s.signed_tables = caches().signed_builds;
-  s.square_tables = caches().square_builds;
+  TableCaches& tc = caches();
+  const common::MutexLock lock(tc.mutex);
+  s.magnitude_tables = tc.magnitude_builds;
+  s.signed_tables = tc.signed_builds;
+  s.square_tables = tc.square_builds;
   return s;
 }
 

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "xbs/arith/mult2x2.hpp"
 #include "xbs/common/bitops.hpp"
+#include "xbs/common/sync.hpp"
 
 namespace xbs::arith {
 namespace {
@@ -147,14 +147,22 @@ struct MultCacheEntry {
 
 std::atomic<u64> g_model_builds{0};
 
+// Rank kTableCache: a leaf like the kernel LUT caches — nothing else is
+// ever acquired under it. Namespace scope (constexpr-constructible Mutex)
+// rather than function-static so the guarded members can be annotated.
+common::Mutex g_cache_mutex{common::LockRank::kTableCache};
+std::vector<MultCacheEntry>& mult_cache() XBS_REQUIRES(g_cache_mutex) {
+  static std::vector<MultCacheEntry> cache;
+  return cache;
+}
+
 }  // namespace
 
 std::shared_ptr<const RecursiveMultiplier> get_multiplier(const MultiplierConfig& cfg) {
   // Serialized: kernels are built concurrently by stream::SessionPool
   // sessions. The models themselves are immutable once published.
-  static std::mutex mutex;
-  static std::vector<MultCacheEntry> cache;
-  const std::lock_guard<std::mutex> lock(mutex);
+  const common::MutexLock lock(g_cache_mutex);
+  std::vector<MultCacheEntry>& cache = mult_cache();
   for (const auto& e : cache)
     if (e.cfg == cfg) return e.model;
   auto model = std::make_shared<const RecursiveMultiplier>(cfg);

@@ -67,7 +67,7 @@ hwmodel::Cost StageEnergyModel::compute(Stage s, const arith::StageArithConfig& 
 
 hwmodel::Cost StageEnergyModel::stage_cost(Stage s, const arith::StageArithConfig& cfg) const {
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const common::MutexLock lock(cache_mutex_);
     for (const auto& e : cache_) {
       if (e.stage == s && e.cfg == cfg) return e.cost;
     }
@@ -75,7 +75,7 @@ hwmodel::Cost StageEnergyModel::stage_cost(Stage s, const arith::StageArithConfi
   // Synthesize outside the lock; a racing duplicate insert is harmless (the
   // cost is a pure function of the key, so both entries agree).
   const hwmodel::Cost c = compute(s, cfg);
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const common::MutexLock lock(cache_mutex_);
   cache_.push_back(CacheEntry{s, cfg, c});
   return c;
 }

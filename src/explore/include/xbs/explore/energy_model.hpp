@@ -9,9 +9,9 @@
 /// (no optimization) is available for the ablation bench.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
+#include "xbs/common/sync.hpp"
 #include "xbs/explore/design.hpp"
 #include "xbs/hwmodel/cell_library.hpp"
 
@@ -67,8 +67,9 @@ class StageEnergyModel {
   /// The synthesis-cost memo is shared by the parallel exploration workers
   /// (one model serves every shard), so lookups/inserts are serialized; the
   /// costs themselves are deterministic pure functions of (stage, cfg).
-  mutable std::mutex cache_mutex_;
-  mutable std::vector<CacheEntry> cache_;
+  /// Rank kTableCache: a leaf — synthesis runs outside the lock.
+  mutable common::Mutex cache_mutex_{common::LockRank::kTableCache};
+  mutable std::vector<CacheEntry> cache_ XBS_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace xbs::explore

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "xbs/common/sync.hpp"
 
 namespace xbs::explore {
 
@@ -16,22 +16,28 @@ struct WorkerPool::Impl {
   unsigned nthreads = 1;
   std::vector<std::thread> workers;
 
-  std::mutex m;
-  std::condition_variable cv_start;
-  std::condition_variable cv_done;
-  bool stop = false;
-  u64 generation = 0;
+  // Pool coordination lock. Rank kShard: the per-worker queue locks (rank
+  // kSlot) sit above it, though the two are never actually nested today.
+  common::Mutex m{common::LockRank::kShard};
+  common::CondVar cv_start;
+  common::CondVar cv_done;
+  bool stop XBS_GUARDED_BY(m) = false;
+  u64 generation XBS_GUARDED_BY(m) = 0;
 
   // Current job (valid between a generation bump and the matching cv_done).
-  const std::function<void(std::size_t)>* fn = nullptr;
-  std::vector<std::deque<std::size_t>> queues;          // one per worker
-  std::vector<std::unique_ptr<std::mutex>> queue_locks;  // one per worker
+  // `fn` and `queues` are not GUARDED_BY-annotatable: `fn` is read lock-free
+  // by workers (safe via the generation handshake under m), and each queues[i]
+  // is guarded by its own queue_locks[i] — a per-element relationship the
+  // analysis cannot express.
+  const std::function<void(std::size_t)>* fn XBS_GUARDED_BY(m) = nullptr;
+  std::vector<std::deque<std::size_t>> queues;               // one per worker
+  std::vector<std::unique_ptr<common::Mutex>> queue_locks;   // one per worker
   std::atomic<unsigned> workers_running{0};
   std::atomic<bool> abort{false};
-  std::exception_ptr error;
+  std::exception_ptr error XBS_GUARDED_BY(m);
 
   bool pop_own(unsigned id, std::size_t& idx) {
-    const std::lock_guard<std::mutex> lock(*queue_locks[id]);
+    const common::MutexLock lock(*queue_locks[id]);
     if (queues[id].empty()) return false;
     idx = queues[id].back();  // LIFO on the owner side: freshest = most local
     queues[id].pop_back();
@@ -41,7 +47,7 @@ struct WorkerPool::Impl {
   bool steal(unsigned id, std::size_t& idx) {
     for (unsigned off = 1; off < nthreads; ++off) {
       const unsigned victim = (id + off) % nthreads;
-      const std::lock_guard<std::mutex> lock(*queue_locks[victim]);
+      const common::MutexLock lock(*queue_locks[victim]);
       if (queues[victim].empty()) continue;
       idx = queues[victim].front();  // FIFO on the thief side: largest chunk of
       queues[victim].pop_front();    // the victim's remaining range
@@ -50,14 +56,14 @@ struct WorkerPool::Impl {
     return false;
   }
 
-  void run_tasks(unsigned id) {
+  void run_tasks(unsigned id, const std::function<void(std::size_t)>& job) {
     std::size_t idx = 0;
     while (!abort.load(std::memory_order_relaxed)) {
       if (!pop_own(id, idx) && !steal(id, idx)) break;
       try {
-        (*fn)(idx);
+        job(idx);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(m);
+        const common::MutexLock lock(m);
         if (error == nullptr) error = std::current_exception();
         abort.store(true, std::memory_order_relaxed);
       }
@@ -67,15 +73,19 @@ struct WorkerPool::Impl {
   void worker_main(unsigned id) {
     u64 seen = 0;
     for (;;) {
+      const std::function<void(std::size_t)>* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(m);
-        cv_start.wait(lock, [&] { return stop || generation != seen; });
+        common::MutexLock lock(m);
+        // Explicit wait loop (not a predicate lambda) so the guarded reads
+        // stay in this annotated function where the analysis sees the lock.
+        while (!stop && generation == seen) cv_start.wait(lock);
         if (stop) return;
         seen = generation;
+        job = fn;
       }
-      run_tasks(id);
+      run_tasks(id, *job);
       if (workers_running.fetch_sub(1) == 1) {
-        const std::lock_guard<std::mutex> lock(m);
+        const common::MutexLock lock(m);
         cv_done.notify_all();
       }
     }
@@ -89,7 +99,7 @@ WorkerPool::WorkerPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
   impl_->queues.resize(impl_->nthreads);
   impl_->queue_locks.reserve(impl_->nthreads);
   for (unsigned t = 0; t < impl_->nthreads; ++t) {
-    impl_->queue_locks.push_back(std::make_unique<std::mutex>());
+    impl_->queue_locks.push_back(std::make_unique<common::Mutex>(common::LockRank::kSlot));
   }
   impl_->workers.reserve(impl_->nthreads);
   for (unsigned t = 0; t < impl_->nthreads; ++t) {
@@ -99,7 +109,7 @@ WorkerPool::WorkerPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
 
 WorkerPool::~WorkerPool() {
   {
-    const std::lock_guard<std::mutex> lock(impl_->m);
+    const common::MutexLock lock(impl_->m);
     impl_->stop = true;
   }
   impl_->cv_start.notify_all();
@@ -117,12 +127,12 @@ void WorkerPool::parallel_for(std::size_t n, const std::function<void(std::size_
   for (std::size_t i = 0; i < n; ++i) {
     im.queues[(i * im.nthreads) / n].push_back(i);
   }
-  im.fn = &fn;
-  im.error = nullptr;
   im.abort.store(false, std::memory_order_relaxed);
   im.workers_running.store(im.nthreads, std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(im.m);
+    const common::MutexLock lock(im.m);
+    im.fn = &fn;
+    im.error = nullptr;
     ++im.generation;
   }
   im.cv_start.notify_all();
@@ -132,8 +142,8 @@ void WorkerPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // transitive happens-before through the final worker's decrement).
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(im.m);
-    im.cv_done.wait(lock, [&] { return im.workers_running.load() == 0; });
+    common::MutexLock lock(im.m);
+    while (im.workers_running.load() != 0) im.cv_done.wait(lock);
     error = std::exchange(im.error, nullptr);
     im.fn = nullptr;
   }

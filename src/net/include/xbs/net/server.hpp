@@ -49,6 +49,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "xbs/common/sync.hpp"
 #include "xbs/net/protocol.hpp"
 #include "xbs/stream/server.hpp"
 
@@ -151,8 +152,9 @@ class NetServer {
     TokenState st = TokenState::Attached;
     u64 lru_seq = 0;
   };
-  WireError admit(const OpenFrame& f, stream::SessionId& sid, StatsAck& ack);
-  bool evict_one_locked();
+  WireError admit(const OpenFrame& f, stream::SessionId& sid, StatsAck& ack)
+      XBS_EXCLUDES(reg_mu_);
+  bool evict_one_locked() XBS_REQUIRES(reg_mu_);
 
   Options opts_;
   stream::StreamServer stream_;
@@ -166,9 +168,12 @@ class NetServer {
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;   ///< loop thread only
   std::vector<std::unique_ptr<Conn>> graveyard_;           ///< loop thread only
 
-  mutable std::mutex reg_mu_;
-  std::unordered_map<u64, TokenEntry> registry_;
-  u64 lru_counter_ = 0;
+  /// Rank kNetConn: the front door's locks sit at the bottom of the
+  /// hierarchy — admit() calls into the stream layer (shard locks, rank
+  /// kShard) while holding reg_mu_, never the other way around.
+  mutable common::Mutex reg_mu_{common::LockRank::kNetConn};
+  std::unordered_map<u64, TokenEntry> registry_ XBS_GUARDED_BY(reg_mu_);
+  u64 lru_counter_ XBS_GUARDED_BY(reg_mu_) = 0;
 
   struct StatsAtomics;
   std::unique_ptr<StatsAtomics> stats_;

@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <stdexcept>
@@ -96,15 +95,18 @@ struct NetServer::Conn {
   bool epoll_out = false;
 
   // Egress buffer — shared between the loop (flush) and the pump (append).
-  std::mutex out_mu;
-  std::vector<u8> out;
-  std::size_t out_off = 0;
+  // Rank kNetConn, like every front-door lock; out_mu, cmd_mu and the
+  // registry lock are never held together (same-rank nesting asserts in
+  // Debug), they just all sit below the stream layer's shard locks.
+  common::Mutex out_mu{common::LockRank::kNetConn};
+  std::vector<u8> out XBS_GUARDED_BY(out_mu);
+  std::size_t out_off XBS_GUARDED_BY(out_mu) = 0;
   std::atomic<bool> kill_requested{false};
 
   // Command queue + pump lifecycle.
-  std::mutex cmd_mu;
-  std::condition_variable cmd_cv;
-  std::deque<Cmd> cmds;
+  common::Mutex cmd_mu{common::LockRank::kNetConn};
+  common::CondVar cmd_cv;
+  std::deque<Cmd> cmds XBS_GUARDED_BY(cmd_mu);
   std::atomic<bool> pump_stop{false};
   std::atomic<bool> pump_done{false};
   std::thread pump;
@@ -207,7 +209,7 @@ NetServer::Stats NetServer::stats() const noexcept {
 // ------------------------------------------------------------------ registry
 
 WireError NetServer::admit(const OpenFrame& f, stream::SessionId& sid, StatsAck& ack) {
-  std::lock_guard<std::mutex> lock(reg_mu_);
+  const common::MutexLock lock(reg_mu_);
   auto it = registry_.find(f.token);
   if (it != registry_.end()) {
     TokenEntry& e = it->second;
@@ -280,7 +282,7 @@ bool NetServer::evict_one_locked() {
 void NetServer::send_frame(Conn& c, const std::vector<u8>& bytes, std::size_t n_events) {
   bool kill = false;
   {
-    std::lock_guard<std::mutex> lock(c.out_mu);
+    const common::MutexLock lock(c.out_mu);
     const std::size_t pending = c.out.size() - c.out_off;
     if (n_events > 0 && pending + bytes.size() > opts_.egress_buffer_bytes) {
       // Slow-reader shedding: whole EVENT frames drop (frames must never
@@ -357,7 +359,7 @@ void NetServer::pump_loop(Conn& c) {
     Cmd cmd;
     bool have = false;
     {
-      std::unique_lock<std::mutex> lock(c.cmd_mu);
+      common::MutexLock lock(c.cmd_mu);
       if (!c.cmds.empty()) {
         cmd = c.cmds.front();
         c.cmds.pop_front();
@@ -399,7 +401,7 @@ void NetServer::pump_loop(Conn& c) {
           send_events(evs);
           send_stats(StatsAck::Close, sid);
           {
-            std::lock_guard<std::mutex> lock(reg_mu_);
+            const common::MutexLock lock(reg_mu_);
             auto it = registry_.find(token);
             if (it != registry_.end() && it->second.st == TokenState::Attached &&
                 it->second.sid == sid) {
@@ -458,7 +460,7 @@ void NetServer::pump_park(Conn& c, u64 token, stream::SessionId sid) {
   // Disconnect -> warm park: the detector's trained thresholds survive for
   // the client's reconnect (OPEN with the same token resumes them).
   const bool ok = stream_.reset(sid, pantompkins::WarmStart::KeepThresholds);
-  std::lock_guard<std::mutex> lock(reg_mu_);
+  const common::MutexLock lock(reg_mu_);
   auto it = registry_.find(token);
   if (it == registry_.end() || it->second.st != TokenState::Attached ||
       !(it->second.sid == sid)) {
@@ -768,7 +770,7 @@ void NetServer::finish_chunk(Conn& c) {
 
 void NetServer::push_cmd(Conn& c, Cmd cmd) {
   {
-    std::lock_guard<std::mutex> lock(c.cmd_mu);
+    const common::MutexLock lock(c.cmd_mu);
     c.cmds.push_back(cmd);
   }
   c.cmd_cv.notify_all();
@@ -856,7 +858,7 @@ void NetServer::flush_out(Conn& c) {
   bool failed = false;
   bool want_write = false;
   {
-    std::unique_lock<std::mutex> lock(c.out_mu);
+    const common::MutexLock lock(c.out_mu);
     while (c.out_off < c.out.size()) {
       const ssize_t w = ::send(c.fd, c.out.data() + c.out_off,
                                c.out.size() - c.out_off, MSG_NOSIGNAL);
@@ -896,7 +898,7 @@ void NetServer::kill_conn(Conn& c, bool flush_first) {
   if (flush_first) {
     // Best-effort: push the pending bytes (typically the fatal ERROR reply)
     // out before the reset, so the peer learns why it was dropped.
-    std::lock_guard<std::mutex> lock(c.out_mu);
+    const common::MutexLock lock(c.out_mu);
     while (c.out_off < c.out.size()) {
       const ssize_t w = ::send(c.fd, c.out.data() + c.out_off,
                                c.out.size() - c.out_off, MSG_NOSIGNAL);
@@ -911,7 +913,7 @@ void NetServer::kill_conn(Conn& c, bool flush_first) {
   // An armed loan dies with the Conn (destructor = abandon: the reserved
   // queue slot returns). Tell the pump to park the session and exit.
   {
-    std::lock_guard<std::mutex> lock(c.cmd_mu);
+    const common::MutexLock lock(c.cmd_mu);
     if (c.has_session) {
       c.cmds.push_back(Cmd{Cmd::Kind::Park, c.sid, c.token, 0, false});
     }

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "xbs/common/sync.hpp"
 
 namespace xbs::store {
 
@@ -47,10 +48,11 @@ const Tables& tables() noexcept {
 
 using CrcFn = u32 (*)(u32, const void*, std::size_t) noexcept;
 
-std::mutex g_mutex;
+// Rank kTableCache: process-wide dispatch state, a leaf like the LUT caches.
+common::Mutex g_mutex{common::LockRank::kTableCache};
 std::atomic<CrcFn> g_fn{nullptr};
 std::atomic<CrcImpl> g_impl{CrcImpl::Portable};
-bool g_resolved = false;
+bool g_resolved XBS_GUARDED_BY(g_mutex) = false;
 
 CrcFn fn_for(CrcImpl impl) noexcept {
   switch (impl) {
@@ -70,7 +72,7 @@ CrcImpl best_impl() noexcept {
 }
 
 /// Publish a tier, falling back visibly when the request is unusable.
-CrcImpl apply_locked(CrcImpl requested, bool from_env) noexcept {
+CrcImpl apply_locked(CrcImpl requested, bool from_env) noexcept XBS_REQUIRES(g_mutex) {
   CrcImpl selected = requested;
   if (!crc_impl_usable(requested)) {
     selected = best_impl();
@@ -87,7 +89,7 @@ CrcImpl apply_locked(CrcImpl requested, bool from_env) noexcept {
   return selected;
 }
 
-CrcImpl resolve_auto_locked() noexcept {
+CrcImpl resolve_auto_locked() noexcept XBS_REQUIRES(g_mutex) {
   const char* env = std::getenv("XBS_CRC32C");
   if (env != nullptr && *env != '\0') {
     if (const std::optional<CrcImpl> parsed = parse_crc_impl(env)) {
@@ -127,19 +129,19 @@ bool crc_impl_usable(CrcImpl impl) noexcept {
 
 CrcImpl crc32c_impl() noexcept {
   if (g_fn.load(std::memory_order_acquire) == nullptr) {
-    const std::lock_guard<std::mutex> lock(g_mutex);
+    const common::MutexLock lock(g_mutex);
     if (!g_resolved) (void)resolve_auto_locked();
   }
   return g_impl.load(std::memory_order_relaxed);
 }
 
 CrcImpl force_crc32c_impl(CrcImpl impl) noexcept {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const common::MutexLock lock(g_mutex);
   return apply_locked(impl, /*from_env=*/false);
 }
 
 CrcImpl force_crc32c_impl_auto() noexcept {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const common::MutexLock lock(g_mutex);
   return resolve_auto_locked();
 }
 

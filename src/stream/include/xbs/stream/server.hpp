@@ -82,17 +82,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "xbs/common/ring.hpp"
+#include "xbs/common/sync.hpp"
 #include "xbs/stream/session.hpp"
 
 namespace xbs::stream {
@@ -391,33 +390,40 @@ class StreamServer {
   };
 
   /// One independent slot group: its own lock, cvs, ready list and workers.
+  /// `mu` has rank kShard: acquired after a net-conn lock (the front door
+  /// calls open()/reset() under its registry lock), before any table-cache
+  /// lock (Session::reset may rebuild LUTs under it).
+  ///
+  /// Slot *contents* are guarded by `mu` too, but `GUARDED_BY` cannot name a
+  /// mutex living in a different struct — the `XBS_REQUIRES(sh.mu)` on every
+  /// slot-touching helper below carries that half of the contract instead.
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable work_cv;   ///< workers: ready list / stop / resume
-    std::condition_variable space_cv;  ///< blocking acquire: queue space / state change
-    std::condition_variable state_cv;  ///< close/reset/release: state changes
-    std::condition_variable egress_cv; ///< blocking drain_events: events / state
-    std::vector<Slot> slots;
-    std::deque<std::size_t> ready;     ///< local slot indices with runnable work
-    u64 ready_seq = 0;                 ///< monotonic ready_stamp source
-    bool stop = false;
-    bool paused = false;
-    int space_waiters = 0;             ///< gates space_cv notifies off the hot path
-    int egress_waiters = 0;            ///< gates egress_cv notifies off the hot path
+    mutable common::Mutex mu{common::LockRank::kShard};
+    common::CondVar work_cv;    ///< workers: ready list / stop / resume
+    common::CondVar space_cv;   ///< blocking acquire: queue space / state change
+    common::CondVar state_cv;   ///< close/reset/release: state changes
+    common::CondVar egress_cv;  ///< blocking drain_events: events / state
+    std::vector<Slot> slots XBS_GUARDED_BY(mu);
+    std::deque<std::size_t> ready XBS_GUARDED_BY(mu);  ///< local slot indices with runnable work
+    u64 ready_seq XBS_GUARDED_BY(mu) = 0;              ///< monotonic ready_stamp source
+    bool stop XBS_GUARDED_BY(mu) = false;
+    bool paused XBS_GUARDED_BY(mu) = false;
+    int space_waiters XBS_GUARDED_BY(mu) = 0;   ///< gates space_cv notifies off the hot path
+    int egress_waiters XBS_GUARDED_BY(mu) = 0;  ///< gates egress_cv notifies off the hot path
     /// Currently provisioned (non-Empty) slots on this shard: the
     /// least-loaded placement signal read lock-free at open(). A hint, not
     /// an invariant — a stale read just places one session suboptimally.
     std::atomic<u32> live{0};
     // Totals carried past release(), so ServerStats survives churn.
-    u64 retired_chunks_processed = 0;
-    u64 retired_rejected_chunks = 0;
-    u64 retired_dropped_chunks = 0;
-    u64 retired_samples = 0;
-    u64 retired_events = 0;
-    u64 retired_beats = 0;
-    u64 retired_events_dropped = 0;
-    u64 peak_queued = 0;               ///< shard-lifetime peak (incl. retired slots)
-    std::vector<std::thread> threads;
+    u64 retired_chunks_processed XBS_GUARDED_BY(mu) = 0;
+    u64 retired_rejected_chunks XBS_GUARDED_BY(mu) = 0;
+    u64 retired_dropped_chunks XBS_GUARDED_BY(mu) = 0;
+    u64 retired_samples XBS_GUARDED_BY(mu) = 0;
+    u64 retired_events XBS_GUARDED_BY(mu) = 0;
+    u64 retired_beats XBS_GUARDED_BY(mu) = 0;
+    u64 retired_events_dropped XBS_GUARDED_BY(mu) = 0;
+    u64 peak_queued XBS_GUARDED_BY(mu) = 0;  ///< shard-lifetime peak (incl. retired slots)
+    std::vector<std::thread> threads;  ///< ctor/dtor only: never touched by other threads
   };
 
   // Id <-> shard routing: shard = slot % n_shards, local index = slot / n_shards.
@@ -428,19 +434,23 @@ class StreamServer {
     return id.slot / n_shards_;
   }
 
-  // All private helpers below expect the owning shard's mu held.
-  Slot* find(Shard& sh, SessionId id);
-  const Slot* find(Shard& sh, SessionId id) const;
+  // Helpers taking a Shard expect (and statically require) its mu held;
+  // provision/acquire_impl/cancel_loan lock the shard themselves.
+  Slot* find(Shard& sh, SessionId id) XBS_REQUIRES(sh.mu);
+  const Slot* find(Shard& sh, SessionId id) const XBS_REQUIRES(sh.mu);
   SessionId provision(std::unique_ptr<Session> session);
-  PushResult refuse_reason(const Slot& s) const;
-  void enqueue_ready(Shard& sh, std::size_t local);
-  void drop_queue(Shard& sh, Slot& s);
-  void fault(Shard& sh, Slot& s, std::string why);
-  void append_egress(Shard& sh, Slot& s, std::vector<Event>& evs);
+  PushResult refuse_reason(const Slot& s) const;  // reads one Slot: caller holds its shard's mu
+  void enqueue_ready(Shard& sh, std::size_t local) XBS_REQUIRES(sh.mu);
+  void drop_queue(Shard& sh, Slot& s) XBS_REQUIRES(sh.mu);
+  void fault(Shard& sh, Slot& s, std::string why) XBS_REQUIRES(sh.mu);
+  void append_egress(Shard& sh, Slot& s, std::vector<Event>& evs) XBS_REQUIRES(sh.mu);
   PushResult acquire_impl(SessionId id, std::size_t n_samples, ChunkLoan& out, bool blocking);
   void cancel_loan(SessionId id, std::vector<i32>&& buf) noexcept;
   void worker_loop(Shard& sh);
-  void drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock, std::size_t local);
+  /// Held on entry and exit; unlocks around Session work via `lock` (the
+  /// relockable-scope pattern the static analysis cannot follow — the
+  /// definition opts out and re-asserts the capability at runtime instead).
+  void drain_slot(Shard& sh, common::MutexLock& lock, std::size_t local) XBS_REQUIRES(sh.mu);
 
   Options opts_;
   unsigned n_workers_ = 0;

@@ -87,7 +87,7 @@ StreamServer::StreamServer(Options opts) : opts_(opts) {
 StreamServer::~StreamServer() {
   for (auto& shp : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shp->mu);
+      const common::MutexLock lock(shp->mu);
       shp->stop = true;
     }
     shp->work_cv.notify_all();
@@ -139,7 +139,7 @@ SessionId StreamServer::provision(std::unique_ptr<Session> session) {
     }
   }
   Shard& sh = *shards_[si];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const common::MutexLock lock(sh.mu);
   std::size_t li = sh.slots.size();
   for (std::size_t i = 0; i < sh.slots.size(); ++i) {
     if (sh.slots[i].state == SessionState::Empty) {
@@ -244,9 +244,11 @@ void StreamServer::append_egress(Shard& sh, Slot& s, std::vector<Event>& evs) {
 // ------------------------------------------------------------------- workers
 
 void StreamServer::worker_loop(Shard& sh) {
-  std::unique_lock<std::mutex> lock(sh.mu);
+  common::MutexLock lock(sh.mu);
   while (true) {
-    sh.work_cv.wait(lock, [&sh] { return sh.stop || (!sh.paused && !sh.ready.empty()); });
+    // Explicit wait loop (not a predicate lambda): the guarded reads stay in
+    // this annotated function, where the analysis can see the lock is held.
+    while (!sh.stop && (sh.paused || sh.ready.empty())) sh.work_cv.wait(lock);
     if (sh.stop) return;
     // Oldest-stamp-first pop: deadline-aware service order. A session that
     // yielded mid-backlog re-enters with a fresh stamp, behind every session
@@ -262,8 +264,14 @@ void StreamServer::worker_loop(Shard& sh) {
   }
 }
 
-void StreamServer::drain_slot(Shard& sh, std::unique_lock<std::mutex>& lock,
-                              std::size_t local) {
+// Opted out of the static analysis: the relock-through-a-reference pattern
+// (`lock` unlocks around Session work, relocks to publish) is beyond what
+// clang can track for a scoped capability passed by reference. The REQUIRES
+// on the declaration still checks every call site, and assert_held() keeps
+// the entry contract checked at runtime in Debug.
+void StreamServer::drain_slot(Shard& sh, common::MutexLock& lock,
+                              std::size_t local) XBS_NO_THREAD_SAFETY_ANALYSIS {
+  sh.mu.assert_held();
   sh.slots[local].busy = true;
   // The whole queue is popped as one batch, processed unlocked, and the
   // buffers recycled in bulk: lock traffic and producer wakeups amortize
@@ -416,7 +424,7 @@ PushResult StreamServer::acquire_impl(SessionId id, std::size_t n_samples, Chunk
   std::vector<i32> buf;
   u64 epoch = 0;
   {
-    std::unique_lock<std::mutex> lock(sh.mu);
+    common::MutexLock lock(sh.mu);
     while (true) {
       if (sh.stop) return PushResult::NoSuchSession;
       Slot* s = find(sh, id);
@@ -486,7 +494,7 @@ PushResult StreamServer::commit(ChunkLoan& loan, std::size_t n_samples) {
   if (n_samples != kAll) buf.resize(n_samples);
 
   Shard& sh = shard_of(id);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const common::MutexLock lock(sh.mu);
   Slot* s = find(sh, id);
   if (s == nullptr) return PushResult::NoSuchSession;  // retired slot: buffer dies
   if (s->loaned > 0) --s->loaned;  // the reservation returns whatever happens next
@@ -510,7 +518,7 @@ PushResult StreamServer::commit(ChunkLoan& loan, std::size_t n_samples) {
 
 void StreamServer::cancel_loan(SessionId id, std::vector<i32>&& buf) noexcept {
   Shard& sh = shard_of(id);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const common::MutexLock lock(sh.mu);
   Slot* s = find(sh, id);
   if (s == nullptr) return;  // slot retired since the acquire: the buffer dies
   if (s->loaned > 0) --s->loaned;
@@ -536,7 +544,7 @@ PushResult StreamServer::push(SessionId id, std::span<const i32> chunk) {
 
 std::size_t StreamServer::drain_events(SessionId id, std::vector<Event>& out) {
   Shard& sh = shard_of(id);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const common::MutexLock lock(sh.mu);
   Slot* s = find(sh, id);
   if (s == nullptr || s->egress.empty()) return 0;
   const std::size_t n = s->egress.size();
@@ -551,7 +559,7 @@ std::size_t StreamServer::drain_events(SessionId id, std::vector<Event>& out,
   if (opts_.event_queue_capacity == 0) return 0;  // egress disabled: never waits
   Shard& sh = shard_of(id);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(sh.mu);
+  common::MutexLock lock(sh.mu);
   while (true) {
     if (sh.stop) return 0;
     Slot* s = find(sh, id);
@@ -578,7 +586,7 @@ std::size_t StreamServer::drain_events(SessionId id, std::vector<Event>& out,
 
 SessionState StreamServer::close(SessionId id) {
   Shard& sh = shard_of(id);
-  std::unique_lock<std::mutex> lock(sh.mu);
+  common::MutexLock lock(sh.mu);
   u64 seq0 = 0;
   {
     Slot* s = find(sh, id);
@@ -608,7 +616,7 @@ SessionState StreamServer::close(SessionId id) {
 
 bool StreamServer::reset(SessionId id, pantompkins::WarmStart warm) {
   Shard& sh = shard_of(id);
-  std::unique_lock<std::mutex> lock(sh.mu);
+  common::MutexLock lock(sh.mu);
   while (true) {
     if (sh.stop) return false;
     Slot* s = find(sh, id);
@@ -642,7 +650,7 @@ bool StreamServer::reset(SessionId id, pantompkins::WarmStart warm) {
 
 std::unique_ptr<Session> StreamServer::release(SessionId id) {
   Shard& sh = shard_of(id);
-  std::unique_lock<std::mutex> lock(sh.mu);
+  common::MutexLock lock(sh.mu);
   while (true) {
     if (sh.stop) return nullptr;
     Slot* s = find(sh, id);
@@ -700,7 +708,7 @@ std::unique_ptr<Session> StreamServer::release(SessionId id) {
 
 void StreamServer::pause() {
   for (auto& shp : shards_) {
-    std::lock_guard<std::mutex> lock(shp->mu);
+    const common::MutexLock lock(shp->mu);
     shp->paused = true;
   }
 }
@@ -708,7 +716,7 @@ void StreamServer::pause() {
 void StreamServer::resume() {
   for (auto& shp : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shp->mu);
+      const common::MutexLock lock(shp->mu);
       shp->paused = false;
     }
     shp->work_cv.notify_all();
@@ -717,14 +725,14 @@ void StreamServer::resume() {
 
 const Session* StreamServer::session(SessionId id) const {
   Shard& sh = shard_of(id);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const common::MutexLock lock(sh.mu);
   const Slot* s = find(sh, id);
   return s == nullptr ? nullptr : s->session.get();
 }
 
 StreamServer::SessionStats StreamServer::session_stats(SessionId id) const {
   Shard& sh = shard_of(id);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  const common::MutexLock lock(sh.mu);
   SessionStats out;
   const Slot* s = find(sh, id);
   if (s == nullptr) return out;  // state == Empty
@@ -752,7 +760,7 @@ StreamServer::ServerStats StreamServer::stats() const {
   out.sessions_released = sessions_released_.load(std::memory_order_relaxed);
   for (const auto& shp : shards_) {
     const Shard& sh = *shp;
-    std::lock_guard<std::mutex> lock(sh.mu);
+    const common::MutexLock lock(sh.mu);
     out.peak_queued_chunks = std::max(out.peak_queued_chunks, sh.peak_queued);
     out.chunks_processed += sh.retired_chunks_processed;
     out.rejected_chunks += sh.retired_rejected_chunks;

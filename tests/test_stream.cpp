@@ -10,13 +10,13 @@
 #include <cstdlib>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "xbs/common/rng.hpp"
+#include "xbs/common/sync.hpp"
 #include "xbs/core/paper_configs.hpp"
 #include "xbs/ecg/dataset.hpp"
 #include "xbs/pantompkins/pipeline.hpp"
@@ -1432,11 +1432,13 @@ TEST(StreamServer, DeepSessionCannotMonopolizeAWorker) {
   StreamServer server(opts);
   server.pause();
 
-  std::mutex order_mu;
+  // Unranked leaf lock (the test-code idiom from sync.hpp): sinks run on
+  // worker threads with no serving-stack lock held.
+  common::Mutex order_mu;
   std::vector<char> order;  // global event arrival order: 'D' deep, 'S' shallow
   const auto tag_sink = [&order_mu, &order](char tag) {
     return [&order_mu, &order, tag](const Event&) {
-      const std::lock_guard<std::mutex> lock(order_mu);
+      const common::MutexLock lock(order_mu);
       order.push_back(tag);
     };
   };
@@ -1472,7 +1474,7 @@ TEST(StreamServer, DeepSessionCannotMonopolizeAWorker) {
   // The first deep_push_events 'D's are the deep session's push-phase events
   // (its flush events can only come later). At least one shallow event must
   // land before the last of them.
-  const std::lock_guard<std::mutex> lock(order_mu);
+  const common::MutexLock lock(order_mu);
   std::size_t first_shallow = order.size();
   std::size_t last_deep_push = order.size();
   std::size_t deep_seen = 0;
