@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Gate llvm-cov line coverage against the committed floors.
+
+Usage: check_coverage_floor.py <llvm-cov-export.json> <coverage-floor.json>
+
+The first argument is the output of `llvm-cov export -summary-only`; the
+second is fuzz/coverage-floor.json. A floor key naming a file must match one
+exported entry exactly (by repo-relative suffix); a key ending in '/'
+aggregates covered/total lines over every file under that prefix. Exits
+non-zero — listing every violation, not just the first — if any floor is
+missed or a floor key matches no exported file (a rename must move the floor,
+not silently drop the gate).
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        export = json.load(f)
+    with open(sys.argv[2]) as f:
+        floors = json.load(f)["floors"]
+
+    files = export["data"][0]["files"]
+    failures = []
+    for key, floor in sorted(floors.items()):
+        if key.endswith("/"):
+            matched = [f for f in files if ("/" + key) in f["filename"]]
+            covered = sum(f["summary"]["lines"]["covered"] for f in matched)
+            total = sum(f["summary"]["lines"]["count"] for f in matched)
+            pct = 100.0 * covered / total if total else 0.0
+        else:
+            matched = [f for f in files if f["filename"].endswith("/" + key)]
+            if len(matched) > 1:
+                failures.append(f"{key}: ambiguous, matches {len(matched)} files")
+                continue
+            pct = matched[0]["summary"]["lines"]["percent"] if matched else 0.0
+        if not matched:
+            failures.append(f"{key}: no exported coverage entry (renamed? move the floor)")
+        elif pct < floor:
+            failures.append(f"{key}: {pct:.2f}% < floor {floor:.2f}%")
+        else:
+            print(f"ok: {key}: {pct:.2f}% >= {floor:.2f}%")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+/// \file fuzz_csv.cpp
+/// \brief Fuzz the CSV record loader and the shared checked-field parsers.
+///
+/// ecg::read_csv is the strictest text surface (exact header block, exact
+/// title row, contiguous indices); its contract for malformed input is
+/// "throws std::runtime_error". The parse_*_field helpers carry the same
+/// contract and additionally promise full consumption and range rejection —
+/// a value they *accept* must round-trip.
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "harness.hpp"
+#include "xbs/ecg/io.hpp"
+#include "xbs/ecg/parse.hpp"
+
+namespace {
+using namespace xbs;
+}  // namespace
+
+XBS_FUZZ_TARGET(csv) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  {
+    std::istringstream is(text);
+    try {
+      const ecg::DigitizedRecord rec = ecg::read_csv(is);
+      (void)rec;
+    } catch (const std::runtime_error&) {
+      // The documented rejection path.
+    }
+  }
+
+  // The field parsers see the first whitespace-delimited token (a full-line
+  // token would only exercise the "embedded space" rejection).
+  const std::string tok = text.substr(0, text.find_first_of(" \t\r\n"));
+  try {
+    (void)ecg::parse_double_field(tok, "fuzz", "double");
+  } catch (const std::runtime_error&) {
+  }
+
+  // i64/i32 parity: parse_i32_field is parse_i64_field plus a range check,
+  // so the two must agree exactly on every input.
+  bool i64_ok = false;
+  i64 v64 = 0;
+  try {
+    v64 = ecg::parse_i64_field(tok, "fuzz", "i64");
+    i64_ok = true;
+  } catch (const std::runtime_error&) {
+  }
+  try {
+    const i32 v32 = ecg::parse_i32_field(tok, "fuzz", "i32");
+    if (!i64_ok || v64 != i64{v32}) std::abort();
+  } catch (const std::runtime_error&) {
+    if (i64_ok && v64 >= -2147483648LL && v64 <= 2147483647LL) std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+/// \file fuzz_frame_decoder.cpp
+/// \brief Fuzz the XBSP framing layer: arbitrary byte streams — torn at
+/// fuzzer-chosen points into multi-frame feeds — through net::FrameDecoder,
+/// then every payload decoder over each extracted frame.
+///
+/// Invariants asserted (beyond "no crash / no sanitizer report"):
+///   - the decoder is sticky-dead: after one framing Error, next() keeps
+///     returning Error and never yields another frame;
+///   - a yielded frame's payload length matches its validated header;
+///   - payload decoders return WireError, never throw, and on success leave
+///     enums inside their legal ranges (the OpenFrame::config() contract).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "harness.hpp"
+#include "xbs/net/protocol.hpp"
+
+namespace {
+
+using namespace xbs;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_frame_decoder: invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Run every decoder whose frame type matches — and, for coverage of the
+/// mismatch paths, the whole decoder set on every payload (each must fail
+/// closed, not crash).
+void dispatch_payload(net::FrameType type, const std::vector<u8>& payload) {
+  const std::span<const u8> p(payload);
+  {
+    net::HelloFrame f;
+    (void)net::decode_hello(p, f);
+  }
+  {
+    net::OpenFrame f;
+    if (net::decode_open(p, f) == net::WireError::None) {
+      // A decoded OPEN must be directly usable as a pipeline config.
+      (void)f.config();
+      for (const i32 lsb : f.lsbs) check(lsb >= 0 && lsb <= 32, "OPEN lsb out of range");
+    }
+  }
+  {
+    net::DrainFrame f;
+    (void)net::decode_drain(p, f);
+  }
+  {
+    net::ResetFrame f;
+    (void)net::decode_reset(p, f);
+  }
+  {
+    std::vector<stream::Event> evs;
+    (void)net::decode_events(p, evs);
+  }
+  {
+    net::StatsFrame f;
+    (void)net::decode_stats(p, f);
+  }
+  {
+    net::ErrorFrame f;
+    (void)net::decode_error(p, f);
+  }
+  {
+    std::vector<i32> samples;
+    if (net::decode_chunk(p, samples) == net::WireError::None) {
+      check(samples.size() * 4 == payload.size(), "CHUNK sample count vs payload size");
+    }
+  }
+  (void)type;
+}
+
+// Knuth LCG step — modular u64 multiplication by design; exempt from the
+// widened sanitizer leg's -fsanitize=integer wrap checks.
+XBS_NO_SANITIZE_INTEGER inline u64 lcg_step(u64 s) noexcept {
+  return s * 6364136223846793005ULL + 1442695040888963407ULL;
+}
+
+}  // namespace
+
+XBS_FUZZ_TARGET(frame_decoder) {
+  net::FrameDecoder dec;
+
+  // The first byte seeds a tiny LCG that chooses feed() slice sizes, so the
+  // fuzzer itself controls how the stream is torn (1..37-byte slices cover
+  // the header-split and payload-split states).
+  u64 lcg = size > 0 ? u64{data[0]} * 2654435761u + 1 : 1;
+  std::size_t off = size > 0 ? 1 : 0;
+
+  net::FrameHeader hdr;
+  std::vector<u8> payload;
+  net::WireError err = net::WireError::None;
+  bool dead = false;
+
+  while (off < size) {
+    lcg = lcg_step(lcg);
+    std::size_t chunk = 1 + static_cast<std::size_t>((lcg >> 33) % 37);
+    chunk = std::min(chunk, size - off);
+    dec.feed(std::span<const u8>(data + off, chunk));
+    off += chunk;
+
+    for (;;) {
+      const net::FrameDecoder::Next r = dec.next(hdr, payload, err);
+      if (r == net::FrameDecoder::Next::NeedMore) break;
+      if (r == net::FrameDecoder::Next::Error) {
+        check(net::is_fatal(err), "framing error must be a fatal code");
+        dead = true;
+        break;
+      }
+      check(!dead, "frame yielded after a fatal framing error");
+      check(payload.size() == hdr.payload_len, "payload length vs header");
+      dispatch_payload(hdr.type, payload);
+    }
+    if (dead) {
+      // Sticky-dead: more bytes must never revive the stream.
+      dec.feed(std::span<const u8>(data + (off < size ? off : 0),
+                                   off < size ? std::min<std::size_t>(size - off, 8) : 0));
+      check(dec.next(hdr, payload, err) == net::FrameDecoder::Next::Error,
+            "decoder revived after a fatal framing error");
+      break;
+    }
+  }
+
+  // Whatever the stream did, decoding its raw bytes as each payload type
+  // must also fail closed (the server hands payloads around as spans).
+  const std::vector<u8> whole(data, data + size);
+  dispatch_payload(net::FrameType::Hello, whole);
+  return 0;
+}

@@ -1,0 +1,149 @@
+/// \file fuzz_session_drive.cpp
+/// \brief Structure-aware fuzz of the serving layer: decode the fuzz bytes
+/// into a bounded (config, chunk-size schedule, control-op) program and run
+/// it against a real StreamServer session.
+///
+/// The fuzzer explores the session lifecycle state machine — try_push /
+/// drain / reset(warm|cold) / close / re-open interleavings, chunk sizes
+/// straddling the max_chunk_samples protocol bound — while the harness
+/// asserts the accounting contract from server.hpp: at quiescence (after
+/// close()), chunks_in == chunks_processed + queued_chunks + dropped_chunks,
+/// and the final state is one the lifecycle permits. Only non-blocking APIs
+/// are driven, so a fuzzer input can never hang the process.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness.hpp"
+#include "xbs/net/protocol.hpp"
+#include "xbs/stream/server.hpp"
+
+namespace {
+
+using namespace xbs;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_session_drive: invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Sequential byte reader over the fuzz input; zeros once exhausted (keeps
+/// every input a complete program).
+struct Program {
+  const u8* p;
+  std::size_t n;
+  std::size_t i = 0;
+  u8 next() noexcept { return i < n ? p[i++] : u8{0}; }
+};
+
+constexpr std::size_t kMaxChunkSamples = 128;
+constexpr std::size_t kMaxOps = 48;
+constexpr std::size_t kMaxTotalSamples = 8192;
+
+// Knuth LCG step — modular u64 multiplication by design; exempt from the
+// widened sanitizer leg's -fsanitize=integer wrap checks.
+XBS_NO_SANITIZE_INTEGER inline u64 lcg_step(u64 s) noexcept {
+  return s * 6364136223846793005ULL + 1442695040888963407ULL;
+}
+
+}  // namespace
+
+XBS_FUZZ_TARGET(session_drive) {
+  Program prog{data, size};
+
+  // --- config bytes: fold into the OPEN vocabulary (always in-range; the
+  // out-of-range rejections belong to fuzz_frame_decoder).
+  net::OpenFrame open;
+  open.add_kind = static_cast<AdderKind>(prog.next() % 6);
+  open.mult_kind = static_cast<MultKind>(prog.next() % 3);
+  open.policy = static_cast<ApproxPolicy>(prog.next() % 3);
+  for (i32& lsb : open.lsbs) lsb = prog.next() % 17;  // 0..16 LSBs per stage
+
+  stream::StreamServer::Options opts;
+  opts.max_sessions = 2;
+  opts.queue_capacity_chunks = 4;
+  opts.max_chunk_samples = kMaxChunkSamples;
+  opts.workers = 1;
+  opts.shards = 1;
+  opts.event_queue_capacity = 8;
+  stream::StreamServer server(opts);
+
+  stream::SessionSpec spec;
+  spec.config = open.config();
+  spec.keep_detection = false;  // unbounded-stream shape: O(window) state
+
+  stream::SessionId id = server.open(spec);
+  bool closed = false;
+
+  std::vector<i32> chunk;
+  std::vector<stream::Event> events;
+  std::size_t pushed_samples = 0;
+
+  const std::size_t n_ops = 1 + prog.next() % kMaxOps;
+  for (std::size_t op = 0; op < n_ops; ++op) {
+    switch (prog.next() % 8) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // try_push a chunk; sizes 0..129 cross the protocol bound.
+        // One byte sizes it, one byte seeds the sample LCG — the fill does
+        // not consume program bytes, so op schedules stay compact.
+        std::size_t n = prog.next() % 130;
+        u64 g = u64{prog.next()} * 2654435761u + n;
+        if (pushed_samples + n > kMaxTotalSamples) n = 0;
+        chunk.assign(n, 0);
+        for (i32& s : chunk) {
+          g = lcg_step(g);
+          s = static_cast<i32>((g >> 33) % 4096) - 2048;
+        }
+        const stream::PushResult r = server.try_push(id, chunk);
+        if (r == stream::PushResult::Ok) pushed_samples += n;
+        // An oversize chunk is a protocol violation: it must never be Ok.
+        if (n > kMaxChunkSamples) check(r != stream::PushResult::Ok, "oversize chunk accepted");
+        if (closed) check(r != stream::PushResult::Ok, "push accepted after close");
+        break;
+      }
+      case 4:  // drain finalized events (non-blocking overload)
+        events.clear();
+        (void)server.drain_events(id, events);
+        for (const stream::Event& e : events) {
+          check(e.hr_bpm >= 0.0 || !e.is_beat(), "negative heart rate on a beat");
+        }
+        break;
+      case 5: {  // reset: re-arms from any state, even Faulted/Closed
+        const bool warm = (prog.next() & 1u) != 0;
+        check(server.reset(id, warm ? pantompkins::WarmStart::KeepThresholds
+                                    : pantompkins::WarmStart::Cold),
+              "reset on a live id failed");
+        closed = false;
+        break;
+      }
+      case 6:  // close: graceful drain; safe to call twice
+        (void)server.close(id);
+        closed = true;
+        break;
+      default: {  // stats snapshot must be readable at any time
+        const stream::StreamServer::SessionStats st = server.session_stats(id);
+        check(st.chunks_in >= st.chunks_processed + st.queued_chunks,
+              "ledger: chunks_in underflows its components");
+        break;
+      }
+    }
+  }
+
+  // Quiesce: close() waits for the drain to land, making the ledger exact.
+  const stream::SessionState final_state = server.close(id);
+  check(final_state == stream::SessionState::Closed ||
+            final_state == stream::SessionState::Faulted,
+        "close() landed in a non-terminal state");
+  const stream::StreamServer::SessionStats st = server.session_stats(id);
+  check(st.queued_chunks == 0, "queued chunks after close");
+  check(st.chunks_in == st.chunks_processed + st.dropped_chunks,
+        "ledger violated at quiescence");
+
+  // The slot must be recyclable whatever the episode did to it.
+  check(server.release(id) != nullptr, "release lost the session");
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file fuzz_wfdb.cpp
+/// \brief Fuzz the WFDB converter: `.hea` header parsing, format-212 sample
+/// decode and `.atr` annotation atoms, all through the public read_wfdb().
+///
+/// Input layout: [u16 hea_len][u16 dat_len][hea bytes][dat bytes][atr bytes]
+/// (lengths clamped to what is available), written as fz.hea / fz.dat /
+/// fz.atr in a per-process scratch directory. The contract for hostile
+/// record files is "throws std::runtime_error" — any other exception type
+/// escapes the harness and crashes, which is the finding.
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "harness.hpp"
+#include "xbs/store/wfdb.hpp"
+
+namespace {
+
+using namespace xbs;
+
+const std::string& scratch_dir() {
+  static const std::string dir = [] {
+    std::string d = "/tmp/xbs_fuzz_wfdb." + std::to_string(::getpid());
+    if (::mkdir(d.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::perror("fuzz_wfdb: mkdir");
+      std::abort();
+    }
+    return d;
+  }();
+  return dir;
+}
+
+void write_file(const std::string& path, const u8* data, std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::perror("fuzz_wfdb: fopen");
+    std::abort();
+  }
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    std::perror("fuzz_wfdb: fwrite");
+    std::abort();
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+XBS_FUZZ_TARGET(wfdb) {
+  if (size < 4) return 0;
+  const std::size_t hea_len = std::min<std::size_t>(u16(data[0] | u16{data[1]} << 8), size - 4);
+  const std::size_t dat_len =
+      std::min<std::size_t>(u16(data[2] | u16{data[3]} << 8), size - 4 - hea_len);
+  const u8* hea = data + 4;
+  const u8* dat = hea + hea_len;
+  const u8* atr = dat + dat_len;
+  const std::size_t atr_len = size - 4 - hea_len - dat_len;
+
+  // The signal-file name in the header is attacker-controlled and read_wfdb
+  // opens it relative to the header's directory. Keep the fuzzer inside the
+  // scratch dir: neuter '/' after the first line. The record line keeps its
+  // bytes so the multi-segment ('/' in the record name) rejection path stays
+  // reachable.
+  std::vector<u8> hea_bytes(hea, hea + hea_len);
+  bool past_record_line = false;
+  for (u8& b : hea_bytes) {
+    if (b == u8{'\n'}) past_record_line = true;
+    else if (past_record_line && b == u8{'/'}) b = u8{'_'};
+  }
+
+  const std::string base = scratch_dir() + "/fz";
+  write_file(base + ".hea", hea_bytes.data(), hea_bytes.size());
+  write_file(base + ".dat", dat, dat_len);
+  write_file(base + ".atr", atr, atr_len);
+
+  try {
+    const ecg::DigitizedRecord rec = store::read_wfdb(base + ".hea", /*signal=*/data[0] & 1u);
+    // A record that decoded must be internally consistent: peaks sorted,
+    // strictly increasing and inside the sample range (the decode_annotations
+    // postcondition the store writer depends on).
+    for (std::size_t i = 0; i < rec.r_peaks.size(); ++i) {
+      if (rec.r_peaks[i] >= rec.adu.size() ||
+          (i > 0 && rec.r_peaks[i] < rec.r_peaks[i - 1])) {
+        std::fprintf(stderr, "fuzz_wfdb: decoded record violates the peak invariant\n");
+        std::abort();
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // The documented rejection path for malformed records.
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file harness.cpp
+/// \brief Target registry + the libFuzzer entry points (harness.hpp).
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace xbs::fuzz {
+
+namespace {
+std::vector<Target>& registry() {
+  static std::vector<Target> r;
+  return r;
+}
+}  // namespace
+
+const Target* targets(std::size_t* count) noexcept {
+  *count = registry().size();
+  return registry().data();
+}
+
+bool register_target(const char* name, TargetFn fn) noexcept {
+  registry().push_back(Target{name, fn});
+  return true;
+}
+
+}  // namespace xbs::fuzz
+
+#if defined(XBS_FUZZ_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "fault_inject.hpp"
+
+/// A libFuzzer binary links exactly one target; fuzzing a multi-target
+/// binary would conflate coverage maps, so that shape is a build error at
+/// runtime-entry rather than something we try to make work.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::size_t n = 0;
+  const xbs::fuzz::Target* t = xbs::fuzz::targets(&n);
+  if (n != 1) {
+    std::fprintf(stderr, "fuzz harness: expected exactly 1 registered target, got %zu\n", n);
+    std::abort();
+  }
+  return t[0].fn(data, size);
+}
+
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t max_size);
+
+/// Custom mutator: mostly delegate to libFuzzer's generic byte mutations,
+/// but one draw in four applies the fault_inject.hpp corruption vocabulary
+/// (bit rot, truncation, torn stale-tail overwrites, header mangles) — the
+/// exact failure shapes the store/net readers are contractually required to
+/// survive, which generic havoc mutations compose poorly. One engine, two
+/// consumers: the property tests and the fuzzers share FaultInjector, so a
+/// new fault class automatically reaches both.
+// The seed scramble below is a modular u64 multiply by design.
+extern "C" XBS_NO_SANITIZE_INTEGER std::size_t LLVMFuzzerCustomMutator(
+    std::uint8_t* data, std::size_t size, std::size_t max_size, unsigned int seed) {
+  if ((seed & 3u) != 0 || size == 0) return LLVMFuzzerMutate(data, size, max_size);
+  std::vector<xbs::u8> image(data, data + size);
+  // splitmix64-style scramble: adjacent libFuzzer seeds must not collapse to
+  // adjacent Rng streams.
+  xbs::testing::FaultInjector inj{(xbs::u64{seed} + 1) * 0x9E3779B97F4A7C15ULL};
+  // 12 = the XBSP header size; for non-wire targets it is simply "the front
+  // of the input", which is where every format keeps its magic anyway.
+  (void)inj.mutate_any(image, std::min<std::size_t>(image.size(), 12));
+  if (image.empty() || image.size() > max_size) {
+    return LLVMFuzzerMutate(data, size, max_size);
+  }
+  std::memcpy(data, image.data(), image.size());
+  return image.size();
+}
+
+#endif  // XBS_FUZZ_LIBFUZZER

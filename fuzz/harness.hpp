@@ -1,0 +1,57 @@
+/// \file harness.hpp
+/// \brief The fuzz-target registry shared by every build shape of a harness.
+///
+/// Each fuzz_*.cpp defines exactly one target with XBS_FUZZ_TARGET(name).
+/// The same TU compiles, unchanged, into three binaries:
+///
+///   - fuzz_<name>        libFuzzer binary (clang, -fsanitize=fuzzer):
+///                        harness.cpp provides LLVMFuzzerTestOneInput and a
+///                        custom mutator seeded from tests/fault_inject.hpp.
+///   - fuzz_replay_<name> plain main() driver (any compiler): replays files
+///                        or directories of inputs — the crash-triage and
+///                        corpus-replay tool, and the reason GCC builds stay
+///                        green without libFuzzer.
+///   - test_fuzz_regressions  a gtest linking *all* targets, replaying every
+///                        committed corpus + regression input in the normal
+///                        build matrix (fuzz findings become permanent
+///                        regression tests).
+///
+/// A target returns 0 (libFuzzer's "input processed" convention; nonzero is
+/// reserved). Crashing, aborting, or tripping a sanitizer IS the failure
+/// signal — harnesses catch only the exceptions their API contract
+/// documents, so anything else escapes and kills the process.
+#pragma once
+
+#include <cstddef>
+
+#include "xbs/common/types.hpp"
+
+namespace xbs::fuzz {
+
+using TargetFn = int (*)(const u8* data, std::size_t size);
+
+struct Target {
+  const char* name;
+  TargetFn fn;
+};
+
+/// All targets linked into this binary, in registration order.
+[[nodiscard]] const Target* targets(std::size_t* count) noexcept;
+
+/// Called by the XBS_FUZZ_TARGET registrar; returns true so it can seed a
+/// namespace-scope bool initializer.
+bool register_target(const char* name, TargetFn fn) noexcept;
+
+}  // namespace xbs::fuzz
+
+/// Define + register one fuzz target. The function body follows the macro:
+///
+///   XBS_FUZZ_TARGET(frame_decoder) {
+///     ... use data/size ...
+///     return 0;
+///   }
+#define XBS_FUZZ_TARGET(name)                                                  \
+  static int xbs_fuzz_entry_##name(const ::xbs::u8* data, std::size_t size);   \
+  [[maybe_unused]] static const bool xbs_fuzz_registered_##name =              \
+      ::xbs::fuzz::register_target(#name, &xbs_fuzz_entry_##name);             \
+  static int xbs_fuzz_entry_##name(const ::xbs::u8* data, std::size_t size)

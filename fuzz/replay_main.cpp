@@ -1,0 +1,70 @@
+/// \file replay_main.cpp
+/// \brief Fuzzer-less replay driver: run corpus/regression inputs through a
+/// fuzz target as an ordinary process (any compiler, no libFuzzer runtime).
+///
+/// Usage: fuzz_replay_<target> <file-or-dir>...
+///
+/// Directories are replayed recursively in sorted order (deterministic
+/// logs). A crash or sanitizer report aborts the process at the offending
+/// input, whose path is the last line printed — that is the triage loop.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+std::vector<xbs::u8> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "fuzz_replay: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  return std::vector<xbs::u8>(std::istreambuf_iterator<char>(is),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 0;
+  const xbs::fuzz::Target* t = xbs::fuzz::targets(&n);
+  if (n != 1) {
+    std::fprintf(stderr, "fuzz_replay: expected exactly 1 registered target, got %zu\n", n);
+    return 2;
+  }
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& e : std::filesystem::recursive_directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path().string());
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      std::fprintf(stderr, "fuzz_replay: no such input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const std::string& f : files) {
+    const std::vector<xbs::u8> bytes = slurp(f);
+    std::printf("[%s] %s (%zu bytes)\n", t[0].name, f.c_str(), bytes.size());
+    std::fflush(stdout);  // must hit the log before a potential crash
+    (void)t[0].fn(bytes.data(), bytes.size());
+  }
+  std::printf("[%s] replayed %zu inputs, all clean\n", t[0].name, files.size());
+  return 0;
+}

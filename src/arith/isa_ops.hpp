@@ -12,8 +12,10 @@ namespace xbs::arith::detail {
 /// Scalar reference element of the wired-add closed form — the single
 /// source of truth every tier's tail loop (and the baseline loop) reduces
 /// to. Mirrors ApproxKernel's decoded AMA4/AMA5 semantics exactly.
-[[nodiscard]] inline i64 wired_add_one(i64 a, i64 b, int w, int k, bool sum_is_b,
-                                       bool negate_b) noexcept {
+/// The `(x ^ sbit) - sbit` sign folds below wrap u64 by design (see
+/// sign_extend in bitops.hpp) — exempt from the -fsanitize=integer checks.
+XBS_NO_SANITIZE_INTEGER [[nodiscard]] inline i64 wired_add_one(
+    i64 a, i64 b, int w, int k, bool sum_is_b, bool negate_b) noexcept {
   const u64 wmask = low_mask(w);
   const u64 ua = static_cast<u64>(a) & wmask;
   u64 ub = static_cast<u64>(b) & wmask;

@@ -26,9 +26,12 @@ void gather_lut_n_baseline(const i64* table, u64 mask, const i64* x, i64* out,
   }
 }
 
+// The `(x ^ sbit) - sbit` sign folds in both loop bodies wrap u64 by design
+// (two's-complement sign extension, see bitops.hpp) — exempt from the
+// -fsanitize=integer checks.
 template <bool kSumIsB, bool kNegateB>
-void wired_add_loop(const i64* a, const i64* b, i64* out, std::size_t n, int w,
-                    int k) noexcept {
+XBS_NO_SANITIZE_INTEGER void wired_add_loop(const i64* a, const i64* b, i64* out, std::size_t n,
+                                            int w, int k) noexcept {
   const u64 wmask = low_mask(w);
   const u64 sbit = u64{1} << (w - 1);
   if (k >= w) {
@@ -73,8 +76,9 @@ void wired_add_n_baseline(const i64* a, const i64* b, i64* out, std::size_t n,
 }
 
 template <bool kSumIsB>
-void wired_mac_loop(const i64* XBS_RESTRICT table, u64 mask, const i64* XBS_RESTRICT x,
-                    i64* XBS_RESTRICT acc, std::size_t n, int w, int k) noexcept {
+XBS_NO_SANITIZE_INTEGER void wired_mac_loop(const i64* XBS_RESTRICT table, u64 mask,
+                                            const i64* XBS_RESTRICT x, i64* XBS_RESTRICT acc,
+                                            std::size_t n, int w, int k) noexcept {
   const u64 wmask = low_mask(w);
   const u64 sbit = u64{1} << (w - 1);
   if (k >= w) {

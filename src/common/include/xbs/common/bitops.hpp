@@ -26,7 +26,9 @@ namespace xbs {
 }
 
 /// Sign-extend the low \p bits bits of \p v into a signed 64-bit value.
-[[nodiscard]] constexpr i64 sign_extend(u64 v, int bits) noexcept {
+/// `(x ^ m) - m` underflows u64 whenever the sign bit is set — that wrap IS
+/// the two's-complement fold, so the -fsanitize=integer checks are off here.
+XBS_NO_SANITIZE_INTEGER [[nodiscard]] constexpr i64 sign_extend(u64 v, int bits) noexcept {
   assert(bits > 0 && bits <= 64);
   if (bits == 64) return static_cast<i64>(v);
   const u64 m = u64{1} << (bits - 1);

@@ -44,7 +44,10 @@ namespace xbs {
 /// forms (`v << -shift`, `v + bias`, `-v`) are signed-overflow UB at the
 /// range boundaries (e.g. INT64_MIN), which long-running streams will
 /// eventually feed through accumulated datapaths.
-[[nodiscard]] constexpr i64 shift_round(i64 v, int shift) noexcept {
+/// The u64 magnitude trick below (`u64{0} - mag` two's-complement negation,
+/// left-shifting a sign-extended bit pattern) is deliberate modular
+/// arithmetic — exempt from the -fsanitize=integer wrap checks.
+XBS_NO_SANITIZE_INTEGER [[nodiscard]] constexpr i64 shift_round(i64 v, int shift) noexcept {
   assert(shift > -64 && shift < 64);
   constexpr i64 hi = std::numeric_limits<i64>::max();
   constexpr i64 lo = std::numeric_limits<i64>::min();

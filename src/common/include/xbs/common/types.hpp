@@ -4,6 +4,19 @@
 
 #include <cstdint>
 
+/// Marks a function whose arithmetic wraps *by design* (PRNG mixers, CRC-style
+/// sign folds, two's-complement magnitude tricks), exempting it from clang's
+/// -fsanitize=integer,implicit-conversion group that the widened CI sanitizer
+/// leg enables. Plain UBSan (signed overflow, bad shifts) still applies — the
+/// exemption covers only the well-defined-but-suspicious unsigned/implicit
+/// checks. Every use site must carry a comment saying which operation wraps
+/// and why that is the intended semantics.
+#if defined(__clang__)
+#define XBS_NO_SANITIZE_INTEGER __attribute__((no_sanitize("integer", "implicit-conversion")))
+#else
+#define XBS_NO_SANITIZE_INTEGER
+#endif
+
 namespace xbs {
 
 using i8 = std::int8_t;

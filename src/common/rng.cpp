@@ -8,7 +8,9 @@ namespace {
 
 constexpr u64 rotl(u64 x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
 
-constexpr u64 splitmix64(u64& s) noexcept {
+// splitmix64's increment and both mixing multiplies are modular u64
+// arithmetic by construction — the wraps ARE the mixer.
+XBS_NO_SANITIZE_INTEGER constexpr u64 splitmix64(u64& s) noexcept {
   s += 0x9E3779B97F4A7C15ull;
   u64 z = s;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -23,7 +25,8 @@ Rng::Rng(u64 seed) noexcept {
   for (auto& w : state_) w = splitmix64(s);
 }
 
-u64 Rng::next_u64() noexcept {
+// xoshiro256**'s scrambler (*5, *9) is modular u64 multiplication.
+XBS_NO_SANITIZE_INTEGER u64 Rng::next_u64() noexcept {
   const u64 result = rotl(state_[1] * 5, 7) * 9;
   const u64 t = state_[1] << 17;
   state_[2] ^= state_[0];
@@ -42,9 +45,13 @@ double Rng::uniform() noexcept {
 
 double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
-i64 Rng::uniform_int(i64 lo, i64 hi) noexcept {
-  const u64 span = static_cast<u64>(hi - lo) + 1;
-  return lo + static_cast<i64>(next_u64() % span);
+// The span and the `lo + x` reconstruction are deliberate modular u64
+// arithmetic: hi - lo is exact in u64 for any i64 pair (two's complement),
+// and the full-range span wraps to 0, which the guard maps to "any u64".
+XBS_NO_SANITIZE_INTEGER i64 Rng::uniform_int(i64 lo, i64 hi) noexcept {
+  const u64 span = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+  if (span == 0) return static_cast<i64>(next_u64());
+  return static_cast<i64>(static_cast<u64>(lo) + next_u64() % span);
 }
 
 double Rng::gaussian() noexcept {

@@ -103,6 +103,13 @@ HeaderInfo parse_header(const std::string& hea_path, std::size_t signal,
       if (!(info.fs_hz > 0.0)) fail("non-positive sampling frequency: '" + tok[2] + "'");
       const i64 ns = ecg::parse_i64_field(tok[3], kCtx, "bad sample count");
       if (ns < 1) fail("non-positive sample count: '" + tok[3] + "'");
+      // Bound the declared count (same 2^40 ceiling as the XBS1 store) so the
+      // decode_212 size arithmetic (n_samples * n_signals * 3 / 2) cannot wrap
+      // u64 and vector::reserve cannot throw length_error — a hostile header
+      // must fail with the documented runtime_error, nothing else.
+      if (static_cast<u64>(ns) > (u64{1} << 40)) {
+        fail("implausible sample count: '" + tok[3] + "'");
+      }
       info.n_samples = static_cast<u64>(ns);
       record_line_done = true;
       continue;

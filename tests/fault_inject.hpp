@@ -115,6 +115,29 @@ class FaultInjector {
     return f;
   }
 
+  /// One uniformly random fault of any applicable class — the shared entry
+  /// point for both the property tests and the libFuzzer custom mutators
+  /// (fuzz/harness.cpp), which seed their mutation stage from this engine
+  /// instead of maintaining a second corruption vocabulary. Classes whose
+  /// preconditions the image cannot satisfy (empty image, zero-length header
+  /// region) are excluded from the draw; an image that satisfies none is
+  /// returned unchanged as a degenerate Truncate-to-0.
+  Fault mutate_any(std::vector<u8>& image, std::size_t header_bytes = 0) {
+    if (image.empty()) {
+      Fault f;
+      f.kind = FaultKind::Truncate;
+      f.offset = 0;
+      return f;
+    }
+    const i64 classes = header_bytes > 0 ? 4 : 3;
+    switch (rng_.uniform_int(0, classes - 1)) {
+      case 0: return flip_bit(image);
+      case 1: return truncate(image);
+      case 2: return torn_write(image);
+      default: return mangle_header(image, header_bytes);
+    }
+  }
+
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
  private:

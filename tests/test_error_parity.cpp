@@ -1,0 +1,240 @@
+/// \file test_error_parity.cpp
+/// \brief Decoder error-path parity: every net::WireError and every
+/// store::StoreErrc must be reachable from at least one committed fuzz
+/// regression input (plus, for the environmental store errors, a
+/// deterministic in-test construction).
+///
+/// This catches two rot modes the type system cannot: an error code that no
+/// input can produce any more (dead enum value / unreachable branch), and a
+/// committed regression input that stopped exercising the path it was
+/// minimized for (e.g. an encoder change shifted an offset). The tables
+/// below are exhaustive over both enums by construction — adding a code
+/// without a committed input fails here, by design.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "xbs/ecg/record.hpp"
+#include "xbs/net/protocol.hpp"
+#include "xbs/store/store.hpp"
+#include "xbs/store/wfdb.hpp"
+
+namespace {
+
+using namespace xbs;
+
+std::vector<u8> slurp(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  EXPECT_TRUE(is) << p;
+  return std::vector<u8>(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+}
+
+std::vector<std::filesystem::path> files_under(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file()) out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Feed one committed wire input (minus its split-steering lead byte)
+/// through the framing layer, collecting every error the decoders *return*
+/// and every code carried by a well-formed ERROR frame.
+void classify_wire(const std::vector<u8>& bytes, std::set<net::WireError>& decoded,
+                   std::set<net::WireError>& carried) {
+  if (bytes.empty()) return;
+  net::FrameDecoder dec;
+  dec.feed(std::span<const u8>(bytes.data() + 1, bytes.size() - 1));
+  net::FrameHeader hdr;
+  std::vector<u8> payload;
+  net::WireError err = net::WireError::None;
+  for (;;) {
+    const net::FrameDecoder::Next r = dec.next(hdr, payload, err);
+    if (r == net::FrameDecoder::Next::NeedMore) return;
+    if (r == net::FrameDecoder::Next::Error) {
+      decoded.insert(err);
+      return;
+    }
+    const std::span<const u8> p(payload);
+    net::WireError e = net::WireError::None;
+    switch (hdr.type) {
+      case net::FrameType::Hello: {
+        net::HelloFrame f;
+        e = net::decode_hello(p, f);
+        break;
+      }
+      case net::FrameType::Open: {
+        net::OpenFrame f;
+        e = net::decode_open(p, f);
+        break;
+      }
+      case net::FrameType::Chunk: {
+        std::vector<i32> samples;
+        e = net::decode_chunk(p, samples);
+        break;
+      }
+      case net::FrameType::Drain: {
+        net::DrainFrame f;
+        e = net::decode_drain(p, f);
+        break;
+      }
+      case net::FrameType::Close:
+        break;
+      case net::FrameType::Reset: {
+        net::ResetFrame f;
+        e = net::decode_reset(p, f);
+        break;
+      }
+      case net::FrameType::Event: {
+        std::vector<stream::Event> evs;
+        e = net::decode_events(p, evs);
+        break;
+      }
+      case net::FrameType::Stats: {
+        net::StatsFrame f;
+        e = net::decode_stats(p, f);
+        break;
+      }
+      case net::FrameType::Error: {
+        net::ErrorFrame f;
+        e = net::decode_error(p, f);
+        if (e == net::WireError::None) carried.insert(f.code);
+        break;
+      }
+    }
+    if (e != net::WireError::None) decoded.insert(e);
+  }
+}
+
+ecg::DigitizedRecord tiny_record() {
+  ecg::DigitizedRecord rec;
+  rec.name = "parity";
+  rec.fs_hz = 360.0;
+  rec.gain_adu_per_mv = 200.0;
+  rec.adu = {0, 1, 2, 3};
+  return rec;
+}
+
+}  // namespace
+
+TEST(ErrorParity, EveryWireErrorReachableFromCommittedInputs) {
+  const std::filesystem::path dir =
+      std::filesystem::path(XBS_FUZZ_DIR) / "regressions/frame_decoder";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+
+  std::set<net::WireError> decoded;
+  std::set<net::WireError> carried;
+  for (const auto& f : files_under(dir)) classify_wire(slurp(f), decoded, carried);
+
+  // Framing/payload-level verdicts the client-side decoders must produce.
+  const net::WireError from_decoders[] = {
+      net::WireError::BadMagic,  net::WireError::BadVersion, net::WireError::BadHeader,
+      net::WireError::UnknownType, net::WireError::Oversize, net::WireError::Malformed,
+  };
+  for (const net::WireError e : from_decoders) {
+    EXPECT_TRUE(decoded.count(e)) << "no committed input makes a decoder return "
+                                  << net::to_string(e);
+  }
+  // Server-originated refusals travel inside ERROR frames; the codec must
+  // round-trip every one of them.
+  const net::WireError from_error_frames[] = {
+      net::WireError::HelloRequired, net::WireError::NoSession,
+      net::WireError::SessionExists, net::WireError::SessionBusy,
+      net::WireError::SessionLimit,  net::WireError::Refused,
+      net::WireError::Internal,
+  };
+  for (const net::WireError e : from_error_frames) {
+    EXPECT_TRUE(carried.count(e)) << "no committed ERROR frame carries "
+                                  << net::to_string(e);
+  }
+}
+
+TEST(ErrorParity, EveryStoreErrcReachable) {
+  const std::filesystem::path dir =
+      std::filesystem::path(XBS_FUZZ_DIR) / "regressions/store_reader";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+
+  std::set<store::StoreErrc> observed;
+  for (const auto& f : files_under(dir)) {
+    SCOPED_TRACE(f.string());
+    try {
+      store::RecordReader reader(f.string());
+      try {
+        (void)reader.record();
+      } catch (const store::StoreError& e) {
+        observed.insert(e.errc());  // read-time verdict (PageCorrupt/BadPayload)
+      }
+    } catch (const store::StoreError& e) {
+      observed.insert(e.errc());  // open-time verdict
+    }
+  }
+
+  // File-byte verdicts: one committed image per code.
+  const store::StoreErrc from_files[] = {
+      store::StoreErrc::TruncatedFile, store::StoreErrc::BadMagic,
+      store::StoreErrc::BadVersion,    store::StoreErrc::BadHeader,
+      store::StoreErrc::BadTagTable,   store::StoreErrc::PageCorrupt,
+      store::StoreErrc::BadPayload,
+  };
+  for (const store::StoreErrc e : from_files) {
+    EXPECT_TRUE(observed.count(e)) << "no committed image produces "
+                                   << store::to_string(e);
+  }
+
+  // Environmental verdicts: not file-byte properties, so they are
+  // constructed here instead of committed as images.
+  try {
+    store::RecordReader reader("/nonexistent-xbs-parity-dir/nope.xbs");
+    FAIL() << "open of a nonexistent path succeeded";
+  } catch (const store::StoreError& e) {
+    EXPECT_EQ(e.errc(), store::StoreErrc::OpenFailed);
+  }
+  try {
+    store::write_record("/nonexistent-xbs-parity-dir/nope.xbs", tiny_record());
+    FAIL() << "write into a nonexistent directory succeeded";
+  } catch (const store::StoreError& e) {
+    EXPECT_EQ(e.errc(), store::StoreErrc::WriteFailed);
+  }
+  try {
+    (void)store::encode_record(ecg::DigitizedRecord{});
+    FAIL() << "encoding an empty record succeeded";
+  } catch (const store::StoreError& e) {
+    EXPECT_EQ(e.errc(), store::StoreErrc::InvalidRecord);
+  }
+}
+
+TEST(ErrorParity, WfdbOverflowRegressionStaysARuntimeError) {
+  // The committed wfdb-overflow-reserve.bin input: a header declaring 2^62
+  // samples across 4 signals used to wrap the u64 size arithmetic in
+  // decode_212, slip past the exact-size check with an empty .dat, and die
+  // in vector::reserve with std::length_error — violating the documented
+  // "throws std::runtime_error" contract. parse_header now bounds the
+  // declared count; this pins the fix.
+  const std::filesystem::path packed =
+      std::filesystem::path(XBS_FUZZ_DIR) / "regressions/wfdb/wfdb-overflow-reserve.bin";
+  const std::vector<u8> bytes = slurp(packed);
+  ASSERT_GE(bytes.size(), 4u);
+  const std::size_t hea_len = bytes[0] | std::size_t{bytes[1]} << 8;
+  ASSERT_LE(4 + hea_len, bytes.size());
+
+  const std::filesystem::path tmp =
+      std::filesystem::path(::testing::TempDir()) / "xbs_parity_wfdb";
+  std::filesystem::create_directories(tmp);
+  {
+    std::ofstream os(tmp / "fz.hea", std::ios::binary);
+    os.write(reinterpret_cast<const char*>(bytes.data() + 4),
+             static_cast<std::streamsize>(hea_len));
+  }
+  { std::ofstream os(tmp / "fz.dat", std::ios::binary); }  // empty signal file
+
+  EXPECT_THROW((void)store::read_wfdb((tmp / "fz.hea").string(), 0), std::runtime_error);
+  std::filesystem::remove_all(tmp);
+}

@@ -1,0 +1,84 @@
+/// \file test_fuzz_regressions.cpp
+/// \brief Replay every committed fuzz corpus + regression input through the
+/// real harness code in the normal build matrix.
+///
+/// This is the contract that makes fuzz findings permanent: a crash found by
+/// a fuzzer is minimized and committed under fuzz/regressions/<target>/, and
+/// from then on every CI leg — Release, Debug, ASan+UBSan, TSan — replays it
+/// here as an ordinary gtest. The harness TUs themselves are compiled into
+/// this binary (fuzz/ is in the include path; no libFuzzer involved), so the
+/// replayed logic is byte-for-byte what the fuzzers run.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace xbs;
+
+std::vector<u8> slurp(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  EXPECT_TRUE(is) << p;
+  return std::vector<u8>(std::istreambuf_iterator<char>(is),
+                         std::istreambuf_iterator<char>());
+}
+
+std::vector<std::filesystem::path> files_under(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file()) out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+constexpr const char* kExpectedTargets[] = {"frame_decoder", "store_reader", "wfdb", "csv",
+                                            "session_drive"};
+
+}  // namespace
+
+TEST(FuzzRegressions, AllFiveTargetsAreRegistered) {
+  std::size_t n = 0;
+  const fuzz::Target* t = fuzz::targets(&n);
+  ASSERT_EQ(n, std::size(kExpectedTargets));
+  for (const char* want : kExpectedTargets) {
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) found |= std::string(t[i].name) == want;
+    EXPECT_TRUE(found) << "target not linked in: " << want;
+  }
+}
+
+TEST(FuzzRegressions, ReplaysEveryCommittedInput) {
+  const std::filesystem::path root(XBS_FUZZ_DIR);
+  std::size_t n = 0;
+  const fuzz::Target* targets = fuzz::targets(&n);
+  ASSERT_GT(n, 0u);
+
+  std::size_t replayed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const char* kind : {"corpus", "regressions"}) {
+      const std::filesystem::path dir = root / kind / targets[i].name;
+      // Every harness ships seeds AND regression inputs; a missing directory
+      // means the committed set silently rotted.
+      ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+      const auto files = files_under(dir);
+      ASSERT_FALSE(files.empty()) << dir;
+      for (const auto& f : files) {
+        SCOPED_TRACE(f.string());
+        const std::vector<u8> bytes = slurp(f);
+        EXPECT_EQ(targets[i].fn(bytes.data(), bytes.size()), 0);
+        ++replayed;
+      }
+    }
+  }
+  // A sanity floor so a glob mishap (empty dirs, bad path) cannot quietly
+  // turn this suite into a no-op.
+  EXPECT_GE(replayed, 25u);
+}
